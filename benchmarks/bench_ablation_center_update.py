@@ -1,0 +1,77 @@
+"""Ablation D: the S-SLIC center-update semantics.
+
+Section 4.3 is ambiguous about whether the sigma registers reset at every
+subset pass or carry their accumulations across a full sweep ("The current
+accumulations for the 9 SPs in the cluster update unit are loaded from the
+center update unit"). This library implements three interpretations
+(``SlicParams.center_update_mode``):
+
+* ``accumulate`` — registers carry across a sweep (our default, the
+  hardware-consistent reading): mid-sweep updates use the pixels seen so
+  far, the sweep-final update equals a full SLIC update, so S-SLIC shares
+  SLIC's fixed point;
+* ``subset`` — pure OS-EM (reset each pass): centers jitter from subset
+  sampling noise, costing a little converged quality;
+* ``all_assigned`` — recompute from every pixel's stored label each pass:
+  best quality but re-reads the whole frame per pass, destroying the
+  bandwidth saving (hardware-infeasible reference).
+
+This ablation justifies the default.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.analysis.experiments import EVAL_COMPACTNESS, eval_dataset, _eval_k
+from repro.core import sslic
+from repro.metrics import undersegmentation_error
+
+MODES = ("accumulate", "subset", "all_assigned")
+
+
+def test_ablation_center_update_modes(benchmark, bench_scale, emit):
+    dataset = eval_dataset(bench_scale)
+    k = _eval_k(bench_scale)
+
+    def run():
+        out = {}
+        for mode in MODES:
+            uses = []
+            for scene in dataset:
+                result = sslic(
+                    scene.image,
+                    n_superpixels=k,
+                    compactness=EVAL_COMPACTNESS,
+                    subsample_ratio=0.25,
+                    center_update_mode=mode,
+                    max_iterations=8,
+                    convergence_threshold=0.0,
+                )
+                uses.append(undersegmentation_error(result.labels, scene.gt_labels))
+            out[mode] = float(np.mean(uses))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    bandwidth = {
+        "accumulate": "1x (subset streaming only)",
+        "subset": "1x (subset streaming only)",
+        "all_assigned": "~5x (full-frame re-read per pass)",
+    }
+    rows = [[m, f"{results[m]:.4f}", bandwidth[m]] for m in MODES]
+    emit(
+        "ablation_center_update",
+        render_table(
+            ["center update mode", "USE (8 sweeps, ratio 0.25)", "relative DRAM cost"],
+            rows,
+            title="Ablation D: sigma-register semantics — all three "
+                  "interpretations converge within noise; the hardware-"
+                  "feasible ones do it at 1x bandwidth",
+        ),
+    )
+
+    # The three interpretations must agree within a small band — the
+    # robustness that makes the paper's ambiguity harmless — and the
+    # hardware-feasible default must track the infeasible reference.
+    vals = list(results.values())
+    assert max(vals) - min(vals) < 0.02
+    assert abs(results["accumulate"] - results["all_assigned"]) < 0.02

@@ -1,0 +1,68 @@
+"""Software kernel throughput: the pytest-benchmark timing suite proper.
+
+Times the library's hot paths (color conversion, one PPA assignment pass,
+one CPA sweep, a full S-SLIC run) so performance regressions in the
+vectorized kernels are visible. These are the kernels whose *relative*
+costs drive the Table 1 breakdown.
+"""
+
+import numpy as np
+import pytest
+
+from repro.color import HwColorConverter, rgb_to_lab
+from repro.core import (
+    SlicParams,
+    candidate_map,
+    grid_geometry,
+    initial_centers,
+    slic,
+    spatial_weight,
+    sslic,
+    tile_map,
+)
+from repro.core.assignment import PixelArrays, assign_ppa
+from repro.data import SceneConfig, generate_scene
+
+
+@pytest.fixture(scope="module")
+def frame():
+    scene = generate_scene(
+        SceneConfig(height=240, width=320, n_regions=18, n_disks=3), seed=21
+    )
+    return scene.image
+
+
+def test_throughput_color_conversion_reference(benchmark, frame):
+    benchmark(rgb_to_lab, frame)
+
+
+def test_throughput_color_conversion_lut(benchmark, frame):
+    converter = HwColorConverter()
+    benchmark(converter.convert_codes, frame)
+
+
+def test_throughput_ppa_assignment_pass(benchmark, frame):
+    lab = rgb_to_lab(frame)
+    h, w = lab.shape[:2]
+    k = 300
+    centers = initial_centers(lab, k)
+    gh, gw, _, _ = grid_geometry((h, w), k)
+    tiles = tile_map((h, w), gh, gw)
+    cands = candidate_map(gh, gw)
+    pixels = PixelArrays(lab, tiles)
+    idx = np.arange(pixels.n_pixels)
+    weight = spatial_weight(10.0, float(np.sqrt(h * w / len(centers))))
+    benchmark(assign_ppa, pixels, idx, cands, centers, weight)
+
+
+def test_throughput_slic_full_run(benchmark, frame):
+    params = SlicParams(n_superpixels=300, max_iterations=5, convergence_threshold=0.0)
+    benchmark.pedantic(lambda: slic(frame, params), rounds=3, iterations=1)
+
+
+def test_throughput_sslic_full_run(benchmark, frame):
+    params = SlicParams(
+        n_superpixels=300, max_iterations=5, convergence_threshold=0.0,
+        subsample_ratio=0.5,
+    )
+    benchmark.pedantic(lambda: sslic(frame, params), rounds=3, iterations=1)

@@ -1,0 +1,78 @@
+"""Fig 2: undersegmentation error / boundary recall versus runtime.
+
+Regenerates both panels of the paper's Figure 2 on the synthetic corpus:
+three curves (SLIC, S-SLIC(0.5), S-SLIC(0.25)) of quality against wall
+time, plus the headline crossover numbers ("S-SLIC achieves the same USE
+of SLIC in a 25% shorter time"; "for the same boundary recall, S-SLIC(0.5)
+has a 15% shorter execution time"). Savings are reported on both the wall
+-clock axis (the paper's) and the deterministic work axis.
+"""
+
+import math
+
+from repro.analysis import render_table, run_experiment
+from repro.viz import ascii_xy_plot
+
+
+def _fmt_saving(v: float) -> str:
+    return "unreached" if (v is None or math.isnan(v)) else f"{100 * v:+.1f}%"
+
+
+def test_fig2_quality_vs_runtime(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig2", bench_scale), rounds=1, iterations=1
+    )
+    lines = [render_table(result.headers, result.rows, title=result.title, precision=4)]
+
+    curves = result.extras["curves"]
+    lines.append(
+        ascii_xy_plot(
+            {name: (c.times_ms, c.uses) for name, c in curves.items()},
+            x_label="time (ms)",
+            y_label="USE",
+            title="Fig 2a: undersegmentation error vs runtime",
+        )
+    )
+    lines.append(
+        ascii_xy_plot(
+            {name: (c.times_ms, c.recalls) for name, c in curves.items()},
+            x_label="time (ms)",
+            y_label="boundary recall",
+            title="Fig 2b: boundary recall vs runtime",
+        )
+    )
+
+    savings = result.extras["savings"]
+    rows = [
+        [
+            name,
+            _fmt_saving(s["use"]),
+            _fmt_saving(s["use_work"]),
+            _fmt_saving(s["recall"]),
+            _fmt_saving(s["recall_work"]),
+        ]
+        for name, s in savings.items()
+    ]
+    lines.append(
+        render_table(
+            ["variant", "USE saving (time)", "USE saving (work)",
+             "recall saving (time)", "recall saving (work)"],
+            rows,
+            title=(
+                "Crossover savings vs SLIC  "
+                "(paper: ~25% USE / ~15% recall for the S-SLIC variants)"
+            ),
+        )
+    )
+    lines.append(result.notes)
+    emit("fig2_quality_tradeoff", "\n".join(lines))
+
+    # Shape assertions: every variant's USE must improve over its first
+    # point, and some S-SLIC variant must reach SLIC-level quality with a
+    # positive work saving.
+    for curve in curves.values():
+        assert curve.uses[-1] < curve.uses[0]
+    assert any(
+        s["use_work"] is not None and not math.isnan(s["use_work"]) and s["use_work"] > 0
+        for s in savings.values()
+    )

@@ -1,0 +1,45 @@
+"""Table 1: runtime phase breakdown of SLIC versus S-SLIC.
+
+Paper (i7-4600M, Berkeley corpus):
+
+===========  =====  ======
+phase        SLIC   S-SLIC
+===========  =====  ======
+color conv   23.4%   18.7%
+dist + min   65.9%   59.7%
+center upd   10.2%   17.9%
+other         0.5%    3.7%
+===========  =====  ======
+
+The shape claims under test: distance+min dominates both algorithms, and
+the center-update share *grows* for S-SLIC (it updates centers once per
+subset pass). Absolute percentages depend on the host and the vectorized
+implementation, not just the algorithm.
+"""
+
+from repro.analysis import TABLE1_COLUMNS, render_table, run_experiment
+from repro.hw import PAPER_TABLE1
+
+
+def test_table1_phase_breakdown(benchmark, bench_scale, emit):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1", bench_scale), rounds=1, iterations=1
+    )
+    measured = result.extras["measured"]
+    rows = []
+    for algo in ("SLIC", "S-SLIC"):
+        rows.append(
+            [f"{algo} (measured)"] + [f"{measured[algo][c]:.1f}%" for c in TABLE1_COLUMNS]
+        )
+        rows.append(
+            [f"{algo} (paper)"] + [f"{PAPER_TABLE1[algo][c]:.1f}%" for c in TABLE1_COLUMNS]
+        )
+    emit(
+        "table1_breakdown",
+        render_table(["algorithm"] + list(TABLE1_COLUMNS), rows, title=result.title),
+    )
+
+    # Shape assertions (Section 4.1's observations).
+    for algo in ("SLIC", "S-SLIC"):
+        assert measured[algo]["distance_min"] == max(measured[algo].values())
+    assert measured["S-SLIC"]["center_update"] > measured["SLIC"]["center_update"]

@@ -1,0 +1,41 @@
+"""Table 2: CPA vs PPA per-iteration memory traffic and operation count.
+
+Paper (1080p): CPA 318 MB + 58 M ops; PPA 100 MB + 130 M ops — PPA trades
+2.25x more arithmetic for ~3x less DRAM traffic, and the Section 4.2
+energy model (DRAM byte = 2500x an 8-bit add) therefore selects PPA.
+"""
+
+from repro.analysis import render_table
+from repro.hw import PAPER_TABLE2, compare_architectures
+
+
+def test_table2_architecture_comparison(benchmark, emit):
+    cmp = benchmark(compare_architectures)
+    rows = []
+    for key, profile in (("CPA", cmp["cpa"]), ("PPA", cmp["ppa"])):
+        rows.append(
+            [
+                key,
+                f"{profile.memory_mb_per_iteration:.0f}",
+                f"{PAPER_TABLE2[key]['memory_mb']:.0f}",
+                f"{profile.ops_per_iteration / 1e6:.0f}",
+                f"{PAPER_TABLE2[key]['ops_m']:.0f}",
+                f"{profile.energy_per_iteration_pj() / 1e6:.0f}",
+            ]
+        )
+    table = render_table(
+        ["arch", "MB/iter", "MB (paper)", "Mops/iter", "Mops (paper)",
+         "energy uJ (simple model)"],
+        rows,
+        title="Table 2: CPA vs PPA per 1080p iteration (K=5000)",
+    )
+    verdict = (
+        f"bandwidth ratio CPA/PPA = {cmp['bandwidth_ratio_cpa_over_ppa']:.2f} "
+        f"(paper ~3.2x); ops ratio PPA/CPA = {cmp['ops_ratio_ppa_over_cpa']:.2f} "
+        f"(paper 2.25x); energy model selects {cmp['selected']} (paper: PPA)"
+    )
+    emit("table2_cpa_ppa", table + "\n" + verdict)
+
+    assert cmp["selected"] == "PPA"
+    assert 2.9 < cmp["bandwidth_ratio_cpa_over_ppa"] < 3.5
+    assert 2.1 < cmp["ops_ratio_ppa_over_cpa"] < 2.4

@@ -1,0 +1,56 @@
+"""Table 5: GPU, mobile GPU, and S-SLIC accelerator comparison.
+
+The Tesla K20 / Tegra K1 rows come from the calibrated roofline model (see
+``repro.baselines.gpu_model``); the accelerator row from the Table 4 1080p
+configuration. Normalization and every derived ratio recompute the paper's
+arithmetic: 28 nm power scaled by 1/2.2 to 16 nm; energy/frame = normalized
+power x latency; headline efficiencies >500x (K20) and >250x (TK1).
+"""
+
+from repro.analysis import render_table
+from repro.baselines import table5_comparison
+from repro.hw import AcceleratorModel, PAPER_TABLE5, table4_configs
+
+
+def test_table5_platform_comparison(benchmark, emit):
+    def build():
+        accel = AcceleratorModel(table4_configs()["1920x1080"]).report()
+        return table5_comparison(accel)
+
+    cmp = benchmark(build)
+    rows = []
+    for name, row in cmp["rows"].items():
+        p = PAPER_TABLE5[name]
+        rows.append(
+            [
+                name,
+                row.algorithm,
+                row.technology,
+                f"{row.on_chip_kb:.0f} ({p['on_chip_kb']})",
+                f"{row.cores} ({p['cores']})",
+                f"{row.avg_power_w * 1e3:.0f} ({p['avg_power_w'] * 1e3:.0f})",
+                f"{row.norm_power_w * 1e3:.0f} ({p['norm_power_w'] * 1e3:.0f})",
+                f"{row.latency_ms:.1f} ({p['latency_ms']})",
+                f"{row.energy_per_frame_mj_norm:.1f} ({p['energy_mj_norm']})",
+            ]
+        )
+    table = render_table(
+        ["platform", "algo", "tech", "on-chip kB", "cores", "avg mW",
+         "norm mW", "latency ms", "mJ/frame (norm)"],
+        rows,
+        title="Table 5: platform comparison at 1080p, K=5000 — measured (paper)",
+    )
+    verdict = (
+        f"energy efficiency vs K20: {cmp['efficiency_vs_k20']:.0f}x "
+        "(paper: over 500x); "
+        f"vs TK1: {cmp['efficiency_vs_tk1']:.0f}x (paper: over 250x)"
+    )
+    emit("table5_gpu_comparison", table + "\n" + verdict)
+
+    assert cmp["efficiency_vs_k20"] > 500
+    assert cmp["efficiency_vs_tk1"] > 250
+    rows_d = cmp["rows"]
+    assert rows_d["This Work"].real_time
+    assert not rows_d["TK1"].real_time
+    # The accelerator's power budget is ~3 orders below the K20's.
+    assert rows_d["Tesla K20"].avg_power_w / rows_d["This Work"].avg_power_w > 1000

@@ -1,0 +1,39 @@
+"""Shared benchmark infrastructure.
+
+Every bench regenerates one of the paper's tables/figures, prints the rows
+(paper value alongside the measured one where applicable), and writes the
+same text to ``benchmarks/output/<name>.txt`` so the artifacts survive the
+pytest capture.
+
+Scale: set ``REPRO_BENCH_SCALE=full`` for paper-sized corpora (slower);
+the default ``quick`` keeps every bench CI-friendly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale not in ("quick", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be quick|full, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a report and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

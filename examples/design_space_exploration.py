@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""The paper's design space exploration, end to end.
+
+Walks the three axes of Section 6 — cluster-unit parallelism, datapath
+width, scratchpad buffer size — plus the multi-core extension, and arrives
+at the published design point (9-9-6 ways, 8 bits, 4 kB buffers, one core)
+by the same reasoning the paper uses.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.analysis import (
+    render_table,
+    sweep_buffer_sizes,
+    sweep_cluster_configs,
+    sweep_cores,
+    sweep_datapath_widths,
+)
+from repro.hw import REAL_TIME_MS, AcceleratorModel, table4_configs
+
+
+def explore_parallelism() -> None:
+    print("=" * 72)
+    print("Step 1 — Cluster Update Unit parallelism (Table 3)")
+    reports = sweep_cluster_configs()
+    rows = [
+        [r.label, f"{r.area_mm2:.4f}", f"{r.power_mw:.1f}",
+         r.latency_cycles, f"{r.throughput_pixels_per_cycle:.3f}",
+         f"{r.time_ms:.1f}", f"{r.energy_uj:.1f}"]
+        for r in reports
+    ]
+    print(render_table(
+        ["config", "mm2", "mW", "latency", "px/cyc", "ms/iter", "uJ/iter"], rows
+    ))
+    full = reports[-1]
+    print(f"-> choose {full.label}: 9x the throughput for ~equal energy; "
+          "only a fully-pipelined unit sustains 30 fps at 1080p.\n")
+
+
+def explore_bitwidth() -> None:
+    print("=" * 72)
+    print("Step 2 — datapath width (Section 6.1's cost side)")
+    rows = []
+    for report in sweep_datapath_widths([6, 7, 8, 10, 12]):
+        rows.append(
+            [f"{report.config.bits}-bit", f"{report.area_mm2:.4f}",
+             f"{report.power_mw:.1f}", f"{report.energy_per_frame_mj:.2f}"]
+        )
+    print(render_table(["datapath", "area mm2", "power mW", "mJ/frame"], rows))
+    print("-> 8 bits: the quality experiment (bench_sec61) shows the error "
+          "knee sits below 8 bits, so the narrowest near-lossless width wins.\n")
+
+
+def explore_buffers() -> None:
+    print("=" * 72)
+    print("Step 3 — scratchpad buffer size (Fig 6)")
+    rows = []
+    for report in sweep_buffer_sizes([1, 2, 4, 8, 16, 64]):
+        rows.append(
+            [f"{report.config.buffer_kb_per_channel:.0f} kB",
+             f"{report.latency_ms:.2f}", f"{report.fps:.1f}",
+             f"{report.area_mm2:.3f}",
+             "yes" if report.real_time else "no"]
+        )
+    print(render_table(
+        ["buffer/ch", "ms/frame", "fps", "area mm2", "real-time"], rows,
+        title=f"(real-time budget: {REAL_TIME_MS:.1f} ms)",
+    ))
+    print("-> 4 kB: the smallest buffer that crosses 30 fps; bigger buffers "
+          "buy <1 ms for measurable area.\n")
+
+
+def explore_cores() -> None:
+    print("=" * 72)
+    print("Step 4 — multi-core scaling (extension)")
+    rows = []
+    for report in sweep_cores([1, 2, 4, 8]):
+        rows.append(
+            [report.config.n_cores, f"{report.latency_ms:.1f}",
+             f"{report.fps:.1f}", f"{report.area_mm2:.3f}",
+             f"{report.energy_per_frame_mj:.2f}"]
+        )
+    print(render_table(["cores", "ms/frame", "fps", "area mm2", "mJ/frame"], rows))
+    print("-> one core suffices: the shared DRAM interface and the "
+          "per-superpixel center update bound the speedup (Amdahl), so "
+          "extra cores buy little at real area cost.\n")
+
+
+def main() -> None:
+    explore_parallelism()
+    explore_bitwidth()
+    explore_buffers()
+    explore_cores()
+
+    print("=" * 72)
+    print("Chosen design (= the paper's Table 4, 1080p column):")
+    report = AcceleratorModel(table4_configs()["1920x1080"]).report()
+    print(f"  9-9-6 ways, 8-bit datapath, 4 kB buffers, 1 core")
+    print(f"  {report.latency_ms:.1f} ms/frame ({report.fps:.1f} fps), "
+          f"{report.power_mw:.0f} mW, {report.energy_per_frame_mj:.2f} mJ/frame, "
+          f"{report.area_mm2:.3f} mm^2")
+
+
+if __name__ == "__main__":
+    main()

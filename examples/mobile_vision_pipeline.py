@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Mobile vision pipeline: real-time superpixel preprocessing of a video.
+
+The paper's motivating scenario (Section 1): superpixel segmentation as a
+preprocessing stage for mobile applications — autonomous vehicles, AR,
+robotics — where the camera delivers a continuous stream and the budget is
+30 fps. This example:
+
+1. synthesizes a short "camera" sequence (a scene with global motion and
+   per-frame sensor noise),
+2. segments every frame with S-SLIC, warm-starting each frame from the
+   previous frame's centers and labels (temporal coherence — the kind of
+   system-level optimization the accelerator's external-memory state
+   enables for free),
+3. reports per-frame quality and convergence with and without warm start,
+4. projects the stream onto the hardware: what the Table 4 accelerator
+   configuration would deliver for this resolution.
+
+Run:  python examples/mobile_vision_pipeline.py
+"""
+
+import numpy as np
+
+from repro import AcceleratorConfig, AcceleratorModel, Resolution, SceneConfig, sslic
+from repro.data import VideoSequence
+from repro.metrics import boundary_recall, undersegmentation_error
+
+
+def make_stream(n_frames: int, seed: int = 3):
+    """A hand-held-camera sequence (see :class:`repro.data.VideoSequence`).
+
+    Shake rather than constant pan: S-SLIC's static 9-candidate tiling
+    assumes centers stay near their grid cells, so warm starting pays off
+    when inter-frame motion is bounded (the common mobile case between
+    keyframes); sustained panning needs motion-compensated re-anchoring,
+    which is out of scope here.
+    """
+    seq = VideoSequence(
+        n_frames,
+        config=SceneConfig(height=192, width=288, n_regions=14, n_disks=3, noise=0.0),
+        motion="shake",
+        amplitude=3.0,
+        noise_sigma=4.0,
+        seed=seed,
+    )
+    return [(frame.image, frame.gt_labels) for frame in seq]
+
+
+def run_stream(frames, k: int, warm: bool):
+    """Segment the stream; returns per-frame (sweeps, USE, recall)."""
+    stats = []
+    centers = labels = None
+    for image, gt in frames:
+        result = sslic(
+            image,
+            n_superpixels=k,
+            max_iterations=10,
+            convergence_threshold=0.3,
+            warm_centers=centers if warm else None,
+            warm_labels=labels if warm else None,
+        )
+        if warm:
+            centers, labels = result.centers, result.labels
+        stats.append(
+            (
+                result.iterations,
+                undersegmentation_error(result.labels, gt),
+                boundary_recall(result.labels, gt),
+            )
+        )
+    return stats
+
+
+def main() -> None:
+    frames = make_stream(8)
+    k = 250
+    print(f"stream: {len(frames)} frames of "
+          f"{frames[0][0].shape[1]}x{frames[0][0].shape[0]}, K={k}\n")
+
+    for warm in (False, True):
+        stats = run_stream(frames, k, warm)
+        label = "warm-started " if warm else "cold-started "
+        sweeps = [s[0] for s in stats]
+        print(f"{label}S-SLIC: sweeps per frame = {sweeps}")
+        print(f"  mean USE {np.mean([s[1] for s in stats]):.4f}, "
+              f"mean recall {np.mean([s[2] for s in stats]):.4f}, "
+              f"mean sweeps {np.mean(sweeps):.1f}")
+    print("\nWarm starting converges in fewer sweeps at equal quality — "
+          "the temporal analogue of S-SLIC's subsampling idea.\n")
+
+    # Hardware projection for this stream's resolution.
+    h, w = frames[0][0].shape[:2]
+    cfg = AcceleratorConfig(
+        resolution=Resolution(w, h),
+        n_superpixels=k,
+        buffer_kb_per_channel=1.0,
+    )
+    report = AcceleratorModel(cfg).report()
+    print(f"accelerator projection at {w}x{h}, K={k}:")
+    print(f"  {report.latency_ms:.2f} ms/frame ({report.fps:.0f} fps), "
+          f"{report.power_mw:.1f} mW, "
+          f"{report.energy_per_frame_mj * 1e3:.0f} uJ/frame, "
+          f"{report.area_mm2:.3f} mm^2")
+    print(f"  real-time (30 fps): {'yes' if report.real_time else 'no'}")
+
+
+if __name__ == "__main__":
+    main()

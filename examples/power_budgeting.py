@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Power budgeting: the accelerator inside an SoC power envelope.
+
+Two system-integration questions the paper's average-power number cannot
+answer, answered from the same calibrated models:
+
+1. **When does the frame draw its power?** — the time-resolved power
+   trace of one 1080p frame (color conversion burst, nine cluster-update
+   plateaus with center-update dips), whose integral equals the reported
+   1.6 mJ/frame.
+2. **What does a lighter stream buy?** — per-resolution DVFS: the slowest
+   clock (and its supply) that still makes 30 fps, and the energy saved
+   versus running flat-out, quantifying the paper's closing remark about
+   "ultimately reducing the clock rate".
+
+Run:  python examples/power_budgeting.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.hw import (
+    AcceleratorModel,
+    frame_power_trace,
+    min_real_time_point,
+    report_at,
+    table4_configs,
+)
+from repro.viz import ascii_xy_plot
+
+
+def show_power_trace() -> None:
+    model = AcceleratorModel(table4_configs()["1920x1080"])
+    trace = frame_power_trace(model)
+    print(f"1080p frame: {trace.total_ms:.1f} ms, "
+          f"average {trace.average_mw:.1f} mW, peak {trace.peak_mw:.1f} mW, "
+          f"energy {trace.energy_mj:.2f} mJ\n")
+    ts = np.linspace(0, trace.total_ms * 0.999, 200)
+    print(ascii_xy_plot(
+        {"power": (ts, trace.sample(ts))},
+        x_label="time (ms)",
+        y_label="mW",
+        title="Frame power trace (cluster-update plateaus, center-update dips)",
+    ))
+    print()
+
+
+def show_dvfs_table() -> None:
+    rows = []
+    for name, cfg in table4_configs().items():
+        nominal = AcceleratorModel(cfg).report()
+        pt = min_real_time_point(cfg)
+        scaled = report_at(cfg, pt)
+        rows.append(
+            [
+                name,
+                f"{nominal.energy_per_frame_mj:.2f} mJ",
+                f"{pt.frequency_hz / 1e9:.2f} GHz @ {pt.voltage:.2f} V",
+                f"{scaled.energy_per_frame_mj:.2f} mJ",
+                f"{scaled.power_mw:.0f} mW",
+                f"{100 * (1 - scaled.energy_per_frame_mj / nominal.energy_per_frame_mj):.0f}%",
+            ]
+        )
+    print(render_table(
+        ["stream", "energy @1.6 GHz", "min real-time point", "energy scaled",
+         "power scaled", "saved"],
+        rows,
+        title="DVFS per stream: slowest clock that still makes 30 fps",
+    ))
+    print("\n1080p sits at the real-time edge (no headroom); VGA streams can "
+          "run at ~1 GHz near-threshold and cut frame energy by ~2/3 — the "
+          "quantified version of the paper's 'scale gracefully down' remark.")
+
+
+def main() -> None:
+    show_power_trace()
+    show_dvfs_table()
+
+
+if __name__ == "__main__":
+    main()

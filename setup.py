@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e . --no-use-pep517` on
+offline environments that lack the `wheel` package (PEP 660 editable
+installs require it). All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Analysis and design-space-exploration drivers for every experiment."""
+
+from .tables import format_value, render_table
+from .tradeoff import (
+    TradeoffCurve,
+    TradeoffPoint,
+    default_variants,
+    run_tradeoff,
+    time_saving_at_quality,
+)
+from .breakdown import TABLE1_COLUMNS, breakdown_for_image, phase_breakdown
+from .bitwidth import BitwidthPoint, DEFAULT_WIDTHS, run_bitwidth_sweep
+from .dse import (
+    sweep_buffer_sizes,
+    sweep_cluster_configs,
+    sweep_cores,
+    sweep_datapath_widths,
+    sweep_resolutions,
+)
+from .pareto import best_real_time_design, joint_design_space, pareto_frontier
+from .report import ARTIFACT_ORDER, generate_report
+from .experiments import EXPERIMENTS, ExperimentResult, eval_dataset, run_experiment
+
+__all__ = [
+    "render_table",
+    "format_value",
+    "TradeoffPoint",
+    "TradeoffCurve",
+    "run_tradeoff",
+    "default_variants",
+    "time_saving_at_quality",
+    "TABLE1_COLUMNS",
+    "phase_breakdown",
+    "breakdown_for_image",
+    "BitwidthPoint",
+    "DEFAULT_WIDTHS",
+    "run_bitwidth_sweep",
+    "sweep_cluster_configs",
+    "sweep_buffer_sizes",
+    "sweep_resolutions",
+    "sweep_datapath_widths",
+    "sweep_cores",
+    "joint_design_space",
+    "pareto_frontier",
+    "best_real_time_design",
+    "generate_report",
+    "ARTIFACT_ORDER",
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "eval_dataset",
+]

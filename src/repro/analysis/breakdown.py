@@ -1,0 +1,70 @@
+"""Runtime phase breakdown — the Table 1 experiment.
+
+Table 1 reports what fraction of SLIC's and S-SLIC's CPU runtime goes to
+color conversion, distance + minimum, center update, and everything else.
+The engine's :class:`~repro.core.profiles.PhaseTimer` buckets map directly
+onto those columns; "Other" absorbs initialization and the connectivity
+enforcement ("The remaining execution includes the connectivity
+enforcement, and some initialization tasks", Section 4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import SlicParams, slic, sslic
+from ..errors import ConfigurationError
+
+__all__ = ["TABLE1_COLUMNS", "phase_breakdown", "breakdown_for_image"]
+
+#: Table 1 column names in paper order.
+TABLE1_COLUMNS = ("color_conversion", "distance_min", "center_update", "other")
+
+
+def phase_breakdown(timings: dict) -> dict:
+    """Collapse engine timing buckets into Table 1's four columns.
+
+    Returns percentages summing to 100.
+    """
+    if not timings:
+        raise ConfigurationError("empty timings dict")
+    color = timings.get("color_conversion", 0.0)
+    dist = timings.get("distance_min", 0.0)
+    center = timings.get("center_update", 0.0)
+    known = {"color_conversion", "distance_min", "center_update"}
+    other = sum(v for k, v in timings.items() if k not in known)
+    total = color + dist + center + other
+    if total <= 0:
+        raise ConfigurationError("timings sum to zero")
+    return {
+        "color_conversion": 100.0 * color / total,
+        "distance_min": 100.0 * dist / total,
+        "center_update": 100.0 * center / total,
+        "other": 100.0 * other / total,
+    }
+
+
+def breakdown_for_image(
+    image: np.ndarray,
+    n_superpixels: int,
+    iterations: int = 10,
+    subsample_ratio: float = 0.5,
+    compactness: float = 10.0,
+) -> dict:
+    """Run both algorithms on ``image`` and return their Table 1 rows.
+
+    Returns ``{"SLIC": {col: pct}, "S-SLIC": {col: pct}}``.
+    """
+    base = SlicParams(
+        n_superpixels=n_superpixels,
+        compactness=compactness,
+        max_iterations=iterations,
+        convergence_threshold=0.0,
+    )
+    r_slic = slic(image, base)
+    r_sslic = sslic(image, base.with_(subsample_ratio=subsample_ratio,
+                                      architecture="ppa"))
+    return {
+        "SLIC": phase_breakdown(r_slic.timings),
+        "S-SLIC": phase_breakdown(r_sslic.timings),
+    }

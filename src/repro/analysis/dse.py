@@ -1,0 +1,87 @@
+"""Design space exploration drivers for the accelerator model.
+
+Wraps the :mod:`repro.hw` cost models into the sweeps the paper runs
+(cluster-unit parallelism, buffer size, resolution) plus the extension
+sweeps DESIGN.md calls out (datapath width vs area/energy, multi-core
+scaling).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..hw import (
+    AcceleratorConfig,
+    AcceleratorModel,
+    ClusterUnitModel,
+    ClusterWays,
+    TABLE3_WAYS,
+    table4_configs,
+)
+
+__all__ = [
+    "sweep_cluster_configs",
+    "sweep_buffer_sizes",
+    "sweep_resolutions",
+    "sweep_datapath_widths",
+    "sweep_cores",
+]
+
+
+def sweep_cluster_configs(ways_list=TABLE3_WAYS, n_pixels: int = 1920 * 1080, bits: int = 8):
+    """Table 3: one :class:`ClusterUnitReport` per ways configuration."""
+    return [ClusterUnitModel(w, bits=bits).report(n_pixels) for w in ways_list]
+
+
+def sweep_buffer_sizes(buffers_kb, base: AcceleratorConfig = None):
+    """Fig 6: accelerator report per channel-buffer size."""
+    if base is None:
+        base = table4_configs()["1920x1080"]
+    reports = []
+    for kb in buffers_kb:
+        if kb <= 0:
+            raise ConfigurationError(f"buffer size must be > 0 kB, got {kb}")
+        cfg = base.with_(buffer_kb_per_channel=float(kb))
+        reports.append(AcceleratorModel(cfg).report())
+    return reports
+
+
+def sweep_resolutions(configs: dict = None):
+    """Table 4: accelerator report per resolution configuration."""
+    if configs is None:
+        configs = table4_configs()
+    return {name: AcceleratorModel(cfg).report() for name, cfg in configs.items()}
+
+
+def sweep_datapath_widths(widths, base: AcceleratorConfig = None):
+    """Extension DSE: full-accelerator cost versus datapath width.
+
+    Quality as a function of width comes from
+    :mod:`repro.analysis.bitwidth`; this sweep provides the other side of
+    the trade-off (area shrinks ~quadratically in the distance multipliers,
+    energy drops with narrower arithmetic).
+    """
+    if base is None:
+        base = table4_configs()["1920x1080"]
+    reports = []
+    for bits in widths:
+        cfg = base.with_(bits=int(bits))
+        reports.append(AcceleratorModel(cfg).report())
+    return reports
+
+
+def sweep_cores(core_counts, base: AcceleratorConfig = None):
+    """Extension DSE: multi-core scaling.
+
+    Compute terms scale with cores; the shared DRAM interface and the
+    per-superpixel center update do not — so speedup saturates, which is
+    the interesting output of this sweep.
+    """
+    if base is None:
+        base = table4_configs()["1920x1080"]
+    reports = []
+    for cores in core_counts:
+        if cores < 1:
+            raise ConfigurationError(f"core count must be >= 1, got {cores}")
+        cfg = base.with_(n_cores=int(cores))
+        reports.append(AcceleratorModel(cfg).report())
+    return reports

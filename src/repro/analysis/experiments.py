@@ -1,0 +1,337 @@
+"""Experiment registry: one runner per paper table/figure.
+
+Each runner returns an :class:`ExperimentResult` with measured rows and the
+paper's published values side by side. The benchmark harness and
+EXPERIMENTS.md are both generated from this registry, so "paper vs
+measured" comes from exactly one code path.
+
+Runners take a ``scale`` argument: ``"quick"`` keeps CI-friendly corpus
+sizes; ``"full"`` approaches the paper's workload sizes (100+ scenes,
+K = 900 at BSDS-like resolution for Fig 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data import SceneConfig, SyntheticDataset
+from ..errors import ConfigurationError
+from ..hw import (
+    AcceleratorModel,
+    PAPER_FIG6_BUFFERS_KB,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    REAL_TIME_MS,
+    compare_architectures,
+    table4_configs,
+)
+from ..baselines import table5_comparison
+from .bitwidth import run_bitwidth_sweep
+from .breakdown import TABLE1_COLUMNS, breakdown_for_image
+from .dse import sweep_buffer_sizes, sweep_cluster_configs, sweep_resolutions
+from .tradeoff import run_tradeoff, time_saving_at_quality
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "eval_dataset"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one registered experiment."""
+
+    exp_id: str
+    title: str
+    headers: list
+    rows: list
+    paper: object = None
+    notes: str = ""
+    extras: dict = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Shared evaluation corpus
+# ---------------------------------------------------------------------------
+def eval_dataset(scale: str = "quick", seed: int = 7) -> SyntheticDataset:
+    """The BSDS-surrogate corpus used by the quality experiments.
+
+    Scenes are deliberately harder than the library default (closer base
+    colors, more texture and noise) so USE and boundary recall move the
+    way they do on natural images.
+    """
+    config = SceneConfig(
+        height=128 if scale == "quick" else 192,
+        width=192 if scale == "quick" else 288,
+        n_regions=16 if scale == "quick" else 22,
+        n_disks=3,
+        shading=8.0,
+        texture=4.0,
+        noise=2.0,
+        min_color_separation=10.0,
+        blur_sigma=1.5,
+    )
+    n_scenes = 6 if scale == "quick" else 24
+    return SyntheticDataset(n_scenes, config=config, seed=seed)
+
+
+#: Compactness used by the quality experiments. m = 20 (the paper notes m
+#: is "generally set between 1 and 40"): on the texture-heavy synthetic
+#: corpus the common m = 10 lets superpixels wander across soft ground-truth
+#: boundaries, masking the convergence dynamics Fig 2 is about.
+EVAL_COMPACTNESS = 20.0
+
+
+def _eval_k(scale: str) -> int:
+    """K for the quality experiments: keeps the paper's Fig 2 regime of
+    S ~ 13 px (K = 900 on 481x321 BSDS frames)."""
+    return 160 if scale == "quick" else 330
+
+
+# ---------------------------------------------------------------------------
+# Runners
+# ---------------------------------------------------------------------------
+def run_fig2(scale: str = "quick") -> ExperimentResult:
+    """Fig 2: USE / boundary recall versus runtime for SLIC and S-SLIC."""
+    dataset = eval_dataset(scale)
+    budgets = range(1, 7 if scale == "quick" else 11)
+    curves = run_tradeoff(dataset, _eval_k(scale), budgets, compactness=EVAL_COMPACTNESS)
+    rows = []
+    for name, curve in curves.items():
+        for p in curve.points:
+            rows.append([name, p.sweeps, p.subiterations, p.time_ms, p.use, p.recall])
+    savings = {
+        variant: {
+            "use": time_saving_at_quality(curves["SLIC"], curves[variant], "use"),
+            "recall": time_saving_at_quality(curves["SLIC"], curves[variant], "recall"),
+            "use_work": time_saving_at_quality(
+                curves["SLIC"], curves[variant], "use", axis="work"
+            ),
+            "recall_work": time_saving_at_quality(
+                curves["SLIC"], curves[variant], "recall", axis="work"
+            ),
+        }
+        for variant in curves
+        if variant != "SLIC"
+    }
+    return ExperimentResult(
+        exp_id="fig2",
+        title="Fig 2: quality vs runtime (SLIC vs S-SLIC)",
+        headers=["variant", "sweeps", "subiterations", "time_ms", "USE", "boundary_recall"],
+        rows=rows,
+        paper={"use_saving": 0.25, "recall_saving": 0.15},
+        notes=(
+            "Paper: S-SLIC reaches SLIC's USE ~25% sooner and its boundary "
+            "recall ~15% sooner (K=900, Berkeley corpus)."
+        ),
+        extras={"curves": curves, "savings": savings},
+    )
+
+
+def run_table1(scale: str = "quick") -> ExperimentResult:
+    """Table 1: phase time breakdown of SLIC vs S-SLIC."""
+    if scale == "quick":
+        config = SceneConfig(height=120, width=180, n_regions=12)
+        k = 120
+    else:
+        config = SceneConfig(height=320, width=480, n_regions=24)
+        k = 900
+    scene = SyntheticDataset(1, config=config, seed=11)[0]
+    measured = breakdown_for_image(scene.image, n_superpixels=k, iterations=10)
+    rows = [
+        [algo] + [measured[algo][c] for c in TABLE1_COLUMNS] for algo in measured
+    ]
+    return ExperimentResult(
+        exp_id="table1",
+        title="Table 1: time breakdown (%)",
+        headers=["algorithm"] + list(TABLE1_COLUMNS),
+        rows=rows,
+        paper=PAPER_TABLE1,
+        notes=(
+            "Distance+min must dominate both algorithms; center update's "
+            "share must grow for S-SLIC (it updates centers per subset)."
+        ),
+        extras={"measured": measured},
+    )
+
+
+def run_table2(scale: str = "quick") -> ExperimentResult:
+    """Table 2: CPA vs PPA memory traffic and op count per iteration."""
+    cmp = compare_architectures()
+    rows = [
+        [
+            p.name,
+            p.memory_mb_per_iteration,
+            p.ops_per_iteration / 1e6,
+            p.energy_per_iteration_pj() / 1e6,
+        ]
+        for p in (cmp["cpa"], cmp["ppa"])
+    ]
+    return ExperimentResult(
+        exp_id="table2",
+        title="Table 2: CPA vs PPA per 1080p iteration",
+        headers=["architecture", "memory_MB", "ops_M", "energy_uJ(simple model)"],
+        rows=rows,
+        paper=PAPER_TABLE2,
+        notes=f"Energy model selects: {cmp['selected']} (paper selects PPA).",
+        extras=cmp,
+    )
+
+
+def run_table3(scale: str = "quick") -> ExperimentResult:
+    """Table 3: the five Cluster Update Unit configurations."""
+    reports = sweep_cluster_configs()
+    rows = [
+        [
+            r.label,
+            r.area_mm2,
+            r.power_mw,
+            r.latency_cycles,
+            r.throughput_pixels_per_cycle,
+            r.time_ms,
+            r.energy_uj,
+        ]
+        for r in reports
+    ]
+    return ExperimentResult(
+        exp_id="table3",
+        title="Table 3: Cluster Update Unit configurations (1080p iteration)",
+        headers=["config", "area_mm2", "power_mW", "latency_cyc", "px/cyc", "time_ms", "energy_uJ"],
+        rows=rows,
+        paper=PAPER_TABLE3,
+        extras={"reports": reports},
+    )
+
+
+def run_sec61(scale: str = "quick") -> ExperimentResult:
+    """Section 6.1: quality versus datapath bit width."""
+    dataset = eval_dataset(scale)
+    points = run_bitwidth_sweep(
+        dataset,
+        _eval_k(scale),
+        iterations=5 if scale == "quick" else 8,
+        compactness=EVAL_COMPACTNESS,
+    )
+    rows = [
+        [p.label, p.use, p.recall, p.delta_use, p.delta_recall] for p in points
+    ]
+    return ExperimentResult(
+        exp_id="sec61",
+        title="Sec 6.1: bit-width exploration (USE/recall vs datapath width)",
+        headers=["datapath", "USE", "recall", "dUSE_vs_float", "dRecall_vs_float"],
+        rows=rows,
+        paper={"delta_use_8bit": 0.003, "delta_recall_8bit": 0.001,
+               "noticeable_below_bits": 7},
+        notes=(
+            "Paper: 8-bit fixed point costs only +0.003 USE / -0.001 recall; "
+            "error becomes noticeable at 7 bits and below."
+        ),
+        extras={"points": points},
+    )
+
+
+def run_fig6(scale: str = "quick") -> ExperimentResult:
+    """Fig 6: frame time versus channel buffer size."""
+    reports = sweep_buffer_sizes(PAPER_FIG6_BUFFERS_KB)
+    rows = [
+        [r.config.buffer_kb_per_channel, r.latency_ms, r.fps, r.real_time]
+        for r in reports
+    ]
+    smallest_rt = next(
+        (r.config.buffer_kb_per_channel for r in reports if r.real_time), None
+    )
+    return ExperimentResult(
+        exp_id="fig6",
+        title="Fig 6: frame time vs channel buffer size (9-9-6, 1080p, K=5000)",
+        headers=["buffer_kB", "time_ms", "fps", "real_time"],
+        rows=rows,
+        paper={"smallest_real_time_buffer_kb": 4, "real_time_ms": REAL_TIME_MS},
+        notes=f"Smallest real-time buffer measured: {smallest_rt} kB (paper: 4 kB).",
+        extras={"reports": reports, "smallest_real_time_kb": smallest_rt},
+    )
+
+
+def run_table4(scale: str = "quick") -> ExperimentResult:
+    """Table 4: best configuration per resolution."""
+    reports = sweep_resolutions()
+    rows = [
+        [
+            name,
+            r.config.buffer_kb_per_channel,
+            r.area_mm2,
+            r.power_mw,
+            r.latency_ms,
+            r.fps,
+            r.energy_per_frame_mj,
+            r.perf_per_area_fps_mm2,
+        ]
+        for name, r in reports.items()
+    ]
+    return ExperimentResult(
+        exp_id="table4",
+        title="Table 4: best S-SLIC accelerator configurations",
+        headers=["resolution", "buffer_kB", "area_mm2", "power_mW", "latency_ms",
+                 "fps", "energy_mJ", "fps_per_mm2"],
+        rows=rows,
+        paper=PAPER_TABLE4,
+        extras={"reports": reports},
+    )
+
+
+def run_table5(scale: str = "quick") -> ExperimentResult:
+    """Table 5: GPU / mobile GPU / accelerator comparison."""
+    accel = AcceleratorModel(table4_configs()["1920x1080"]).report()
+    cmp = table5_comparison(accel)
+    rows = [
+        [
+            row.name,
+            row.algorithm,
+            row.technology,
+            row.on_chip_kb,
+            row.cores,
+            row.avg_power_w * 1e3,
+            row.norm_power_w * 1e3,
+            row.latency_ms,
+            row.energy_per_frame_mj_norm,
+        ]
+        for row in cmp["rows"].values()
+    ]
+    return ExperimentResult(
+        exp_id="table5",
+        title="Table 5: platform comparison (1080p, K=5000)",
+        headers=["platform", "algorithm", "technology", "on_chip_kB", "cores",
+                 "avg_power_mW", "norm_power_mW", "latency_ms", "energy_mJ_norm"],
+        rows=rows,
+        paper=PAPER_TABLE5,
+        notes=(
+            f"Efficiency vs K20: {cmp['efficiency_vs_k20']:.0f}x (paper: >500x); "
+            f"vs TK1: {cmp['efficiency_vs_tk1']:.0f}x (paper: >250x)."
+        ),
+        extras=cmp,
+    )
+
+
+#: Registry: experiment id -> runner.
+EXPERIMENTS = {
+    "fig2": run_fig2,
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "sec61": run_sec61,
+    "fig6": run_fig6,
+    "table4": run_table4,
+    "table5": run_table5,
+}
+
+
+def run_experiment(exp_id: str, scale: str = "quick") -> ExperimentResult:
+    """Run one registered experiment by id."""
+    if exp_id not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    if scale not in ("quick", "full"):
+        raise ConfigurationError(f"scale must be 'quick' or 'full', got {scale!r}")
+    return EXPERIMENTS[exp_id](scale)

@@ -1,0 +1,100 @@
+"""Joint design space exploration and Pareto analysis.
+
+The paper explores each axis (ways, width, buffer size) separately and
+picks the chosen design by inspection. This module sweeps the *joint*
+space and computes the Pareto frontier over (latency, area, energy),
+letting the selection be derived rather than narrated: the published
+configuration should emerge as the minimum-area real-time point of the
+swept space — which the `bench_ext_pareto` benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hw import AcceleratorConfig, AcceleratorModel, ClusterWays, table4_configs
+
+__all__ = ["joint_design_space", "pareto_frontier", "best_real_time_design"]
+
+#: Default joint grid: the axes the paper's Section 6 explores.
+DEFAULT_WAYS = (ClusterWays(1, 1, 1), ClusterWays(3, 3, 3), ClusterWays(9, 9, 6))
+DEFAULT_BUFFERS_KB = (1.0, 2.0, 4.0, 8.0, 16.0)
+DEFAULT_BITS = (6, 8, 10)
+DEFAULT_CORES = (1, 2)
+
+
+def joint_design_space(
+    base: AcceleratorConfig = None,
+    ways_list=DEFAULT_WAYS,
+    buffers_kb=DEFAULT_BUFFERS_KB,
+    bits_list=DEFAULT_BITS,
+    cores_list=DEFAULT_CORES,
+) -> list:
+    """Evaluate every combination; returns a list of AcceleratorReports."""
+    if base is None:
+        base = table4_configs()["1920x1080"]
+    reports = []
+    for ways, kb, bits, cores in product(ways_list, buffers_kb, bits_list, cores_list):
+        cfg = base.with_(
+            ways=ways, buffer_kb_per_channel=float(kb), bits=int(bits),
+            n_cores=int(cores),
+        )
+        reports.append(AcceleratorModel(cfg).report())
+    return reports
+
+
+def _objective_matrix(reports) -> np.ndarray:
+    """(n, 3) matrix of minimization objectives: latency, area, energy."""
+    return np.array(
+        [
+            [r.latency_ms, r.area_mm2, r.energy_per_frame_mj]
+            for r in reports
+        ]
+    )
+
+
+def pareto_frontier(reports) -> list:
+    """Non-dominated subset under (latency, area, energy) minimization.
+
+    A design is dominated if another is no worse on every objective and
+    strictly better on at least one.
+    """
+    if not reports:
+        return []
+    objectives = _objective_matrix(reports)
+    n = len(reports)
+    keep = []
+    for i in range(n):
+        dominated = (
+            (objectives <= objectives[i] + 1e-12).all(axis=1)
+            & (objectives < objectives[i] - 1e-12).any(axis=1)
+        )
+        dominated[i] = False
+        if not dominated.any():
+            keep.append(reports[i])
+    return keep
+
+
+def best_real_time_design(reports, prefer: str = "area"):
+    """The minimum-``prefer`` design meeting 30 fps, or None.
+
+    ``prefer`` is ``"area"`` (the paper's implicit objective — it calls
+    the chosen design's 0.066 mm^2 "extremely small"), ``"energy"``, or
+    ``"latency"``.
+    """
+    key = {
+        "area": lambda r: (r.area_mm2, r.energy_per_frame_mj),
+        "energy": lambda r: (r.energy_per_frame_mj, r.area_mm2),
+        "latency": lambda r: (r.latency_ms, r.area_mm2),
+    }.get(prefer)
+    if key is None:
+        raise ConfigurationError(
+            f"prefer must be area|energy|latency, got {prefer!r}"
+        )
+    feasible = [r for r in reports if r.real_time]
+    if not feasible:
+        return None
+    return min(feasible, key=key)

@@ -1,0 +1,62 @@
+"""Fixed-width text table rendering for benchmark output.
+
+Benches print "the same rows the paper reports" — this renderer keeps that
+output aligned and diff-friendly without any dependency.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Human-format one cell: floats trimmed, ints plain, None as '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 10 ** (-precision):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(headers, rows, title: str = "", precision: int = 3) -> str:
+    """Render ``rows`` (iterables of cells) under ``headers`` as text.
+
+    Column widths adapt to content; numeric cells are right-aligned.
+    """
+    headers = [str(h) for h in headers]
+    formatted = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    n_cols = len(headers)
+    for row in formatted:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {n_cols}: {row}"
+            )
+    widths = [
+        max(len(headers[c]), max((len(r[c]) for r in formatted), default=0))
+        for c in range(n_cols)
+    ]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(
+        "|" + "|".join(f" {headers[c]:<{widths[c]}} " for c in range(n_cols)) + "|"
+    )
+    lines.append(sep)
+    for row in formatted:
+        lines.append(
+            "|" + "|".join(f" {row[c]:>{widths[c]}} " for c in range(n_cols)) + "|"
+        )
+    lines.append(sep)
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Downstream applications built on the superpixel API.
+
+The paper's introduction motivates superpixels as preprocessing for
+"object classification, depth estimation, and region segmentation"; this
+package implements representative consumers that exercise the public API
+the way those pipelines would:
+
+* :func:`merge_regions` — region segmentation by greedy RAG contraction
+  over the superpixel graph;
+* :class:`SuperpixelCodec` — superpixel-based image abstraction with a
+  rate/distortion estimate.
+"""
+
+from .region_merge import RegionAdjacencyGraph, RegionMergeResult, merge_regions
+from .compression import CompressedImage, SuperpixelCodec, psnr
+
+__all__ = [
+    "RegionAdjacencyGraph",
+    "RegionMergeResult",
+    "merge_regions",
+    "SuperpixelCodec",
+    "CompressedImage",
+    "psnr",
+]

@@ -1,0 +1,101 @@
+"""Superpixel-based image abstraction / compression — a second consumer.
+
+A superpixel decomposition is a compact image code: the label map plus one
+color per superpixel reconstructs a piecewise-constant approximation. This
+module implements that codec with an honest rate estimate (label map cost
+from the boundary structure, palette cost per superpixel) and PSNR-based
+distortion, providing the rate/distortion curve downstream systems would
+evaluate preprocessing quality by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..metrics import boundary_map
+from ..types import as_uint8_rgb, validate_label_map
+from ..viz import mean_color_image
+
+__all__ = ["SuperpixelCodec", "CompressedImage", "psnr"]
+
+
+def psnr(original: np.ndarray, reconstruction: np.ndarray) -> float:
+    """Peak signal-to-noise ratio (dB) between two uint8 RGB images."""
+    a = as_uint8_rgb(original).astype(np.float64)
+    b = as_uint8_rgb(reconstruction).astype(np.float64)
+    if a.shape != b.shape:
+        raise ConfigurationError(f"shape mismatch: {a.shape} vs {b.shape}")
+    mse = float(((a - b) ** 2).mean())
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(255.0 ** 2 / mse)
+
+
+@dataclass(frozen=True)
+class CompressedImage:
+    """A superpixel-coded image: labels + per-superpixel palette."""
+
+    labels: np.ndarray
+    palette: np.ndarray  # (K, 3) uint8
+    shape: tuple
+
+    @property
+    def n_superpixels(self) -> int:
+        return len(self.palette)
+
+    def estimated_bits(self) -> float:
+        """Rate estimate for the code.
+
+        * palette: 24 bits per superpixel;
+        * label map: coded as a boundary bitmap plus, at each boundary
+          pixel, which neighbor's region continues (2 bits) — a standard
+          contour-coding first-order estimate; interior pixels are free.
+        """
+        boundary_pixels = int(boundary_map(self.labels).sum())
+        palette_bits = 24.0 * self.n_superpixels
+        contour_bits = 3.0 * boundary_pixels
+        header_bits = 64.0
+        return palette_bits + contour_bits + header_bits
+
+    def bits_per_pixel(self) -> float:
+        h, w = self.shape
+        return self.estimated_bits() / (h * w)
+
+
+class SuperpixelCodec:
+    """Encode an image as (labels, mean colors); decode by fill-in."""
+
+    def encode(self, image: np.ndarray, labels: np.ndarray) -> CompressedImage:
+        image = as_uint8_rgb(image)
+        labels = validate_label_map(labels)
+        if labels.shape != image.shape[:2]:
+            raise ConfigurationError(
+                f"labels {labels.shape} vs image {image.shape[:2]} mismatch"
+            )
+        filled = mean_color_image(image, labels)
+        n = int(labels.max()) + 1
+        palette = np.zeros((n, 3), dtype=np.uint8)
+        # First-occurrence pixel of each superpixel carries its mean color.
+        flat = labels.ravel()
+        first_idx = np.zeros(n, dtype=np.int64)
+        first_idx[flat[::-1]] = np.arange(flat.size - 1, -1, -1)
+        palette[:] = filled.reshape(-1, 3)[first_idx]
+        return CompressedImage(labels=labels.copy(), palette=palette,
+                               shape=labels.shape)
+
+    def decode(self, code: CompressedImage) -> np.ndarray:
+        return code.palette[code.labels]
+
+    def rate_distortion(self, image: np.ndarray, labels: np.ndarray) -> dict:
+        """One rate/distortion point: bits-per-pixel and PSNR."""
+        code = self.encode(image, labels)
+        recon = self.decode(code)
+        return {
+            "bits_per_pixel": code.bits_per_pixel(),
+            "psnr_db": psnr(image, recon),
+            "n_superpixels": code.n_superpixels,
+            "compression_ratio": 24.0 / code.bits_per_pixel(),
+        }

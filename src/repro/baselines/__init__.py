@@ -1,0 +1,19 @@
+"""Comparison baselines: GPU platform models, gSLIC, Preemptive SLIC."""
+
+from .devices import CORE_I7_4600M, TEGRA_K1, TESLA_K20, DeviceSpec
+from .gpu_model import GpuSlicModel, PlatformRow, table5_comparison
+from .gslic import gslic
+from .preemptive import preemptive_slic, preemptive_sslic
+
+__all__ = [
+    "DeviceSpec",
+    "TESLA_K20",
+    "TEGRA_K1",
+    "CORE_I7_4600M",
+    "GpuSlicModel",
+    "PlatformRow",
+    "table5_comparison",
+    "gslic",
+    "preemptive_slic",
+    "preemptive_sslic",
+]

@@ -1,0 +1,109 @@
+"""Device specification sheets for the paper's comparison platforms.
+
+Table 5 compares the accelerator against SLIC running on a Tesla K20
+(server GPU) and a Tegra K1 (mobile SoC GPU); the CPU context numbers come
+from an Intel i7-4600M. We cannot measure that silicon, so each spec sheet
+carries the published hardware parameters *and* the paper's measured
+operating points; the roofline model in :mod:`repro.baselines.gpu_model`
+is calibrated per device through a single ``efficiency`` factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["DeviceSpec", "TESLA_K20", "TEGRA_K1", "CORE_I7_4600M"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A compute platform: peak capabilities plus measured SLIC behaviour.
+
+    Attributes
+    ----------
+    name, technology, voltage:
+        Identity and process node (the GPUs are 28 nm at 0.81 V).
+    cores, clock_hz:
+        Execution resources ("CUDA cores" for the GPUs).
+    peak_gflops, mem_bandwidth_gbs:
+        Single-precision peak and DRAM bandwidth.
+    on_chip_kb:
+        Total on-chip storage (register files + scratchpads + caches) —
+        Table 5's "On-chip memory" row.
+    avg_power_w:
+        Measured average power while running SLIC (Table 5).
+    slic_efficiency:
+        Fraction of the roofline bound the measured SLIC implementation
+        achieves — the one calibrated constant per device
+        (``predicted = bound / efficiency``).
+    """
+
+    name: str
+    technology: str
+    voltage: float
+    cores: int
+    clock_hz: float
+    peak_gflops: float
+    mem_bandwidth_gbs: float
+    on_chip_kb: float
+    avg_power_w: float
+    slic_efficiency: float
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.clock_hz <= 0:
+            raise ConfigurationError(f"{self.name}: invalid core/clock spec")
+        if not (0.0 < self.slic_efficiency <= 1.0):
+            raise ConfigurationError(
+                f"{self.name}: efficiency must be in (0, 1], got {self.slic_efficiency}"
+            )
+
+
+#: NVIDIA Tesla K20: 13 SMX x 192 = 2496 cores @ 706 MHz, 208 GB/s GDDR5.
+#: On-chip 6320 kB (Table 5). Efficiency calibrated to the measured 22.3 ms
+#: per 1080p frame at K = 5000.
+TESLA_K20 = DeviceSpec(
+    name="Tesla K20",
+    technology="28nm",
+    voltage=0.81,
+    cores=2496,
+    clock_hz=706e6,
+    peak_gflops=3520.0,
+    mem_bandwidth_gbs=208.0,
+    on_chip_kb=6320.0,
+    avg_power_w=86.0,
+    slic_efficiency=0.2146,
+)
+
+#: NVIDIA Tegra K1: 192 cores @ 852 MHz, ~14.9 GB/s shared LPDDR3.
+#: The paper measured 2713 ms per frame — far below the roofline bound
+#: (the mobile memory system is shared with the CPU and the kernel mix is
+#: latency-bound), hence the small calibrated efficiency.
+TEGRA_K1 = DeviceSpec(
+    name="TK1",
+    technology="28nm",
+    voltage=0.81,
+    cores=192,
+    clock_hz=852e6,
+    peak_gflops=327.0,
+    mem_bandwidth_gbs=14.9,
+    on_chip_kb=368.0,
+    avg_power_w=0.332,
+    slic_efficiency=0.02462,
+)
+
+#: Intel Core i7-4600M (the CPU of Fig 2 / Table 1): 2C/4T @ 2.9-3.6 GHz.
+#: The paper quotes 5500 ms for SLIC on a 1080p frame.
+CORE_I7_4600M = DeviceSpec(
+    name="Core i7-4600M",
+    technology="22nm",
+    voltage=1.0,
+    cores=2,
+    clock_hz=2.9e9,
+    peak_gflops=92.8,
+    mem_bandwidth_gbs=25.6,
+    on_chip_kb=4096.0,
+    avg_power_w=37.0,
+    slic_efficiency=0.0075,
+)

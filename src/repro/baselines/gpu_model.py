@@ -1,0 +1,135 @@
+"""Roofline model of GPU SLIC plus the Table 5 platform comparison.
+
+The paper measured SLIC on real K20/TK1 hardware; this module substitutes
+an analytical model (see DESIGN.md):
+
+1. per-frame work: ``iterations`` cluster updates, each moving the PPA
+   traffic profile's bytes and executing its operations (in float32 —
+   ~4 FLOPs per compound op once loads/stores are separate instructions);
+2. the roofline bound is ``max(compute_time, memory_time)``;
+3. the measured latency is ``bound / efficiency`` with one per-device
+   calibrated efficiency (GPU SLIC is scatter-heavy and atomics-bound, so
+   achieved efficiency is far below peak — especially on the TK1's shared
+   LPDDR).
+
+Energy and the process normalization then follow the paper's own
+arithmetic: energy/frame = average power x latency; 28 nm power is scaled
+to 16 nm by 1/2.2 (1.25 for voltage^2 x 1.75 for capacitance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..hw.tech import process_normalization_factor
+from ..hw.traffic import ppa_profile
+from .devices import TEGRA_K1, TESLA_K20, DeviceSpec
+
+__all__ = ["GpuSlicModel", "PlatformRow", "table5_comparison"]
+
+#: float32 FLOPs per compound distance op on a load/store architecture.
+_FLOPS_PER_OP = 4.0
+
+
+@dataclass(frozen=True)
+class PlatformRow:
+    """One column of Table 5."""
+
+    name: str
+    algorithm: str
+    technology: str
+    on_chip_kb: float
+    cores: int
+    avg_power_w: float
+    norm_power_w: float
+    latency_ms: float
+    energy_per_frame_mj_norm: float
+
+    @property
+    def fps(self) -> float:
+        return 1000.0 / self.latency_ms
+
+    @property
+    def real_time(self) -> bool:
+        return self.fps >= 30.0
+
+
+class GpuSlicModel:
+    """Predict SLIC latency/energy for one GPU device."""
+
+    def __init__(self, device: DeviceSpec, iterations: int = 10):
+        if iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        self.device = device
+        self.iterations = iterations
+
+    def roofline_bound_ms(self, n_pixels: int, n_superpixels: int) -> float:
+        """Best-case frame time from peak FLOPs and bandwidth."""
+        profile = ppa_profile(n_pixels, n_superpixels)
+        flops = profile.ops_per_iteration * _FLOPS_PER_OP * self.iterations
+        compute_s = flops / (self.device.peak_gflops * 1e9)
+        bytes_total = profile.memory_bytes_per_iteration * self.iterations
+        memory_s = bytes_total / (self.device.mem_bandwidth_gbs * 1e9)
+        return 1e3 * max(compute_s, memory_s)
+
+    def predict_latency_ms(self, n_pixels: int, n_superpixels: int) -> float:
+        """Roofline bound degraded by the calibrated efficiency."""
+        return self.roofline_bound_ms(n_pixels, n_superpixels) / self.device.slic_efficiency
+
+    def bound_type(self, n_pixels: int, n_superpixels: int) -> str:
+        """Which roofline wall binds this device ("memory" or "compute")."""
+        profile = ppa_profile(n_pixels, n_superpixels)
+        flops = profile.ops_per_iteration * _FLOPS_PER_OP
+        compute_s = flops / (self.device.peak_gflops * 1e9)
+        memory_s = profile.memory_bytes_per_iteration / (
+            self.device.mem_bandwidth_gbs * 1e9
+        )
+        return "memory" if memory_s >= compute_s else "compute"
+
+    def platform_row(self, n_pixels: int, n_superpixels: int) -> PlatformRow:
+        """This device's Table 5 column (28 nm -> 16 nm normalized)."""
+        latency_ms = self.predict_latency_ms(n_pixels, n_superpixels)
+        norm = process_normalization_factor()
+        norm_power = self.device.avg_power_w / norm
+        return PlatformRow(
+            name=self.device.name,
+            algorithm="SLIC",
+            technology=f"{self.device.technology} ({self.device.voltage}V)",
+            on_chip_kb=self.device.on_chip_kb,
+            cores=self.device.cores,
+            avg_power_w=self.device.avg_power_w,
+            norm_power_w=norm_power,
+            latency_ms=latency_ms,
+            energy_per_frame_mj_norm=norm_power * latency_ms,  # W*ms = mJ
+        )
+
+
+def table5_comparison(accel_report, n_superpixels: int = 5000) -> dict:
+    """Build Table 5: K20 and TK1 rows plus this work's accelerator row.
+
+    ``accel_report`` is an :class:`~repro.hw.accelerator.AcceleratorReport`
+    (typically the 1080p Table 4 configuration). Returns the rows plus the
+    headline efficiency ratios the abstract quotes (>500x vs K20, >250x vs
+    TK1).
+    """
+    n_pixels = accel_report.config.n_pixels
+    k20 = GpuSlicModel(TESLA_K20).platform_row(n_pixels, n_superpixels)
+    tk1 = GpuSlicModel(TEGRA_K1).platform_row(n_pixels, n_superpixels)
+    accel_energy_mj = accel_report.energy_per_frame_mj
+    this_work = PlatformRow(
+        name="This Work",
+        algorithm="S-SLIC",
+        technology="16nm (0.72V)",
+        on_chip_kb=accel_report.on_chip_kb,
+        cores=accel_report.config.n_cores,
+        avg_power_w=accel_report.power_mw * 1e-3,
+        norm_power_w=accel_report.power_mw * 1e-3,  # already 16 nm
+        latency_ms=accel_report.latency_ms,
+        energy_per_frame_mj_norm=accel_energy_mj,
+    )
+    return {
+        "rows": {"Tesla K20": k20, "TK1": tk1, "This Work": this_work},
+        "efficiency_vs_k20": k20.energy_per_frame_mj_norm / accel_energy_mj,
+        "efficiency_vs_tk1": tk1.energy_per_frame_mj_norm / accel_energy_mj,
+    }

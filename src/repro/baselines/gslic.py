@@ -1,0 +1,33 @@
+"""gSLIC-style SLIC — the GPU algorithm the PPA borrows its assignment from.
+
+Section 8: "A parallel implementation for GPGPUs called gSLIC uses the
+assignment of each pixel to one of the 9 closest superpixels during
+initialization, then adopts the implementation of the original SLIC
+algorithm. The pixel perspective (PPA) version of S-SLIC uses a similar
+superpixel assignment algorithm while also applying pixel subsampling."
+
+So gSLIC == the PPA iteration order with *no* subsampling. It exists as a
+named baseline for the ablation benches (S-SLIC vs the closest prior art).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import SegmentationResult, SlicParams, sslic
+
+__all__ = ["gslic"]
+
+
+def gslic(
+    image: np.ndarray, params: SlicParams = None, **overrides
+) -> SegmentationResult:
+    """Run gSLIC-style (pixel-perspective, full-image) SLIC.
+
+    Accepts the same parameters as :func:`repro.core.sslic`; the
+    architecture is forced to PPA and the subsample ratio to 1.
+    """
+    forced = dict(overrides)
+    forced["architecture"] = "ppa"
+    forced["subsample_ratio"] = 1.0
+    return sslic(image, params, **forced)

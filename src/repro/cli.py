@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``segment``
+    Segment a PPM image (or a generated synthetic scene) with SLIC/S-SLIC
+    and write boundary / mean-color visualizations.
+``experiment``
+    Run one of the registered paper experiments and print its table.
+``report``
+    Print the accelerator report for a configuration (the Table 4 numbers
+    for arbitrary resolutions / buffer sizes / widths).
+``report-md``
+    Aggregate the benchmark artifacts into a single markdown report.
+
+Examples
+--------
+::
+
+    python -m repro segment --input frame.ppm --superpixels 400 --out seg.ppm
+    python -m repro segment --synthetic --seed 3 --algorithm slic
+    python -m repro experiment table3
+    python -m repro experiment fig6 --scale quick
+    python -m repro report --width 1280 --height 768 --buffer-kb 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+
+
+def _cmd_segment(args) -> int:
+    import numpy as np
+
+    from .core import slic, sslic
+    from .data import SceneConfig, generate_scene, read_ppm, write_ppm
+    from .metrics import boundary_recall, undersegmentation_error
+    from .viz import draw_boundaries, mean_color_image
+
+    if args.synthetic:
+        scene = generate_scene(
+            SceneConfig(height=args.height or 240, width=args.width or 360),
+            seed=args.seed,
+        )
+        image, gt = scene.image, scene.gt_labels
+    else:
+        if not args.input:
+            print("segment: provide --input image.ppm or --synthetic", file=sys.stderr)
+            return 2
+        image, gt = read_ppm(args.input), None
+
+    run = slic if args.algorithm == "slic" else sslic
+    kwargs = dict(
+        n_superpixels=args.superpixels,
+        compactness=args.compactness,
+        max_iterations=args.iterations,
+    )
+    if args.algorithm == "sslic":
+        kwargs["subsample_ratio"] = args.ratio
+    result = run(image, **kwargs)
+    print(
+        f"{args.algorithm}: {result.n_superpixels} superpixels, "
+        f"{result.iterations} sweeps, converged={result.converged}, "
+        f"{result.total_time * 1e3:.1f} ms"
+    )
+    if gt is not None:
+        print(f"USE {undersegmentation_error(result.labels, gt):.4f}  "
+              f"boundary recall {boundary_recall(result.labels, gt):.4f}")
+    if args.out:
+        write_ppm(args.out, draw_boundaries(image, result.labels))
+        print(f"wrote boundary overlay to {args.out}")
+    if args.mean_out:
+        write_ppm(args.mean_out, mean_color_image(image, result.labels))
+        print(f"wrote mean-color rendering to {args.mean_out}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .analysis import render_table, run_experiment
+
+    result = run_experiment(args.name, scale=args.scale)
+    print(render_table(result.headers, result.rows, title=result.title, precision=4))
+    if result.notes:
+        print(result.notes)
+    return 0
+
+
+def _cmd_report_md(args) -> int:
+    from .analysis.report import generate_report
+
+    generate_report(output_path=args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .hw import AcceleratorConfig, AcceleratorModel, ClusterWays
+    from .types import Resolution
+
+    ways = {
+        "1-1-1": ClusterWays(1, 1, 1),
+        "9-9-6": ClusterWays(9, 9, 6),
+    }.get(args.ways)
+    if ways is None:
+        d, m, a = (int(x) for x in args.ways.split("-"))
+        ways = ClusterWays(d, m, a)
+    config = AcceleratorConfig(
+        resolution=Resolution(args.width, args.height),
+        n_superpixels=args.superpixels,
+        buffer_kb_per_channel=args.buffer_kb,
+        bits=args.bits,
+        n_cores=args.cores,
+        ways=ways,
+    )
+    report = AcceleratorModel(config).report()
+    lb = report.latency
+    print(f"configuration: {config.resolution}, K={config.n_superpixels}, "
+          f"{ways.label}, {args.bits}-bit, {args.buffer_kb} kB/channel, "
+          f"{args.cores} core(s)")
+    print(f"latency  : {report.latency_ms:.2f} ms  ({report.fps:.1f} fps, "
+          f"real-time: {'yes' if report.real_time else 'no'})")
+    print(f"           color {lb.color_conversion_ms:.2f} | compute "
+          f"{lb.cluster_compute_ms:.2f} | centers {lb.center_update_ms:.2f} | "
+          f"memory {lb.memory_ms:.2f}")
+    print(f"power    : {report.power_mw:.1f} mW")
+    print(f"energy   : {report.energy_per_frame_mj:.3f} mJ/frame")
+    print(f"area     : {report.area_mm2:.4f} mm^2  "
+          f"({report.perf_per_area_fps_mm2:.0f} fps/mm^2)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="S-SLIC superpixels and the DAC'16 accelerator model",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    seg = sub.add_parser("segment", help="segment an image")
+    seg.add_argument("--input", help="input PPM (P6) image")
+    seg.add_argument("--synthetic", action="store_true",
+                     help="use a generated synthetic scene instead of --input")
+    seg.add_argument("--seed", type=int, default=0)
+    seg.add_argument("--width", type=int, default=None)
+    seg.add_argument("--height", type=int, default=None)
+    seg.add_argument("--algorithm", choices=("slic", "sslic"), default="sslic")
+    seg.add_argument("--superpixels", type=int, default=200)
+    seg.add_argument("--compactness", type=float, default=10.0)
+    seg.add_argument("--iterations", type=int, default=10)
+    seg.add_argument("--ratio", type=float, default=0.5,
+                     help="S-SLIC subsample ratio (1/n)")
+    seg.add_argument("--out", help="boundary-overlay PPM output path")
+    seg.add_argument("--mean-out", help="mean-color PPM output path")
+    seg.set_defaults(func=_cmd_segment)
+
+    exp = sub.add_parser("experiment", help="run a registered paper experiment")
+    exp.add_argument("name", help="fig2 | table1 | table2 | table3 | sec61 | "
+                                  "fig6 | table4 | table5")
+    exp.add_argument("--scale", choices=("quick", "full"), default="quick")
+    exp.set_defaults(func=_cmd_experiment)
+
+    rep = sub.add_parser("report", help="accelerator report for a configuration")
+    rep.add_argument("--width", type=int, default=1920)
+    rep.add_argument("--height", type=int, default=1080)
+    rep.add_argument("--superpixels", type=int, default=5000)
+    rep.add_argument("--buffer-kb", type=float, default=4.0)
+    rep.add_argument("--bits", type=int, default=8)
+    rep.add_argument("--cores", type=int, default=1)
+    rep.add_argument("--ways", default="9-9-6",
+                     help="cluster unit ways, e.g. 9-9-6 or 1-1-1")
+    rep.set_defaults(func=_cmd_report)
+
+    rmd = sub.add_parser(
+        "report-md",
+        help="aggregate benchmark artifacts into a markdown report",
+    )
+    rmd.add_argument("--output", default="REPORT.md")
+    rmd.set_defaults(func=_cmd_report_md)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Color-space constants shared by the reference and hardware conversions.
+
+The paper's Equations 1-4 convert sRGB to CIELAB through linear RGB and XYZ.
+``M`` below is the standard sRGB-to-XYZ matrix (D65, 2-degree observer) the
+paper refers to as "a 3x3 matrix", and ``D65_WHITE`` is the reference white
+[Xr, Yr, Zr].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SRGB_TO_XYZ",
+    "XYZ_TO_SRGB",
+    "D65_WHITE",
+    "GAMMA_THRESHOLD",
+    "LAB_EPSILON",
+    "LAB_KAPPA",
+]
+
+#: sRGB (linear) -> XYZ matrix, D65 white point. Equation 2's M.
+SRGB_TO_XYZ = np.array(
+    [
+        [0.4124564, 0.3575761, 0.1804375],
+        [0.2126729, 0.7151522, 0.0721750],
+        [0.0193339, 0.1191920, 0.9503041],
+    ],
+    dtype=np.float64,
+)
+
+#: Inverse matrix, used by the synthetic dataset generator and round-trips.
+XYZ_TO_SRGB = np.linalg.inv(SRGB_TO_XYZ)
+
+#: Reference white [Xr, Yr, Zr] for D65 (Y normalized to 1).
+D65_WHITE = np.array([0.95047, 1.00000, 1.08883], dtype=np.float64)
+
+#: Equation 1's linear-segment threshold for the sRGB inverse gamma.
+GAMMA_THRESHOLD = 0.04045
+
+#: Equation 4's cube-root domain threshold (CIE epsilon), 0.008856.
+LAB_EPSILON = 0.008856
+
+#: Slope constant of Equation 4's linear branch: 903.3 (CIE kappa).
+LAB_KAPPA = 903.3

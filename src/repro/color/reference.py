@@ -1,0 +1,138 @@
+"""Reference (float64) sRGB <-> CIELAB conversion, Equations 1-4 of the paper.
+
+This is the "golden" software path: SLIC and S-SLIC run on top of it in
+float mode, and the LUT-based hardware conversion in
+:mod:`repro.color.hw_convert` is validated against it.
+
+The forward chain is:
+
+1. inverse sRGB gamma (Equation 1)::
+
+       x' = x / 12.92                      if x <= 0.04045
+       x' = ((x + 0.055) / 1.055) ** 2.4   otherwise
+
+   (The paper's text prints the offset as 0.05; 0.055 is the sRGB standard
+   and what every SLIC implementation, including the authors' baseline,
+   uses. We follow the standard.)
+
+2. linear RGB -> XYZ via the 3x3 matrix M (Equation 2).
+
+3. XYZ -> LAB via the cube-root / linear-branch function f (Equations 3-4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import as_float_rgb
+from .constants import (
+    D65_WHITE,
+    GAMMA_THRESHOLD,
+    LAB_EPSILON,
+    LAB_KAPPA,
+    SRGB_TO_XYZ,
+    XYZ_TO_SRGB,
+)
+
+__all__ = [
+    "srgb_gamma_expand",
+    "srgb_gamma_compress",
+    "linear_rgb_to_xyz",
+    "xyz_to_linear_rgb",
+    "xyz_to_lab",
+    "lab_to_xyz",
+    "rgb_to_lab",
+    "lab_to_rgb",
+]
+
+
+def srgb_gamma_expand(rgb: np.ndarray) -> np.ndarray:
+    """Equation 1: sRGB [0,1] -> linear-light RGB [0,1]."""
+    rgb = np.asarray(rgb, dtype=np.float64)
+    linear = np.where(
+        rgb <= GAMMA_THRESHOLD,
+        rgb / 12.92,
+        ((rgb + 0.055) / 1.055) ** 2.4,
+    )
+    return linear
+
+
+def srgb_gamma_compress(linear: np.ndarray) -> np.ndarray:
+    """Inverse of Equation 1: linear-light RGB -> sRGB [0,1]."""
+    linear = np.clip(np.asarray(linear, dtype=np.float64), 0.0, 1.0)
+    return np.where(
+        linear <= GAMMA_THRESHOLD / 12.92,
+        linear * 12.92,
+        1.055 * linear ** (1.0 / 2.4) - 0.055,
+    )
+
+
+def linear_rgb_to_xyz(linear: np.ndarray) -> np.ndarray:
+    """Equation 2: linear RGB -> XYZ. Works on any (..., 3) array."""
+    linear = np.asarray(linear, dtype=np.float64)
+    return linear @ SRGB_TO_XYZ.T
+
+
+def xyz_to_linear_rgb(xyz: np.ndarray) -> np.ndarray:
+    """Inverse of Equation 2."""
+    xyz = np.asarray(xyz, dtype=np.float64)
+    return xyz @ XYZ_TO_SRGB.T
+
+
+def _f(w_over_wr: np.ndarray) -> np.ndarray:
+    """Equation 4's f(): cube root with a linear branch near zero."""
+    t = np.asarray(w_over_wr, dtype=np.float64)
+    return np.where(
+        t > LAB_EPSILON,
+        np.cbrt(t),
+        (LAB_KAPPA * t + 16.0) / 116.0,
+    )
+
+
+def _f_inv(f: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_f`."""
+    f = np.asarray(f, dtype=np.float64)
+    cubed = f ** 3
+    return np.where(
+        cubed > LAB_EPSILON,
+        cubed,
+        (116.0 * f - 16.0) / LAB_KAPPA,
+    )
+
+
+def xyz_to_lab(xyz: np.ndarray, white: np.ndarray = D65_WHITE) -> np.ndarray:
+    """Equations 3-4: XYZ -> CIELAB relative to ``white``."""
+    xyz = np.asarray(xyz, dtype=np.float64)
+    fxyz = _f(xyz / white)
+    fx, fy, fz = fxyz[..., 0], fxyz[..., 1], fxyz[..., 2]
+    lab = np.empty_like(xyz)
+    lab[..., 0] = 116.0 * fy - 16.0
+    lab[..., 1] = 500.0 * (fx - fy)
+    lab[..., 2] = 200.0 * (fy - fz)
+    return lab
+
+
+def lab_to_xyz(lab: np.ndarray, white: np.ndarray = D65_WHITE) -> np.ndarray:
+    """Inverse of :func:`xyz_to_lab`."""
+    lab = np.asarray(lab, dtype=np.float64)
+    fy = (lab[..., 0] + 16.0) / 116.0
+    fx = fy + lab[..., 1] / 500.0
+    fz = fy - lab[..., 2] / 200.0
+    fxyz = np.stack([fx, fy, fz], axis=-1)
+    return _f_inv(fxyz) * white
+
+
+def rgb_to_lab(rgb: np.ndarray) -> np.ndarray:
+    """Full reference pipeline: sRGB image (uint8 or float [0,1]) -> CIELAB.
+
+    This is the color-conversion step at the top of both SLIC flowcharts
+    (Figure 1). Returns float64 with L in [0, 100].
+    """
+    rgb = as_float_rgb(rgb)
+    return xyz_to_lab(linear_rgb_to_xyz(srgb_gamma_expand(rgb)))
+
+
+def lab_to_rgb(lab: np.ndarray) -> np.ndarray:
+    """Inverse pipeline: CIELAB -> sRGB float image clipped to [0, 1]."""
+    linear = xyz_to_linear_rgb(lab_to_xyz(np.asarray(lab, dtype=np.float64)))
+    return np.clip(srgb_gamma_compress(np.clip(linear, 0.0, 1.0)), 0.0, 1.0)

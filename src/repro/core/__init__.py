@@ -1,0 +1,61 @@
+"""The paper's contribution: SLIC and subsampled SLIC (S-SLIC).
+
+Public surface:
+
+* :func:`slic` / :func:`sslic` — run a segmentation.
+* :class:`SlicParams` — configuration (architecture, subsampling, fixed
+  datapath, ...).
+* :class:`SegmentationResult` — labels, centers, timings.
+* :class:`FixedDatapath` — the quantized hardware datapath for the
+  bit-width exploration.
+"""
+
+from .params import ARCH_CPA, ARCH_PPA, SUBSET_STRATEGIES, SlicParams
+from .result import SegmentationResult
+from .distance import FixedDatapath, pairwise_d2_float, spatial_weight
+from .api import slic, sslic
+from .engine import run_segmentation
+from .initialization import (
+    grid_geometry,
+    gradient_magnitude,
+    initial_centers,
+    perturb_centers,
+)
+from .neighbors import candidate_map, dynamic_candidate_map, tile_map
+from .subsampling import SubsetSchedule, center_subsets, make_schedule
+from .accumulators import SigmaAccumulator, center_movement
+from .connectivity import connected_components, enforce_connectivity
+from .profiles import PHASES, PhaseTimer
+from .streaming import StreamFrameStats, StreamSegmenter
+
+__all__ = [
+    "slic",
+    "sslic",
+    "run_segmentation",
+    "SlicParams",
+    "SegmentationResult",
+    "FixedDatapath",
+    "ARCH_CPA",
+    "ARCH_PPA",
+    "SUBSET_STRATEGIES",
+    "pairwise_d2_float",
+    "spatial_weight",
+    "grid_geometry",
+    "initial_centers",
+    "perturb_centers",
+    "gradient_magnitude",
+    "tile_map",
+    "candidate_map",
+    "dynamic_candidate_map",
+    "SubsetSchedule",
+    "make_schedule",
+    "center_subsets",
+    "SigmaAccumulator",
+    "center_movement",
+    "connected_components",
+    "enforce_connectivity",
+    "PhaseTimer",
+    "PHASES",
+    "StreamSegmenter",
+    "StreamFrameStats",
+]

@@ -1,0 +1,96 @@
+"""Public entry points: :func:`slic` and :func:`sslic`.
+
+Thin wrappers over :func:`repro.core.engine.run_segmentation` with the
+defaults the paper uses for each algorithm:
+
+* ``slic`` — the original algorithm (Figure 1a): center-perspective
+  iteration order, no subsampling.
+* ``sslic`` — the paper's contribution (Figure 1b): pixel-perspective
+  order with round-robin pixel subsets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .engine import run_segmentation
+from .params import ARCH_CPA, ARCH_PPA, SlicParams
+from .result import SegmentationResult
+
+__all__ = ["slic", "sslic"]
+
+
+def _build_params(params, overrides, forced) -> SlicParams:
+    if params is None:
+        params = SlicParams()
+    if not isinstance(params, SlicParams):
+        raise ConfigurationError(
+            f"params must be a SlicParams, got {type(params).__name__}"
+        )
+    merged = dict(overrides)
+    merged.update(forced)
+    return params.with_(**merged) if merged else params
+
+
+def slic(
+    image: np.ndarray,
+    params: SlicParams = None,
+    warm_centers: np.ndarray = None,
+    warm_labels: np.ndarray = None,
+    **overrides,
+) -> SegmentationResult:
+    """Run original SLIC superpixel segmentation on an RGB image.
+
+    Parameters
+    ----------
+    image:
+        (H, W, 3) RGB image, uint8 in [0, 255] or float in [0, 1].
+    params:
+        Optional :class:`SlicParams`; keyword overrides are applied on
+        top (e.g. ``slic(img, n_superpixels=900, compactness=10)``).
+        The architecture is forced to CPA and the subsample ratio to 1 —
+        that is what "SLIC" means in the paper's comparisons.
+
+    Returns a :class:`~repro.core.result.SegmentationResult`.
+    """
+    params = _build_params(
+        params, overrides, {"architecture": ARCH_CPA, "subsample_ratio": 1.0}
+    )
+    return run_segmentation(
+        image, params, warm_centers=warm_centers, warm_labels=warm_labels
+    )
+
+
+def sslic(
+    image: np.ndarray,
+    params: SlicParams = None,
+    warm_centers: np.ndarray = None,
+    warm_labels: np.ndarray = None,
+    **overrides,
+) -> SegmentationResult:
+    """Run S-SLIC (subsampled SLIC) on an RGB image.
+
+    Defaults to the paper's configuration: pixel-perspective architecture
+    with a 0.5 subsample ratio ("S-SLIC (0.5)"). Pass
+    ``subsample_ratio=0.25`` for the other published variant, or
+    ``architecture="cpa"`` for the center-perspective subsampling the paper
+    examined and rejected.
+
+    Returns a :class:`~repro.core.result.SegmentationResult`.
+    """
+    defaults = {"architecture": ARCH_PPA}
+    if params is None or (
+        "subsample_ratio" not in overrides and params.subsample_ratio == 1.0
+    ):
+        defaults["subsample_ratio"] = 0.5
+    if "architecture" in overrides:
+        defaults.pop("architecture")
+    if "subsample_ratio" in overrides:
+        defaults.pop("subsample_ratio", None)
+    merged = dict(defaults)
+    merged.update(overrides)
+    params = _build_params(params, merged, {})
+    return run_segmentation(
+        image, params, warm_centers=warm_centers, warm_labels=warm_labels
+    )

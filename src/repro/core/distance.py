@@ -1,0 +1,195 @@
+"""The color-space distance of Equation 5, in float and fixed point.
+
+Equation 5 combines the CIELAB color distance ``dc`` and the spatial
+distance ``ds`` as::
+
+    d = sqrt(dc^2 + m^2 * (ds / S)^2)
+
+Both implementations work with the *squared* distance: sqrt is monotone, so
+the argmin over candidates is unchanged — exactly the simplification the
+accelerator makes ("SLIC accuracy is determined by the relative
+color-distance comparison results rather than the absolute [...] results",
+Section 6.1).
+
+Two backends:
+
+* float64 — the software reference;
+* :class:`FixedDatapath` — the quantized hardware datapath: Lab values are
+  ``bits``-wide codes (see :class:`~repro.color.hw_convert.LabEncoding`),
+  center positions are quantized to ``spatial_frac_bits`` of sub-pixel
+  precision, the spatial weight is one fixed-point constant multiplier, and
+  (optionally) the final distance is crushed to a ``bits``-wide code the
+  way the accelerator's distance calculators "return the 8-bit distance".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..color.hw_convert import LabEncoding
+from ..errors import ConfigurationError
+
+__all__ = ["FixedDatapath", "pairwise_d2_float", "spatial_weight"]
+
+#: Fraction bits of the fixed-point spatial-weight constant.
+WEIGHT_FRAC_BITS = 12
+
+
+def spatial_weight(compactness: float, s: float) -> float:
+    """The Equation 5 spatial weight ``m^2 / S^2`` (float path)."""
+    if s <= 0:
+        raise ConfigurationError(f"grid interval S must be > 0, got {s}")
+    return (compactness / s) ** 2
+
+
+def pairwise_d2_float(
+    px_lab: np.ndarray,
+    px_xy: np.ndarray,
+    c_lab: np.ndarray,
+    c_xy: np.ndarray,
+    weight: float,
+) -> np.ndarray:
+    """Squared Equation 5 distance, float64, broadcasting over candidates.
+
+    Shapes: ``px_lab (M, 1, 3)`` against ``c_lab (M, C, 3)`` (or anything
+    numpy-broadcastable); returns ``(M, C)``.
+    """
+    dc2 = ((px_lab - c_lab) ** 2).sum(axis=-1)
+    ds2 = ((px_xy - c_xy) ** 2).sum(axis=-1)
+    return dc2 + weight * ds2
+
+
+@dataclass(frozen=True)
+class FixedDatapath:
+    """Configuration of the quantized (hardware) distance datapath.
+
+    Attributes
+    ----------
+    bits:
+        Width of the Lab channel codes *and* of the (optional) distance
+        output. The paper's final design uses 8; Section 6.1 sweeps this.
+    uniform_encoding:
+        Use the same codes-per-Lab-unit scale for L as for a/b so the code
+        -domain distance weights channels like the reference (default). A
+        non-uniform encoding stretches L over the full code range at the
+        cost of a 6.5x implicit L weight.
+    spatial_frac_bits:
+        Sub-pixel precision of the stored center positions (2 = quarter
+        pixel). Pixel positions themselves are integers.
+    quantize_distance:
+        If True (hardware-faithful), the combined squared distance is
+        right-shifted and saturated to a ``bits``-wide code before the 9:1
+        comparison. If False, candidates compare full-precision sums of
+        quantized inputs.
+    distance_shift:
+        Right-shift applied before the distance saturation; ``None`` picks
+        ``max(0, bits - 4)`` — sized so the practical within-neighborhood
+        distance range spans the output code range with minimal
+        saturation (empirically the quality sweet spot; see the Section
+        6.1 bench).
+    """
+
+    bits: int = 8
+    uniform_encoding: bool = True
+    spatial_frac_bits: int = 2
+    quantize_distance: bool = True
+    distance_shift: int = None
+
+    def __post_init__(self) -> None:
+        if not (2 <= self.bits <= 16):
+            raise ConfigurationError(f"datapath bits must be in [2, 16], got {self.bits}")
+        if not (0 <= self.spatial_frac_bits <= 8):
+            raise ConfigurationError(
+                f"spatial_frac_bits must be in [0, 8], got {self.spatial_frac_bits}"
+            )
+        if self.distance_shift is not None and self.distance_shift < 0:
+            raise ConfigurationError("distance_shift must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def encoding(self) -> LabEncoding:
+        """The Lab channel-code encoding this datapath consumes."""
+        return LabEncoding(self.bits, uniform=self.uniform_encoding)
+
+    @property
+    def effective_distance_shift(self) -> int:
+        if self.distance_shift is not None:
+            return self.distance_shift
+        return max(0, self.bits - 4)
+
+    @property
+    def distance_max_code(self) -> int:
+        return (1 << self.bits) - 1
+
+    def weight_raw(self, compactness: float, s: float) -> int:
+        """Fixed-point spatial weight in *code-domain* units.
+
+        Scales ``m^2/S^2`` by the square of the Lab code scale so that the
+        code-domain color term and the pixel-domain spatial term combine
+        with the same balance as Equation 5, then quantizes to a
+        ``WEIGHT_FRAC_BITS``-fraction constant. A weight that quantizes to
+        zero is clamped to 1 LSB so the spatial term never vanishes.
+        """
+        scale = self.encoding.ab_scale
+        w = (compactness * scale / s) ** 2
+        raw = int(round(w * (1 << WEIGHT_FRAC_BITS)))
+        return max(raw, 1)
+
+    # ------------------------------------------------------------------
+    def encode_image(self, lab: np.ndarray) -> np.ndarray:
+        """Real Lab image -> (H, W, 3) int64 channel codes."""
+        return self.encoding.encode(lab)
+
+    def encode_centers(self, centers: np.ndarray) -> np.ndarray:
+        """Float centers (K, 5) -> int64 code-domain centers (K, 5).
+
+        Lab components quantize to channel codes; x/y quantize to
+        ``spatial_frac_bits`` sub-pixel codes.
+        """
+        out = np.empty(centers.shape, dtype=np.int64)
+        out[:, 0:3] = self.encoding.encode(centers[:, 0:3])
+        sf = 1 << self.spatial_frac_bits
+        out[:, 3] = np.rint(centers[:, 3] * sf)
+        out[:, 4] = np.rint(centers[:, 4] * sf)
+        return out
+
+    def pairwise_d2(
+        self,
+        px_codes: np.ndarray,
+        px_xy: np.ndarray,
+        c_codes: np.ndarray,
+        c_xy_raw: np.ndarray,
+        weight_raw: int,
+    ) -> np.ndarray:
+        """Squared Equation 5 distance in the integer code domain.
+
+        Parameters
+        ----------
+        px_codes : (M, 1, 3) or broadcastable int64
+            Pixel Lab channel codes.
+        px_xy : (M, 1, 2) int64
+            Integer pixel positions (x, y).
+        c_codes : (M, C, 3) int64
+            Candidate center Lab codes.
+        c_xy_raw : (M, C, 2) int64
+            Candidate center positions in ``spatial_frac_bits`` sub-pixel
+            codes.
+        weight_raw:
+            Output of :meth:`weight_raw`.
+
+        Returns int64 ``(M, C)`` distance codes — either the full-precision
+        combined value or, when ``quantize_distance``, the ``bits``-wide
+        saturated code.
+        """
+        dlab = px_codes - c_codes
+        dc2 = (dlab * dlab).sum(axis=-1)
+        sf = self.spatial_frac_bits
+        dxy = (px_xy << sf) - c_xy_raw
+        ds2 = (dxy * dxy).sum(axis=-1) >> (2 * sf)  # back to whole pixels^2
+        d2 = dc2 + ((weight_raw * ds2) >> WEIGHT_FRAC_BITS)
+        if not self.quantize_distance:
+            return d2
+        shifted = d2 >> self.effective_distance_shift
+        return np.minimum(shifted, self.distance_max_code)

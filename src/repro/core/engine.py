@@ -1,0 +1,253 @@
+"""The segmentation engine driving both SLIC and S-SLIC.
+
+One engine implements the two flowcharts of Figure 1:
+
+* CPA (Figure 1a): per sweep, scan a 2S x 2S window per center and keep
+  image-sized running-minimum buffers; with ``subsample_ratio < 1`` the
+  centers are processed in round-robin subsets (the CPA flavour of S-SLIC).
+* PPA (Figure 1b): per sub-iteration, (re)assign a pixel subset against its
+  9 candidate centers and update the centers from the subset's sigma
+  accumulations (the accelerator's algorithm).
+
+``subsample_ratio == 1`` with PPA reproduces the gSLIC-style full-image
+pixel-perspective SLIC; with CPA it reproduces the original algorithm.
+
+The engine is instrumented with :class:`~repro.core.profiles.PhaseTimer`
+buckets that map onto Table 1's columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..color import rgb_to_lab
+from ..color.hw_convert import HwColorConverter
+from ..errors import ConfigurationError
+from ..types import as_uint8_rgb, validate_rgb_image
+from .accumulators import SigmaAccumulator, center_movement
+from .assignment import PixelArrays, assign_cpa, assign_ppa
+from .connectivity import enforce_connectivity
+from .distance import spatial_weight
+from .initialization import grid_geometry, initial_centers, perturb_centers
+from .neighbors import candidate_map, dynamic_candidate_map, tile_map
+from .params import ARCH_CPA, ARCH_PPA, SlicParams
+from .profiles import PhaseTimer
+from .result import SegmentationResult
+from .subsampling import center_subsets, make_schedule
+
+__all__ = ["run_segmentation"]
+
+#: Sentinel for "not yet assigned" in the CPA distance buffer.
+_INF = np.inf
+
+
+def _check_warm_labels(warm_labels, shape, n_clusters) -> np.ndarray:
+    """Validate a warm-start label map and return an int32 copy."""
+    arr = np.asarray(warm_labels)
+    if arr.shape != shape:
+        raise ConfigurationError(
+            f"warm_labels must have shape {shape}, got {arr.shape}"
+        )
+    if arr.min() < 0 or arr.max() >= n_clusters:
+        raise ConfigurationError(
+            f"warm_labels values must be in [0, {n_clusters}), got "
+            f"[{arr.min()}, {arr.max()}]"
+        )
+    return arr.astype(np.int32).copy()
+
+
+def run_segmentation(
+    image: np.ndarray,
+    params: SlicParams,
+    warm_centers: np.ndarray = None,
+    warm_labels: np.ndarray = None,
+) -> SegmentationResult:
+    """Segment ``image`` according to ``params``; see module docstring.
+
+    ``warm_centers`` (K', 5) and/or ``warm_labels`` (H, W) warm-start the
+    run from a previous result — used for video streams (frame-to-frame
+    temporal coherence) and for sweep-at-a-time drivers like Preemptive
+    S-SLIC. The warm centers must match the grid-realized cluster count.
+    """
+    validate_rgb_image(image)
+    timer = PhaseTimer()
+
+    # ------------------------------------------------------------------
+    # Color conversion (reference float path, or the LUT hardware path
+    # when a fixed datapath is configured).
+    # ------------------------------------------------------------------
+    datapath = params.datapath
+    with timer.phase("color_conversion"):
+        if datapath is not None:
+            converter = HwColorConverter(encoding=datapath.encoding)
+            codes = converter.convert_codes(as_uint8_rgb(image))
+            lab = datapath.encoding.decode(codes)
+        else:
+            codes = None
+            lab = rgb_to_lab(image)
+
+    h, w = lab.shape[:2]
+
+    # ------------------------------------------------------------------
+    # Initialization: grid centers, gradient perturbation, PPA structures.
+    # ------------------------------------------------------------------
+    with timer.phase("initialization"):
+        centers = initial_centers(lab, params.n_superpixels)
+        if params.perturb_centers:
+            centers = perturb_centers(centers, lab)
+        n_clusters = len(centers)
+        if warm_centers is not None:
+            warm_centers = np.asarray(warm_centers, dtype=np.float64)
+            if warm_centers.shape != (n_clusters, 5):
+                raise ConfigurationError(
+                    f"warm_centers must be ({n_clusters}, 5) for this image/K, "
+                    f"got {warm_centers.shape}"
+                )
+            centers = warm_centers.copy()
+        grid_h, grid_w, _, _ = grid_geometry((h, w), params.n_superpixels)
+        s = float(np.sqrt(h * w / n_clusters))
+        weight = spatial_weight(params.compactness, s)
+        n_subsets = params.n_subsets
+
+        if params.architecture == ARCH_PPA:
+            tiles = tile_map((h, w), grid_h, grid_w)
+            cands = candidate_map(grid_h, grid_w)
+            pixels = PixelArrays(lab, tiles, datapath=datapath, codes=codes)
+            schedule = make_schedule(
+                (h, w), params.subsample_ratio, params.subset_strategy, params.seed
+            )
+            labels_flat = tiles.ravel().astype(np.int32).copy()
+            if warm_labels is not None:
+                labels_flat = _check_warm_labels(warm_labels, (h, w), n_clusters).ravel()
+        else:
+            dist_buf = np.full((h, w), _INF, dtype=np.float64)
+            labels_buf = tile_map((h, w), grid_h, grid_w).astype(np.int32)
+            if warm_labels is not None:
+                labels_buf = _check_warm_labels(warm_labels, (h, w), n_clusters)
+            c_subsets = center_subsets(n_clusters, n_subsets)
+            lab5_cache = None  # built lazily for center updates
+
+    acc = SigmaAccumulator(n_clusters)
+    movement_history = []
+    converged = False
+    max_sub = (
+        params.max_subiterations
+        if params.max_subiterations is not None
+        else params.max_iterations * n_subsets
+    )
+
+    # ------------------------------------------------------------------
+    # Main iteration loop.
+    # ------------------------------------------------------------------
+    sub = 0
+    sweeps = 0
+    while sub < max_sub:
+        sweep_start = centers.copy()
+        for _ in range(n_subsets):
+            if sub >= max_sub:
+                break
+            if params.architecture == ARCH_PPA:
+                idx = schedule.subset(sub)
+                with timer.phase("distance_min"):
+                    chosen = assign_ppa(
+                        pixels,
+                        idx,
+                        cands,
+                        centers,
+                        weight,
+                        compactness=params.compactness,
+                        grid_s=s,
+                    )
+                    labels_flat[idx] = chosen
+                with timer.phase("center_update"):
+                    mode = params.center_update_mode
+                    if mode == "accumulate":
+                        # Sigma registers persist across the sweep's subset
+                        # passes and reset at sweep boundaries (hardware
+                        # behaviour; see SlicParams.center_update_mode).
+                        if sub % n_subsets == 0:
+                            acc.reset()
+                        acc.add(pixels.values5(idx), chosen)
+                    elif mode == "subset":
+                        acc.reset()
+                        acc.add(pixels.values5(idx), chosen)
+                    else:  # all_assigned
+                        acc.reset()
+                        all_idx = np.arange(pixels.n_pixels)
+                        acc.add(pixels.values5(all_idx), labels_flat)
+                    centers = acc.compute_centers(fallback=centers)
+            else:
+                subset_k = c_subsets[sub % n_subsets]
+                if n_subsets > 1 and sub % n_subsets == 0:
+                    dist_buf.fill(_INF)
+                elif n_subsets == 1:
+                    dist_buf.fill(_INF)
+                with timer.phase("distance_min"):
+                    assign_cpa(
+                        lab,
+                        centers,
+                        weight,
+                        s,
+                        dist_buf,
+                        labels_buf,
+                        cluster_indices=subset_k,
+                        datapath=datapath,
+                        compactness=params.compactness,
+                        codes=codes,
+                    )
+                with timer.phase("center_update"):
+                    if lab5_cache is None:
+                        yy, xx = np.mgrid[0:h, 0:w]
+                        lab5_cache = np.concatenate(
+                            [
+                                lab.reshape(-1, 3),
+                                xx.reshape(-1, 1).astype(np.float64),
+                                yy.reshape(-1, 1).astype(np.float64),
+                            ],
+                            axis=1,
+                        )
+                    acc.reset()
+                    acc.add(lab5_cache, labels_buf.ravel())
+                    new_centers = acc.compute_centers(fallback=centers)
+                    if n_subsets > 1:
+                        # Only the scanned subset's centers move this
+                        # sub-iteration (the others' pixel sets are stale).
+                        merged = centers.copy()
+                        merged[subset_k] = new_centers[subset_k]
+                        centers = merged
+                    else:
+                        centers = new_centers
+            sub += 1
+        sweeps += 1
+        movement = center_movement(sweep_start, centers)
+        movement_history.append(movement)
+        if params.convergence_threshold > 0 and movement < params.convergence_threshold:
+            converged = True
+            break
+        if params.architecture == ARCH_PPA and not params.static_neighbors:
+            with timer.phase("initialization"):
+                cands = dynamic_candidate_map(centers, grid_h, grid_w, (h, w))
+
+    # ------------------------------------------------------------------
+    # Connectivity enforcement.
+    # ------------------------------------------------------------------
+    if params.architecture == ARCH_PPA:
+        labels = labels_flat.reshape(h, w)
+    else:
+        labels = labels_buf
+    if params.enforce_connectivity:
+        with timer.phase("connectivity"):
+            min_size = max(1, int(params.min_size_factor * s * s))
+            labels = enforce_connectivity(labels, min_size)
+
+    return SegmentationResult(
+        labels=labels.astype(np.int32),
+        centers=centers,
+        n_superpixels=n_clusters,
+        iterations=sweeps,
+        subiterations=sub,
+        converged=converged,
+        movement_history=movement_history,
+        timings=timer.as_dict(),
+        params=params,
+    )

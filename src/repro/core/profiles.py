@@ -1,0 +1,60 @@
+"""Phase timing instrumentation for the Table 1 breakdown.
+
+Table 1 of the paper reports the fraction of runtime spent in color
+conversion, distance + minimum, center update, and "other" for SLIC and
+S-SLIC. :class:`PhaseTimer` collects those wall-clock buckets with
+negligible overhead (one ``perf_counter`` pair per phase entry).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["PhaseTimer", "PHASES"]
+
+#: Canonical phase names, in Table 1 column order (plus bookkeeping ones).
+PHASES = (
+    "color_conversion",
+    "initialization",
+    "distance_min",
+    "center_update",
+    "connectivity",
+    "other",
+)
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds into named phase buckets."""
+
+    def __init__(self):
+        self.totals = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager: time the enclosed block into bucket ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add seconds to a bucket directly (for externally-timed work)."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.totals.values()))
+
+    def fractions(self) -> dict:
+        """Phase -> fraction of total, the Table 1 presentation."""
+        total = self.total
+        if total <= 0:
+            return {k: 0.0 for k in self.totals}
+        return {k: v / total for k, v in self.totals.items()}
+
+    def as_dict(self) -> dict:
+        """Copy of the raw seconds per phase."""
+        return dict(self.totals)

@@ -1,0 +1,47 @@
+"""Dataset substrate: synthetic ground-truth corpus, image I/O, BSDS loader.
+
+The synthetic corpus substitutes for the Berkeley Segmentation Dataset used
+in the paper (see DESIGN.md for the substitution rationale); the BSDS loader
+accepts a real checkout when one is available.
+"""
+
+from .synthetic import Scene, SceneConfig, SyntheticDataset, generate_scene
+from .shapes import (
+    add_disk_regions,
+    relabel_sequential,
+    stripe_regions,
+    voronoi_regions,
+    warped_voronoi_regions,
+)
+from .texture import linear_gradient, multi_octave_noise, value_noise
+from .io import read_pgm, read_ppm, write_pgm, write_ppm
+from .bsds import BsdsSample, load_bsds_pairs, parse_seg_file
+from .video import VideoFrame, VideoSequence
+from .stats import SceneStats, corpus_statistics, scene_statistics
+
+__all__ = [
+    "Scene",
+    "SceneConfig",
+    "SyntheticDataset",
+    "generate_scene",
+    "voronoi_regions",
+    "warped_voronoi_regions",
+    "stripe_regions",
+    "add_disk_regions",
+    "relabel_sequential",
+    "value_noise",
+    "multi_octave_noise",
+    "linear_gradient",
+    "write_ppm",
+    "read_ppm",
+    "write_pgm",
+    "read_pgm",
+    "BsdsSample",
+    "parse_seg_file",
+    "load_bsds_pairs",
+    "VideoFrame",
+    "VideoSequence",
+    "SceneStats",
+    "scene_statistics",
+    "corpus_statistics",
+]

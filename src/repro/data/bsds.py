@@ -1,0 +1,101 @@
+"""Optional loader for a real Berkeley Segmentation Dataset tree.
+
+The synthetic corpus (:mod:`repro.data.synthetic`) is the default ground
+truth source, but if a BSDS300/BSDS500 checkout is available the metrics can
+run on the real data. This module parses the BSDS ``.seg`` human
+segmentation format and pairs segmentations with images.
+
+The ``.seg`` format (BSDS300 ``seg-format.txt``): a text header terminated
+by a line ``data``, with fields like ``width``, ``height``, ``segments``;
+then one line per run: ``<label> <row> <col_start> <col_end>`` with
+inclusive column ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DatasetError
+from .io import read_ppm
+
+__all__ = ["parse_seg_file", "BsdsSample", "load_bsds_pairs"]
+
+
+def parse_seg_file(path) -> np.ndarray:
+    """Parse a BSDS ``.seg`` file into an (H, W) int32 label map."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise DatasetError(f"cannot read {path}: {exc}") from exc
+    lines = text.splitlines()
+    width = height = None
+    data_start = None
+    for i, line in enumerate(lines):
+        stripped = line.strip().lower()
+        if stripped.startswith("width"):
+            width = int(stripped.split()[1])
+        elif stripped.startswith("height"):
+            height = int(stripped.split()[1])
+        elif stripped == "data":
+            data_start = i + 1
+            break
+    if width is None or height is None or data_start is None:
+        raise DatasetError(f"{path}: missing width/height/data header")
+    labels = np.full((height, width), -1, dtype=np.int32)
+    for line in lines[data_start:]:
+        parts = line.split()
+        if not parts:
+            continue
+        if len(parts) != 4:
+            raise DatasetError(f"{path}: malformed data line {line!r}")
+        seg, row, col_a, col_b = (int(p) for p in parts)
+        if not (0 <= row < height and 0 <= col_a <= col_b < width):
+            raise DatasetError(f"{path}: run out of bounds: {line!r}")
+        labels[row, col_a : col_b + 1] = seg
+    if (labels < 0).any():
+        raise DatasetError(f"{path}: segmentation does not cover the image")
+    return labels
+
+
+@dataclass(frozen=True)
+class BsdsSample:
+    """One BSDS image with one human segmentation."""
+
+    image: np.ndarray
+    gt_labels: np.ndarray
+    image_id: str
+
+
+def load_bsds_pairs(images_dir, seg_dir, limit: int = None):
+    """Yield :class:`BsdsSample` for each image that has a ``.seg`` file.
+
+    ``images_dir`` must contain binary PPM images named ``<id>.ppm`` (BSDS
+    images are distributed as JPEG; convert offline, e.g. with
+    ``djpeg -pnm``). ``seg_dir`` holds ``<id>.seg`` files. The pairing is by
+    stem; images without a segmentation are skipped.
+    """
+    images_dir = Path(images_dir)
+    seg_dir = Path(seg_dir)
+    if not images_dir.is_dir():
+        raise DatasetError(f"images dir not found: {images_dir}")
+    if not seg_dir.is_dir():
+        raise DatasetError(f"segmentations dir not found: {seg_dir}")
+    count = 0
+    for ppm_path in sorted(images_dir.glob("*.ppm")):
+        seg_path = seg_dir / (ppm_path.stem + ".seg")
+        if not seg_path.exists():
+            continue
+        image = read_ppm(ppm_path)
+        gt = parse_seg_file(seg_path)
+        if gt.shape != image.shape[:2]:
+            raise DatasetError(
+                f"{ppm_path.stem}: image {image.shape[:2]} vs seg {gt.shape} mismatch"
+            )
+        yield BsdsSample(image=image, gt_labels=gt, image_id=ppm_path.stem)
+        count += 1
+        if limit is not None and count >= limit:
+            return

@@ -1,0 +1,69 @@
+"""Minimal binary PPM/PGM image I/O (no imaging dependency needed).
+
+Used by the examples to write visualizations to disk and by the optional
+BSDS loader to read images. Supports the binary variants P6 (color) and P5
+(grayscale) with maxval 255.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DatasetError
+
+__all__ = ["write_ppm", "read_ppm", "write_pgm", "read_pgm"]
+
+_HEADER_RE = re.compile(rb"^(P[56])\s+(?:#[^\n]*\n\s*)*(\d+)\s+(\d+)\s+(\d+)\s")
+
+
+def write_ppm(path, image: np.ndarray) -> None:
+    """Write a uint8 (H, W, 3) RGB image as binary PPM (P6)."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3 or image.dtype != np.uint8:
+        raise DatasetError(f"write_ppm expects uint8 (H, W, 3), got {image.dtype} {image.shape}")
+    h, w = image.shape[:2]
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(image.tobytes())
+
+
+def write_pgm(path, image: np.ndarray) -> None:
+    """Write a uint8 (H, W) grayscale image as binary PGM (P5)."""
+    image = np.asarray(image)
+    if image.ndim != 2 or image.dtype != np.uint8:
+        raise DatasetError(f"write_pgm expects uint8 (H, W), got {image.dtype} {image.shape}")
+    h, w = image.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(image.tobytes())
+
+
+def _read_netpbm(path, magic: bytes, channels: int) -> np.ndarray:
+    data = Path(path).read_bytes()
+    match = _HEADER_RE.match(data)
+    if not match or match.group(1) != magic:
+        raise DatasetError(f"{path}: not a binary {magic.decode()} file")
+    w, h, maxval = (int(match.group(i)) for i in (2, 3, 4))
+    if maxval != 255:
+        raise DatasetError(f"{path}: only maxval 255 supported, got {maxval}")
+    pixels = data[match.end():]
+    expected = w * h * channels
+    if len(pixels) < expected:
+        raise DatasetError(f"{path}: truncated pixel data ({len(pixels)} < {expected})")
+    arr = np.frombuffer(pixels[:expected], dtype=np.uint8)
+    if channels == 1:
+        return arr.reshape(h, w).copy()
+    return arr.reshape(h, w, channels).copy()
+
+
+def read_ppm(path) -> np.ndarray:
+    """Read a binary PPM (P6) file into a uint8 (H, W, 3) array."""
+    return _read_netpbm(path, b"P6", 3)
+
+
+def read_pgm(path) -> np.ndarray:
+    """Read a binary PGM (P5) file into a uint8 (H, W) array."""
+    return _read_netpbm(path, b"P5", 1)

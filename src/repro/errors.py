@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base type. Each subclass corresponds to one subsystem and
+carries a human-readable message describing what was violated and, where
+useful, the offending value.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter object (algorithm or hardware config) is invalid.
+
+    Raised during validation, before any computation starts, so the caller
+    sees the bad parameter rather than a downstream numpy failure.
+    """
+
+
+class ImageError(ReproError):
+    """An input image has the wrong dtype, shape, or value range."""
+
+
+class FixedPointError(ReproError):
+    """A fixed-point format or operation is ill-specified."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or loaded."""
+
+
+class MetricError(ReproError):
+    """A segmentation-quality metric received inconsistent inputs."""
+
+
+class HardwareModelError(ReproError):
+    """An accelerator model was configured or driven inconsistently."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to make progress.
+
+    SLIC itself never raises this (it is bounded by ``max_iterations``); it
+    is reserved for analysis drivers that binary-search over parameters.
+    """

@@ -1,0 +1,34 @@
+"""Fixed-point arithmetic substrate for the S-SLIC datapath.
+
+The accelerator's final design uses an 8-bit fixed-point datapath (paper
+Section 6.1); this package provides the Q-format specification, saturating
+arithmetic, and the array wrapper used by the quantized distance backend and
+the bit-width design-space exploration.
+"""
+
+from .qformat import QFormat, RoundingMode
+from .array import FxpArray
+from .ops import (
+    div_raw,
+    isqrt_raw,
+    rescale,
+    sat_add,
+    sat_mac,
+    sat_mul,
+    sat_square,
+    sat_sub,
+)
+
+__all__ = [
+    "QFormat",
+    "RoundingMode",
+    "FxpArray",
+    "sat_add",
+    "sat_sub",
+    "sat_mul",
+    "sat_square",
+    "sat_mac",
+    "rescale",
+    "isqrt_raw",
+    "div_raw",
+]

@@ -1,0 +1,106 @@
+"""A convenience wrapper bundling raw codes with their Q-format.
+
+:class:`FxpArray` is a thin value-semantics wrapper used at API boundaries
+(e.g. the quantized distance backend) so that a format can never silently
+drift away from its codes. The inner loops operate on raw numpy arrays via
+:mod:`repro.fixedpoint.ops` for speed; FxpArray is the safe hand-off type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FixedPointError
+from .qformat import QFormat, RoundingMode
+from . import ops
+
+__all__ = ["FxpArray"]
+
+
+class FxpArray:
+    """An array of fixed-point values: raw int64 codes plus a QFormat.
+
+    Construct from real values with :meth:`from_float`, or wrap existing raw
+    codes with the constructor. Arithmetic returns new FxpArrays in the same
+    format (saturating), mirroring a fixed-width datapath.
+    """
+
+    __slots__ = ("raw", "fmt")
+
+    def __init__(self, raw: np.ndarray, fmt: QFormat):
+        raw = np.asarray(raw, dtype=np.int64)
+        if np.any(raw > fmt.raw_max) or np.any(raw < fmt.raw_min):
+            raise FixedPointError(
+                f"raw codes out of range for {fmt}: "
+                f"[{raw.min()}, {raw.max()}] vs [{fmt.raw_min}, {fmt.raw_max}]"
+            )
+        self.raw = raw
+        self.fmt = fmt
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_float(
+        cls, values, fmt: QFormat, rounding: str = RoundingMode.NEAREST
+    ) -> "FxpArray":
+        """Quantize real ``values`` into format ``fmt``."""
+        return cls(fmt.to_raw(values, rounding=rounding), fmt)
+
+    def to_float(self) -> np.ndarray:
+        """Dequantize back to float64."""
+        return self.fmt.from_raw(self.raw)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return self.raw.shape
+
+    @property
+    def size(self) -> int:
+        return self.raw.size
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def __getitem__(self, idx) -> "FxpArray":
+        return FxpArray(self.raw[idx], self.fmt)
+
+    def reshape(self, *shape) -> "FxpArray":
+        return FxpArray(self.raw.reshape(*shape), self.fmt)
+
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> np.ndarray:
+        if isinstance(other, FxpArray):
+            if other.fmt != self.fmt:
+                raise FixedPointError(
+                    f"format mismatch: {self.fmt} vs {other.fmt}; use rescale()"
+                )
+            return other.raw
+        # Scalars / float arrays are quantized on the fly.
+        return self.fmt.to_raw(other)
+
+    def __add__(self, other) -> "FxpArray":
+        return FxpArray(ops.sat_add(self.raw, self._coerce(other), self.fmt), self.fmt)
+
+    def __sub__(self, other) -> "FxpArray":
+        return FxpArray(ops.sat_sub(self.raw, self._coerce(other), self.fmt), self.fmt)
+
+    def __mul__(self, other) -> "FxpArray":
+        return FxpArray(ops.sat_mul(self.raw, self._coerce(other), self.fmt), self.fmt)
+
+    def square(self) -> "FxpArray":
+        return FxpArray(ops.sat_square(self.raw, self.fmt), self.fmt)
+
+    def rescale(self, dst: QFormat) -> "FxpArray":
+        """Move to another format, rounding/saturating as hardware would."""
+        return FxpArray(ops.rescale(self.raw, self.fmt, dst), dst)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, FxpArray)
+            and self.fmt == other.fmt
+            and np.array_equal(self.raw, other.raw)
+        )
+
+    def __repr__(self) -> str:
+        return f"FxpArray({self.fmt}, shape={self.raw.shape})"

@@ -1,0 +1,192 @@
+"""Saturating fixed-point arithmetic on raw integer codes.
+
+These functions model the arithmetic units of the accelerator datapath.
+All operands and results are *raw codes* (int64 numpy arrays) tagged with a
+:class:`~repro.fixedpoint.qformat.QFormat`. Operations saturate instead of
+wrapping — the accelerator's adders and multipliers are saturating, which is
+what makes an 8-bit datapath usable for distance accumulation.
+
+The operations stay in int64 internally (wide enough for any product of two
+<=32-bit formats), then saturate to the result format. This matches a
+hardware implementation with full-width partial results and a final
+saturating quantizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FixedPointError
+from .qformat import QFormat
+
+__all__ = [
+    "sat_add",
+    "sat_sub",
+    "sat_mul",
+    "sat_square",
+    "sat_mac",
+    "rescale",
+    "isqrt_raw",
+    "div_raw",
+]
+
+
+def _check_same_format(a_fmt: QFormat, b_fmt: QFormat) -> None:
+    if a_fmt != b_fmt:
+        raise FixedPointError(
+            f"operand formats differ: {a_fmt} vs {b_fmt}; rescale() first"
+        )
+
+
+def sat_add(a, b, fmt: QFormat) -> np.ndarray:
+    """Saturating addition of two raw-code arrays in format ``fmt``."""
+    wide = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+    return fmt.saturate_raw(wide)
+
+
+def sat_sub(a, b, fmt: QFormat) -> np.ndarray:
+    """Saturating subtraction ``a - b`` of raw-code arrays in ``fmt``."""
+    wide = np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64)
+    return fmt.saturate_raw(wide)
+
+
+def rescale(raw, src: QFormat, dst: QFormat) -> np.ndarray:
+    """Convert raw codes from format ``src`` to format ``dst``.
+
+    Shifts the binary point (with round-to-nearest on right shifts, i.e.
+    when precision is dropped) and saturates to the destination range. This
+    is the model of a hardware format-conversion stage.
+    """
+    raw = np.asarray(raw, dtype=np.int64)
+    shift = dst.frac_bits - src.frac_bits
+    if shift >= 0:
+        if shift > 62:
+            raise FixedPointError(f"rescale shift {shift} too large")
+        wide = raw << shift
+    else:
+        down = -shift
+        if down > 62:
+            raise FixedPointError(f"rescale shift {-down} too large")
+        half = np.int64(1) << (down - 1)
+        # Round half away from zero, like the NEAREST quantizer.
+        wide = np.where(raw >= 0, (raw + half) >> down, -((-raw + half) >> down))
+    return dst.saturate_raw(wide)
+
+
+def sat_mul(a, b, fmt: QFormat, result_fmt: QFormat = None) -> np.ndarray:
+    """Saturating multiply of raw codes that share format ``fmt``.
+
+    The full-precision product has ``2 * fmt.frac_bits`` fraction bits; it
+    is rounded back to ``result_fmt`` (default: ``fmt``). Overflow of the
+    int64 intermediate is guarded against by the QFormat width limit (<=64
+    total bits, and multiplies are only used on narrow datapath formats).
+    """
+    if result_fmt is None:
+        result_fmt = fmt
+    if fmt.total_bits > 31:
+        raise FixedPointError(
+            f"sat_mul requires operand width <= 31 bits, got {fmt.total_bits}"
+        )
+    wide = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    prod_fmt = QFormat(
+        min(64, 2 * fmt.total_bits + 1), 2 * fmt.frac_bits, signed=True
+    )
+    return rescale(wide, prod_fmt, result_fmt)
+
+
+def sat_square(a, fmt: QFormat, result_fmt: QFormat = None) -> np.ndarray:
+    """Saturating square ``a*a`` — the datapath's difference-squaring unit."""
+    return sat_mul(a, a, fmt, result_fmt=result_fmt)
+
+
+def sat_mac(acc, a, b, fmt: QFormat, acc_fmt: QFormat) -> np.ndarray:
+    """Multiply-accumulate: ``acc + a*b`` with product rounded to acc_fmt.
+
+    ``a`` and ``b`` are raw codes in ``fmt``; ``acc`` and the result are raw
+    codes in ``acc_fmt``. This is the compound operation the paper's
+    "optimized compound operations" refer to: one fused step of the distance
+    computation.
+    """
+    prod = sat_mul(a, b, fmt, result_fmt=acc_fmt)
+    return sat_add(acc, prod, acc_fmt)
+
+
+def div_raw(
+    numerator,
+    denominator,
+    num_fmt: QFormat,
+    result_fmt: QFormat,
+) -> np.ndarray:
+    """Fixed-point division — the Center Update Unit's divider.
+
+    Computes ``numerator / denominator`` where the numerator carries
+    ``num_fmt``'s fraction bits and the denominator is a plain integer
+    count (the sigma register's pixel count). The quotient is produced
+    with ``result_fmt``'s precision using round-to-nearest (the final
+    adjust step of a non-restoring divider), saturated to range.
+
+    Division by zero yields zero — the hardware's behaviour for an empty
+    superpixel, whose center update is skipped upstream anyway.
+    """
+    num = np.asarray(numerator, dtype=np.int64)
+    den = np.asarray(denominator, dtype=np.int64)
+    if np.any(den < 0):
+        raise FixedPointError("div_raw denominator must be a non-negative count")
+    shift = result_fmt.frac_bits - num_fmt.frac_bits
+    if shift >= 0:
+        if shift > 40:
+            raise FixedPointError(f"div_raw shift {shift} too large")
+        scaled = num << shift
+    else:
+        scaled = num  # handled after division via rescale-style rounding
+    safe_den = np.where(den == 0, 1, den)
+    # Round-half-away-from-zero: add +-den/2 before the truncating divide.
+    half = safe_den // 2
+    q = np.where(
+        scaled >= 0,
+        (scaled + half) // safe_den,
+        -((-scaled + half) // safe_den),
+    )
+    if shift < 0:
+        down = -shift
+        rounding_half = np.int64(1) << (down - 1)
+        q = np.where(
+            q >= 0, (q + rounding_half) >> down, -((-q + rounding_half) >> down)
+        )
+    q = np.where(den == 0, 0, q)
+    return result_fmt.saturate_raw(q)
+
+
+def isqrt_raw(raw, fmt: QFormat, result_fmt: QFormat = None) -> np.ndarray:
+    """Integer square root on raw codes, the hardware sqrt approximation.
+
+    Computes ``sqrt(value)`` where ``value = raw * 2**-f``; implemented the
+    way a non-restoring hardware square-rooter behaves: exact integer sqrt
+    of the appropriately shifted code, truncated (round toward zero).
+
+    Note SLIC only needs *relative* distance comparisons, so the final
+    accelerator skips the sqrt entirely (monotone transform); this unit
+    exists for bit-accurate comparison against Equation 5.
+    """
+    if result_fmt is None:
+        result_fmt = fmt
+    raw = np.asarray(raw, dtype=np.int64)
+    if np.any(raw < 0):
+        raise FixedPointError("isqrt_raw input must be non-negative")
+    # sqrt(raw * 2^-f) = sqrt(raw * 2^(2g - f)) * 2^-g  for result frac g.
+    g = result_fmt.frac_bits
+    shift = 2 * g - fmt.frac_bits
+    if shift >= 0:
+        if shift > 62:
+            raise FixedPointError(f"isqrt shift {shift} too large")
+        shifted = raw << shift
+    else:
+        shifted = raw >> (-shift)
+    root = np.floor(np.sqrt(shifted.astype(np.float64))).astype(np.int64)
+    # floor(sqrt()) in float64 can be off by one ULP near perfect squares;
+    # correct with one Newton check each way, like hardware final adjust.
+    too_big = root * root > shifted
+    root = np.where(too_big, root - 1, root)
+    too_small = (root + 1) * (root + 1) <= shifted
+    root = np.where(too_small, root + 1, root)
+    return result_fmt.saturate_raw(root)

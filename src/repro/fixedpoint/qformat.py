@@ -1,0 +1,210 @@
+"""Q-format fixed-point number specification.
+
+The S-SLIC accelerator uses a narrow fixed-point datapath (8 bits in the
+final design; the paper sweeps 4..16 bits plus float64 in Section 6.1). A
+:class:`QFormat` describes such a representation: total bit width, number of
+fractional bits, and signedness. Values are stored as integers scaled by
+``2**frac_bits``.
+
+This module deliberately implements only what a hardware datapath provides:
+quantization with a selectable rounding mode, saturation to the representable
+range, and range/resolution queries. Arithmetic on arrays of quantized values
+lives in :mod:`repro.fixedpoint.ops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FixedPointError
+
+__all__ = ["QFormat", "RoundingMode"]
+
+
+class RoundingMode:
+    """Rounding modes supported by the quantizer.
+
+    ``NEAREST`` is round-half-away-from-zero (what a hardware round-and-add
+    implementation produces); ``TRUNCATE`` drops fraction bits (cheapest in
+    gates); ``FLOOR`` rounds toward negative infinity.
+    """
+
+    NEAREST = "nearest"
+    TRUNCATE = "truncate"
+    FLOOR = "floor"
+
+    ALL = (NEAREST, TRUNCATE, FLOOR)
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A fixed-point format: ``total_bits`` wide with ``frac_bits`` fraction.
+
+    Parameters
+    ----------
+    total_bits:
+        Width of the representation including the sign bit when signed.
+        Must be in [2, 64].
+    frac_bits:
+        Number of fractional bits. May be zero (pure integer) and may equal
+        or exceed ``total_bits`` for subunitary ranges, but must be
+        non-negative.
+    signed:
+        Whether the format is two's-complement signed.
+
+    Examples
+    --------
+    >>> q = QFormat(8, 4)          # s3.4: range [-8, 7.9375], step 0.0625
+    >>> q.quantize(1.23)
+    1.25
+    """
+
+    total_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if not (2 <= self.total_bits <= 64):
+            raise FixedPointError(
+                f"total_bits must be in [2, 64], got {self.total_bits}"
+            )
+        if self.frac_bits < 0:
+            raise FixedPointError(f"frac_bits must be >= 0, got {self.frac_bits}")
+        if self.frac_bits > self.total_bits + 32:
+            raise FixedPointError(
+                f"frac_bits {self.frac_bits} unreasonably exceeds total_bits "
+                f"{self.total_bits}"
+            )
+
+    # ------------------------------------------------------------------
+    # Range queries
+    # ------------------------------------------------------------------
+    @property
+    def int_bits(self) -> int:
+        """Integer (non-fraction, non-sign) bits; may be negative."""
+        return self.total_bits - self.frac_bits - (1 if self.signed else 0)
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit: ``2**-frac_bits``."""
+        return float(2.0 ** -self.frac_bits)
+
+    @property
+    def raw_min(self) -> int:
+        """Smallest representable raw integer code."""
+        return -(1 << (self.total_bits - 1)) if self.signed else 0
+
+    @property
+    def raw_max(self) -> int:
+        """Largest representable raw integer code."""
+        if self.signed:
+            return (1 << (self.total_bits - 1)) - 1
+        return (1 << self.total_bits) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.raw_min * self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.raw_max * self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Alias of :attr:`scale` — the quantization step."""
+        return self.scale
+
+    # ------------------------------------------------------------------
+    # Quantization
+    # ------------------------------------------------------------------
+    def to_raw(self, value, rounding: str = RoundingMode.NEAREST) -> np.ndarray:
+        """Quantize real ``value`` to raw integer codes with saturation.
+
+        Accepts scalars or arrays; always returns int64 raw codes clipped to
+        the representable range. NaNs map to zero (hardware datapaths have
+        no NaN; this keeps the model total).
+        """
+        if rounding not in RoundingMode.ALL:
+            raise FixedPointError(f"unknown rounding mode {rounding!r}")
+        scaled = np.asarray(value, dtype=np.float64) * (2.0 ** self.frac_bits)
+        scaled = np.where(np.isnan(scaled), 0.0, scaled)
+        if rounding == RoundingMode.NEAREST:
+            raw = np.where(scaled >= 0, np.floor(scaled + 0.5), np.ceil(scaled - 0.5))
+        elif rounding == RoundingMode.FLOOR:
+            raw = np.floor(scaled)
+        else:  # TRUNCATE: toward zero
+            raw = np.trunc(scaled)
+        raw = np.clip(raw, self.raw_min, self.raw_max)
+        return raw.astype(np.int64)
+
+    def from_raw(self, raw) -> np.ndarray:
+        """Convert raw integer codes back to real values (float64)."""
+        return np.asarray(raw, dtype=np.float64) * self.scale
+
+    def quantize(self, value, rounding: str = RoundingMode.NEAREST):
+        """Round-trip ``value`` through the format (quantize + dequantize).
+
+        This is the model of "what the datapath sees": the nearest
+        representable value, saturated to range. Scalars in, scalar out.
+        """
+        out = self.from_raw(self.to_raw(value, rounding=rounding))
+        if np.isscalar(value) or np.ndim(value) == 0:
+            return float(out)
+        return out
+
+    def saturate_raw(self, raw) -> np.ndarray:
+        """Clip raw codes into this format's representable range."""
+        return np.clip(np.asarray(raw, dtype=np.int64), self.raw_min, self.raw_max)
+
+    def representable(self, value) -> bool:
+        """True if scalar ``value`` is exactly representable in this format."""
+        raw = float(value) * (2.0 ** self.frac_bits)
+        return (
+            abs(raw - round(raw)) < 1e-9
+            and self.raw_min <= round(raw) <= self.raw_max
+        )
+
+    def __str__(self) -> str:
+        sign = "s" if self.signed else "u"
+        return f"Q{sign}{self.int_bits}.{self.frac_bits}"
+
+    # ------------------------------------------------------------------
+    # Common formats
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_unit_range(cls, total_bits: int, signed: bool = False) -> "QFormat":
+        """Format covering [0, 1) (unsigned) or (-1, 1) (signed)."""
+        frac = total_bits - (1 if signed else 0)
+        return cls(total_bits, frac, signed=signed)
+
+    @classmethod
+    def for_range(
+        cls, total_bits: int, lo: float, hi: float, signed: bool = None
+    ) -> "QFormat":
+        """Choose the largest ``frac_bits`` that still covers ``[lo, hi]``.
+
+        This mirrors how a hardware designer picks a Q-format: fix the
+        width, then spend as many bits as possible on fraction while the
+        integer part still spans the dynamic range.
+        """
+        if hi < lo:
+            raise FixedPointError(f"empty range [{lo}, {hi}]")
+        if signed is None:
+            signed = lo < 0
+        if lo < 0 and not signed:
+            raise FixedPointError(f"range [{lo}, {hi}] needs a signed format")
+        magnitude = max(abs(lo), abs(hi), 1e-300)
+        # Bits needed left of the binary point to represent `magnitude`.
+        int_bits = max(0, int(np.ceil(np.log2(magnitude + 1e-12))))
+        frac = total_bits - int_bits - (1 if signed else 0)
+        frac = max(frac, 0)
+        fmt = cls(total_bits, frac, signed=signed)
+        # Back off one fraction bit if the top of the range saturates.
+        while frac > 0 and (hi > fmt.max_value + 1e-12 or lo < fmt.min_value - 1e-12):
+            frac -= 1
+            fmt = cls(total_bits, frac, signed=signed)
+        return fmt

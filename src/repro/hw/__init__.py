@@ -1,0 +1,91 @@
+"""Accelerator substrate: HLS scheduling, unit cost models, full-system
+performance/power/area reports, and the CPA/PPA traffic analysis.
+
+The headline entry point is :class:`AcceleratorModel`:
+
+>>> from repro.hw import AcceleratorModel, AcceleratorConfig
+>>> report = AcceleratorModel(AcceleratorConfig()).report()
+>>> report.real_time
+True
+"""
+
+from .tech import TECH_16NM, TECH_28NM, TechnologyParams, process_normalization_factor
+from .hls import TABLE3_WAYS, ClusterWays, StageSchedule, schedule_cluster_unit
+from .cluster_unit import ClusterUnitModel, ClusterUnitReport
+from .components import CenterUnitModel, ColorUnitModel, FSM_AREA_MM2, ScratchpadModel
+from .dram import DramModel, FrameTraffic
+from .traffic import (
+    OPS_PER_DISTANCE,
+    ArchitectureProfile,
+    compare_architectures,
+    cpa_profile,
+    ppa_profile,
+)
+from .config import AcceleratorConfig
+from .accelerator import (
+    ALWAYS_ON_POWER_MW,
+    AcceleratorModel,
+    AcceleratorReport,
+    LatencyBreakdown,
+)
+from .cyclesim import AcceleratorSim, ClusterUnitSim, ClusterUnitTrace, FrameTrace
+from .power_trace import PowerSegment, PowerTrace, frame_power_trace
+from .dvfs import OperatingPoint, min_real_time_point, report_at, scaled_tech
+from .presets import (
+    PAPER_FIG6_BUFFERS_KB,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    REAL_TIME_MS,
+    table4_configs,
+)
+
+__all__ = [
+    "TechnologyParams",
+    "TECH_16NM",
+    "TECH_28NM",
+    "process_normalization_factor",
+    "ClusterWays",
+    "StageSchedule",
+    "schedule_cluster_unit",
+    "TABLE3_WAYS",
+    "ClusterUnitModel",
+    "ClusterUnitReport",
+    "ColorUnitModel",
+    "CenterUnitModel",
+    "ScratchpadModel",
+    "FSM_AREA_MM2",
+    "DramModel",
+    "FrameTraffic",
+    "ArchitectureProfile",
+    "cpa_profile",
+    "ppa_profile",
+    "compare_architectures",
+    "OPS_PER_DISTANCE",
+    "AcceleratorConfig",
+    "AcceleratorModel",
+    "AcceleratorReport",
+    "LatencyBreakdown",
+    "ALWAYS_ON_POWER_MW",
+    "AcceleratorSim",
+    "ClusterUnitSim",
+    "ClusterUnitTrace",
+    "FrameTrace",
+    "PowerSegment",
+    "PowerTrace",
+    "frame_power_trace",
+    "OperatingPoint",
+    "scaled_tech",
+    "report_at",
+    "min_real_time_point",
+    "table4_configs",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_FIG6_BUFFERS_KB",
+    "REAL_TIME_MS",
+]

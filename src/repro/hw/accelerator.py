@@ -1,0 +1,267 @@
+"""The full S-SLIC accelerator model: performance, power, area per config.
+
+Composes the unit cost models (cluster update, color conversion, center
+update, scratchpads, DRAM) into frame-level numbers:
+
+* latency = color conversion + cluster-update compute + center updates +
+  DRAM transfer + exposed DRAM stalls (Section 7's decomposition);
+* energy = per-unit dynamic energies + an always-on baseline (FSM, clock
+  tree, scratchpad and memory-interface idle power — the paper assumes
+  "the external memory and scratch pads are at full utilization");
+* area = logic units + SRAM macros (Table 4's rows).
+
+The model also runs *functionally*: :meth:`AcceleratorModel.simulate`
+executes the bit-accurate S-SLIC pipeline (LUT color conversion + quantized
+distances) on a real image and returns the segmentation together with the
+performance report for that frame size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import SlicParams, sslic
+from ..core.distance import FixedDatapath
+from ..errors import HardwareModelError
+from .cluster_unit import ClusterUnitModel
+from .components import FSM_AREA_MM2, CenterUnitModel, ColorUnitModel, ScratchpadModel
+from .config import AcceleratorConfig
+from .dram import DramModel
+from .tech import TECH_16NM, TechnologyParams
+
+__all__ = ["LatencyBreakdown", "AcceleratorReport", "AcceleratorModel"]
+
+#: Always-on power (mW): FSM + clock distribution + scratchpad and memory
+#: interface at full utilization. Calibrated against Table 4's 1080p row.
+ALWAYS_ON_POWER_MW = 36.3
+
+#: Register files and LUT ROMs beyond the scratchpads (kB), for the
+#: Table 5 "on-chip memory" row (paper: 20 kB total with 16 kB scratch).
+EXTRA_ON_CHIP_KB = 4.0
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Frame latency components, in milliseconds."""
+
+    color_conversion_ms: float
+    cluster_compute_ms: float
+    center_update_ms: float
+    memory_transfer_ms: float
+    memory_stall_ms: float
+
+    @property
+    def cluster_update_ms(self) -> float:
+        """Everything after color conversion (the paper's "cluster update"
+        bucket: compute + center updates + memory)."""
+        return (
+            self.cluster_compute_ms
+            + self.center_update_ms
+            + self.memory_transfer_ms
+            + self.memory_stall_ms
+        )
+
+    @property
+    def compute_ms(self) -> float:
+        """Section 7's "computation" share of cluster update."""
+        return self.cluster_compute_ms + self.center_update_ms
+
+    @property
+    def memory_ms(self) -> float:
+        """Section 7's "memory accesses" share."""
+        return self.memory_transfer_ms + self.memory_stall_ms
+
+    @property
+    def total_ms(self) -> float:
+        return self.color_conversion_ms + self.cluster_update_ms
+
+
+@dataclass(frozen=True)
+class AcceleratorReport:
+    """A Table 4 column for one configuration."""
+
+    config: AcceleratorConfig
+    latency: LatencyBreakdown
+    area_mm2: float
+    area_breakdown: dict
+    power_mw: float
+    energy_per_frame_mj: float
+    on_chip_kb: float
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency.total_ms
+
+    @property
+    def fps(self) -> float:
+        return 1000.0 / self.latency.total_ms
+
+    @property
+    def real_time(self) -> bool:
+        """Meets the 30 fps target."""
+        return self.fps >= 30.0
+
+    @property
+    def perf_per_area_fps_mm2(self) -> float:
+        return self.fps / self.area_mm2
+
+
+class AcceleratorModel:
+    """Analytical + functional model of the S-SLIC accelerator.
+
+    Parameters
+    ----------
+    config:
+        The design point.
+    tech:
+        Technology parameters (default: the paper's 16 nm / 1.6 GHz).
+    dram:
+        External memory model.
+    always_on_power_mw:
+        Baseline power consumed for the whole frame time.
+    """
+
+    def __init__(
+        self,
+        config: AcceleratorConfig = None,
+        tech: TechnologyParams = TECH_16NM,
+        dram: DramModel = None,
+        always_on_power_mw: float = ALWAYS_ON_POWER_MW,
+    ):
+        self.config = config if config is not None else AcceleratorConfig()
+        self.tech = tech
+        self.dram = dram if dram is not None else DramModel()
+        self.always_on_power_mw = always_on_power_mw
+        self.cluster = ClusterUnitModel(self.config.ways, self.config.bits, tech)
+        self.color_unit = ColorUnitModel(tech=tech)
+        self.center_unit = CenterUnitModel(tech=tech)
+        self.scratchpads = ScratchpadModel(
+            tech=tech, buffer_kb_per_channel=self.config.buffer_kb_per_channel
+        )
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+    def latency_breakdown(self) -> LatencyBreakdown:
+        cfg = self.config
+        n = cfg.n_pixels
+        cores = cfg.n_cores
+        color_cycles = self.color_unit.cycles_for_pixels(n) / cores
+        cluster_cycles = cfg.iterations * self.cluster.cycles_for_pixels(n) / cores
+        center_cycles = cfg.iterations * self.center_unit.cycles_for_update(
+            cfg.n_superpixels
+        )
+        traffic = self.dram.frame_traffic(n, cfg.iterations)
+        transfer_cycles = self.dram.transfer_cycles(traffic.total_bytes)
+        stall_cycles = self.dram.stall_cycles(
+            n_tiles=cfg.n_tiles,
+            iterations=cfg.iterations,
+            streamed_bytes_per_tile=self.dram.bytes_per_pixel_per_iteration
+            * cfg.pixels_per_tile,
+            buffer_bytes=self.scratchpads.buffer_bytes,
+        )
+        to_ms = self.tech.cycles_to_ms
+        return LatencyBreakdown(
+            color_conversion_ms=to_ms(color_cycles),
+            cluster_compute_ms=to_ms(cluster_cycles),
+            center_update_ms=to_ms(center_cycles),
+            memory_transfer_ms=to_ms(transfer_cycles),
+            memory_stall_ms=to_ms(stall_cycles),
+        )
+
+    # ------------------------------------------------------------------
+    # Area
+    # ------------------------------------------------------------------
+    def area_breakdown(self) -> dict:
+        return {
+            "cluster_update": self.cluster.area_mm2() * self.config.n_cores,
+            "color_conversion": self.color_unit.area_mm2,
+            "center_update": self.center_unit.area_mm2,
+            "fsm": FSM_AREA_MM2,
+            "scratchpads": self.scratchpads.area_mm2(),
+        }
+
+    def area_mm2(self) -> float:
+        return float(sum(self.area_breakdown().values()))
+
+    # ------------------------------------------------------------------
+    # Energy / power
+    # ------------------------------------------------------------------
+    def energy_breakdown_uj(self, latency_ms: float = None) -> dict:
+        cfg = self.config
+        if latency_ms is None:
+            latency_ms = self.latency_breakdown().total_ms
+        n = cfg.n_pixels
+        cluster_uj = n * cfg.iterations * self.cluster.energy_per_pixel_pj() * 1e-6
+        color_uj = self.color_unit.energy_uj(n)
+        center_uj = self.center_unit.energy_uj(cfg.n_superpixels, cfg.iterations)
+        # Scratchpad traffic: Lab reads for every candidate evaluation are
+        # register-fed; the pads see ~6 B per pixel per iteration (3 Lab
+        # reads, index read/write, write-back of converted Lab amortized).
+        sram_uj = self.scratchpads.energy_uj(6.0 * n * cfg.iterations)
+        always_on_uj = self.always_on_power_mw * latency_ms  # mW * ms = uJ
+        return {
+            "cluster_update": cluster_uj,
+            "color_conversion": color_uj,
+            "center_update": center_uj,
+            "scratchpads": sram_uj,
+            "always_on": always_on_uj,
+        }
+
+    # ------------------------------------------------------------------
+    def report(self) -> AcceleratorReport:
+        """Produce the Table 4 column for this configuration."""
+        latency = self.latency_breakdown()
+        energy_uj = sum(self.energy_breakdown_uj(latency.total_ms).values())
+        energy_mj = energy_uj * 1e-3
+        power_mw = energy_mj / latency.total_ms * 1e3  # mJ/ms = W; *1e3 -> mW
+        return AcceleratorReport(
+            config=self.config,
+            latency=latency,
+            area_mm2=self.area_mm2(),
+            area_breakdown=self.area_breakdown(),
+            power_mw=power_mw,
+            energy_per_frame_mj=energy_mj,
+            on_chip_kb=self.scratchpads.total_kb + EXTRA_ON_CHIP_KB,
+        )
+
+    # ------------------------------------------------------------------
+    # Functional simulation
+    # ------------------------------------------------------------------
+    def simulate(self, image, n_superpixels: int = None, **overrides):
+        """Run the bit-accurate S-SLIC pipeline on ``image``.
+
+        Uses the LUT color conversion and the quantized distance datapath
+        at this configuration's bit width and subsample ratio. Returns
+        ``(SegmentationResult, AcceleratorReport)`` where the report is
+        computed for the *image's* resolution and the requested superpixel
+        count (so small test frames get commensurate estimates).
+        """
+        h, w = image.shape[:2]
+        if n_superpixels is None:
+            # Keep the configured pixels-per-superpixel density.
+            n_superpixels = max(1, round(h * w / self.config.pixels_per_tile))
+        params = SlicParams(
+            n_superpixels=n_superpixels,
+            max_iterations=self.config.iterations,
+            subsample_ratio=self.config.subsample_ratio,
+            datapath=FixedDatapath(bits=self.config.bits),
+            convergence_threshold=0.0,
+        )
+        if overrides:
+            params = params.with_(**overrides)
+        result = sslic(image, params)
+        from ..types import Resolution  # local import avoids cycle at module load
+
+        frame_cfg = self.config.with_(
+            resolution=Resolution(w, h), n_superpixels=n_superpixels
+        )
+        report = AcceleratorModel(
+            frame_cfg, self.tech, self.dram, self.always_on_power_mw
+        ).report()
+        return result, report
+
+
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise HardwareModelError(f"{name} must be positive, got {value}")

@@ -1,0 +1,118 @@
+"""Cost models of the remaining accelerator units.
+
+Figure 4's blocks besides the Cluster Update Unit:
+
+* :class:`ColorUnitModel` — the LUT-based color conversion unit
+  (functional behaviour lives in :mod:`repro.color.hw_convert`; this is
+  its area/energy/timing).
+* :class:`CenterUnitModel` — the Center Update Unit: sigma registers plus
+  an iterative divider that averages the six fields of every superpixel.
+* :class:`ScratchpadModel` — the four channel/index scratchpad SRAMs.
+* FSM/controller constants.
+
+Area splits are calibrated so the full accelerator reproduces Table 4
+(0.066 mm^2 with 4 kB buffers, 0.053 mm^2 with 1 kB) given the fitted SRAM
+density and the Table 3 cluster-unit area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareModelError
+from .tech import TECH_16NM, TechnologyParams
+
+__all__ = ["ColorUnitModel", "CenterUnitModel", "ScratchpadModel", "FSM_AREA_MM2"]
+
+#: FSM host controller area (mm^2) — part of the fitted logic split.
+FSM_AREA_MM2 = 0.0050
+
+
+@dataclass(frozen=True)
+class ColorUnitModel:
+    """The fixed-point color conversion unit with its two LUTs.
+
+    One pixel per cycle (three parallel channel pipelines: gamma LUT,
+    matrix multiply, PWL cube root, Equation 3 combine); ``overhead``
+    covers pipeline fill and scratchpad hand-off, calibrated to the
+    paper's 1.4 ms for a 1080p frame.
+    """
+
+    tech: TechnologyParams = TECH_16NM
+    area_mm2: float = 0.0080
+    energy_per_pixel_pj: float = 10.0
+    overhead: float = 0.08
+
+    def cycles_for_pixels(self, n_pixels: int) -> float:
+        if n_pixels < 0:
+            raise HardwareModelError(f"n_pixels must be >= 0, got {n_pixels}")
+        return n_pixels * (1.0 + self.overhead)
+
+    def energy_uj(self, n_pixels: int) -> float:
+        return self.energy_per_pixel_pj * n_pixels * 1e-6
+
+
+@dataclass(frozen=True)
+class CenterUnitModel:
+    """The Center Update Unit: per-superpixel averaging via a divider.
+
+    Six divisions per superpixel per iteration (L, a, b, x, y sums by the
+    count — the count field itself needs no division but its slot is used
+    for the movement check). ``div_latency_cycles`` models the iterative
+    (bit-serial) divider; 52 cycles is the calibration that, combined with
+    the DRAM model, reproduces Table 4's compute/memory split (Section 7:
+    20.3 ms compute / 11.1 ms memory for 1080p cluster update).
+    """
+
+    tech: TechnologyParams = TECH_16NM
+    area_mm2: float = 0.0200
+    div_latency_cycles: int = 52
+    divisions_per_sp: int = 6
+    energy_per_division_pj: float = 5.0
+
+    def cycles_for_update(self, n_superpixels: int) -> float:
+        """Cycles to recompute all centers once."""
+        if n_superpixels < 0:
+            raise HardwareModelError("n_superpixels must be >= 0")
+        return n_superpixels * self.divisions_per_sp * self.div_latency_cycles
+
+    def energy_uj(self, n_superpixels: int, iterations: int) -> float:
+        divs = n_superpixels * self.divisions_per_sp * iterations
+        return divs * self.energy_per_division_pj * 1e-6
+
+
+@dataclass(frozen=True)
+class ScratchpadModel:
+    """The four scratchpad SRAMs (channels 1-3 + index memory).
+
+    "The scratchpad memories [...] were realized using synchronous RAMs
+    with separate read-write ports" — so reads and writes do not contend.
+    Area uses the Table 4-fitted density; access energy uses the
+    technology's pJ/byte.
+    """
+
+    tech: TechnologyParams = TECH_16NM
+    buffer_kb_per_channel: float = 4.0
+    n_buffers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.buffer_kb_per_channel <= 0:
+            raise HardwareModelError(
+                f"buffer size must be positive, got {self.buffer_kb_per_channel}"
+            )
+        if self.n_buffers < 1:
+            raise HardwareModelError(f"n_buffers must be >= 1, got {self.n_buffers}")
+
+    @property
+    def total_kb(self) -> float:
+        return self.buffer_kb_per_channel * self.n_buffers
+
+    @property
+    def buffer_bytes(self) -> int:
+        return int(self.buffer_kb_per_channel * 1024)
+
+    def area_mm2(self) -> float:
+        return self.tech.sram_area_per_kb * self.total_kb
+
+    def energy_uj(self, bytes_accessed: float) -> float:
+        return bytes_accessed * self.tech.e_sram_byte * 1e-6

@@ -1,0 +1,94 @@
+"""Accelerator configuration — the knobs of the design space exploration.
+
+"The design was highly parameterized to allow in-depth design space
+exploration of the accelerator by varying the number of cores, number of
+SIMD ways, memory size, and bit-widths of different operations"
+(Section 5). :class:`AcceleratorConfig` exposes exactly those knobs plus
+the workload (resolution, superpixel count, iteration count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigurationError
+from ..types import Resolution
+from .hls import ClusterWays
+
+__all__ = ["AcceleratorConfig"]
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One point in the accelerator design space.
+
+    Attributes
+    ----------
+    resolution:
+        Input frame size (Table 4 evaluates 1920x1080, 1280x768, 640x480).
+    n_superpixels:
+        K (5000 throughout the paper's hardware evaluation).
+    iterations:
+        Cluster-update full-image iterations per frame (9, Section 7).
+    ways:
+        Cluster Update Unit unrolling (9-9-6 in the chosen design).
+    buffer_kb_per_channel:
+        Scratchpad size per channel buffer (Fig 6 sweeps 1-128 kB; 4 kB is
+        the smallest real-time choice).
+    bits:
+        Datapath width (8 after the Section 6.1 exploration).
+    n_cores:
+        Parallel cluster-update cores (1 in every published configuration;
+        >1 supported for the scaling extension — compute scales, the
+        shared DRAM interface does not).
+    subsample_ratio:
+        S-SLIC pixel subsampling (affects per-iteration DRAM traffic and
+        the iterations needed for a target quality; the published
+        configurations run 9 full-image-equivalent iterations).
+    """
+
+    resolution: Resolution = field(default_factory=lambda: Resolution(1920, 1080))
+    n_superpixels: int = 5000
+    iterations: int = 9
+    ways: ClusterWays = field(default_factory=ClusterWays)
+    buffer_kb_per_channel: float = 4.0
+    bits: int = 8
+    n_cores: int = 1
+    subsample_ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_superpixels < 1:
+            raise ConfigurationError("n_superpixels must be >= 1")
+        if self.n_superpixels > self.resolution.pixels:
+            raise ConfigurationError(
+                f"n_superpixels {self.n_superpixels} exceeds pixel count "
+                f"{self.resolution.pixels}"
+            )
+        if self.iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        if self.buffer_kb_per_channel <= 0:
+            raise ConfigurationError("buffer_kb_per_channel must be > 0")
+        if not (2 <= self.bits <= 16):
+            raise ConfigurationError(f"bits must be in [2, 16], got {self.bits}")
+        if self.n_cores < 1:
+            raise ConfigurationError("n_cores must be >= 1")
+        if not (0.0 < self.subsample_ratio <= 1.0):
+            raise ConfigurationError("subsample_ratio must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pixels(self) -> int:
+        return self.resolution.pixels
+
+    @property
+    def n_tiles(self) -> int:
+        """One tile per superpixel grid cell."""
+        return self.n_superpixels
+
+    @property
+    def pixels_per_tile(self) -> float:
+        return self.n_pixels / self.n_tiles
+
+    def with_(self, **changes) -> "AcceleratorConfig":
+        """Copy with ``changes`` applied."""
+        return replace(self, **changes)

@@ -1,0 +1,265 @@
+"""Cycle-level simulation of the S-SLIC accelerator datapath.
+
+The analytical model (:mod:`repro.hw.hls`, :mod:`repro.hw.accelerator`)
+computes cycle counts from closed-form scheduling rules. This module
+*simulates* the same microarchitecture cycle by cycle — pixels flowing
+through the three-stage Cluster Update Unit pipeline, tiles streaming
+through double-buffered scratchpads fed by a latency/bandwidth-limited DRAM
+— so the closed forms can be validated against an independent mechanism
+rather than against themselves. It also produces measurements the closed
+forms cannot: per-unit utilization and stall attribution.
+
+Two simulators:
+
+* :class:`ClusterUnitSim` — pipeline-reservation simulation of one Cluster
+  Update Unit for a given ways configuration. Reproduces Table 3's latency
+  and throughput *by construction of the microarchitecture*, not by the
+  scheduling formula.
+* :class:`AcceleratorSim` — frame-level simulation: the FSM iterates over
+  tiles; each tile's channel data is fetched by a DRAM engine (one request
+  stream per buffer, 50-cycle latency, 32 B/cycle shared bus) into the idle
+  half of a double buffer while the compute half drains through the
+  cluster unit; sigma hand-off and the divider-serialized center update
+  run at sweep boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import HardwareModelError
+from .components import CenterUnitModel, ColorUnitModel
+from .config import AcceleratorConfig
+from .dram import DramModel
+from .hls import ClusterWays, schedule_cluster_unit
+from .tech import TECH_16NM, TechnologyParams
+
+__all__ = ["StageSim", "ClusterUnitSim", "ClusterUnitTrace", "AcceleratorSim", "FrameTrace"]
+
+
+@dataclass
+class StageSim:
+    """One pipeline stage with an issue interval and a result latency.
+
+    ``issue_cycles``: cycles the stage's front-end is occupied per pixel
+    (the time-multiplexing factor of its functional units).
+    ``latency``: cycles from accepting a pixel to emitting its result.
+    """
+
+    name: str
+    issue_cycles: int
+    latency: int
+    #: Next cycle at which the stage can accept a pixel.
+    free_at: int = 0
+    #: Total cycles the stage's units were busy (for utilization).
+    busy_cycles: int = 0
+
+    def accept(self, arrival: int) -> int:
+        """Admit a pixel arriving at ``arrival``; returns result time."""
+        start = max(arrival, self.free_at)
+        self.free_at = start + self.issue_cycles
+        self.busy_cycles += self.issue_cycles
+        return start + self.latency
+
+
+@dataclass
+class ClusterUnitTrace:
+    """Measurements from one ClusterUnitSim run."""
+
+    n_pixels: int
+    total_cycles: int
+    first_result_cycle: int
+    utilization: dict
+
+    @property
+    def pixels_per_cycle(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.n_pixels / self.total_cycles
+
+
+class ClusterUnitSim:
+    """Pipeline-reservation simulation of the Cluster Update Unit.
+
+    The microarchitecture is built from the ways configuration exactly as
+    Section 6.2 describes it:
+
+    * distance: nine Equation 5 evaluations per pixel issued over
+      ``ceil(9/d)`` cycles onto ``d`` calculators (each a 4-deep pipeline);
+    * minimum: the 9:1 reduction — a single compare ALU iterating 9 cycles
+      at 1-way, or ``ceil(9/m)`` partial rounds plus one tree-combine cycle
+      when ``m`` comparators run in parallel;
+    * adder: the six sigma-field additions over ``ceil(6/a)`` cycles.
+
+    Back-pressure is modeled by stage occupancy: a pixel stalls at a stage
+    whose front-end is still busy with its predecessor.
+    """
+
+    def __init__(self, ways: ClusterWays = None):
+        if ways is None:
+            ways = ClusterWays()
+        self.ways = ways
+        d_issue = math.ceil(9 / ways.distance)
+        m_issue = math.ceil(9 / ways.minimum)
+        a_issue = math.ceil(6 / ways.adder)
+        self._stage_specs = (
+            ("distance", d_issue, d_issue + 3),
+            ("minimum", m_issue, m_issue + (1 if ways.minimum > 1 else 0)),
+            ("adder", a_issue, a_issue),
+        )
+
+    def run(self, n_pixels: int) -> ClusterUnitTrace:
+        """Stream ``n_pixels`` through the pipeline; cycle-accurate."""
+        if n_pixels < 0:
+            raise HardwareModelError(f"n_pixels must be >= 0, got {n_pixels}")
+        stages = [StageSim(n, i, l) for n, i, l in self._stage_specs]
+        finish = 0
+        first = None
+        for _ in range(n_pixels):
+            t = 0  # pixels enter as fast as stage 0 accepts them
+            for stage in stages:
+                t = stage.accept(t)
+            if first is None:
+                first = t
+            finish = max(finish, t)
+        total = finish
+        util = {
+            s.name: (s.busy_cycles / total if total else 0.0) for s in stages
+        }
+        return ClusterUnitTrace(
+            n_pixels=n_pixels,
+            total_cycles=total,
+            first_result_cycle=first if first is not None else 0,
+            utilization=util,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Frame-level simulation
+# ---------------------------------------------------------------------------
+@dataclass
+class FrameTrace:
+    """Measurements from one AcceleratorSim frame."""
+
+    total_cycles: float
+    color_cycles: float
+    compute_cycles: float
+    center_cycles: float
+    dram_busy_cycles: float
+    exposed_stall_cycles: float
+    n_tiles: int
+    iterations: int
+
+    def total_ms(self, tech: TechnologyParams = TECH_16NM) -> float:
+        return tech.cycles_to_ms(self.total_cycles)
+
+
+class AcceleratorSim:
+    """Frame-level discrete simulation of the accelerator.
+
+    Mechanism (per cluster-update iteration):
+
+    * tiles are processed in order. The paper's FSM is *serial*: "tile
+      regions are loaded into scratch pad memories [...]. Once loaded, the
+      FSM instructs the cluster update unit to begin processing" (Section
+      4.3) — fetch, then compute, then the next tile. ``prefetch=True``
+      simulates the double-buffered what-if instead (fetch of tile ``i+1``
+      overlapping compute of tile ``i``), quantifying what the paper's
+      design leaves on the table;
+    * one tile fetch issues the fixed per-tile request streams (3 channel
+      loads, index load/store, center/sigma exchange — the DRAM model's
+      ``bursts_per_tile``) plus ``streamed_bytes / buffer`` refill rounds
+      when the tile's streamed data exceeds a channel buffer; each request
+      pays the 50-cycle latency, and data moves at 32 B/cycle on the
+      shared bus;
+    * after the last tile of an iteration the Center Update Unit runs its
+      divider-serialized pass (6 divisions per superpixel).
+
+    Color conversion runs once at frame start.
+    """
+
+    def __init__(
+        self,
+        config: AcceleratorConfig = None,
+        dram: DramModel = None,
+        tech: TechnologyParams = TECH_16NM,
+        prefetch: bool = False,
+    ):
+        self.config = config if config is not None else AcceleratorConfig()
+        self.dram = dram if dram is not None else DramModel()
+        self.tech = tech
+        self.prefetch = prefetch
+        self.cluster = ClusterUnitSim(self.config.ways)
+        self.color = ColorUnitModel(tech=tech)
+        self.center = CenterUnitModel(tech=tech)
+
+    def _tile_fetch_cycles(self) -> float:
+        """DRAM cycles to service one tile's request streams."""
+        cfg = self.config
+        streamed = self.dram.bytes_per_pixel_per_iteration * cfg.pixels_per_tile
+        buffer_bytes = cfg.buffer_kb_per_channel * 1024
+        requests = self.dram.bursts_per_tile + streamed / buffer_bytes
+        return requests * self.dram.latency_cycles + self.dram.transfer_cycles(streamed)
+
+    def _tile_compute_cycles(self) -> float:
+        sched = schedule_cluster_unit(self.config.ways)
+        return (
+            sched.initiation_interval * self.config.pixels_per_tile
+            + sched.latency
+        ) / self.config.n_cores
+
+    def run_frame(self) -> FrameTrace:
+        cfg = self.config
+        color_cycles = self.color.cycles_for_pixels(cfg.n_pixels) / cfg.n_cores
+        # Input frame fetch overlaps color conversion (raster streaming);
+        # the conversion rate (1 px/cycle) is below the DRAM rate
+        # (32 B/cycle), so color conversion is compute-bound.
+        clock = color_cycles
+
+        fetch = self._tile_fetch_cycles()
+        compute = self._tile_compute_cycles()
+        n_tiles = cfg.n_tiles
+        exposed = 0.0
+        dram_busy = 0.0
+        compute_busy = 0.0
+        for _ in range(cfg.iterations):
+            if self.prefetch:
+                # Double buffering what-if: fetch(i+1) overlaps compute(i).
+                # The first tile's fetch is fully exposed; afterwards each
+                # tile starts at max(its fetch done, previous compute done).
+                fetch_done = clock + fetch
+                dram_busy += fetch
+                compute_done = fetch_done  # tile 0 compute start
+                for _ in range(n_tiles):
+                    start = compute_done  # previous tile's compute end
+                    if fetch_done > start:
+                        exposed += fetch_done - start
+                        start = fetch_done
+                    compute_done = start + compute
+                    compute_busy += compute
+                    # The next prefetch begins once this tile's compute
+                    # frees the shadow buffer.
+                    fetch_done = max(fetch_done, compute_done - compute) + fetch
+                    dram_busy += fetch
+                clock = compute_done
+            else:
+                # The paper's serial FSM: load, then process, every tile.
+                for _ in range(n_tiles):
+                    clock += fetch
+                    dram_busy += fetch
+                    exposed += fetch
+                    clock += compute
+                    compute_busy += compute
+            clock += self.center.cycles_for_update(cfg.n_superpixels)
+        return FrameTrace(
+            total_cycles=clock,
+            color_cycles=color_cycles,
+            compute_cycles=compute_busy,
+            center_cycles=cfg.iterations
+            * self.center.cycles_for_update(cfg.n_superpixels),
+            dram_busy_cycles=dram_busy,
+            exposed_stall_cycles=exposed,
+            n_tiles=n_tiles,
+            iterations=cfg.iterations,
+        )

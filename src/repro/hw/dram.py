@@ -1,0 +1,130 @@
+"""External-memory model: traffic, transfer time, and exposed burst stalls.
+
+Section 6.3 states the paper's assumptions verbatim: "We assumed that peak
+external bandwidth is 256b/cycle and memory latency is 50 cycle latency for
+this analysis." The accelerator streams, per cluster-update iteration and
+per tile: the three Lab channel tiles in, the index tile in and back out,
+and the per-tile center/sigma records.
+
+Timing decomposes into
+
+* **transfer cycles** — bytes / 32 B-per-cycle, the bandwidth-bound part;
+* **stall cycles** — per-tile request latencies that double buffering
+  cannot hide. Each tile costs a fixed number of request round-trips
+  (``bursts_per_tile``: 3 channel loads + index load + index store +
+  center/sigma exchange = 6) plus refills proportional to how many times
+  the streamed tile data overflows a channel buffer
+  (``streamed_bytes / buffer_bytes``). Shrinking the buffer therefore adds
+  ~latency cycles per overflow — the Fig 6 curve.
+
+With ``bursts_per_tile = 6`` and the 52-cycle divider of
+:class:`~repro.hw.components.CenterUnitModel`, this model lands within 2%
+of every latency in Table 4 and reproduces Fig 6's "4 kB is the smallest
+real-time buffer" conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareModelError
+
+__all__ = ["DramModel", "FrameTraffic"]
+
+
+@dataclass(frozen=True)
+class FrameTraffic:
+    """DRAM byte counts for one processed frame."""
+
+    input_bytes: float
+    iteration_bytes: float
+    output_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.input_bytes + self.iteration_bytes + self.output_bytes
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / 1e6
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """Peak-bandwidth + request-latency external memory.
+
+    Attributes
+    ----------
+    bytes_per_cycle:
+        Peak transfer width (256 bits = 32 B per cycle, the paper's
+        assumption).
+    latency_cycles:
+        Request round-trip latency (50 cycles).
+    bursts_per_tile:
+        Fixed request count per tile per iteration (see module docstring).
+    bytes_per_pixel_per_iteration:
+        Streamed pixel data per cluster-update iteration: Lab in (3 B) +
+        index in (1 B) + index out (1 B).
+    """
+
+    bytes_per_cycle: float = 32.0
+    latency_cycles: float = 50.0
+    bursts_per_tile: float = 6.0
+    bytes_per_pixel_per_iteration: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cycle <= 0 or self.latency_cycles < 0:
+            raise HardwareModelError("invalid DRAM parameters")
+
+    # ------------------------------------------------------------------
+    def frame_traffic(
+        self,
+        n_pixels: int,
+        iterations: int,
+        input_bytes_per_pixel: float = 3.0,
+        subsample_ratio: float = 1.0,
+    ) -> FrameTraffic:
+        """Byte counts for one frame: RGB in, per-iteration streaming,
+        final label map out.
+
+        ``subsample_ratio`` scales the per-iteration pixel streaming: an
+        S-SLIC subset pass touches only ``ratio`` of the pixels — the
+        source of the abstract's "reduce the memory bandwidth by 1.8x"
+        when subset passes replace full sweeps at an equal pass count.
+        """
+        if n_pixels < 0 or iterations < 0:
+            raise HardwareModelError("n_pixels and iterations must be >= 0")
+        if not (0.0 < subsample_ratio <= 1.0):
+            raise HardwareModelError(
+                f"subsample_ratio must be in (0, 1], got {subsample_ratio}"
+            )
+        per_iter = (
+            self.bytes_per_pixel_per_iteration * n_pixels * subsample_ratio
+        )
+        return FrameTraffic(
+            input_bytes=input_bytes_per_pixel * n_pixels,
+            iteration_bytes=per_iter * iterations,
+            output_bytes=1.0 * n_pixels,
+        )
+
+    def transfer_cycles(self, n_bytes: float) -> float:
+        """Bandwidth-bound cycles to move ``n_bytes``."""
+        if n_bytes < 0:
+            raise HardwareModelError(f"n_bytes must be >= 0, got {n_bytes}")
+        return n_bytes / self.bytes_per_cycle
+
+    def stall_cycles(
+        self,
+        n_tiles: int,
+        iterations: int,
+        streamed_bytes_per_tile: float,
+        buffer_bytes: float,
+    ) -> float:
+        """Exposed request-latency cycles over a frame (see module doc)."""
+        if n_tiles < 0 or iterations < 0:
+            raise HardwareModelError("n_tiles and iterations must be >= 0")
+        if buffer_bytes <= 0:
+            raise HardwareModelError(f"buffer_bytes must be > 0, got {buffer_bytes}")
+        refills = streamed_bytes_per_tile / buffer_bytes
+        per_tile = self.latency_cycles * (self.bursts_per_tile + refills)
+        return n_tiles * iterations * per_tile

@@ -1,0 +1,134 @@
+"""Voltage/frequency scaling — the paper's closing extension.
+
+Section 6.3: "The accelerator architecture can scale gracefully down to
+lower resolution image streams by reducing the buffer sizes and ultimately
+reducing the clock rate." The paper never quantifies that; this module
+does.
+
+First-order DVFS model (documented assumptions):
+
+* the maximum clock scales linearly with supply over the usable range
+  (``f_max(V) = f0 * V / V0``), floored at ``MIN_VOLTAGE_RATIO`` of the
+  nominal 0.72 V;
+* dynamic energy per operation scales with ``V^2``;
+* the always-on power (clock tree + scratchpad + interface) scales with
+  ``f * V^2`` — it is dominated by switching at these geometries;
+* cycle counts are frequency-independent (the DRAM interface is assumed
+  to scale with the core clock — a synchronous design, consistent with
+  the paper expressing memory latency in core cycles).
+
+The headline result: a frame that finishes early at nominal frequency
+burns always-on power for nothing; running each resolution at the slowest
+clock that still meets 30 fps cuts frame energy substantially (about a
+third at VGA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import HardwareModelError
+from .accelerator import AcceleratorModel
+from .config import AcceleratorConfig
+from .dram import DramModel
+from .tech import TECH_16NM, TechnologyParams
+
+__all__ = ["OperatingPoint", "scaled_tech", "report_at", "min_real_time_point"]
+
+#: Lowest usable supply, as a fraction of nominal (near-threshold limit).
+MIN_VOLTAGE_RATIO = 0.6
+
+#: Frame budget for 30 fps.
+_REAL_TIME_MS = 1000.0 / 30.0
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A (frequency, voltage) pair derived from the linear f-V rule."""
+
+    frequency_hz: float
+    voltage: float
+
+    @classmethod
+    def at_frequency(
+        cls, frequency_hz: float, nominal: TechnologyParams = TECH_16NM
+    ) -> "OperatingPoint":
+        """The minimum-voltage point sustaining ``frequency_hz``."""
+        if frequency_hz <= 0:
+            raise HardwareModelError("frequency must be positive")
+        ratio = frequency_hz / nominal.frequency_hz
+        if ratio > 1.0 + 1e-9:
+            raise HardwareModelError(
+                f"frequency {frequency_hz / 1e9:.2f} GHz exceeds the nominal "
+                f"{nominal.frequency_hz / 1e9:.2f} GHz design point"
+            )
+        voltage = nominal.voltage * max(ratio, MIN_VOLTAGE_RATIO)
+        return cls(frequency_hz=frequency_hz, voltage=voltage)
+
+
+def scaled_tech(
+    point: OperatingPoint, nominal: TechnologyParams = TECH_16NM
+) -> TechnologyParams:
+    """Technology parameters at a scaled operating point."""
+    v_ratio = point.voltage / nominal.voltage
+    e_scale = v_ratio ** 2
+    return replace(
+        nominal,
+        name=f"{nominal.name} @ {point.frequency_hz / 1e9:.2f} GHz, {point.voltage:.2f} V",
+        voltage=point.voltage,
+        frequency_hz=point.frequency_hz,
+        e_add8=nominal.e_add8 * e_scale,
+        e_mul8=nominal.e_mul8 * e_scale,
+        e_sram_byte=nominal.e_sram_byte * e_scale,
+        # Leakage density drops with voltage (first order: linear).
+        static_density=nominal.static_density * v_ratio,
+    )
+
+
+def report_at(config: AcceleratorConfig, point: OperatingPoint):
+    """Accelerator report at a scaled operating point.
+
+    The always-on floor scales with f * V^2 relative to nominal.
+    """
+    nominal = TECH_16NM
+    tech = scaled_tech(point, nominal)
+    f_ratio = point.frequency_hz / nominal.frequency_hz
+    v_ratio = point.voltage / nominal.voltage
+    model = AcceleratorModel(
+        config,
+        tech=tech,
+        dram=DramModel(),
+        always_on_power_mw=AcceleratorModel(config).always_on_power_mw
+        * f_ratio
+        * v_ratio ** 2,
+    )
+    return model.report()
+
+
+def min_real_time_point(
+    config: AcceleratorConfig,
+    budget_ms: float = _REAL_TIME_MS,
+    guard_band: float = 0.01,
+) -> OperatingPoint:
+    """Slowest operating point whose frame time still fits ``budget_ms``.
+
+    Cycle counts are frequency-independent in this model, so the answer is
+    direct: f_min = nominal_f * latency(nominal) / budget (clamped to the
+    nominal ceiling), with a ``guard_band`` frequency margin — no designer
+    signs off a clock that meets the deadline with zero slack. Raises if
+    even the nominal point misses the budget.
+    """
+    if budget_ms <= 0:
+        raise HardwareModelError("budget_ms must be positive")
+    if not (0.0 <= guard_band < 0.5):
+        raise HardwareModelError(f"guard_band must be in [0, 0.5), got {guard_band}")
+    nominal_latency = AcceleratorModel(config).report().latency_ms
+    if nominal_latency > budget_ms:
+        raise HardwareModelError(
+            f"configuration misses the {budget_ms:.1f} ms budget even at "
+            f"nominal frequency ({nominal_latency:.1f} ms)"
+        )
+    f_min = (
+        TECH_16NM.frequency_hz * nominal_latency / budget_ms * (1.0 + guard_band)
+    )
+    return OperatingPoint.at_frequency(min(f_min, TECH_16NM.frequency_hz))

@@ -1,0 +1,145 @@
+"""The HLS scheduling model: loop-unrolling ways -> latency and throughput.
+
+The paper's Cluster Update Unit has three function stages (Section 6.2):
+
+* **distance** — nine Equation 5 evaluations per pixel. 1-way hardware
+  time-multiplexes one calculator over the nine; 9-way instantiates nine.
+* **minimum** — the 9:1 minimum. 1-way iterates a single compare ALU;
+  9-way builds a comparison tree.
+* **adder** — the six sigma-register additions (3 color + 2 location +
+  1 count). 1-way serializes; 6-way is fully parallel.
+
+"Loop unrolling directives are used to control the choice of mapping each
+function to either iterative time-multiplexed or parallel fully-pipelined
+hardware" — this module is the analytical stand-in for what Catapult's
+scheduler produces from those directives. The stage-latency constants below
+reproduce Table 3's five published configurations exactly:
+
+=============  ==========  ==========
+configuration  latency     throughput
+=============  ==========  ==========
+1-1-1          27 cycles   1/9 px/cyc
+9-1-1          19          1/9
+1-9-1          20          1/9
+1-1-6          22          1/9
+9-9-6           7          1
+=============  ==========  ==========
+
+Latency decomposes as distance + minimum + adder stage latencies:
+iterative stages take (trip count + pipeline fill) cycles — 9+3 = 12 for
+distance (a 4-deep calculator pipeline), 9 for minimum (single-cycle
+compare), 6 for the adder — while the parallel implementations take 4
+(one pipelined calculator traversal), 2 (two tree levels of wide
+comparators), and 1 cycle. The initiation interval is the largest per-stage
+trip count: any iterative stage forces one pixel per 9 (or 6) cycles, and
+the fully parallel 9-9-6 sustains one pixel per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareModelError
+
+__all__ = ["ClusterWays", "StageSchedule", "schedule_cluster_unit", "TABLE3_WAYS"]
+
+#: Pipeline depth of one distance calculator (sub, square, accumulate, scale).
+_DIST_PIPE_FILL = 3
+
+#: Trip counts of the three function loops.
+_DIST_TRIPS = 9
+_MIN_TRIPS = 9
+_ADD_TRIPS = 6
+
+
+@dataclass(frozen=True)
+class ClusterWays:
+    """Unroll factors of the three Cluster Update Unit functions.
+
+    The paper evaluates the corner cases (1 or full unroll per stage);
+    intermediate divisors of the trip count are also legal and schedule
+    proportionally — useful for the extended DSE.
+    """
+
+    distance: int = 9
+    minimum: int = 9
+    adder: int = 6
+
+    def __post_init__(self) -> None:
+        if self.distance not in (1, 3, 9):
+            raise HardwareModelError(
+                f"distance ways must divide 9 (1, 3, 9), got {self.distance}"
+            )
+        if self.minimum not in (1, 3, 9):
+            raise HardwareModelError(
+                f"minimum ways must divide 9 (1, 3, 9), got {self.minimum}"
+            )
+        if self.adder not in (1, 2, 3, 6):
+            raise HardwareModelError(
+                f"adder ways must divide 6 (1, 2, 3, 6), got {self.adder}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Paper-style name, e.g. ``"9-9-6 way"``."""
+        return f"{self.distance}-{self.minimum}-{self.adder} way"
+
+
+@dataclass(frozen=True)
+class StageSchedule:
+    """The scheduler's verdict for one ways configuration."""
+
+    ways: ClusterWays
+    distance_latency: int
+    minimum_latency: int
+    adder_latency: int
+    initiation_interval: int
+
+    @property
+    def latency(self) -> int:
+        """Pixel latency through the unit, in cycles (Table 3's row)."""
+        return self.distance_latency + self.minimum_latency + self.adder_latency
+
+    @property
+    def throughput_pixels_per_cycle(self) -> float:
+        """Sustained pixels per cycle (1/II)."""
+        return 1.0 / self.initiation_interval
+
+
+def schedule_cluster_unit(ways: ClusterWays) -> StageSchedule:
+    """Schedule the Cluster Update Unit for the given unroll factors.
+
+    Stage latency model (matching Table 3 — see module docstring):
+
+    * distance: ``ceil(9/d)`` issues plus the calculator pipeline fill;
+    * minimum: ``ceil(9/m)`` iterations, plus one tree-reduce cycle when
+      multiple comparators run in parallel;
+    * adder: ``ceil(6/a)`` cycles.
+
+    The initiation interval is the largest stage trip count — an iterative
+    stage must finish all its trips before accepting the next pixel.
+    """
+    d_trips = -(-_DIST_TRIPS // ways.distance)  # ceil division
+    m_trips = -(-_MIN_TRIPS // ways.minimum)
+    a_trips = -(-_ADD_TRIPS // ways.adder)
+    distance_latency = d_trips + _DIST_PIPE_FILL
+    minimum_latency = m_trips + (1 if ways.minimum > 1 else 0)
+    adder_latency = a_trips
+    ii = max(d_trips, m_trips, a_trips)
+    return StageSchedule(
+        ways=ways,
+        distance_latency=distance_latency,
+        minimum_latency=minimum_latency,
+        adder_latency=adder_latency,
+        initiation_interval=ii,
+    )
+
+
+#: The five configurations of Table 3, in the paper's column order.
+TABLE3_WAYS = (
+    ClusterWays(1, 1, 1),
+    ClusterWays(9, 1, 1),
+    ClusterWays(1, 9, 1),
+    ClusterWays(1, 1, 6),
+    ClusterWays(9, 9, 6),
+)

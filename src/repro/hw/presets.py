@@ -1,0 +1,172 @@
+"""Paper-published values and the corresponding model configurations.
+
+Central registry used by the benchmarks and EXPERIMENTS.md: for every
+table/figure, the configuration that regenerates it and the values the
+paper printed, so "paper vs measured" is produced in one place and never
+hand-copied into bench code.
+"""
+
+from __future__ import annotations
+
+from ..types import HD_1080, HD_720, VGA, Resolution
+from .config import AcceleratorConfig
+from .hls import ClusterWays
+
+__all__ = [
+    "table4_configs",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_FIG6_BUFFERS_KB",
+    "REAL_TIME_MS",
+]
+
+#: 30 fps frame budget.
+REAL_TIME_MS = 1000.0 / 30.0
+
+
+def table4_configs() -> dict:
+    """The three best configurations of Table 4, keyed by resolution name."""
+    return {
+        "1920x1080": AcceleratorConfig(
+            resolution=HD_1080, buffer_kb_per_channel=4.0
+        ),
+        "1280x768": AcceleratorConfig(resolution=HD_720, buffer_kb_per_channel=1.0),
+        "640x480": AcceleratorConfig(resolution=VGA, buffer_kb_per_channel=1.0),
+    }
+
+
+#: Table 3 (paper): per-configuration area (mm^2), power (mW), latency
+#: (cycles), throughput (pixels/cycle), time (ms) and energy (uJ) for one
+#: 1080p iteration.
+PAPER_TABLE3 = {
+    "1-1-1 way": {
+        "area_mm2": 0.0020,
+        "power_mw": 3.3,
+        "latency_cycles": 27,
+        "throughput": 1 / 9,
+        "time_ms": 11.8,
+        "energy_uj": 38.9,
+    },
+    "9-1-1 way": {
+        "area_mm2": 0.0149,
+        "power_mw": 3.6,
+        "latency_cycles": 19,
+        "throughput": 1 / 9,
+        "time_ms": 11.8,
+        "energy_uj": 42.5,
+    },
+    "1-9-1 way": {
+        "area_mm2": 0.0023,
+        "power_mw": 3.2,
+        "latency_cycles": 20,
+        "throughput": 1 / 9,
+        "time_ms": 11.8,
+        "energy_uj": 37.5,
+    },
+    "1-1-6 way": {
+        "area_mm2": 0.0025,
+        "power_mw": 3.25,
+        "latency_cycles": 22,
+        "throughput": 1 / 9,
+        "time_ms": 11.8,
+        "energy_uj": 38.3,
+    },
+    "9-9-6 way": {
+        "area_mm2": 0.0156,
+        "power_mw": 30.9,
+        "latency_cycles": 7,
+        "throughput": 1.0,
+        "time_ms": 1.3,
+        "energy_uj": 40.6,
+    },
+}
+
+#: Table 4 (paper): the best configuration per resolution.
+PAPER_TABLE4 = {
+    "1920x1080": {
+        "buffer_kb": 4,
+        "area_mm2": 0.066,
+        "power_mw": 49,
+        "latency_ms": 32.8,
+        "fps": 30.5,
+        "energy_mj": 1.6,
+        "perf_per_area": 461,
+    },
+    "1280x768": {
+        "buffer_kb": 1,
+        "area_mm2": 0.053,
+        "power_mw": 46,
+        "latency_ms": 25.4,
+        "fps": 39.0,
+        "energy_mj": 1.17,
+        "perf_per_area": 747,
+    },
+    "640x480": {
+        "buffer_kb": 1,
+        "area_mm2": 0.053,
+        "power_mw": 50,
+        "latency_ms": 19.7,
+        "fps": 50.3,
+        "energy_mj": 0.98,
+        "perf_per_area": 963,
+    },
+}
+
+#: Table 5 (paper): platform comparison at 1080p, K=5000.
+PAPER_TABLE5 = {
+    "Tesla K20": {
+        "technology": "28nm (0.81V)",
+        "on_chip_kb": 6320,
+        "cores": 2496,
+        "avg_power_w": 86.0,
+        "norm_power_w": 39.0,
+        "latency_ms": 22.3,
+        "energy_mj_norm": 867.0,
+    },
+    "TK1": {
+        "technology": "28nm (0.81V)",
+        "on_chip_kb": 368,
+        "cores": 192,
+        "avg_power_w": 0.332,
+        "norm_power_w": 0.150,
+        "latency_ms": 2713.0,
+        "energy_mj_norm": 407.0,
+    },
+    "This Work": {
+        "technology": "16nm (0.72V)",
+        "on_chip_kb": 20,
+        "cores": 1,
+        "avg_power_w": 0.049,
+        "norm_power_w": 0.050,
+        "latency_ms": 32.8,
+        "energy_mj_norm": 1.6,
+    },
+}
+
+#: Table 1 (paper): CPU time-breakdown percentages.
+PAPER_TABLE1 = {
+    "SLIC": {
+        "color_conversion": 23.4,
+        "distance_min": 65.9,
+        "center_update": 10.2,
+        "other": 0.5,
+    },
+    "S-SLIC": {
+        "color_conversion": 18.7,
+        "distance_min": 59.7,
+        "center_update": 17.9,
+        "other": 3.7,
+    },
+}
+
+#: Table 2 (paper): per-1080p-iteration costs.
+PAPER_TABLE2 = {
+    "CPA": {"memory_mb": 318.0, "ops_m": 58.0},
+    "PPA": {"memory_mb": 100.0, "ops_m": 130.0},
+}
+
+#: Fig 6 x-axis: channel buffer sizes swept (kB).
+PAPER_FIG6_BUFFERS_KB = (1, 2, 4, 8, 16, 32, 64, 128)

@@ -1,0 +1,43 @@
+"""Segmentation-quality metrics.
+
+USE (:func:`undersegmentation_error`) and boundary recall
+(:func:`boundary_recall`) are the two metrics the paper reports (Fig 2);
+ASA, compactness, explained variation, and boundary precision/F-measure
+complete the standard superpixel evaluation suite.
+"""
+
+from .boundaries import (
+    boundary_map,
+    chamfer_distance,
+    contingency_table,
+    dilate_mask,
+    perimeter_counts,
+)
+from .undersegmentation import (
+    corrected_undersegmentation_error,
+    undersegmentation_error,
+)
+from .boundary_recall import boundary_f_measure, boundary_precision, boundary_recall
+from .region import (
+    achievable_segmentation_accuracy,
+    compactness,
+    explained_variation,
+    superpixel_size_stats,
+)
+
+__all__ = [
+    "boundary_map",
+    "chamfer_distance",
+    "dilate_mask",
+    "perimeter_counts",
+    "contingency_table",
+    "undersegmentation_error",
+    "corrected_undersegmentation_error",
+    "boundary_recall",
+    "boundary_precision",
+    "boundary_f_measure",
+    "achievable_segmentation_accuracy",
+    "compactness",
+    "explained_variation",
+    "superpixel_size_stats",
+]

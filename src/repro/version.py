@@ -1,0 +1,3 @@
+"""Package version (single source of truth for repro.__version__)."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,11 @@
+"""Visualization: boundary overlays, label renderings, ASCII plots."""
+
+from .overlay import draw_boundaries, label_color_image, mean_color_image
+from .ascii_plot import ascii_xy_plot
+
+__all__ = [
+    "draw_boundaries",
+    "label_color_image",
+    "mean_color_image",
+    "ascii_xy_plot",
+]

@@ -1,0 +1,61 @@
+"""Terminal line plots for benchmark output.
+
+The benchmark harness prints the paper's figures as small ASCII charts so
+"the same rows/series the paper reports" are visible directly in the bench
+log, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_xy_plot"]
+
+
+def ascii_xy_plot(
+    series: dict,
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+) -> str:
+    """Render ``{name: (xs, ys)}`` series as an ASCII scatter/line chart.
+
+    Each series gets a marker character; points are plotted on a
+    ``width x height`` grid spanning the joint data range. Returns the
+    chart as a string (caller prints it).
+    """
+    markers = "*o+x#@%&"
+    all_x = np.concatenate([np.asarray(xs, dtype=float) for xs, _ in series.values()])
+    all_y = np.concatenate([np.asarray(ys, dtype=float) for _, ys in series.values()])
+    if len(all_x) == 0:
+        return "(no data)"
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, (xs, ys)) in enumerate(series.items()):
+        mark = markers[si % len(markers)]
+        for x, y in zip(xs, ys):
+            cx = int(round((float(x) - x_lo) / (x_hi - x_lo) * (width - 1)))
+            cy = int(round((float(y) - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - cy][cx] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.4g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:>10.4g} +" + "-" * width + "+")
+    lines.append(
+        " " * 12 + f"{x_lo:<12.4g}" + x_label.center(width - 24) + f"{x_hi:>12.4g}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend + f"   (y: {y_label})")
+    return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Unit tests for the analysis drivers (tables, tradeoff, breakdown, DSE)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TradeoffCurve,
+    TradeoffPoint,
+    breakdown_for_image,
+    format_value,
+    phase_breakdown,
+    render_table,
+    run_bitwidth_sweep,
+    run_tradeoff,
+    sweep_buffer_sizes,
+    sweep_cluster_configs,
+    sweep_cores,
+    sweep_datapath_widths,
+    sweep_resolutions,
+    time_saving_at_quality,
+)
+from repro.data import SceneConfig, SyntheticDataset
+from repro.errors import ConfigurationError
+
+
+class TestTables:
+    def test_render_basic(self):
+        out = render_table(["a", "b"], [[1, 2.5], ["x", None]])
+        assert "| a" in out
+        assert "2.5" in out
+        assert "-" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(0.5) == "0.5"
+        assert format_value(1234567.0) == "1.23e+06"
+        assert format_value(3) == "3"
+
+
+def _make_curve(name, times, uses, recalls):
+    pts = [
+        TradeoffPoint(subiterations=i + 1, sweeps=i + 1, time_ms=t, use=u, recall=r)
+        for i, (t, u, r) in enumerate(zip(times, uses, recalls))
+    ]
+    return TradeoffCurve(name, pts)
+
+
+class TestTimeSaving:
+    def test_faster_candidate_positive(self):
+        base = _make_curve("b", [10, 20, 30, 40], [0.4, 0.3, 0.2, 0.1],
+                           [0.6, 0.7, 0.8, 0.9])
+        cand = _make_curve("c", [5, 10, 15, 20], [0.4, 0.3, 0.2, 0.1],
+                           [0.6, 0.7, 0.8, 0.9])
+        assert time_saving_at_quality(base, cand, "use") == pytest.approx(0.5)
+        assert time_saving_at_quality(base, cand, "recall") == pytest.approx(0.5)
+
+    def test_identical_curves_zero(self):
+        base = _make_curve("b", [10, 20, 30], [0.3, 0.2, 0.1], [0.7, 0.8, 0.9])
+        assert time_saving_at_quality(base, base, "use") == pytest.approx(0.0)
+
+    def test_candidate_never_reaching_target_nan(self):
+        base = _make_curve("b", [10, 20, 30], [0.3, 0.2, 0.1], [0.7, 0.8, 0.9])
+        cand = _make_curve("c", [10, 20, 30], [0.9, 0.9, 0.9], [0.1, 0.1, 0.1])
+        assert np.isnan(time_saving_at_quality(base, cand, "use"))
+
+    def test_non_monotone_curve_uses_envelope(self):
+        base = _make_curve("b", [10, 20, 30, 40], [0.4, 0.15, 0.25, 0.1],
+                           [0.5, 0.6, 0.55, 0.9])
+        # Should not crash and should return a finite number.
+        assert np.isfinite(time_saving_at_quality(base, base, "use"))
+
+    def test_bad_metric_rejected(self):
+        base = _make_curve("b", [1], [0.1], [0.9])
+        with pytest.raises(ConfigurationError):
+            time_saving_at_quality(base, base, "asa")
+
+    def test_bad_axis_rejected(self):
+        base = _make_curve("b", [1], [0.1], [0.9])
+        with pytest.raises(ConfigurationError):
+            time_saving_at_quality(base, base, "use", axis="energy")
+
+    def test_work_axis_uses_sweeps(self):
+        base = _make_curve("b", [10, 20, 30, 40], [0.4, 0.3, 0.2, 0.1],
+                           [0.6, 0.7, 0.8, 0.9])
+        # Candidate: same quality per sweep, but twice as fast per sweep.
+        cand = _make_curve("c", [5, 10, 15, 20], [0.4, 0.3, 0.2, 0.1],
+                           [0.6, 0.7, 0.8, 0.9])
+        assert time_saving_at_quality(base, cand, "use", axis="work") == pytest.approx(0.0)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return SyntheticDataset(
+        2,
+        config=SceneConfig(height=48, width=64, n_regions=6, n_disks=1,
+                           texture=3.0, noise=1.5, blur_sigma=1.0),
+        seed=3,
+    )
+
+
+class TestRunTradeoff:
+    def test_curve_structure(self, tiny_dataset):
+        curves = run_tradeoff(tiny_dataset, 12, [1, 2],
+                              variants={"SLIC": {"ratio": 1.0},
+                                        "S-SLIC (0.5)": {"ratio": 0.5}})
+        assert set(curves) == {"SLIC", "S-SLIC (0.5)"}
+        for curve in curves.values():
+            assert len(curve.points) == 2
+            assert (curve.times_ms > 0).all()
+            assert (curve.uses >= 0).all()
+        assert curves["S-SLIC (0.5)"].points[0].subiterations == 2
+
+    def test_empty_budgets_rejected(self, tiny_dataset):
+        with pytest.raises(ConfigurationError):
+            run_tradeoff(tiny_dataset, 12, [])
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_100(self, tiny_dataset):
+        scene = tiny_dataset[0]
+        rows = breakdown_for_image(scene.image, n_superpixels=12, iterations=3)
+        for algo in ("SLIC", "S-SLIC"):
+            assert sum(rows[algo].values()) == pytest.approx(100.0)
+
+    def test_distance_min_dominates(self, tiny_dataset):
+        scene = tiny_dataset[0]
+        rows = breakdown_for_image(scene.image, n_superpixels=12, iterations=8)
+        assert rows["SLIC"]["distance_min"] == max(rows["SLIC"].values())
+
+    def test_phase_breakdown_validates(self):
+        with pytest.raises(ConfigurationError):
+            phase_breakdown({})
+        with pytest.raises(ConfigurationError):
+            phase_breakdown({"distance_min": 0.0})
+
+
+class TestBitwidthSweep:
+    def test_points_and_trend(self, tiny_dataset):
+        points = run_bitwidth_sweep(tiny_dataset, 12, widths=(4, 8),
+                                    iterations=3)
+        assert points[0].label == "float64"
+        by_bits = {p.bits: p for p in points}
+        assert by_bits[4].delta_use >= by_bits[8].delta_use - 1e-9
+
+    def test_empty_widths_rejected(self, tiny_dataset):
+        with pytest.raises(ConfigurationError):
+            run_bitwidth_sweep(tiny_dataset, 12, widths=())
+
+
+class TestDseSweeps:
+    def test_cluster_sweep_five_rows(self):
+        assert len(sweep_cluster_configs()) == 5
+
+    def test_buffer_sweep(self):
+        reports = sweep_buffer_sizes([1, 4])
+        assert reports[0].latency_ms > reports[1].latency_ms
+
+    def test_resolution_sweep(self):
+        reports = sweep_resolutions()
+        assert set(reports) == {"1920x1080", "1280x768", "640x480"}
+
+    def test_width_sweep_area_monotone(self):
+        reports = sweep_datapath_widths([4, 8, 12])
+        areas = [r.area_mm2 for r in reports]
+        assert areas[0] < areas[1] < areas[2]
+
+    def test_core_sweep_saturates(self):
+        reports = sweep_cores([1, 2, 8])
+        lat = [r.latency_ms for r in reports]
+        assert lat[0] > lat[1] > lat[2]
+        # Amdahl: 8 cores nowhere near 8x.
+        assert lat[0] / lat[2] < 3.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            sweep_buffer_sizes([0])
+        with pytest.raises(ConfigurationError):
+            sweep_cores([0])

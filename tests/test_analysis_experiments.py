@@ -1,0 +1,65 @@
+"""Tests for the experiment registry (the fast analytical experiments run
+for real; the corpus-heavy ones are covered by their drivers' own tests and
+by the benchmarks)."""
+
+import pytest
+
+from repro.analysis import EXPERIMENTS, run_experiment
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig2", "table1", "table2", "table3", "sec61", "fig6",
+            "table4", "table5",
+        }
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("table99")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("table3", scale="huge")
+
+
+class TestAnalyticalExperiments:
+    """The model-only experiments are fast enough for unit tests."""
+
+    def test_table2(self):
+        res = run_experiment("table2")
+        assert len(res.rows) == 2
+        assert "PPA" in res.notes
+        cpa_row = res.rows[0]
+        assert cpa_row[0] == "CPA"
+        assert cpa_row[1] == pytest.approx(311, rel=0.05)  # ~318 MB
+
+    def test_table3(self):
+        res = run_experiment("table3")
+        assert len(res.rows) == 5
+        labels = [r[0] for r in res.rows]
+        assert "9-9-6 way" in labels
+
+    def test_table4(self):
+        res = run_experiment("table4")
+        assert len(res.rows) == 3
+        hd = next(r for r in res.rows if r[0] == "1920x1080")
+        assert hd[4] == pytest.approx(32.8, rel=0.03)  # latency_ms
+
+    def test_table5(self):
+        res = run_experiment("table5")
+        assert len(res.rows) == 3
+        assert "500" in res.notes or "5" in res.notes
+
+    def test_fig6(self):
+        res = run_experiment("fig6")
+        assert res.extras["smallest_real_time_kb"] == 4
+        times = [r[1] for r in res.rows]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_result_headers_match_rows(self):
+        for exp_id in ("table2", "table3", "table4", "table5", "fig6"):
+            res = run_experiment(exp_id)
+            for row in res.rows:
+                assert len(row) == len(res.headers), exp_id

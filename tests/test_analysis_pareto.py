@@ -1,0 +1,94 @@
+"""Tests for the joint design space and Pareto analysis."""
+
+import pytest
+
+from repro.analysis import best_real_time_design, joint_design_space, pareto_frontier
+from repro.errors import ConfigurationError
+from repro.hw import ClusterWays, table4_configs
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return joint_design_space(
+        ways_list=(ClusterWays(1, 1, 1), ClusterWays(9, 9, 6)),
+        buffers_kb=(1.0, 4.0),
+        bits_list=(8,),
+        cores_list=(1,),
+    )
+
+
+class TestJointSpace:
+    def test_cartesian_size(self, small_space):
+        assert len(small_space) == 2 * 2 * 1 * 1
+
+    def test_configs_distinct(self, small_space):
+        configs = {
+            (r.config.ways.label, r.config.buffer_kb_per_channel)
+            for r in small_space
+        }
+        assert len(configs) == len(small_space)
+
+
+class TestParetoFrontier:
+    def test_frontier_nonempty_subset(self, small_space):
+        front = pareto_frontier(small_space)
+        assert 0 < len(front) <= len(small_space)
+
+    def test_frontier_mutually_nondominated(self, small_space):
+        front = pareto_frontier(small_space)
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                dominates = (
+                    b.latency_ms <= a.latency_ms
+                    and b.area_mm2 <= a.area_mm2
+                    and b.energy_per_frame_mj <= a.energy_per_frame_mj
+                    and (
+                        b.latency_ms < a.latency_ms
+                        or b.area_mm2 < a.area_mm2
+                        or b.energy_per_frame_mj < a.energy_per_frame_mj
+                    )
+                )
+                assert not dominates
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []
+
+    def test_dominated_design_excluded(self, small_space):
+        # 1-1-1 at 4 kB is strictly slower than 9-9-6 at 4 kB and barely
+        # smaller; at minimum, the global latency minimizer must survive.
+        front = pareto_frontier(small_space)
+        fastest = min(small_space, key=lambda r: r.latency_ms)
+        assert fastest in front
+
+
+class TestBestRealTime:
+    def test_paper_design_under_constraints(self):
+        reports = joint_design_space(
+            ways_list=(ClusterWays(1, 1, 1), ClusterWays(3, 3, 3), ClusterWays(9, 9, 6)),
+            buffers_kb=(1.0, 2.0, 4.0, 8.0),
+            bits_list=(8,),
+            cores_list=(1,),
+        )
+        best = best_real_time_design(reports)
+        assert best.config.ways == ClusterWays(9, 9, 6)
+        assert best.config.buffer_kb_per_channel == 4.0
+
+    def test_no_feasible_design(self):
+        reports = joint_design_space(
+            ways_list=(ClusterWays(1, 1, 1),),  # II=9 cannot reach 30 fps
+            buffers_kb=(4.0,),
+            bits_list=(8,),
+            cores_list=(1,),
+        )
+        assert best_real_time_design(reports) is None
+
+    def test_prefer_energy(self, small_space):
+        best = best_real_time_design(small_space, prefer="energy")
+        assert best is not None
+        assert best.real_time
+
+    def test_bad_prefer(self, small_space):
+        with pytest.raises(ConfigurationError):
+            best_real_time_design(small_space, prefer="beauty")

@@ -1,0 +1,40 @@
+"""Tests for the reproduction report generator."""
+
+import pytest
+
+from repro.analysis import ARTIFACT_ORDER, generate_report
+from repro.errors import ConfigurationError
+
+
+class TestGenerateReport:
+    def test_aggregates_artifacts_in_order(self, tmp_path):
+        (tmp_path / "table3_parallelism.txt").write_text("TABLE3 CONTENT")
+        (tmp_path / "fig2_quality_tradeoff.txt").write_text("FIG2 CONTENT")
+        text = generate_report(artifacts_dir=tmp_path)
+        assert "TABLE3 CONTENT" in text
+        assert "FIG2 CONTENT" in text
+        # Paper order: Fig 2 section before Table 3.
+        assert text.index("FIG2 CONTENT") < text.index("TABLE3 CONTENT")
+
+    def test_missing_artifacts_noted_not_fatal(self, tmp_path):
+        text = generate_report(artifacts_dir=tmp_path)
+        assert "not yet run" in text
+        # All known sections still present as headings.
+        for _, heading in ARTIFACT_ORDER:
+            assert heading in text
+
+    def test_extra_artifacts_appended(self, tmp_path):
+        (tmp_path / "custom_sweep.txt").write_text("CUSTOM")
+        text = generate_report(artifacts_dir=tmp_path)
+        assert "Additional artifacts" in text
+        assert "CUSTOM" in text
+
+    def test_writes_output_file(self, tmp_path):
+        out = tmp_path / "REPORT.md"
+        generate_report(artifacts_dir=tmp_path, output_path=out)
+        assert out.exists()
+        assert out.read_text().startswith("# S-SLIC reproduction report")
+
+    def test_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            generate_report(artifacts_dir=tmp_path / "nope")

@@ -1,0 +1,138 @@
+"""Tests for the downstream applications (RAG merging, compression)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    RegionAdjacencyGraph,
+    SuperpixelCodec,
+    merge_regions,
+    psnr,
+)
+from repro.core import sslic
+from repro.errors import ConfigurationError
+from repro.metrics import achievable_segmentation_accuracy
+
+
+@pytest.fixture(scope="module")
+def segmented(small_scene):
+    result = sslic(small_scene.image, n_superpixels=32, max_iterations=5)
+    return small_scene, result
+
+
+class TestRag:
+    def test_graph_structure(self, segmented):
+        scene, result = segmented
+        rag = RegionAdjacencyGraph(result.labels, scene.image)
+        assert rag.n_nodes == int(result.labels.max()) + 1
+        # Every present node with area has neighbors (connected image).
+        for node, neighbors in rag.adjacency.items():
+            assert node not in neighbors
+            assert len(neighbors) >= 1
+
+    def test_adjacency_symmetric(self, segmented):
+        scene, result = segmented
+        rag = RegionAdjacencyGraph(result.labels, scene.image)
+        for a, neighbors in rag.adjacency.items():
+            for b in neighbors:
+                assert a in rag.adjacency[b]
+
+    def test_edge_weight_is_lab_distance(self, segmented):
+        scene, result = segmented
+        rag = RegionAdjacencyGraph(result.labels, scene.image)
+        a, b = 0, next(iter(rag.adjacency[0]))
+        assert rag.edge_weight(a, b) == pytest.approx(
+            np.linalg.norm(rag.means[a] - rag.means[b])
+        )
+
+    def test_shape_mismatch_rejected(self, segmented):
+        scene, result = segmented
+        with pytest.raises(ConfigurationError):
+            RegionAdjacencyGraph(result.labels[:-1], scene.image)
+
+
+class TestMergeRegions:
+    def test_reaches_target_count(self, segmented):
+        scene, result = segmented
+        merged = merge_regions(result.labels, scene.image, n_regions=8)
+        assert merged.n_regions == 8
+        assert len(np.unique(merged.labels)) == 8
+
+    def test_merging_preserves_partition_refinement(self, segmented):
+        """Merged regions are unions of superpixels: every superpixel maps
+        into exactly one region."""
+        scene, result = segmented
+        merged = merge_regions(result.labels, scene.image, n_regions=8)
+        for sp in np.unique(result.labels):
+            regions = np.unique(merged.labels[result.labels == sp])
+            assert len(regions) == 1
+
+    def test_recovers_ground_truth_regions(self, segmented):
+        """Merging down to the GT region count keeps high achievable
+        accuracy — the downstream win superpixels promise."""
+        scene, result = segmented
+        merged = merge_regions(
+            result.labels, scene.image, n_regions=scene.n_gt_regions
+        )
+        asa = achievable_segmentation_accuracy(merged.labels, scene.gt_labels)
+        assert asa > 0.85
+
+    def test_threshold_stop(self, segmented):
+        scene, result = segmented
+        merged = merge_regions(result.labels, scene.image, max_color_distance=5.0)
+        # Similar-color neighbors merged; strong boundaries survive.
+        assert 1 < merged.n_regions <= result.n_superpixels
+
+    def test_needs_a_stop_criterion(self, segmented):
+        scene, result = segmented
+        with pytest.raises(ConfigurationError):
+            merge_regions(result.labels, scene.image)
+
+    def test_merge_count_consistent(self, segmented):
+        scene, result = segmented
+        n0 = int(result.labels.max()) + 1
+        merged = merge_regions(result.labels, scene.image, n_regions=10)
+        assert merged.merge_count == n0 - merged.n_regions
+
+
+class TestCodec:
+    def test_roundtrip_shape_and_dtype(self, segmented):
+        scene, result = segmented
+        codec = SuperpixelCodec()
+        code = codec.encode(scene.image, result.labels)
+        recon = codec.decode(code)
+        assert recon.shape == scene.image.shape
+        assert recon.dtype == np.uint8
+
+    def test_reconstruction_is_piecewise_constant(self, segmented):
+        scene, result = segmented
+        codec = SuperpixelCodec()
+        recon = codec.decode(codec.encode(scene.image, result.labels))
+        for k in np.unique(result.labels)[:5]:
+            region = recon[result.labels == k]
+            assert (region == region[0]).all()
+
+    def test_rate_distortion_tradeoff(self, segmented):
+        """More superpixels -> more bits and higher PSNR."""
+        scene, _ = segmented
+        codec = SuperpixelCodec()
+        coarse = sslic(scene.image, n_superpixels=12, max_iterations=4)
+        fine = sslic(scene.image, n_superpixels=64, max_iterations=4)
+        rd_coarse = codec.rate_distortion(scene.image, coarse.labels)
+        rd_fine = codec.rate_distortion(scene.image, fine.labels)
+        assert rd_fine["bits_per_pixel"] > rd_coarse["bits_per_pixel"]
+        assert rd_fine["psnr_db"] > rd_coarse["psnr_db"]
+
+    def test_compresses_below_raw(self, segmented):
+        scene, result = segmented
+        rd = SuperpixelCodec().rate_distortion(scene.image, result.labels)
+        assert rd["bits_per_pixel"] < 24.0
+        assert rd["compression_ratio"] > 1.0
+        assert rd["psnr_db"] > 20.0
+
+    def test_psnr_identity_infinite(self, small_scene):
+        assert psnr(small_scene.image, small_scene.image) == float("inf")
+
+    def test_psnr_shape_mismatch(self, small_scene):
+        with pytest.raises(ConfigurationError):
+            psnr(small_scene.image, small_scene.image[:-1])

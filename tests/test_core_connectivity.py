@@ -1,0 +1,115 @@
+"""Unit tests for connected components and connectivity enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.core import connected_components, enforce_connectivity
+
+
+class TestConnectedComponents:
+    def test_constant_map_single_component(self):
+        comps, n = connected_components(np.zeros((6, 6), dtype=np.int32))
+        assert n == 1
+        assert (comps == 0).all()
+
+    def test_two_halves(self):
+        labels = np.zeros((6, 6), dtype=np.int32)
+        labels[:, 3:] = 1
+        comps, n = connected_components(labels)
+        assert n == 2
+
+    def test_same_label_disjoint_pieces_split(self):
+        labels = np.zeros((5, 5), dtype=np.int32)
+        labels[:, 2] = 1  # wall splits label 0 into two components
+        comps, n = connected_components(labels)
+        assert n == 3
+
+    def test_diagonal_not_connected(self):
+        # 4-connectivity: diagonal touching pieces are separate.
+        labels = np.array([[1, 0], [0, 1]], dtype=np.int32)
+        comps, n = connected_components(labels)
+        assert n == 4
+
+    def test_snake_is_one_component(self):
+        labels = np.ones((5, 7), dtype=np.int32)
+        labels[1, :-1] = 0
+        labels[3, 1:] = 0
+        comps, n = connected_components(labels)
+        # Label 0: two rows joined? They don't touch -> 2 comps of 0, and
+        # label 1 is split into 3 bands connected at the edges (column -1
+        # of row 1 and column 0 of row 3 remain 1, linking bands).
+        sizes = np.bincount(comps.ravel())
+        assert sizes.sum() == 35
+        # Components are label-pure:
+        for c in range(n):
+            assert len(np.unique(labels[comps == c])) == 1
+
+    def test_component_ids_dense(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, (12, 12)).astype(np.int32)
+        comps, n = connected_components(labels)
+        assert sorted(np.unique(comps)) == list(range(n))
+
+
+class TestEnforceConnectivity:
+    def test_min_size_one_is_identity(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 4, (10, 10)).astype(np.int32)
+        out = enforce_connectivity(labels, 1)
+        assert np.array_equal(out, labels)
+
+    def test_absorbs_single_stray_pixel(self):
+        labels = np.zeros((8, 8), dtype=np.int32)
+        labels[4, 4] = 1  # lone stray
+        out = enforce_connectivity(labels, 4)
+        assert (out == 0).all()
+
+    def test_keeps_large_components(self):
+        labels = np.zeros((8, 8), dtype=np.int32)
+        labels[:, 4:] = 1
+        out = enforce_connectivity(labels, 4)
+        assert np.array_equal(out, labels)
+
+    def test_merges_into_longest_border_neighbor(self):
+        labels = np.zeros((8, 12), dtype=np.int32)
+        labels[:, 6:] = 1
+        # 2x2 stray of label 2 sitting mostly next to label 1.
+        labels[3:5, 6:8] = 2
+        out = enforce_connectivity(labels, 6)
+        assert 2 not in out
+        assert (out[3:5, 6:8] == 1).all()
+
+    def test_all_fragments_reach_min_size(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 6, (24, 24)).astype(np.int32)
+        out = enforce_connectivity(labels, 10)
+        comps, n = connected_components(out)
+        sizes = np.bincount(comps.ravel(), minlength=n)
+        assert sizes.min() >= 10 or n == 1
+
+    def test_partition_preserved_as_labels_subset(self):
+        rng = np.random.default_rng(4)
+        labels = rng.integers(0, 5, (16, 16)).astype(np.int32)
+        out = enforce_connectivity(labels, 6)
+        assert set(np.unique(out)) <= set(np.unique(labels))
+
+    def test_chain_of_small_fragments(self):
+        # Three small fragments in a row must all end up in the big region.
+        labels = np.zeros((6, 20), dtype=np.int32)
+        labels[2:4, 8:10] = 1
+        labels[2:4, 10:12] = 2
+        labels[2:4, 12:14] = 3
+        out = enforce_connectivity(labels, 8)
+        assert len(np.unique(out)) == 1
+
+    def test_whole_image_smaller_than_min_size(self):
+        labels = np.zeros((3, 3), dtype=np.int32)
+        out = enforce_connectivity(labels, 100)
+        assert np.array_equal(out, labels)
+
+    def test_input_not_mutated(self):
+        labels = np.zeros((8, 8), dtype=np.int32)
+        labels[4, 4] = 1
+        before = labels.copy()
+        enforce_connectivity(labels, 4)
+        assert np.array_equal(labels, before)

@@ -1,0 +1,161 @@
+"""Unit tests for the Equation 5 distance in float and fixed point."""
+
+import numpy as np
+import pytest
+
+from repro.core import FixedDatapath, pairwise_d2_float, spatial_weight
+from repro.errors import ConfigurationError
+
+
+class TestFloatDistance:
+    def test_zero_for_identical(self):
+        p = np.zeros((1, 1, 3))
+        xy = np.zeros((1, 1, 2))
+        assert pairwise_d2_float(p, xy, p, xy, 0.5)[0, 0] == 0.0
+
+    def test_color_only(self):
+        px = np.array([[[10.0, 0.0, 0.0]]])
+        c = np.array([[[13.0, 4.0, 0.0]]])
+        xy = np.zeros((1, 1, 2))
+        assert pairwise_d2_float(px, xy, c, xy, 1.0)[0, 0] == pytest.approx(25.0)
+
+    def test_spatial_weighting(self):
+        px = np.zeros((1, 1, 3))
+        pxy = np.array([[[0.0, 0.0]]])
+        cxy = np.array([[[3.0, 4.0]]])
+        out = pairwise_d2_float(px, pxy, px, cxy, weight=2.0)
+        assert out[0, 0] == pytest.approx(50.0)
+
+    def test_matches_equation5_squared(self):
+        rng = np.random.default_rng(0)
+        px_lab = rng.normal(size=(5, 1, 3))
+        px_xy = rng.uniform(0, 20, (5, 1, 2))
+        c_lab = rng.normal(size=(5, 9, 3))
+        c_xy = rng.uniform(0, 20, (5, 9, 2))
+        m, s = 10.0, 13.0
+        w = spatial_weight(m, s)
+        d2 = pairwise_d2_float(px_lab, px_xy, c_lab, c_xy, w)
+        # Explicit Equation 5.
+        dc2 = ((px_lab - c_lab) ** 2).sum(-1)
+        ds2 = ((px_xy - c_xy) ** 2).sum(-1)
+        expected = dc2 + (m / s) ** 2 * ds2
+        assert np.allclose(d2, expected)
+
+    def test_weight_validation(self):
+        with pytest.raises(ConfigurationError):
+            spatial_weight(10.0, 0.0)
+
+
+class TestFixedDatapathConfig:
+    def test_default_8bit(self):
+        dp = FixedDatapath()
+        assert dp.bits == 8
+        assert dp.encoding.bits == 8
+        assert dp.effective_distance_shift == 4
+
+    def test_explicit_shift(self):
+        assert FixedDatapath(distance_shift=7).effective_distance_shift == 7
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            FixedDatapath(bits=1)
+
+    def test_rejects_negative_shift(self):
+        with pytest.raises(ConfigurationError):
+            FixedDatapath(distance_shift=-1)
+
+    def test_weight_raw_positive(self):
+        dp = FixedDatapath()
+        assert dp.weight_raw(10.0, 13.0) >= 1
+        # Tiny weights clamp to 1 LSB instead of vanishing.
+        assert dp.weight_raw(0.001, 1000.0) == 1
+
+
+class TestFixedDistance:
+    def _args(self, dp, px_lab, px_xy, c_lab, c_xy):
+        centers = np.concatenate([c_lab, c_xy], axis=-1).reshape(-1, 5)
+        c_codes_all = dp.encode_centers(centers)
+        M, C = px_lab.shape[0], c_lab.shape[1]
+        enc_px = dp.encoding.encode(px_lab.reshape(-1, 3)).reshape(M, 1, 3)
+        return (
+            enc_px,
+            px_xy.astype(np.int64),
+            c_codes_all[:, 0:3].reshape(M, C, 3),
+            c_codes_all[:, 3:5].reshape(M, C, 2),
+        )
+
+    def test_zero_distance_for_identical(self):
+        dp = FixedDatapath()
+        lab = np.array([[[50.0, 10.0, -5.0]]])
+        xy = np.array([[[7, 9]]])
+        px, pxy, cc, cxy = self._args(dp, lab, xy, lab, xy.astype(float))
+        d = dp.pairwise_d2(px, pxy, cc, cxy, dp.weight_raw(10.0, 10.0))
+        assert d[0, 0] == 0
+
+    def test_argmin_matches_float_for_separated_candidates(self):
+        """With well-separated candidates the quantized argmin equals the
+        float argmin — the property the paper's Section 6.1 relies on."""
+        rng = np.random.default_rng(3)
+        dp = FixedDatapath()
+        m, s = 10.0, 12.0
+        w_f = spatial_weight(m, s)
+        w_r = dp.weight_raw(m, s)
+        mismatches = 0
+        for _ in range(50):
+            px_lab = rng.uniform(20, 80, (1, 1, 3))
+            px_xy = rng.integers(0, 36, (1, 1, 2))
+            c_lab = px_lab + rng.normal(0, 25, (1, 9, 3))
+            c_xy = px_xy + rng.uniform(-2 * s, 2 * s, (1, 9, 2))
+            d_f = pairwise_d2_float(px_lab, px_xy.astype(float), c_lab, c_xy, w_f)
+            enc_px, pxy, cc, cxy = self._args(dp, px_lab, px_xy, c_lab, c_xy)
+            d_q = dp.pairwise_d2(enc_px, pxy, cc, cxy, w_r)
+            if np.argmin(d_f) != np.argmin(d_q):
+                # Tolerate rare near-tie flips only.
+                vals = np.sort(d_f.ravel())
+                if (vals[1] - vals[0]) / max(vals[0], 1e-9) > 0.1:
+                    mismatches += 1
+        assert mismatches == 0
+
+    def test_distance_saturates_at_code_max(self):
+        dp = FixedDatapath(bits=8)
+        px = np.array([[[0, 0, 0]]], dtype=np.int64)
+        c = np.array([[[255, 255, 255]]], dtype=np.int64)
+        xy = np.zeros((1, 1, 2), dtype=np.int64)
+        d = dp.pairwise_d2(px, xy, c, xy, 1)
+        assert d[0, 0] == dp.distance_max_code
+
+    def test_unquantized_distance_full_precision(self):
+        dp = FixedDatapath(quantize_distance=False)
+        px = np.array([[[0, 0, 0]]], dtype=np.int64)
+        c = np.array([[[255, 255, 255]]], dtype=np.int64)
+        xy = np.zeros((1, 1, 2), dtype=np.int64)
+        d = dp.pairwise_d2(px, xy, c, xy, 1)
+        assert d[0, 0] == 3 * 255 ** 2
+
+    def test_narrower_bits_coarser_distances(self):
+        rng = np.random.default_rng(5)
+        lab = rng.uniform(20, 80, (32, 1, 3))
+        c_lab = lab + rng.normal(0, 10, (32, 9, 3))
+        xy = rng.integers(0, 30, (32, 1, 2))
+        c_xy = xy + rng.integers(-10, 10, (32, 9, 2))
+        uniq = {}
+        for bits in (4, 8):
+            dp = FixedDatapath(bits=bits)
+            centers = np.concatenate([c_lab, c_xy.astype(float)], axis=-1)
+            cc = dp.encode_centers(centers.reshape(-1, 5))
+            d = dp.pairwise_d2(
+                dp.encoding.encode(lab.reshape(-1, 3)).reshape(32, 1, 3),
+                xy.astype(np.int64),
+                cc[:, 0:3].reshape(32, 9, 3),
+                cc[:, 3:5].reshape(32, 9, 2),
+                dp.weight_raw(10.0, 10.0),
+            )
+            uniq[bits] = len(np.unique(d))
+        assert uniq[4] < uniq[8]
+
+    def test_encode_centers_spatial_precision(self):
+        dp = FixedDatapath(spatial_frac_bits=2)
+        centers = np.array([[50.0, 0.0, 0.0, 10.25, 3.75]])
+        raw = dp.encode_centers(centers)
+        assert raw[0, 3] == 41  # 10.25 * 4
+        assert raw[0, 4] == 15  # 3.75 * 4

@@ -1,0 +1,120 @@
+"""Unit tests for grid initialization and gradient perturbation."""
+
+import numpy as np
+import pytest
+
+from repro.color import rgb_to_lab
+from repro.core import (
+    gradient_magnitude,
+    grid_geometry,
+    initial_centers,
+    perturb_centers,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGridGeometry:
+    def test_square_grid(self):
+        gh, gw, ys, xs = grid_geometry((100, 100), 100)
+        assert gh == 10 and gw == 10
+        assert len(ys) == 10 and len(xs) == 10
+
+    def test_centers_inside_image(self):
+        gh, gw, ys, xs = grid_geometry((48, 72), 30)
+        assert ys.min() > 0 and ys.max() < 48
+        assert xs.min() > 0 and xs.max() < 72
+
+    def test_centers_evenly_spaced(self):
+        _, _, ys, xs = grid_geometry((100, 100), 25)
+        assert np.allclose(np.diff(ys), np.diff(ys)[0])
+        assert np.allclose(np.diff(xs), np.diff(xs)[0])
+
+    def test_aspect_ratio_respected(self):
+        gh, gw, _, _ = grid_geometry((50, 200), 64)
+        assert gw > gh
+
+    def test_realized_count_close_to_requested(self):
+        for k in (10, 50, 150, 333):
+            gh, gw, _, _ = grid_geometry((120, 180), k)
+            assert abs(gh * gw - k) / k < 0.35
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            grid_geometry((10, 10), 0)
+
+    def test_rejects_more_than_pixels(self):
+        with pytest.raises(ConfigurationError):
+            grid_geometry((4, 4), 100)
+
+    def test_single_superpixel(self):
+        gh, gw, _, _ = grid_geometry((10, 10), 1)
+        assert gh == 1 and gw == 1
+
+
+class TestInitialCenters:
+    def test_shape_and_order(self, rgb_image):
+        lab = rgb_to_lab(rgb_image)
+        centers = initial_centers(lab, 24)
+        gh, gw, _, _ = grid_geometry(lab.shape[:2], 24)
+        assert centers.shape == (gh * gw, 5)
+        # Row-major grid order: x increases within each row of gw entries.
+        first_row = centers[:gw]
+        assert (np.diff(first_row[:, 3]) > 0).all()
+
+    def test_lab_values_sampled_from_image(self, rgb_image):
+        lab = rgb_to_lab(rgb_image)
+        centers = initial_centers(lab, 12)
+        for c in centers[:4]:
+            x, y = int(round(c[3])), int(round(c[4]))
+            x = min(x, lab.shape[1] - 1)
+            y = min(y, lab.shape[0] - 1)
+            assert np.allclose(c[0:3], lab[y, x], atol=1e-9)
+
+
+class TestGradient:
+    def test_constant_image_zero_gradient(self):
+        assert gradient_magnitude(np.ones((8, 8, 3))).max() == 0.0
+
+    def test_edge_detected(self):
+        img = np.zeros((8, 8, 1))
+        img[:, 4:] = 10.0
+        grad = gradient_magnitude(img)
+        assert grad[:, 3:5].min() > 0
+        assert grad[:, 0].max() == 0.0
+
+    def test_2d_input_supported(self):
+        img = np.zeros((6, 6))
+        img[3:, :] = 5.0
+        assert gradient_magnitude(img).max() > 0
+
+
+class TestPerturb:
+    def test_moves_off_edges(self):
+        lab = np.zeros((20, 20, 3))
+        lab[:, 10:] = 50.0  # sharp vertical edge at x=10
+        centers = np.array([[0.0, 0.0, 0.0, 10.0, 10.0]])  # sitting on the edge
+        out = perturb_centers(centers, lab)
+        assert out[0, 3] != 10.0  # moved off the gradient ridge
+
+    def test_stays_within_3x3(self):
+        rng = np.random.default_rng(0)
+        lab = rng.normal(size=(30, 30, 3))
+        centers = initial_centers(lab, 9)
+        out = perturb_centers(centers, lab)
+        assert np.abs(out[:, 3] - centers[:, 3]).max() <= 1.0 + 1e-9
+        assert np.abs(out[:, 4] - centers[:, 4]).max() <= 1.0 + 1e-9
+
+    def test_refreshes_lab_from_new_position(self):
+        rng = np.random.default_rng(1)
+        lab = rng.normal(size=(30, 30, 3))
+        out = perturb_centers(initial_centers(lab, 9), lab)
+        for c in out:
+            assert np.allclose(c[0:3], lab[int(c[4]), int(c[3])])
+
+    def test_input_not_mutated(self):
+        rng = np.random.default_rng(2)
+        lab = rng.normal(size=(20, 20, 3))
+        centers = initial_centers(lab, 4)
+        before = centers.copy()
+        perturb_centers(centers, lab)
+        assert np.array_equal(centers, before)

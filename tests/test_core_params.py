@@ -1,0 +1,57 @@
+"""Unit tests for SlicParams validation and derived quantities."""
+
+import numpy as np
+import pytest
+
+from repro.core import SlicParams
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SlicParams()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_superpixels": 0},
+            {"compactness": 0.0},
+            {"compactness": -1.0},
+            {"max_iterations": 0},
+            {"max_subiterations": 0},
+            {"convergence_threshold": -0.1},
+            {"subsample_ratio": 0.0},
+            {"subsample_ratio": 1.5},
+            {"subsample_ratio": 0.3},  # not 1/n
+            {"architecture": "gpu"},
+            {"subset_strategy": "spiral"},
+            {"center_update_mode": "momentum"},
+            {"min_size_factor": 1.0},
+            {"min_size_factor": -0.1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SlicParams(**kwargs)
+
+    @pytest.mark.parametrize("ratio,expected", [(1.0, 1), (0.5, 2), (0.25, 4), (0.125, 8)])
+    def test_n_subsets(self, ratio, expected):
+        assert SlicParams(subsample_ratio=ratio).n_subsets == expected
+
+    def test_grid_interval(self):
+        params = SlicParams(n_superpixels=100)
+        assert params.grid_interval((100, 100)) == pytest.approx(10.0)
+
+    def test_with_returns_new_instance(self):
+        p = SlicParams()
+        q = p.with_(compactness=25.0)
+        assert q.compactness == 25.0
+        assert p.compactness == 10.0
+
+    def test_with_validates(self):
+        with pytest.raises(ConfigurationError):
+            SlicParams().with_(n_superpixels=-1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SlicParams().compactness = 5.0

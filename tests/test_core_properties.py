@@ -1,0 +1,105 @@
+"""Property-based tests for core invariants (connectivity, schedules,
+candidate maps)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    SubsetSchedule,
+    candidate_map,
+    connected_components,
+    enforce_connectivity,
+    tile_map,
+)
+
+label_maps = hnp.arrays(
+    dtype=np.int32,
+    shape=st.tuples(st.integers(4, 14), st.integers(4, 14)),
+    elements=st.integers(0, 3),
+)
+
+
+@given(labels=label_maps)
+@settings(max_examples=80)
+def test_components_are_label_pure(labels):
+    comps, n = connected_components(labels)
+    assert n >= 1
+    for c in np.unique(comps):
+        assert len(np.unique(labels[comps == c])) == 1
+
+
+@given(labels=label_maps)
+@settings(max_examples=80)
+def test_components_are_connected_refinement(labels):
+    """Component boundaries are a superset of label boundaries."""
+    comps, _ = connected_components(labels)
+    label_change_h = labels[:, 1:] != labels[:, :-1]
+    comp_change_h = comps[:, 1:] != comps[:, :-1]
+    assert (comp_change_h | ~label_change_h).all()
+
+
+@given(labels=label_maps, min_size=st.integers(2, 12))
+@settings(max_examples=80)
+def test_enforce_connectivity_postconditions(labels, min_size):
+    out = enforce_connectivity(labels, min_size)
+    # Labels come from the original label set.
+    assert set(np.unique(out)) <= set(np.unique(labels))
+    # Every surviving component reaches min_size, unless it had no
+    # neighbor to merge into (single-component map).
+    comps, n = connected_components(out)
+    sizes = np.bincount(comps.ravel(), minlength=n)
+    if n > 1:
+        assert sizes.min() >= min(min_size, sizes.max())
+
+
+@given(labels=label_maps)
+@settings(max_examples=60)
+def test_enforce_connectivity_idempotent(labels):
+    once = enforce_connectivity(labels, 5)
+    twice = enforce_connectivity(once, 5)
+    assert np.array_equal(once, twice)
+
+
+@given(
+    h=st.integers(6, 40),
+    w=st.integers(6, 40),
+    n_subsets=st.integers(1, 6),
+    strategy=st.sampled_from(["strided", "checkerboard", "rows", "random"]),
+)
+@settings(max_examples=80)
+def test_schedules_always_partition(h, w, n_subsets, strategy):
+    if n_subsets > h * w:
+        return
+    sched = SubsetSchedule((h, w), n_subsets, strategy=strategy)
+    seen = np.concatenate([sched.subset(p) for p in range(n_subsets)])
+    assert len(seen) == h * w
+    assert len(np.unique(seen)) == h * w
+
+
+@given(gh=st.integers(1, 9), gw=st.integers(1, 9))
+@settings(max_examples=60)
+def test_candidate_maps_well_formed(gh, gw):
+    cands = candidate_map(gh, gw)
+    assert cands.shape == (gh * gw, 9)
+    assert cands.min() >= 0
+    assert cands.max() < gh * gw
+    for t in range(gh * gw):
+        assert t in cands[t]  # own tile always a candidate
+
+
+@given(
+    h=st.integers(4, 50),
+    w=st.integers(4, 50),
+    gh=st.integers(1, 8),
+    gw=st.integers(1, 8),
+)
+@settings(max_examples=60)
+def test_tile_map_covers_grid(h, w, gh, gw):
+    if gh > h or gw > w:
+        return
+    tiles = tile_map((h, w), gh, gw)
+    assert tiles.min() == 0
+    assert tiles.max() == gh * gw - 1
+    assert len(np.unique(tiles)) == gh * gw

@@ -1,0 +1,77 @@
+"""Tests for the temporal streaming segmenter."""
+
+import numpy as np
+import pytest
+
+from repro.core import SlicParams, StreamSegmenter
+from repro.data import SceneConfig, VideoSequence
+from repro.errors import ConfigurationError
+
+CFG = SceneConfig(height=80, width=120, n_regions=8, n_disks=1, noise=0.0)
+PARAMS = SlicParams(n_superpixels=60, subsample_ratio=0.5, convergence_threshold=0.3)
+
+
+def _run(motion, n=5, amplitude=3.0, **kw):
+    seq = VideoSequence(n, config=CFG, motion=motion, amplitude=amplitude, seed=3)
+    seg = StreamSegmenter(PARAMS, **kw)
+    results = [seg.process(f.image) for f in seq]
+    return seg, results
+
+
+class TestStreamSegmenter:
+    def test_first_frame_cold(self):
+        seg, _ = _run("static", n=2)
+        assert not seg.history[0].warm_started
+        assert seg.history[1].warm_started
+
+    def test_warm_start_reduces_sweeps_on_static_stream(self):
+        seg, _ = _run("static", n=4)
+        cold = seg.history[0].sweeps
+        warm = [h.sweeps for h in seg.history[1:]]
+        assert min(warm) < cold
+
+    def test_shake_stream_stays_warm(self):
+        seg, _ = _run("shake", n=6)
+        assert seg.reanchor_count == 0
+        assert all(h.warm_started for h in seg.history[1:])
+
+    def test_pan_stream_reanchors(self):
+        seg, _ = _run("pan", n=8, amplitude=4.0)
+        assert seg.reanchor_count >= 1
+        # Drift resets after each re-anchor.
+        drifts = [h.mean_drift_px for h in seg.history]
+        assert max(drifts) > 0
+
+    def test_results_valid_every_frame(self):
+        seg, results = _run("shake", n=4)
+        for r in results:
+            assert r.labels.shape == (80, 120)
+            assert r.labels.max() < r.n_superpixels
+
+    def test_reset_forces_cold_start(self):
+        seq = VideoSequence(3, config=CFG, motion="static", seed=3)
+        seg = StreamSegmenter(PARAMS)
+        seg.process(seq[0].image)
+        seg.reset()
+        seg.process(seq[1].image)
+        assert not seg.history[1].warm_started
+
+    def test_shape_change_reanchors(self):
+        seg = StreamSegmenter(PARAMS)
+        seq = VideoSequence(1, config=CFG, seed=3)
+        seg.process(seq[0].image)
+        other = VideoSequence(
+            1, config=SceneConfig(height=64, width=96, n_regions=8, noise=0.0), seed=3
+        )
+        result = seg.process(other[0].image)
+        assert result.labels.shape == (64, 96)
+        assert not seg.history[1].warm_started
+
+    def test_mean_sweeps_empty(self):
+        assert StreamSegmenter(PARAMS).mean_sweeps == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StreamSegmenter("not params")
+        with pytest.raises(ConfigurationError):
+            StreamSegmenter(PARAMS, drift_limit=0.0)

@@ -1,0 +1,126 @@
+"""Unit tests for the S-SLIC subset schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core import SubsetSchedule, center_subsets, make_schedule
+from repro.errors import ConfigurationError
+
+STRATEGIES = ("strided", "checkerboard", "rows", "blocks", "random")
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("n_subsets", [1, 2, 4])
+    def test_subsets_partition_all_pixels(self, strategy, n_subsets):
+        sched = SubsetSchedule((24, 36), n_subsets, strategy=strategy)
+        seen = np.concatenate([sched.subset(p) for p in range(n_subsets)])
+        assert len(seen) == 24 * 36
+        assert len(np.unique(seen)) == 24 * 36
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_subsets_balanced(self, strategy):
+        sched = SubsetSchedule((25, 37), 4, strategy=strategy)
+        sizes = sched.sizes
+        assert max(sizes) - min(sizes) <= 37  # blocks: at most one row band off
+
+    @pytest.mark.parametrize("strategy", ("strided", "checkerboard", "rows", "random"))
+    def test_interleaved_strategies_tightly_balanced(self, strategy):
+        # Odd dimensions: row/parity schemes can differ by up to one row
+        # (or one odd-parity line) of pixels, never more.
+        sched = SubsetSchedule((25, 37), 4, strategy=strategy)
+        sizes = sched.sizes
+        assert max(sizes) - min(sizes) <= 37
+
+    def test_round_robin_wraps(self):
+        sched = SubsetSchedule((10, 10), 2)
+        assert np.array_equal(sched.subset(0), sched.subset(2))
+        assert np.array_equal(sched.subset(1), sched.subset(3))
+
+    def test_single_subset_is_everything(self):
+        sched = SubsetSchedule((8, 8), 1)
+        assert len(sched.subset(0)) == 64
+
+
+class TestSpatialStructure:
+    def test_checkerboard_2_is_parity(self):
+        sched = SubsetSchedule((8, 8), 2, strategy="checkerboard")
+        mask = sched.subset_mask(0)
+        yy, xx = np.mgrid[0:8, 0:8]
+        assert np.array_equal(mask, (yy + xx) % 2 == 0)
+
+    def test_rows_strategy(self):
+        sched = SubsetSchedule((8, 8), 2, strategy="rows")
+        mask = sched.subset_mask(1)
+        assert mask[1].all()
+        assert not mask[0].any()
+
+    def test_blocks_are_contiguous_bands(self):
+        sched = SubsetSchedule((16, 8), 4, strategy="blocks")
+        mask = sched.subset_mask(0)
+        rows_with = np.flatnonzero(mask.any(axis=1))
+        assert np.array_equal(rows_with, np.arange(rows_with[0], rows_with[-1] + 1))
+
+    def test_strided_subset_spatially_uniform(self):
+        """Every superpixel-sized patch must contain subset pixels — the
+        property that keeps the OS-EM update unbiased."""
+        sched = SubsetSchedule((32, 32), 4, strategy="strided")
+        mask = sched.subset_mask(0)
+        for y0 in range(0, 32, 8):
+            for x0 in range(0, 32, 8):
+                assert mask[y0 : y0 + 8, x0 : x0 + 8].sum() >= 8
+
+    def test_blocks_starve_patches(self):
+        """The pathological schedule leaves whole patches empty (why it is
+        the ablation's bad example)."""
+        sched = SubsetSchedule((32, 32), 4, strategy="blocks")
+        mask = sched.subset_mask(0)
+        assert mask[24:, :].sum() == 0
+
+    def test_random_deterministic_by_seed(self):
+        a = SubsetSchedule((12, 12), 3, strategy="random", seed=5)
+        b = SubsetSchedule((12, 12), 3, strategy="random", seed=5)
+        c = SubsetSchedule((12, 12), 3, strategy="random", seed=6)
+        assert np.array_equal(a.subset(0), b.subset(0))
+        assert not np.array_equal(a.subset(0), c.subset(0))
+
+
+class TestMakeSchedule:
+    def test_ratio_one(self):
+        assert make_schedule((8, 8), 1.0, "strided").n_subsets == 1
+
+    def test_ratio_quarter(self):
+        assert make_schedule((8, 8), 0.25, "strided").n_subsets == 4
+
+    def test_rejects_non_unit_fraction(self):
+        with pytest.raises(ConfigurationError):
+            make_schedule((8, 8), 0.3, "strided")
+
+
+class TestValidation:
+    def test_rejects_zero_subsets(self):
+        with pytest.raises(ConfigurationError):
+            SubsetSchedule((8, 8), 0)
+
+    def test_rejects_more_subsets_than_pixels(self):
+        with pytest.raises(ConfigurationError):
+            SubsetSchedule((2, 2), 100)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            SubsetSchedule((8, 8), 2, strategy="hilbert")
+
+
+class TestCenterSubsets:
+    def test_partition(self):
+        subs = center_subsets(10, 3)
+        seen = np.concatenate(subs)
+        assert sorted(seen) == list(range(10))
+
+    def test_interleaved(self):
+        subs = center_subsets(9, 3)
+        assert list(subs[0]) == [0, 3, 6]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            center_subsets(5, 0)

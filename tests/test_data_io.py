@@ -1,0 +1,135 @@
+"""Unit tests for PPM/PGM I/O and the BSDS .seg parser."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    parse_seg_file,
+    read_pgm,
+    read_ppm,
+    write_pgm,
+    write_ppm,
+)
+from repro.data.bsds import load_bsds_pairs
+from repro.errors import DatasetError
+
+
+class TestPpm:
+    def test_roundtrip(self, tmp_path, rgb_image):
+        path = tmp_path / "img.ppm"
+        write_ppm(path, rgb_image)
+        back = read_ppm(path)
+        assert np.array_equal(back, rgb_image)
+
+    def test_rejects_wrong_dtype(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((4, 4, 3), dtype=np.float64))
+
+    def test_rejects_wrong_shape(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((4, 4), dtype=np.uint8))
+
+    def test_read_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.ppm"
+        path.write_bytes(b"P3\n2 2\n255\n" + b"0" * 12)
+        with pytest.raises(DatasetError):
+            read_ppm(path)
+
+    def test_read_rejects_truncated(self, tmp_path):
+        path = tmp_path / "trunc.ppm"
+        path.write_bytes(b"P6\n4 4\n255\n" + b"\x00" * 10)
+        with pytest.raises(DatasetError):
+            read_ppm(path)
+
+    def test_header_with_comment(self, tmp_path):
+        path = tmp_path / "c.ppm"
+        path.write_bytes(b"P6\n# a comment\n2 1\n255\n" + bytes([1, 2, 3, 4, 5, 6]))
+        img = read_ppm(path)
+        assert img.shape == (1, 2, 3)
+        assert img[0, 0, 0] == 1
+
+
+class TestPgm:
+    def test_roundtrip(self, tmp_path, rng):
+        img = rng.integers(0, 256, (12, 17), dtype=np.uint8)
+        path = tmp_path / "g.pgm"
+        write_pgm(path, img)
+        assert np.array_equal(read_pgm(path), img)
+
+    def test_rejects_color_image(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_pgm(tmp_path / "x.pgm", np.zeros((4, 4, 3), dtype=np.uint8))
+
+
+def _write_seg(path, labels):
+    """Write a label map in the BSDS .seg run-length format."""
+    h, w = labels.shape
+    lines = ["format ascii cr", f"width {w}", f"height {h}",
+             f"segments {labels.max() + 1}", "data"]
+    for row in range(h):
+        col = 0
+        while col < w:
+            seg = labels[row, col]
+            end = col
+            while end + 1 < w and labels[row, end + 1] == seg:
+                end += 1
+            lines.append(f"{seg} {row} {col} {end}")
+            col = end + 1
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestSegParser:
+    def test_roundtrip(self, tmp_path, rng):
+        labels = rng.integers(0, 4, (6, 9)).astype(np.int32)
+        path = tmp_path / "a.seg"
+        _write_seg(path, labels)
+        assert np.array_equal(parse_seg_file(path), labels)
+
+    def test_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "b.seg"
+        path.write_text("data\n0 0 0 1\n")
+        with pytest.raises(DatasetError):
+            parse_seg_file(path)
+
+    def test_rejects_uncovered_pixels(self, tmp_path):
+        path = tmp_path / "c.seg"
+        path.write_text("width 4\nheight 2\ndata\n0 0 0 3\n")  # row 1 missing
+        with pytest.raises(DatasetError):
+            parse_seg_file(path)
+
+    def test_rejects_out_of_bounds_run(self, tmp_path):
+        path = tmp_path / "d.seg"
+        path.write_text("width 4\nheight 1\ndata\n0 0 0 9\n")
+        with pytest.raises(DatasetError):
+            parse_seg_file(path)
+
+
+class TestBsdsLoader:
+    def test_pairs_by_stem(self, tmp_path, rng):
+        images = tmp_path / "images"
+        segs = tmp_path / "segs"
+        images.mkdir()
+        segs.mkdir()
+        img = rng.integers(0, 256, (5, 7, 3), dtype=np.uint8)
+        write_ppm(images / "100.ppm", img)
+        labels = rng.integers(0, 3, (5, 7)).astype(np.int32)
+        _write_seg(segs / "100.seg", labels)
+        write_ppm(images / "200.ppm", img)  # no seg -> skipped
+        samples = list(load_bsds_pairs(images, segs))
+        assert len(samples) == 1
+        assert samples[0].image_id == "100"
+        assert np.array_equal(samples[0].gt_labels, labels)
+
+    def test_shape_mismatch_rejected(self, tmp_path, rng):
+        images = tmp_path / "images"
+        segs = tmp_path / "segs"
+        images.mkdir()
+        segs.mkdir()
+        write_ppm(images / "1.ppm", rng.integers(0, 256, (5, 7, 3), dtype=np.uint8))
+        _write_seg(segs / "1.seg", np.zeros((3, 3), dtype=np.int32))
+        with pytest.raises(DatasetError):
+            list(load_bsds_pairs(images, segs))
+
+    def test_missing_dirs_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            list(load_bsds_pairs(tmp_path / "no", tmp_path / "no2"))

@@ -1,0 +1,128 @@
+"""Unit tests for the ground-truth region generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    add_disk_regions,
+    relabel_sequential,
+    stripe_regions,
+    voronoi_regions,
+    warped_voronoi_regions,
+)
+from repro.errors import DatasetError
+
+
+class TestVoronoi:
+    def test_covers_image_with_dense_labels(self, rng):
+        labels = voronoi_regions((40, 60), 7, rng)
+        assert labels.shape == (40, 60)
+        assert labels.min() == 0
+        assert labels.max() <= 6
+
+    def test_every_site_owns_some_pixels_usually(self, rng):
+        labels = voronoi_regions((60, 60), 5, rng)
+        assert len(np.unique(labels)) >= 4
+
+    def test_single_region(self, rng):
+        labels = voronoi_regions((10, 10), 1, rng)
+        assert (labels == 0).all()
+
+    def test_rejects_zero_regions(self, rng):
+        with pytest.raises(DatasetError):
+            voronoi_regions((10, 10), 0, rng)
+
+    def test_rejects_more_regions_than_pixels(self, rng):
+        with pytest.raises(DatasetError):
+            voronoi_regions((4, 4), 100, rng)
+
+    def test_regions_are_spatially_coherent(self, rng):
+        """Voronoi cells are convex: horizontal runs of each label are
+        contiguous in every row."""
+        labels = voronoi_regions((30, 50), 6, rng)
+        for row in labels:
+            changes = np.count_nonzero(np.diff(row))
+            # A row crossing k convex cells changes label exactly k-1 times;
+            # with 6 cells at most 5 changes.
+            assert changes <= 5
+
+
+class TestWarpedVoronoi:
+    def test_shape_and_range(self, rng):
+        labels = warped_voronoi_regions((40, 60), 8, rng)
+        assert labels.shape == (40, 60)
+        assert labels.max() <= 7
+
+    def test_zero_warp_close_to_plain_voronoi(self):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        plain = voronoi_regions((30, 40), 5, rng1)
+        warped = warped_voronoi_regions((30, 40), 5, rng2, warp_amplitude=0.0)
+        assert (plain == warped).mean() > 0.99
+
+    def test_rejects_negative_amplitude(self, rng):
+        with pytest.raises(DatasetError):
+            warped_voronoi_regions((20, 20), 4, rng, warp_amplitude=-0.1)
+
+
+class TestStripes:
+    def test_stripe_count(self, rng):
+        labels = stripe_regions((50, 50), 5, rng)
+        assert len(np.unique(labels)) == 5
+
+    def test_stripes_are_parallel_bands(self, rng):
+        labels = stripe_regions((40, 40), 4, rng)
+        # Band structure: each label's pixels form one contiguous range of
+        # projections; verified by no label being adjacent to a non-
+        # consecutive label.
+        horiz = np.abs(np.diff(labels.astype(int), axis=1))
+        vert = np.abs(np.diff(labels.astype(int), axis=0))
+        assert max(horiz.max(), vert.max()) <= 1
+
+    def test_rejects_zero(self, rng):
+        with pytest.raises(DatasetError):
+            stripe_regions((10, 10), 0, rng)
+
+
+class TestDisks:
+    def test_disks_add_labels(self, rng):
+        base = voronoi_regions((50, 50), 4, rng)
+        out = add_disk_regions(base, 2, rng)
+        assert out.max() > base.max()
+
+    def test_zero_disks_is_identity(self, rng):
+        base = voronoi_regions((30, 30), 3, rng)
+        out = add_disk_regions(base, 0, rng)
+        assert np.array_equal(out, base)
+
+    def test_input_not_mutated(self, rng):
+        base = voronoi_regions((30, 30), 3, rng)
+        before = base.copy()
+        add_disk_regions(base, 3, rng)
+        assert np.array_equal(base, before)
+
+    def test_rejects_bad_radius_range(self, rng):
+        base = voronoi_regions((30, 30), 3, rng)
+        with pytest.raises(DatasetError):
+            add_disk_regions(base, 1, rng, radius_range=(0.2, 0.1))
+
+
+class TestRelabel:
+    def test_dense_output(self):
+        labels = np.array([[5, 5, 9], [9, 2, 2]])
+        out = relabel_sequential(labels)
+        assert sorted(np.unique(out)) == [0, 1, 2]
+
+    def test_preserves_partition(self):
+        labels = np.array([[5, 5, 9], [9, 2, 2]])
+        out = relabel_sequential(labels)
+        # Same-label pixels stay same-label, different stay different.
+        for v in np.unique(labels):
+            vals = np.unique(out[labels == v])
+            assert len(vals) == 1
+
+    def test_first_appearance_order(self):
+        labels = np.array([[7, 3, 7, 1]])
+        out = relabel_sequential(labels)
+        # np.unique sorts by value: 1->0, 3->1, 7->2.
+        assert list(out[0]) == [2, 1, 2, 0]

@@ -1,0 +1,85 @@
+"""Tests for corpus statistics — the dataset-substitution evidence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import eval_dataset
+from repro.data import (
+    SceneConfig,
+    corpus_statistics,
+    generate_scene,
+    scene_statistics,
+)
+from repro.data.synthetic import Scene
+from repro.errors import DatasetError
+
+
+def _noise_scene(seed=0):
+    rng = np.random.default_rng(seed)
+    return Scene(
+        image=rng.integers(0, 256, (64, 96, 3), dtype=np.uint8),
+        gt_labels=np.zeros((64, 96), dtype=np.int32),
+        config=SceneConfig(),
+        seed=seed,
+    )
+
+
+class TestSceneStatistics:
+    def test_fields_populated(self, small_scene):
+        stats = scene_statistics(small_scene)
+        assert stats.n_segments == small_scene.n_gt_regions
+        assert stats.mean_segment_area > 0
+        assert all(s > 0 for s in stats.lab_std)
+
+    def test_synthetic_gradients_heavier_tailed_than_noise(self, small_scene):
+        """The substitution criterion: scene gradients are leptokurtic
+        (flat regions + rare strong edges), unlike white noise."""
+        scene_k = scene_statistics(small_scene).gradient_kurtosis
+        noise_k = scene_statistics(_noise_scene()).gradient_kurtosis
+        assert scene_k > 0.0
+        assert scene_k > noise_k + 0.5
+
+    def test_boundary_sparsity(self, small_scene):
+        stats = scene_statistics(small_scene)
+        assert 0.0 < stats.boundary_fraction < 0.15
+
+    def test_constant_image_zero_kurtosis(self):
+        flat = Scene(
+            image=np.full((32, 32, 3), 128, dtype=np.uint8),
+            gt_labels=np.zeros((32, 32), dtype=np.int32),
+            config=SceneConfig(),
+            seed=0,
+        )
+        assert scene_statistics(flat).gradient_kurtosis == 0.0
+
+
+class TestCorpusStatistics:
+    def test_eval_corpus_is_in_the_bsds_regime(self):
+        """The Fig 2 corpus must sit in the paper's operating regime:
+        ground-truth segments much larger than superpixels, sparse
+        boundaries, chromatic content in all channels."""
+        dataset = eval_dataset("quick")
+        stats = corpus_statistics(list(dataset))
+        # Segments ~8x a superpixel (K=160 on 128x192 -> ~154 px/SP).
+        assert stats["mean_segment_area"] > 4 * 154
+        assert stats["boundary_fraction_mean"] < 0.1
+        assert stats["gradient_kurtosis_mean"] > 0.0
+        assert min(stats["lab_std_mean"]) > 5.0
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(DatasetError):
+            corpus_statistics([])
+
+    def test_generator_knobs_move_statistics(self):
+        plain = generate_scene(
+            SceneConfig(height=64, width=96, n_regions=8, texture=0.0, noise=0.0),
+            seed=4,
+        )
+        noisy = generate_scene(
+            SceneConfig(height=64, width=96, n_regions=8, texture=0.0, noise=6.0),
+            seed=4,
+        )
+        k_plain = scene_statistics(plain).gradient_kurtosis
+        k_noisy = scene_statistics(noisy).gradient_kurtosis
+        # Heavy per-pixel noise gaussianizes the gradients.
+        assert k_noisy < k_plain

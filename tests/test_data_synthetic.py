@@ -1,0 +1,145 @@
+"""Unit tests for the synthetic scene generator and dataset."""
+
+import numpy as np
+import pytest
+
+from repro.color import rgb_to_lab
+from repro.data import Scene, SceneConfig, SyntheticDataset, generate_scene
+from repro.errors import DatasetError
+from repro.metrics import boundary_map
+
+
+class TestSceneConfigValidation:
+    def test_default_valid(self):
+        SceneConfig()
+
+    def test_rejects_tiny_image(self):
+        with pytest.raises(DatasetError):
+            SceneConfig(height=4, width=100)
+
+    def test_rejects_unknown_layout(self):
+        with pytest.raises(DatasetError):
+            SceneConfig(layout="spiral")
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(DatasetError):
+            SceneConfig(noise=-1.0)
+
+    def test_rejects_bad_camouflage(self):
+        with pytest.raises(DatasetError):
+            SceneConfig(camouflage=1.5)
+
+    def test_rejects_negative_blur(self):
+        with pytest.raises(DatasetError):
+            SceneConfig(blur_sigma=-0.1)
+
+
+class TestGenerateScene:
+    def test_image_and_labels_consistent(self, small_scene):
+        assert small_scene.image.shape[:2] == small_scene.gt_labels.shape
+        assert small_scene.image.dtype == np.uint8
+        assert small_scene.gt_labels.dtype == np.int32
+
+    def test_labels_dense_from_zero(self, small_scene):
+        uniq = np.unique(small_scene.gt_labels)
+        assert uniq[0] == 0
+        assert np.array_equal(uniq, np.arange(len(uniq)))
+
+    def test_deterministic(self):
+        cfg = SceneConfig(height=32, width=48, n_regions=5)
+        a = generate_scene(cfg, seed=9)
+        b = generate_scene(cfg, seed=9)
+        assert np.array_equal(a.image, b.image)
+        assert np.array_equal(a.gt_labels, b.gt_labels)
+
+    def test_different_seeds_differ(self):
+        cfg = SceneConfig(height=32, width=48, n_regions=5)
+        a = generate_scene(cfg, seed=1)
+        b = generate_scene(cfg, seed=2)
+        assert not np.array_equal(a.image, b.image)
+
+    def test_regions_have_distinct_colors(self):
+        cfg = SceneConfig(
+            height=48, width=64, n_regions=6, n_disks=0,
+            texture=0.0, noise=0.0, shading=0.0, min_color_separation=15.0,
+        )
+        scene = generate_scene(cfg, seed=3)
+        lab = rgb_to_lab(scene.image)
+        means = []
+        for r in range(scene.n_gt_regions):
+            means.append(lab[scene.gt_labels == r].mean(axis=0))
+        means = np.asarray(means)
+        d = np.linalg.norm(means[:, None] - means[None, :], axis=2)
+        np.fill_diagonal(d, np.inf)
+        # Rendering clips to gamut, so allow some shrink from the nominal
+        # separation; colors must still be clearly apart.
+        assert d.min() > 6.0
+
+    def test_camouflage_reduces_boundary_contrast(self):
+        base = SceneConfig(height=64, width=96, n_regions=10, n_disks=0,
+                           texture=0.0, noise=0.0, shading=0.0)
+        plain = generate_scene(base, seed=5)
+        camo = generate_scene(
+            SceneConfig(**{**base.__dict__, "camouflage": 0.5}), seed=5
+        )
+        def boundary_contrast(scene):
+            lab = rgb_to_lab(scene.image)
+            edges = boundary_map(scene.gt_labels)
+            gx = np.abs(np.diff(lab, axis=1)).sum(axis=-1)
+            return gx[edges[:, 1:]].mean()
+        assert boundary_contrast(camo) < boundary_contrast(plain)
+
+    def test_stripes_layout(self):
+        scene = generate_scene(
+            SceneConfig(height=32, width=48, n_regions=5, n_disks=0, layout="stripes"),
+            seed=2,
+        )
+        assert scene.n_gt_regions >= 4
+
+    def test_blur_softens_edges(self):
+        base = dict(height=48, width=64, n_regions=6, n_disks=0,
+                    texture=0.0, noise=0.0, shading=0.0)
+        sharp = generate_scene(SceneConfig(**base), seed=4)
+        soft = generate_scene(SceneConfig(**base, blur_sigma=2.0), seed=4)
+        g = lambda im: np.abs(np.diff(im.astype(float), axis=1)).max()
+        assert g(soft.image) < g(sharp.image)
+
+
+class TestSyntheticDataset:
+    def test_len_and_iteration(self):
+        ds = SyntheticDataset(4, config=SceneConfig(height=24, width=32, n_regions=4))
+        scenes = list(ds)
+        assert len(ds) == 4
+        assert len(scenes) == 4
+        assert all(isinstance(s, Scene) for s in scenes)
+
+    def test_indexing_matches_iteration(self):
+        ds = SyntheticDataset(3, config=SceneConfig(height=24, width=32, n_regions=4))
+        assert np.array_equal(ds[1].image, list(ds)[1].image)
+
+    def test_out_of_range_index(self):
+        ds = SyntheticDataset(2)
+        with pytest.raises(IndexError):
+            ds[2]
+
+    def test_layout_cycling(self):
+        ds = SyntheticDataset(5, config=SceneConfig(height=24, width=32, n_regions=4))
+        layouts = [ds.scene_config(i).layout for i in range(5)]
+        assert "voronoi" in layouts
+        assert "stripes" in layouts
+
+    def test_no_layout_variation_when_disabled(self):
+        ds = SyntheticDataset(
+            5, config=SceneConfig(height=24, width=32, n_regions=4), vary_layout=False
+        )
+        assert all(ds.scene_config(i).layout == "warped" for i in range(5))
+
+    def test_different_corpus_seeds_differ(self):
+        cfg = SceneConfig(height=24, width=32, n_regions=4)
+        a = SyntheticDataset(1, config=cfg, seed=1)[0]
+        b = SyntheticDataset(1, config=cfg, seed=2)[0]
+        assert not np.array_equal(a.image, b.image)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            SyntheticDataset(0)

@@ -1,0 +1,90 @@
+"""Unit tests for the noise/texture/blur primitives."""
+
+import numpy as np
+import pytest
+
+from repro.data import linear_gradient, multi_octave_noise, value_noise
+from repro.data.texture import gaussian_blur
+from repro.errors import DatasetError
+
+
+class TestValueNoise:
+    def test_shape_and_range(self, rng):
+        n = value_noise((32, 48), 4, rng)
+        assert n.shape == (32, 48)
+        assert n.min() >= -1.0 - 1e-9
+        assert n.max() <= 1.0 + 1e-9
+
+    def test_low_frequency_is_smooth(self, rng):
+        n = value_noise((64, 64), 2, rng)
+        # Adjacent-pixel differences must be small for a 2-cell grid.
+        assert np.abs(np.diff(n, axis=0)).max() < 0.2
+
+    def test_higher_cells_higher_frequency(self, rng):
+        lo = value_noise((64, 64), 2, np.random.default_rng(0))
+        hi = value_noise((64, 64), 16, np.random.default_rng(0))
+        grad = lambda a: np.abs(np.diff(a, axis=1)).mean()
+        assert grad(hi) > grad(lo)
+
+    def test_rejects_zero_cells(self, rng):
+        with pytest.raises(DatasetError):
+            value_noise((16, 16), 0, rng)
+
+
+class TestMultiOctave:
+    def test_normalized_range(self, rng):
+        n = multi_octave_noise((40, 40), rng, octaves=3)
+        assert n.min() >= -1.0 - 1e-9
+        assert n.max() <= 1.0 + 1e-9
+
+    def test_single_octave_equals_value_noise_statistics(self):
+        n1 = multi_octave_noise((64, 64), np.random.default_rng(3), base_cells=4, octaves=1)
+        n2 = value_noise((64, 64), 4, np.random.default_rng(3))
+        assert np.allclose(n1, n2)
+
+    def test_rejects_zero_octaves(self, rng):
+        with pytest.raises(DatasetError):
+            multi_octave_noise((16, 16), rng, octaves=0)
+
+
+class TestLinearGradient:
+    def test_range_matches_strength(self, rng):
+        g = linear_gradient((40, 60), rng, strength=5.0)
+        assert g.max() == pytest.approx(5.0, abs=1e-9) or g.min() == pytest.approx(-5.0, abs=1e-9)
+        assert np.abs(g).max() <= 5.0 + 1e-9
+
+    def test_is_planar(self, rng):
+        """Second differences along both axes vanish for a linear field."""
+        g = linear_gradient((30, 30), rng)
+        assert np.abs(np.diff(g, n=2, axis=0)).max() < 1e-9
+        assert np.abs(np.diff(g, n=2, axis=1)).max() < 1e-9
+
+
+class TestGaussianBlur:
+    def test_zero_sigma_identity(self, rng):
+        img = rng.uniform(0, 1, (20, 30))
+        assert np.array_equal(gaussian_blur(img, 0.0), img)
+
+    def test_preserves_mean_of_constant(self):
+        img = np.full((20, 20), 7.0)
+        out = gaussian_blur(img, 2.0)
+        assert np.allclose(out, 7.0)
+
+    def test_reduces_gradient_energy(self, rng):
+        img = rng.uniform(0, 1, (32, 32))
+        out = gaussian_blur(img, 1.5)
+        assert np.abs(np.diff(out)).sum() < np.abs(np.diff(img)).sum()
+
+    def test_multichannel(self, rng):
+        img = rng.uniform(0, 1, (16, 16, 3))
+        out = gaussian_blur(img, 1.0)
+        assert out.shape == img.shape
+
+    def test_step_edge_becomes_ramp(self):
+        img = np.zeros((8, 40))
+        img[:, 20:] = 1.0
+        out = gaussian_blur(img, 2.0)
+        # The transition now spans multiple pixels.
+        row = out[4]
+        mid = np.flatnonzero((row > 0.1) & (row < 0.9))
+        assert len(mid) >= 4

@@ -1,0 +1,67 @@
+"""Tests for the synthetic video sequence substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data import SceneConfig, VideoSequence
+from repro.errors import DatasetError
+
+CFG = SceneConfig(height=48, width=64, n_regions=6, n_disks=1, noise=0.0)
+
+
+class TestVideoSequence:
+    def test_length_and_indexing(self):
+        seq = VideoSequence(5, config=CFG, seed=2)
+        assert len(seq) == 5
+        frames = list(seq)
+        assert len(frames) == 5
+        assert frames[3].index == 3
+
+    def test_frames_share_base_scene_statistics(self):
+        seq = VideoSequence(4, config=CFG, motion="static", noise_sigma=0.0, seed=2)
+        a, b = seq[0], seq[3]
+        assert np.array_equal(a.image, b.image)
+        assert np.array_equal(a.gt_labels, b.gt_labels)
+
+    def test_noise_varies_per_frame(self):
+        seq = VideoSequence(3, config=CFG, motion="static", noise_sigma=5.0, seed=2)
+        assert not np.array_equal(seq[0].image, seq[1].image)
+
+    def test_deterministic(self):
+        a = VideoSequence(4, config=CFG, seed=9)
+        b = VideoSequence(4, config=CFG, seed=9)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa.image, fb.image)
+
+    def test_gt_moves_with_content(self):
+        seq = VideoSequence(4, config=CFG, motion="pan", amplitude=2.0,
+                            noise_sigma=0.0, seed=1)
+        f0, f2 = seq[0], seq[2]
+        dx, dy = f2.offset
+        rolled = np.roll(np.roll(f0.gt_labels, dy, axis=0), dx, axis=1)
+        assert np.array_equal(f2.gt_labels, rolled)
+
+    def test_shake_is_bounded(self):
+        seq = VideoSequence(20, config=CFG, motion="shake", amplitude=3.0, seed=4)
+        for frame in seq:
+            assert abs(frame.offset[0]) <= 4
+            assert abs(frame.offset[1]) <= 4
+
+    def test_pan_is_monotone(self):
+        seq = VideoSequence(5, config=CFG, motion="pan", amplitude=3.0, seed=4)
+        xs = [f.offset[0] for f in seq]
+        assert xs == sorted(xs)
+        assert xs[-1] > xs[0]
+
+    def test_out_of_range_index(self):
+        seq = VideoSequence(2, config=CFG)
+        with pytest.raises(IndexError):
+            seq[2]
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            VideoSequence(0, config=CFG)
+        with pytest.raises(DatasetError):
+            VideoSequence(3, config=CFG, motion="zoom")
+        with pytest.raises(DatasetError):
+            VideoSequence(3, config=CFG, amplitude=-1)

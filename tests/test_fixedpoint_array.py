@@ -1,0 +1,93 @@
+"""Unit tests for repro.fixedpoint.array.FxpArray."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import FxpArray, QFormat
+
+Q8_4 = QFormat(8, 4)
+Q12_6 = QFormat(12, 6)
+
+
+class TestConstruction:
+    def test_from_float_roundtrip(self):
+        vals = np.array([0.0, 1.25, -2.5])
+        fx = FxpArray.from_float(vals, Q8_4)
+        assert np.allclose(fx.to_float(), vals)
+
+    def test_rejects_out_of_range_raw(self):
+        with pytest.raises(FixedPointError):
+            FxpArray(np.array([1000]), Q8_4)
+
+    def test_shape_and_len(self):
+        fx = FxpArray.from_float(np.zeros((3, 4)), Q8_4)
+        assert fx.shape == (3, 4)
+        assert fx.size == 12
+        assert len(fx) == 3
+
+    def test_indexing_preserves_format(self):
+        fx = FxpArray.from_float(np.arange(6, dtype=float) / 4, Q8_4)
+        sub = fx[2:4]
+        assert isinstance(sub, FxpArray)
+        assert sub.fmt == Q8_4
+
+    def test_reshape(self):
+        fx = FxpArray.from_float(np.zeros(6), Q8_4)
+        assert fx.reshape(2, 3).shape == (2, 3)
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = FxpArray.from_float(np.array([1.0]), Q8_4)
+        b = FxpArray.from_float(np.array([2.25]), Q8_4)
+        assert (a + b).to_float()[0] == pytest.approx(3.25)
+
+    def test_add_scalar_quantizes(self):
+        a = FxpArray.from_float(np.array([1.0]), Q8_4)
+        assert (a + 0.25).to_float()[0] == pytest.approx(1.25)
+
+    def test_sub(self):
+        a = FxpArray.from_float(np.array([1.0]), Q8_4)
+        b = FxpArray.from_float(np.array([2.5]), Q8_4)
+        assert (a - b).to_float()[0] == pytest.approx(-1.5)
+
+    def test_mul(self):
+        a = FxpArray.from_float(np.array([1.5]), Q8_4)
+        b = FxpArray.from_float(np.array([2.0]), Q8_4)
+        assert (a * b).to_float()[0] == pytest.approx(3.0)
+
+    def test_square(self):
+        a = FxpArray.from_float(np.array([-1.5]), Q8_4)
+        assert a.square().to_float()[0] == pytest.approx(2.25)
+
+    def test_mismatched_formats_rejected(self):
+        a = FxpArray.from_float(np.array([1.0]), Q8_4)
+        b = FxpArray.from_float(np.array([1.0]), Q12_6)
+        with pytest.raises(FixedPointError):
+            _ = a + b
+
+    def test_rescale_then_add(self):
+        a = FxpArray.from_float(np.array([1.0]), Q8_4)
+        b = FxpArray.from_float(np.array([1.0]), Q12_6).rescale(Q8_4)
+        assert (a + b).to_float()[0] == pytest.approx(2.0)
+
+    def test_saturating_add(self):
+        a = FxpArray.from_float(np.array([7.0]), Q8_4)
+        out = a + 7.0
+        assert out.to_float()[0] == pytest.approx(Q8_4.max_value)
+
+
+class TestEquality:
+    def test_equal_arrays(self):
+        a = FxpArray.from_float(np.array([1.0, 2.0]), Q8_4)
+        b = FxpArray.from_float(np.array([1.0, 2.0]), Q8_4)
+        assert a == b
+
+    def test_different_format_not_equal(self):
+        a = FxpArray.from_float(np.array([1.0]), Q8_4)
+        b = FxpArray.from_float(np.array([1.0]), Q12_6)
+        assert a != b
+
+    def test_repr_mentions_format(self):
+        assert "Qs3.4" in repr(FxpArray.from_float(np.zeros(2), Q8_4))

@@ -1,0 +1,198 @@
+"""Unit tests for repro.fixedpoint.ops (saturating raw-code arithmetic)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import (
+    QFormat,
+    isqrt_raw,
+    rescale,
+    sat_add,
+    sat_mac,
+    sat_mul,
+    sat_square,
+    sat_sub,
+)
+
+Q8_0 = QFormat(8, 0)
+Q8_4 = QFormat(8, 4)
+Q16_8 = QFormat(16, 8)
+
+
+class TestSatAddSub:
+    def test_add_plain(self):
+        assert sat_add(3, 4, Q8_0) == 7
+
+    def test_add_saturates_high(self):
+        assert sat_add(100, 100, Q8_0) == 127
+
+    def test_add_saturates_low(self):
+        assert sat_add(-100, -100, Q8_0) == -128
+
+    def test_sub_plain(self):
+        assert sat_sub(3, 4, Q8_0) == -1
+
+    def test_sub_saturates(self):
+        assert sat_sub(-100, 100, Q8_0) == -128
+
+    def test_vectorized(self):
+        a = np.array([1, 2, 127])
+        b = np.array([1, 2, 127])
+        assert np.array_equal(sat_add(a, b, Q8_0), [2, 4, 127])
+
+
+class TestRescale:
+    def test_upshift_exact(self):
+        # 1.0 in Q8.0 (raw 1) -> Q16.8 (raw 256).
+        assert rescale(1, Q8_0, Q16_8) == 256
+
+    def test_downshift_rounds_nearest(self):
+        # raw 384 in Q16.8 = 1.5 -> Q8.0 rounds away from zero -> 2.
+        assert rescale(384, Q16_8, Q8_0) == 2
+
+    def test_downshift_negative_symmetric(self):
+        assert rescale(-384, Q16_8, Q8_0) == -2
+
+    def test_downshift_truncation_bias_absent(self):
+        # 1.25 -> 1, 1.75 -> 2 (nearest, not floor).
+        assert rescale(320, Q16_8, Q8_0) == 1
+        assert rescale(448, Q16_8, Q8_0) == 2
+
+    def test_saturates_on_narrow_target(self):
+        assert rescale(1 << 14, Q16_8, Q8_4) == Q8_4.raw_max
+
+    def test_roundtrip_when_representable(self):
+        raw = np.arange(-8, 8)
+        up = rescale(raw, Q8_4, Q16_8)
+        back = rescale(up, Q16_8, Q8_4)
+        assert np.array_equal(back, raw)
+
+
+class TestSatMul:
+    def test_mul_integers(self):
+        assert sat_mul(3, 4, Q8_0) == 12
+
+    def test_mul_fractions(self):
+        # 0.5 * 0.5 = 0.25 in Q8.4: raw 8 * 8 -> 0.25 -> raw 4.
+        assert sat_mul(8, 8, Q8_4) == 4
+
+    def test_mul_saturates(self):
+        assert sat_mul(100, 100, Q8_0) == 127
+
+    def test_mul_negative(self):
+        assert sat_mul(-8, 8, Q8_4) == -4
+
+    def test_square_equals_self_mul(self):
+        vals = np.array([-16, -3, 0, 5, 16])
+        assert np.array_equal(
+            sat_square(vals, Q8_4), sat_mul(vals, vals, Q8_4)
+        )
+
+    def test_square_nonnegative(self):
+        vals = np.arange(-20, 20)
+        assert (sat_square(vals, Q8_4) >= 0).all()
+
+    def test_wide_operand_rejected(self):
+        with pytest.raises(FixedPointError):
+            sat_mul(1, 1, QFormat(40, 0))
+
+    def test_result_format_override(self):
+        # 2.0 * 2.0 = 4.0 expressed in Q16.8.
+        out = sat_mul(32, 32, Q8_4, result_fmt=Q16_8)
+        assert out == 4 * 256
+
+
+class TestSatMac:
+    def test_mac_accumulates(self):
+        acc_fmt = Q16_8
+        acc = acc_fmt.to_raw(1.0)
+        out = sat_mac(acc, Q8_4.to_raw(0.5), Q8_4.to_raw(0.5), Q8_4, acc_fmt)
+        assert acc_fmt.from_raw(out) == pytest.approx(1.25)
+
+    def test_mac_saturates_accumulator(self):
+        acc = Q8_0.raw_max
+        out = sat_mac(acc, 10, 10, Q8_0, Q8_0)
+        assert out == Q8_0.raw_max
+
+
+class TestIsqrt:
+    def test_perfect_squares(self):
+        fmt = QFormat(16, 0, signed=False)
+        vals = np.array([0, 1, 4, 9, 16, 25, 10000])
+        roots = isqrt_raw(vals, fmt, result_fmt=fmt)
+        assert np.array_equal(roots, [0, 1, 2, 3, 4, 5, 100])
+
+    def test_truncation_between_squares(self):
+        fmt = QFormat(16, 0, signed=False)
+        assert isqrt_raw(np.array([8]), fmt, fmt)[0] == 2
+        assert isqrt_raw(np.array([15]), fmt, fmt)[0] == 3
+
+    def test_fractional_output_format(self):
+        in_fmt = QFormat(16, 8, signed=False)
+        out_fmt = QFormat(16, 8, signed=False)
+        # sqrt(2.25) = 1.5 exactly representable.
+        raw = in_fmt.to_raw(2.25)
+        assert out_fmt.from_raw(isqrt_raw(raw, in_fmt, out_fmt)) == pytest.approx(1.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(FixedPointError):
+            isqrt_raw(np.array([-1]), QFormat(16, 0), QFormat(16, 0))
+
+    def test_monotone(self):
+        fmt = QFormat(20, 0, signed=False)
+        vals = np.arange(0, 5000, 7)
+        roots = isqrt_raw(vals, fmt, fmt)
+        assert (np.diff(roots) >= 0).all()
+
+
+class TestDivRaw:
+    """The Center Update Unit's divider arithmetic."""
+
+    def _f(self, total, frac):
+        from repro.fixedpoint import QFormat
+        return QFormat(total, frac)
+
+    def test_integer_mean(self):
+        from repro.fixedpoint import div_raw
+        out = div_raw(100, 4, self._f(32, 0), self._f(16, 0))
+        assert out == 25
+
+    def test_fractional_quotient(self):
+        from repro.fixedpoint import div_raw
+        # 100 / 8 = 12.5 exactly representable in Q8 fraction.
+        out = div_raw(100, 8, self._f(32, 0), self._f(16, 8))
+        assert out == int(12.5 * 256)
+
+    def test_round_to_nearest(self):
+        from repro.fixedpoint import div_raw
+        assert div_raw(7, 2, self._f(16, 0), self._f(16, 0)) == 4
+        assert div_raw(-7, 2, self._f(16, 0), self._f(16, 0)) == -4
+        assert div_raw(7, 3, self._f(16, 0), self._f(16, 0)) == 2
+
+    def test_zero_denominator_yields_zero(self):
+        from repro.fixedpoint import div_raw
+        assert div_raw(123, 0, self._f(16, 0), self._f(16, 0)) == 0
+
+    def test_negative_denominator_rejected(self):
+        from repro.fixedpoint import div_raw
+
+        with pytest.raises(FixedPointError):
+            div_raw(1, -1, self._f(16, 0), self._f(16, 0))
+
+    def test_saturates_to_result_format(self):
+        from repro.fixedpoint import div_raw
+        out = div_raw(10_000, 1, self._f(32, 0), QFormat(8, 0))
+        assert out == 127
+
+    def test_matches_center_mean_semantics(self):
+        """Sigma-register mean: sum of codes / count, like the hardware."""
+        from repro.fixedpoint import div_raw
+        import numpy as np
+
+        sums = np.array([1000, 255, 0])
+        counts = np.array([10, 5, 0])
+        out = div_raw(sums, counts, self._f(32, 0), self._f(16, 4))
+        assert out[0] == 100 * 16
+        assert out[1] == 51 * 16
+        assert out[2] == 0

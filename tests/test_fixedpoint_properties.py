@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the fixed-point substrate.
+
+These check the algebraic invariants a hardware datapath must satisfy for
+*every* input, not just the examples in the unit tests.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint import QFormat, rescale, sat_add, sat_mul, sat_square
+
+formats = st.builds(
+    QFormat,
+    total_bits=st.integers(min_value=4, max_value=16),
+    frac_bits=st.integers(min_value=0, max_value=12),
+    signed=st.booleans(),
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(fmt=formats, x=finite_floats)
+def test_quantize_idempotent(fmt, x):
+    """Quantizing twice equals quantizing once (projection property)."""
+    once = fmt.quantize(x)
+    assert fmt.quantize(once) == once
+
+
+@given(fmt=formats, x=finite_floats)
+def test_quantize_within_range(fmt, x):
+    q = fmt.quantize(x)
+    assert fmt.min_value - 1e-12 <= q <= fmt.max_value + 1e-12
+
+
+@given(fmt=formats, x=finite_floats)
+def test_quantize_error_bound_inside_range(fmt, x):
+    """Inside the representable range, error is at most half an LSB."""
+    if fmt.min_value <= x <= fmt.max_value:
+        assert abs(fmt.quantize(x) - x) <= fmt.scale / 2 + 1e-12
+
+
+@given(fmt=formats, x=finite_floats, y=finite_floats)
+def test_quantize_monotone(fmt, x, y):
+    if x <= y:
+        assert fmt.quantize(x) <= fmt.quantize(y)
+
+
+@given(
+    fmt=formats,
+    a=st.integers(min_value=-(1 << 15), max_value=1 << 15),
+    b=st.integers(min_value=-(1 << 15), max_value=1 << 15),
+)
+def test_sat_add_commutative_and_bounded(fmt, a, b):
+    a = int(fmt.saturate_raw(a))
+    b = int(fmt.saturate_raw(b))
+    ab = sat_add(a, b, fmt)
+    ba = sat_add(b, a, fmt)
+    assert ab == ba
+    assert fmt.raw_min <= ab <= fmt.raw_max
+
+
+@given(
+    a=st.integers(min_value=-127, max_value=127),
+    b=st.integers(min_value=-127, max_value=127),
+)
+def test_sat_mul_sign_rule(a, b):
+    fmt = QFormat(8, 0)
+    out = int(sat_mul(a, b, fmt))
+    if a * b > 0:
+        assert out > 0
+    elif a * b < 0:
+        assert out < 0
+    else:
+        assert out == 0
+
+
+@given(a=st.integers(min_value=-127, max_value=127))
+def test_sat_square_nonnegative(a):
+    fmt = QFormat(8, 0)
+    assert int(sat_square(a, fmt)) >= 0
+
+
+@given(
+    raw=st.integers(min_value=-(1 << 11), max_value=(1 << 11) - 1),
+    src_frac=st.integers(min_value=0, max_value=8),
+    dst_frac=st.integers(min_value=0, max_value=8),
+)
+@settings(max_examples=200)
+def test_rescale_value_error_bounded(raw, src_frac, dst_frac):
+    """Rescaling changes the represented value by at most half a target LSB
+    (when no saturation occurs)."""
+    src = QFormat(16, src_frac)
+    dst = QFormat(16, dst_frac)
+    out = int(rescale(raw, src, dst))
+    if dst.raw_min < out < dst.raw_max:  # not saturated
+        assert abs(dst.from_raw(out) - src.from_raw(raw)) <= dst.scale / 2 + 1e-12
+
+
+@given(
+    raw=st.integers(min_value=-(1 << 10), max_value=(1 << 10) - 1),
+    frac=st.integers(min_value=0, max_value=6),
+    extra=st.integers(min_value=1, max_value=6),
+)
+def test_rescale_up_then_down_is_identity(raw, frac, extra):
+    src = QFormat(16, frac)
+    dst = QFormat(24, frac + extra)
+    assert int(rescale(rescale(raw, src, dst), dst, src)) == raw

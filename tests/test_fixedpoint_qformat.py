@@ -1,0 +1,166 @@
+"""Unit tests for repro.fixedpoint.qformat."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FixedPointError
+from repro.fixedpoint import QFormat, RoundingMode
+
+
+class TestQFormatConstruction:
+    def test_basic_fields(self):
+        q = QFormat(8, 4)
+        assert q.total_bits == 8
+        assert q.frac_bits == 4
+        assert q.signed
+
+    def test_int_bits_signed(self):
+        assert QFormat(8, 4, signed=True).int_bits == 3
+
+    def test_int_bits_unsigned(self):
+        assert QFormat(8, 4, signed=False).int_bits == 4
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(FixedPointError):
+            QFormat(1, 0)
+
+    def test_rejects_huge_width(self):
+        with pytest.raises(FixedPointError):
+            QFormat(65, 0)
+
+    def test_rejects_negative_frac(self):
+        with pytest.raises(FixedPointError):
+            QFormat(8, -1)
+
+    def test_str_representation(self):
+        assert str(QFormat(8, 4)) == "Qs3.4"
+        assert str(QFormat(8, 4, signed=False)) == "Qu4.4"
+
+
+class TestRanges:
+    def test_signed_range(self):
+        q = QFormat(8, 0)
+        assert q.raw_min == -128
+        assert q.raw_max == 127
+        assert q.min_value == -128.0
+        assert q.max_value == 127.0
+
+    def test_unsigned_range(self):
+        q = QFormat(8, 0, signed=False)
+        assert q.raw_min == 0
+        assert q.raw_max == 255
+
+    def test_scale(self):
+        assert QFormat(8, 4).scale == pytest.approx(1 / 16)
+        assert QFormat(8, 4).resolution == pytest.approx(1 / 16)
+
+    def test_fractional_range(self):
+        q = QFormat(8, 7, signed=True)  # ~[-1, 1)
+        assert q.max_value == pytest.approx(127 / 128)
+        assert q.min_value == pytest.approx(-1.0)
+
+
+class TestQuantization:
+    def test_exact_values_roundtrip(self):
+        q = QFormat(8, 4)
+        assert q.quantize(1.25) == 1.25
+        assert q.quantize(-2.5) == -2.5
+
+    def test_nearest_rounding(self):
+        q = QFormat(8, 0)
+        assert q.quantize(1.4) == 1.0
+        assert q.quantize(1.6) == 2.0
+
+    def test_half_away_from_zero(self):
+        q = QFormat(8, 0)
+        assert q.quantize(0.5) == 1.0
+        assert q.quantize(-0.5) == -1.0
+
+    def test_truncate_rounding(self):
+        q = QFormat(8, 0)
+        assert q.quantize(1.9, rounding=RoundingMode.TRUNCATE) == 1.0
+        assert q.quantize(-1.9, rounding=RoundingMode.TRUNCATE) == -1.0
+
+    def test_floor_rounding(self):
+        q = QFormat(8, 0)
+        assert q.quantize(1.9, rounding=RoundingMode.FLOOR) == 1.0
+        assert q.quantize(-1.1, rounding=RoundingMode.FLOOR) == -2.0
+
+    def test_unknown_rounding_rejected(self):
+        with pytest.raises(FixedPointError):
+            QFormat(8, 0).to_raw(1.0, rounding="stochastic")
+
+    def test_saturation_positive(self):
+        q = QFormat(8, 0)
+        assert q.quantize(1000.0) == 127.0
+
+    def test_saturation_negative(self):
+        q = QFormat(8, 0)
+        assert q.quantize(-1000.0) == -128.0
+
+    def test_unsigned_clamps_negative(self):
+        q = QFormat(8, 0, signed=False)
+        assert q.quantize(-5.0) == 0.0
+
+    def test_nan_maps_to_zero(self):
+        q = QFormat(8, 4)
+        assert q.quantize(float("nan")) == 0.0
+
+    def test_array_quantize_shape(self):
+        q = QFormat(8, 4)
+        arr = np.linspace(-10, 10, 37)
+        out = q.quantize(arr)
+        assert out.shape == arr.shape
+
+    def test_quantization_error_bounded(self):
+        q = QFormat(10, 5)
+        xs = np.linspace(q.min_value, q.max_value, 1001)
+        err = np.abs(q.quantize(xs) - xs)
+        assert err.max() <= q.scale / 2 + 1e-12
+
+    def test_to_raw_from_raw_identity(self):
+        q = QFormat(12, 6)
+        raw = np.arange(q.raw_min, q.raw_max + 1, 17)
+        assert np.array_equal(q.to_raw(q.from_raw(raw)), raw)
+
+    def test_representable(self):
+        q = QFormat(8, 4)
+        assert q.representable(1.25)
+        assert not q.representable(1.26)
+        assert not q.representable(1000.0)
+
+
+class TestForRange:
+    def test_unit_range(self):
+        q = QFormat.for_unit_range(8)
+        assert not q.signed
+        assert q.frac_bits == 8
+
+    def test_unit_range_signed(self):
+        q = QFormat.for_unit_range(8, signed=True)
+        assert q.signed
+        assert q.frac_bits == 7
+
+    def test_covers_requested_range(self):
+        q = QFormat.for_range(8, 0.0, 100.0)
+        assert q.max_value >= 100.0
+        assert q.min_value <= 0.0
+
+    def test_signed_inferred_from_negative_lo(self):
+        q = QFormat.for_range(8, -5.0, 5.0)
+        assert q.signed
+
+    def test_negative_range_needs_signed(self):
+        with pytest.raises(FixedPointError):
+            QFormat.for_range(8, -5.0, 5.0, signed=False)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(FixedPointError):
+            QFormat.for_range(8, 5.0, 1.0)
+
+    def test_maximizes_fraction(self):
+        # Range [0, 1] at 8 bits: 7 fraction bits leave max 2.0 > 1 covered;
+        # the chooser must not waste more integer bits than needed.
+        q = QFormat.for_range(8, 0.0, 1.0)
+        assert q.max_value >= 1.0
+        assert q.frac_bits >= 6

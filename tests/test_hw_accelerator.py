@@ -1,0 +1,179 @@
+"""Integration tests: full-accelerator reports vs Tables 4/5 and Fig 6."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw import (
+    AcceleratorConfig,
+    AcceleratorModel,
+    ClusterWays,
+    PAPER_FIG6_BUFFERS_KB,
+    PAPER_TABLE4,
+    REAL_TIME_MS,
+    table4_configs,
+)
+from repro.types import Resolution
+
+
+class TestTable4Reproduction:
+    @pytest.mark.parametrize("name", list(PAPER_TABLE4))
+    def test_latency_within_3pct(self, name):
+        report = AcceleratorModel(table4_configs()[name]).report()
+        assert report.latency_ms == pytest.approx(
+            PAPER_TABLE4[name]["latency_ms"], rel=0.03
+        )
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE4))
+    def test_area_within_2pct(self, name):
+        report = AcceleratorModel(table4_configs()[name]).report()
+        assert report.area_mm2 == pytest.approx(
+            PAPER_TABLE4[name]["area_mm2"], rel=0.02
+        )
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE4))
+    def test_fps_matches(self, name):
+        report = AcceleratorModel(table4_configs()[name]).report()
+        assert report.fps == pytest.approx(PAPER_TABLE4[name]["fps"], rel=0.03)
+
+    def test_hd_power_and_energy_close(self):
+        report = AcceleratorModel(table4_configs()["1920x1080"]).report()
+        assert report.power_mw == pytest.approx(49.0, rel=0.05)
+        assert report.energy_per_frame_mj == pytest.approx(1.6, rel=0.05)
+
+    def test_all_published_configs_are_real_time(self):
+        for name, cfg in table4_configs().items():
+            assert AcceleratorModel(cfg).report().real_time, name
+
+    def test_perf_per_area_ordering(self):
+        """Smaller resolutions give better fps/mm^2 (Table 4's trend)."""
+        reports = {
+            name: AcceleratorModel(cfg).report()
+            for name, cfg in table4_configs().items()
+        }
+        assert (
+            reports["640x480"].perf_per_area_fps_mm2
+            > reports["1280x768"].perf_per_area_fps_mm2
+            > reports["1920x1080"].perf_per_area_fps_mm2
+        )
+
+
+class TestFig6Reproduction:
+    def test_smallest_real_time_buffer_is_4kb(self):
+        base = table4_configs()["1920x1080"]
+        real_time = {
+            kb: AcceleratorModel(base.with_(buffer_kb_per_channel=float(kb)))
+            .report()
+            .real_time
+            for kb in PAPER_FIG6_BUFFERS_KB
+        }
+        assert not real_time[1]
+        assert not real_time[2]
+        assert real_time[4]
+        assert real_time[128]
+
+    def test_latency_monotone_in_buffer_size(self):
+        base = table4_configs()["1920x1080"]
+        lat = [
+            AcceleratorModel(base.with_(buffer_kb_per_channel=float(kb)))
+            .report()
+            .latency_ms
+            for kb in PAPER_FIG6_BUFFERS_KB
+        ]
+        assert all(a >= b for a, b in zip(lat, lat[1:]))
+
+    def test_diminishing_returns(self):
+        """Fig 6's flattening: 1->4 kB saves much more than 16->128 kB."""
+        base = table4_configs()["1920x1080"]
+        t = lambda kb: AcceleratorModel(
+            base.with_(buffer_kb_per_channel=float(kb))
+        ).report().latency_ms
+        assert (t(1) - t(4)) > 5 * (t(16) - t(128))
+
+
+class TestLatencyBreakdown:
+    def test_section7_decomposition(self):
+        """Color ~1.4 ms; cluster update ~31.4 ms with ~20.3 compute and
+        ~11.1 memory (Section 7), within model tolerance."""
+        lb = AcceleratorModel(table4_configs()["1920x1080"]).latency_breakdown()
+        assert lb.color_conversion_ms == pytest.approx(1.4, rel=0.05)
+        assert lb.cluster_update_ms == pytest.approx(31.4, rel=0.05)
+        assert lb.compute_ms == pytest.approx(20.3, rel=0.05)
+        assert lb.memory_ms == pytest.approx(11.1, rel=0.05)
+
+    def test_total_is_sum(self):
+        lb = AcceleratorModel().latency_breakdown()
+        assert lb.total_ms == pytest.approx(
+            lb.color_conversion_ms
+            + lb.cluster_compute_ms
+            + lb.center_update_ms
+            + lb.memory_transfer_ms
+            + lb.memory_stall_ms
+        )
+
+    def test_center_update_resolution_independent(self):
+        hd = AcceleratorModel(table4_configs()["1920x1080"]).latency_breakdown()
+        vga = AcceleratorModel(table4_configs()["640x480"]).latency_breakdown()
+        assert hd.center_update_ms == pytest.approx(vga.center_update_ms)
+
+
+class TestConfigKnobs:
+    def test_iterative_ways_not_real_time(self):
+        cfg = table4_configs()["1920x1080"].with_(ways=ClusterWays(1, 1, 1))
+        report = AcceleratorModel(cfg).report()
+        assert not report.real_time  # 9 cycles/pixel cannot reach 30 fps
+
+    def test_two_cores_speed_up_compute(self):
+        base = table4_configs()["1920x1080"]
+        one = AcceleratorModel(base).latency_breakdown()
+        two = AcceleratorModel(base.with_(n_cores=2)).latency_breakdown()
+        assert two.cluster_compute_ms == pytest.approx(one.cluster_compute_ms / 2)
+        # Memory and center update do not scale (shared resources).
+        assert two.memory_stall_ms == one.memory_stall_ms
+
+    def test_more_cores_more_area(self):
+        base = table4_configs()["1920x1080"]
+        a1 = AcceleratorModel(base).area_mm2()
+        a2 = AcceleratorModel(base.with_(n_cores=2)).area_mm2()
+        assert a2 > a1
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorConfig(n_superpixels=0)
+        with pytest.raises(ConfigurationError):
+            AcceleratorConfig(buffer_kb_per_channel=0)
+        with pytest.raises(ConfigurationError):
+            AcceleratorConfig(
+                resolution=Resolution(10, 10), n_superpixels=1000
+            )
+
+    def test_energy_breakdown_sums_to_report(self):
+        model = AcceleratorModel()
+        report = model.report()
+        parts = model.energy_breakdown_uj(report.latency_ms)
+        assert sum(parts.values()) * 1e-3 == pytest.approx(
+            report.energy_per_frame_mj
+        )
+
+    def test_area_breakdown_sums(self):
+        model = AcceleratorModel()
+        assert sum(model.area_breakdown().values()) == pytest.approx(
+            model.area_mm2()
+        )
+
+
+class TestFunctionalSimulation:
+    def test_simulate_runs_quantized_pipeline(self, small_scene):
+        model = AcceleratorModel()
+        result, report = model.simulate(small_scene.image, n_superpixels=24)
+        assert result.labels.shape == small_scene.image.shape[:2]
+        assert result.params.datapath.bits == 8
+        assert report.config.resolution.shape == small_scene.image.shape[:2]
+
+    def test_simulate_defaults_density(self, small_scene):
+        model = AcceleratorModel()  # 1080p/5000 SP -> ~415 px per SP
+        result, report = model.simulate(small_scene.image)
+        expected_k = round(
+            small_scene.image.shape[0] * small_scene.image.shape[1] / 414.72
+        )
+        assert abs(report.config.n_superpixels - expected_k) <= 1

@@ -1,0 +1,84 @@
+"""Unit tests for the Cluster Update Unit cost model (Table 3)."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import ClusterUnitModel, ClusterWays, PAPER_TABLE3, TABLE3_WAYS
+
+
+class TestTable3Reproduction:
+    """Every published Table 3 value within tolerance."""
+
+    @pytest.mark.parametrize("ways", TABLE3_WAYS, ids=lambda w: w.label)
+    def test_area_within_rounding(self, ways):
+        report = ClusterUnitModel(ways).report()
+        paper = PAPER_TABLE3[ways.label]["area_mm2"]
+        assert report.area_mm2 == pytest.approx(paper, rel=0.05)
+
+    @pytest.mark.parametrize("ways", TABLE3_WAYS, ids=lambda w: w.label)
+    def test_latency_exact(self, ways):
+        report = ClusterUnitModel(ways).report()
+        assert report.latency_cycles == PAPER_TABLE3[ways.label]["latency_cycles"]
+
+    @pytest.mark.parametrize("ways", TABLE3_WAYS, ids=lambda w: w.label)
+    def test_time_within_2pct(self, ways):
+        report = ClusterUnitModel(ways).report()
+        paper = PAPER_TABLE3[ways.label]["time_ms"]
+        assert report.time_ms == pytest.approx(paper, rel=0.02)
+
+    @pytest.mark.parametrize("ways", TABLE3_WAYS, ids=lambda w: w.label)
+    def test_energy_within_6pct(self, ways):
+        report = ClusterUnitModel(ways).report()
+        paper = PAPER_TABLE3[ways.label]["energy_uj"]
+        assert report.energy_uj == pytest.approx(paper, rel=0.06)
+
+    @pytest.mark.parametrize("ways", TABLE3_WAYS, ids=lambda w: w.label)
+    def test_power_within_6pct(self, ways):
+        report = ClusterUnitModel(ways).report()
+        paper = PAPER_TABLE3[ways.label]["power_mw"]
+        assert report.power_mw == pytest.approx(paper, rel=0.06)
+
+    def test_996_picked_for_throughput(self):
+        """The paper's conclusion: 9-9-6 is 9x faster at similar energy."""
+        full = ClusterUnitModel(ClusterWays(9, 9, 6)).report()
+        minimal = ClusterUnitModel(ClusterWays(1, 1, 1)).report()
+        assert full.time_ms * 8.5 < minimal.time_ms
+        assert full.energy_uj < 1.15 * minimal.energy_uj
+        # ... at the documented area cost (paper: 7.8x).
+        assert full.area_mm2 / minimal.area_mm2 == pytest.approx(7.8, rel=0.05)
+
+
+class TestScalingBehaviour:
+    def test_narrower_datapath_smaller_and_cheaper(self):
+        wide = ClusterUnitModel(bits=12)
+        narrow = ClusterUnitModel(bits=6)
+        assert narrow.area_mm2() < wide.area_mm2()
+        assert narrow.energy_per_pixel_pj() < wide.energy_per_pixel_pj()
+
+    def test_multiplier_area_scales_quadratically(self):
+        a8 = ClusterUnitModel(ClusterWays(9, 1, 1), bits=8).area_mm2()
+        a16 = ClusterUnitModel(ClusterWays(9, 1, 1), bits=16).area_mm2()
+        # Distance ways dominate this config; quadratic width scaling.
+        assert a16 / a8 > 3.0
+
+    def test_cycles_for_pixels(self):
+        model = ClusterUnitModel(ClusterWays(9, 9, 6))
+        assert model.cycles_for_pixels(0) == 0
+        n = 1000
+        assert model.cycles_for_pixels(n) == n + 7  # II=1 plus drain
+
+    def test_cycles_rejects_negative(self):
+        with pytest.raises(HardwareModelError):
+            ClusterUnitModel().cycles_for_pixels(-1)
+
+    def test_bits_validation(self):
+        with pytest.raises(HardwareModelError):
+            ClusterUnitModel(bits=1)
+
+    def test_energy_splits_into_dynamic_and_static(self):
+        m = ClusterUnitModel()
+        total = m.energy_per_pixel_pj()
+        assert total == pytest.approx(
+            m.dynamic_energy_per_pixel_pj() + m.static_energy_per_pixel_pj()
+        )
+        assert m.dynamic_energy_per_pixel_pj() > m.static_energy_per_pixel_pj()

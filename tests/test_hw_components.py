@@ -1,0 +1,97 @@
+"""Unit tests for the color/center/scratchpad cost models and DRAM model."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import (
+    CenterUnitModel,
+    ColorUnitModel,
+    DramModel,
+    ScratchpadModel,
+    TECH_16NM,
+)
+
+
+class TestColorUnit:
+    def test_1080p_takes_about_1p4_ms(self):
+        unit = ColorUnitModel()
+        cycles = unit.cycles_for_pixels(1920 * 1080)
+        ms = TECH_16NM.cycles_to_ms(cycles)
+        assert ms == pytest.approx(1.4, rel=0.03)  # Section 7's value
+
+    def test_rejects_negative(self):
+        with pytest.raises(HardwareModelError):
+            ColorUnitModel().cycles_for_pixels(-1)
+
+    def test_energy_scales_with_pixels(self):
+        unit = ColorUnitModel()
+        assert unit.energy_uj(2000) == pytest.approx(2 * unit.energy_uj(1000))
+
+
+class TestCenterUnit:
+    def test_six_divisions_per_superpixel(self):
+        unit = CenterUnitModel()
+        cycles = unit.cycles_for_update(100)
+        assert cycles == 100 * 6 * unit.div_latency_cycles
+
+    def test_energy(self):
+        unit = CenterUnitModel()
+        assert unit.energy_uj(1000, 9) == pytest.approx(
+            1000 * 6 * 9 * unit.energy_per_division_pj * 1e-6
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(HardwareModelError):
+            CenterUnitModel().cycles_for_update(-1)
+
+
+class TestScratchpads:
+    def test_total_and_bytes(self):
+        pads = ScratchpadModel(buffer_kb_per_channel=4.0)
+        assert pads.total_kb == 16.0
+        assert pads.buffer_bytes == 4096
+
+    def test_area_uses_fitted_density(self):
+        pads = ScratchpadModel(buffer_kb_per_channel=4.0)
+        assert pads.area_mm2() == pytest.approx(16 * TECH_16NM.sram_area_per_kb)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(HardwareModelError):
+            ScratchpadModel(buffer_kb_per_channel=0.0)
+
+
+class TestDram:
+    def test_transfer_cycles(self):
+        dram = DramModel()
+        assert dram.transfer_cycles(3200) == pytest.approx(100.0)
+
+    def test_frame_traffic_components(self):
+        dram = DramModel()
+        t = dram.frame_traffic(1000, 9)
+        assert t.input_bytes == 3000
+        assert t.iteration_bytes == 5 * 1000 * 9
+        assert t.output_bytes == 1000
+        assert t.total_bytes == t.input_bytes + t.iteration_bytes + t.output_bytes
+
+    def test_stalls_decrease_with_buffer_size(self):
+        dram = DramModel()
+        small = dram.stall_cycles(5000, 9, 2000.0, 1024)
+        big = dram.stall_cycles(5000, 9, 2000.0, 131072)
+        assert small > big
+
+    def test_stall_floor_is_fixed_bursts(self):
+        dram = DramModel()
+        # Infinite buffer leaves only the fixed per-tile bursts.
+        floor = dram.stall_cycles(100, 1, 100.0, 1e12)
+        assert floor == pytest.approx(100 * dram.latency_cycles * dram.bursts_per_tile)
+
+    def test_rejects_bad_inputs(self):
+        dram = DramModel()
+        with pytest.raises(HardwareModelError):
+            dram.transfer_cycles(-1)
+        with pytest.raises(HardwareModelError):
+            dram.stall_cycles(10, 1, 100.0, 0)
+
+    def test_invalid_model_params_rejected(self):
+        with pytest.raises(HardwareModelError):
+            DramModel(bytes_per_cycle=0)

@@ -1,0 +1,93 @@
+"""Tests for the cycle-level simulator and its cross-validation against
+the analytical model."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import (
+    AcceleratorModel,
+    AcceleratorSim,
+    ClusterUnitSim,
+    ClusterWays,
+    TABLE3_WAYS,
+    schedule_cluster_unit,
+    table4_configs,
+)
+
+
+class TestClusterUnitSim:
+    @pytest.mark.parametrize("ways", TABLE3_WAYS, ids=lambda w: w.label)
+    def test_matches_analytical_schedule(self, ways):
+        """The simulated pipeline and the closed-form schedule must agree:
+        first-result latency exactly, total cycles within one pipeline
+        drain (the formula counts II*N + latency; the simulation finishes
+        the last pixel at II*(N-1) + latency)."""
+        n = 2000
+        trace = ClusterUnitSim(ways).run(n)
+        sched = schedule_cluster_unit(ways)
+        assert trace.first_result_cycle == sched.latency
+        expected_total = sched.initiation_interval * (n - 1) + sched.latency
+        assert trace.total_cycles == expected_total
+
+    def test_throughput_996_is_one_pixel_per_cycle(self):
+        trace = ClusterUnitSim(ClusterWays(9, 9, 6)).run(5000)
+        assert trace.pixels_per_cycle == pytest.approx(1.0, rel=0.01)
+
+    def test_utilization_identifies_bottleneck(self):
+        """In the 9-1-1 config the parallel distance hardware idles while
+        the iterative minimum binds — exactly the imbalance Table 3 calls
+        impractical."""
+        trace = ClusterUnitSim(ClusterWays(9, 1, 1)).run(1000)
+        assert trace.utilization["minimum"] > 0.95
+        assert trace.utilization["distance"] < 0.2
+
+    def test_balanced_config_fully_utilized(self):
+        trace = ClusterUnitSim(ClusterWays(9, 9, 6)).run(1000)
+        assert min(trace.utilization.values()) > 0.95
+
+    def test_zero_pixels(self):
+        trace = ClusterUnitSim().run(0)
+        assert trace.total_cycles == 0
+        assert trace.pixels_per_cycle == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(HardwareModelError):
+            ClusterUnitSim().run(-1)
+
+
+class TestAcceleratorSim:
+    @pytest.mark.parametrize("name", ["1920x1080", "1280x768", "640x480"])
+    def test_serial_sim_cross_validates_analytical_model(self, name):
+        """The independent discrete simulation of the serial FSM must land
+        within 2% of the calibrated analytical latency."""
+        cfg = table4_configs()[name]
+        sim_ms = AcceleratorSim(cfg).run_frame().total_ms()
+        model_ms = AcceleratorModel(cfg).report().latency_ms
+        assert sim_ms == pytest.approx(model_ms, rel=0.02)
+
+    def test_prefetch_what_if_is_faster(self):
+        cfg = table4_configs()["1920x1080"]
+        serial = AcceleratorSim(cfg).run_frame()
+        prefetch = AcceleratorSim(cfg, prefetch=True).run_frame()
+        assert prefetch.total_ms() < serial.total_ms()
+        # Double buffering hides most per-tile stalls at 4 kB buffers.
+        assert prefetch.exposed_stall_cycles < 0.2 * serial.exposed_stall_cycles
+
+    def test_prefetch_bounded_by_compute(self):
+        """With prefetch, the frame cannot be faster than pure compute +
+        color + center update."""
+        cfg = table4_configs()["1920x1080"]
+        trace = AcceleratorSim(cfg, prefetch=True).run_frame()
+        floor = trace.color_cycles + trace.compute_cycles + trace.center_cycles
+        assert trace.total_cycles >= floor * 0.999
+
+    def test_serial_exposes_all_fetch_cycles(self):
+        cfg = table4_configs()["640x480"]
+        trace = AcceleratorSim(cfg).run_frame()
+        assert trace.exposed_stall_cycles == pytest.approx(trace.dram_busy_cycles)
+
+    def test_tile_count(self):
+        cfg = table4_configs()["1920x1080"]
+        trace = AcceleratorSim(cfg).run_frame()
+        assert trace.n_tiles == cfg.n_superpixels
+        assert trace.iterations == cfg.iterations

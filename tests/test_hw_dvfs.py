@@ -1,0 +1,101 @@
+"""Tests for the DVFS extension."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import (
+    AcceleratorModel,
+    ClusterWays,
+    OperatingPoint,
+    TECH_16NM,
+    min_real_time_point,
+    report_at,
+    scaled_tech,
+    table4_configs,
+)
+
+
+class TestOperatingPoint:
+    def test_nominal_point(self):
+        pt = OperatingPoint.at_frequency(TECH_16NM.frequency_hz)
+        assert pt.voltage == pytest.approx(TECH_16NM.voltage)
+
+    def test_linear_fv_rule(self):
+        pt = OperatingPoint.at_frequency(1.2e9)
+        assert pt.voltage == pytest.approx(TECH_16NM.voltage * 0.75)
+
+    def test_voltage_floor(self):
+        pt = OperatingPoint.at_frequency(0.1e9)
+        assert pt.voltage == pytest.approx(TECH_16NM.voltage * 0.6)
+
+    def test_overclock_rejected(self):
+        with pytest.raises(HardwareModelError):
+            OperatingPoint.at_frequency(2 * TECH_16NM.frequency_hz)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(HardwareModelError):
+            OperatingPoint.at_frequency(0.0)
+
+
+class TestScaledTech:
+    def test_energy_scales_quadratically_with_voltage(self):
+        pt = OperatingPoint.at_frequency(1.2e9)  # V ratio 0.75
+        tech = scaled_tech(pt)
+        assert tech.e_add8 == pytest.approx(TECH_16NM.e_add8 * 0.75 ** 2)
+        assert tech.e_mul8 == pytest.approx(TECH_16NM.e_mul8 * 0.75 ** 2)
+
+    def test_voltage_floor_limits_energy_saving(self):
+        # Below the floor, further frequency cuts stop reducing energy/op.
+        slow = scaled_tech(OperatingPoint.at_frequency(0.2e9))
+        slower = scaled_tech(OperatingPoint.at_frequency(0.1e9))
+        assert slow.e_add8 == pytest.approx(slower.e_add8)
+
+    def test_frequency_applied(self):
+        pt = OperatingPoint.at_frequency(0.8e9)
+        assert scaled_tech(pt).frequency_hz == 0.8e9
+
+
+class TestRealTimeScaling:
+    def test_all_table4_configs_meet_budget_at_min_point(self):
+        for name, cfg in table4_configs().items():
+            pt = min_real_time_point(cfg)
+            report = report_at(cfg, pt)
+            assert report.real_time, name
+
+    def test_lower_resolution_allows_lower_frequency(self):
+        cfgs = table4_configs()
+        f_hd = min_real_time_point(cfgs["1920x1080"]).frequency_hz
+        f_vga = min_real_time_point(cfgs["640x480"]).frequency_hz
+        assert f_vga < f_hd
+
+    def test_vga_energy_saving_substantial(self):
+        """The paper's "scale gracefully down" claim, quantified: VGA at
+        its minimum real-time clock saves over half the frame energy."""
+        cfg = table4_configs()["640x480"]
+        nominal = AcceleratorModel(cfg).report()
+        scaled = report_at(cfg, min_real_time_point(cfg))
+        saving = 1.0 - scaled.energy_per_frame_mj / nominal.energy_per_frame_mj
+        assert saving > 0.5
+
+    def test_hd_has_no_slack(self):
+        """1080p already sits at the real-time edge: no frequency headroom."""
+        cfg = table4_configs()["1920x1080"]
+        pt = min_real_time_point(cfg)
+        assert pt.frequency_hz == pytest.approx(TECH_16NM.frequency_hz, rel=0.01)
+
+    def test_infeasible_config_rejected(self):
+        cfg = table4_configs()["1920x1080"].with_(ways=ClusterWays(1, 1, 1))
+        with pytest.raises(HardwareModelError):
+            min_real_time_point(cfg)
+
+    def test_scaling_preserves_latency_budget(self):
+        cfg = table4_configs()["640x480"]
+        report = report_at(cfg, min_real_time_point(cfg))
+        assert report.latency_ms <= 1000.0 / 30.0
+
+    def test_guard_band_validation(self):
+        cfg = table4_configs()["640x480"]
+        with pytest.raises(HardwareModelError):
+            min_real_time_point(cfg, guard_band=0.9)
+        with pytest.raises(HardwareModelError):
+            min_real_time_point(cfg, budget_ms=-1.0)

@@ -1,0 +1,67 @@
+"""Unit tests for the HLS scheduling model (Table 3 latencies)."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import ClusterWays, TABLE3_WAYS, schedule_cluster_unit
+
+
+class TestClusterWays:
+    def test_label(self):
+        assert ClusterWays(9, 9, 6).label == "9-9-6 way"
+        assert ClusterWays(1, 1, 1).label == "1-1-1 way"
+
+    @pytest.mark.parametrize("bad", [{"distance": 2}, {"minimum": 4}, {"adder": 5}])
+    def test_rejects_non_divisor_ways(self, bad):
+        with pytest.raises(HardwareModelError):
+            ClusterWays(**bad)
+
+    def test_intermediate_ways_allowed(self):
+        ClusterWays(3, 3, 3)
+        ClusterWays(3, 3, 2)
+
+
+class TestPaperLatencies:
+    """The five Table 3 configurations must schedule exactly as published."""
+
+    EXPECTED = {
+        "1-1-1 way": (27, 9),
+        "9-1-1 way": (19, 9),
+        "1-9-1 way": (20, 9),
+        "1-1-6 way": (22, 9),
+        "9-9-6 way": (7, 1),
+    }
+
+    @pytest.mark.parametrize("ways", TABLE3_WAYS, ids=lambda w: w.label)
+    def test_latency_and_ii(self, ways):
+        sched = schedule_cluster_unit(ways)
+        latency, ii = self.EXPECTED[ways.label]
+        assert sched.latency == latency
+        assert sched.initiation_interval == ii
+
+    def test_throughput_derived_from_ii(self):
+        sched = schedule_cluster_unit(ClusterWays(9, 9, 6))
+        assert sched.throughput_pixels_per_cycle == 1.0
+        sched = schedule_cluster_unit(ClusterWays(1, 1, 1))
+        assert sched.throughput_pixels_per_cycle == pytest.approx(1 / 9)
+
+
+class TestSchedulingStructure:
+    def test_more_ways_never_slower(self):
+        """Unrolling a stage can only reduce latency and II."""
+        base = schedule_cluster_unit(ClusterWays(1, 1, 1))
+        for ways in (ClusterWays(3, 1, 1), ClusterWays(9, 3, 2), ClusterWays(9, 9, 6)):
+            sched = schedule_cluster_unit(ways)
+            assert sched.latency <= base.latency
+            assert sched.initiation_interval <= base.initiation_interval
+
+    def test_ii_bound_by_slowest_stage(self):
+        # Unrolling only the adder leaves the 9-trip stages binding.
+        sched = schedule_cluster_unit(ClusterWays(1, 1, 6))
+        assert sched.initiation_interval == 9
+
+    def test_intermediate_configuration(self):
+        sched = schedule_cluster_unit(ClusterWays(3, 3, 3))
+        assert sched.initiation_interval == 3
+        # distance ceil(9/3)+3 = 6, min ceil(9/3)+1 = 4, adder ceil(6/3) = 2.
+        assert sched.latency == 12

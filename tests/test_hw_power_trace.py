@@ -1,0 +1,64 @@
+"""Tests for the frame power trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import (
+    AcceleratorModel,
+    frame_power_trace,
+    table4_configs,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AcceleratorModel(table4_configs()["1920x1080"])
+
+
+@pytest.fixture(scope="module")
+def trace(model):
+    return frame_power_trace(model)
+
+
+class TestPowerTrace:
+    def test_integral_equals_report_energy(self, model, trace):
+        report = model.report()
+        assert trace.energy_mj == pytest.approx(report.energy_per_frame_mj, rel=1e-6)
+
+    def test_duration_equals_report_latency(self, model, trace):
+        assert trace.total_ms == pytest.approx(model.report().latency_ms, rel=1e-6)
+
+    def test_average_equals_report_power(self, model, trace):
+        assert trace.average_mw == pytest.approx(model.report().power_mw, rel=1e-6)
+
+    def test_segments_contiguous(self, trace):
+        for a, b in zip(trace.segments, trace.segments[1:]):
+            assert b.start_ms == pytest.approx(a.end_ms)
+
+    def test_one_segment_per_phase(self, model, trace):
+        # color + iterations * (cluster + center)
+        expected = 1 + 2 * model.config.iterations
+        assert len(trace.segments) == expected
+
+    def test_power_never_below_floor(self, model, trace):
+        for seg in trace.segments:
+            assert seg.power_mw >= model.always_on_power_mw - 1e-9
+
+    def test_cluster_phases_draw_the_peak(self, trace):
+        peak_label = max(trace.segments, key=lambda s: s.power_mw).label
+        assert peak_label.startswith("cluster_update")
+
+    def test_sample(self, trace):
+        mid = trace.segments[0].start_ms + trace.segments[0].duration_ms / 2
+        assert trace.sample([mid])[0] == pytest.approx(trace.segments[0].power_mw)
+        assert trace.sample([trace.total_ms + 1.0])[0] == 0.0
+
+    def test_sample_vectorized(self, trace):
+        ts = np.linspace(0, trace.total_ms * 0.999, 200)
+        powers = trace.sample(ts)
+        assert powers.min() > 0
+
+    def test_type_check(self):
+        with pytest.raises(HardwareModelError):
+            frame_power_trace("not a model")

@@ -1,0 +1,98 @@
+"""Consistency tests on the paper-value registry itself.
+
+The presets are transcribed from the paper; these tests check their
+*internal* arithmetic (energy = power x time, fps = 1000/latency, the
+normalization factor) so a transcription typo cannot silently skew every
+"paper vs measured" comparison built on them.
+"""
+
+import pytest
+
+from repro.hw import (
+    PAPER_FIG6_BUFFERS_KB,
+    PAPER_TABLE1,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    REAL_TIME_MS,
+    table4_configs,
+)
+
+
+class TestTable3Internal:
+    @pytest.mark.parametrize("label", list(PAPER_TABLE3))
+    def test_energy_equals_power_times_time(self, label):
+        row = PAPER_TABLE3[label]
+        # mW * ms = uJ; the paper's rows close to within its rounding.
+        assert row["power_mw"] * row["time_ms"] == pytest.approx(
+            row["energy_uj"], rel=0.05
+        )
+
+    def test_throughput_latency_relation(self):
+        # 1/9-throughput configs share the 11.8 ms iteration time; the
+        # 1 px/cyc config is 9x faster.
+        times = {row["throughput"]: row["time_ms"] for row in PAPER_TABLE3.values()}
+        assert times[1 / 9] / times[1.0] == pytest.approx(9.0, rel=0.02)
+
+
+class TestTable4Internal:
+    @pytest.mark.parametrize("name", list(PAPER_TABLE4))
+    def test_fps_consistent_with_latency(self, name):
+        row = PAPER_TABLE4[name]
+        assert 1000.0 / row["latency_ms"] == pytest.approx(row["fps"], rel=0.01)
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE4))
+    def test_energy_consistent_with_power(self, name):
+        row = PAPER_TABLE4[name]
+        assert row["power_mw"] * row["latency_ms"] * 1e-3 == pytest.approx(
+            row["energy_mj"], rel=0.03
+        )
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE4))
+    def test_perf_per_area_consistent(self, name):
+        row = PAPER_TABLE4[name]
+        assert row["fps"] / row["area_mm2"] == pytest.approx(
+            row["perf_per_area"], rel=0.01
+        )
+
+    def test_all_rows_real_time(self):
+        for row in PAPER_TABLE4.values():
+            assert row["latency_ms"] < REAL_TIME_MS
+
+    def test_configs_match_published_buffers(self):
+        for name, cfg in table4_configs().items():
+            assert cfg.buffer_kb_per_channel == PAPER_TABLE4[name]["buffer_kb"]
+
+
+class TestTable5Internal:
+    def test_normalized_energy_is_power_times_latency(self):
+        for row in PAPER_TABLE5.values():
+            assert row["norm_power_w"] * row["latency_ms"] == pytest.approx(
+                row["energy_mj_norm"], rel=0.03
+            )
+
+    def test_gpu_normalization_factor_is_2p2(self):
+        for name in ("Tesla K20", "TK1"):
+            row = PAPER_TABLE5[name]
+            assert row["avg_power_w"] / row["norm_power_w"] == pytest.approx(
+                2.2, rel=0.02
+            )
+
+    def test_headline_ratios(self):
+        accel = PAPER_TABLE5["This Work"]["energy_mj_norm"]
+        assert PAPER_TABLE5["Tesla K20"]["energy_mj_norm"] / accel > 500
+        assert PAPER_TABLE5["TK1"]["energy_mj_norm"] / accel > 250
+
+
+class TestTable1Internal:
+    @pytest.mark.parametrize("algo", list(PAPER_TABLE1))
+    def test_percentages_sum_to_100(self, algo):
+        assert sum(PAPER_TABLE1[algo].values()) == pytest.approx(100.0, abs=0.1)
+
+
+class TestFig6Axis:
+    def test_power_of_two_sweep(self):
+        kbs = list(PAPER_FIG6_BUFFERS_KB)
+        assert kbs == sorted(kbs)
+        for a, b in zip(kbs, kbs[1:]):
+            assert b == 2 * a

@@ -1,0 +1,88 @@
+"""Unit tests for the CPA/PPA analysis (Table 2, Section 4.2)."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import (
+    OPS_PER_DISTANCE,
+    compare_architectures,
+    cpa_profile,
+    ppa_profile,
+    PAPER_TABLE2,
+    TECH_16NM,
+)
+
+
+class TestTable2:
+    def test_ppa_traffic_matches_paper(self):
+        p = ppa_profile()
+        assert p.memory_mb_per_iteration == pytest.approx(
+            PAPER_TABLE2["PPA"]["memory_mb"], rel=0.01
+        )
+
+    def test_cpa_traffic_matches_paper(self):
+        p = cpa_profile()
+        assert p.memory_mb_per_iteration == pytest.approx(
+            PAPER_TABLE2["CPA"]["memory_mb"], rel=0.04
+        )
+
+    def test_ppa_ops_match_paper(self):
+        p = ppa_profile()
+        assert p.ops_per_iteration / 1e6 == pytest.approx(
+            PAPER_TABLE2["PPA"]["ops_m"], rel=0.01
+        )
+
+    def test_cpa_ops_match_paper(self):
+        p = cpa_profile()
+        assert p.ops_per_iteration / 1e6 == pytest.approx(
+            PAPER_TABLE2["CPA"]["ops_m"], rel=0.03
+        )
+
+    def test_headline_ratios(self):
+        """Paper: PPA needs ~3x less bandwidth, ~2.25x more ops."""
+        cmp = compare_architectures()
+        assert cmp["bandwidth_ratio_cpa_over_ppa"] == pytest.approx(3.18, rel=0.05)
+        assert cmp["ops_ratio_ppa_over_cpa"] == pytest.approx(2.25, rel=0.05)
+
+    def test_ppa_ops_formula(self):
+        n = 1000
+        p = ppa_profile(n_pixels=n, n_superpixels=10)
+        assert p.ops_per_iteration == 9 * OPS_PER_DISTANCE * n
+
+
+class TestEnergyDecision:
+    def test_dram_dominates_energy(self):
+        """The Section 4.2 premise: with DRAM at 2500x an add, traffic
+        dwarfs arithmetic for both architectures."""
+        for profile in (cpa_profile(), ppa_profile()):
+            dram = profile.memory_bytes_per_iteration * TECH_16NM.e_dram_byte
+            ops = profile.ops_per_iteration * TECH_16NM.e_add8
+            assert dram > 10 * ops
+
+    def test_ppa_selected(self):
+        assert compare_architectures()["selected"] == "PPA"
+
+    def test_ppa_energy_lower_despite_more_ops(self):
+        cmp = compare_architectures()
+        assert cmp["energy_ppa_pj"] < cmp["energy_cpa_pj"]
+        assert cmp["ppa"].ops_per_iteration > cmp["cpa"].ops_per_iteration
+
+
+class TestScaling:
+    def test_traffic_scales_linearly_with_pixels(self):
+        small = ppa_profile(n_pixels=100_000, n_superpixels=500)
+        large = ppa_profile(n_pixels=200_000, n_superpixels=500)
+        assert large.memory_bytes_per_iteration == pytest.approx(
+            2 * small.memory_bytes_per_iteration
+        )
+
+    def test_accelerator_caching_removes_center_traffic(self):
+        cached = ppa_profile(centers_cached=True)
+        uncached = ppa_profile(centers_cached=False)
+        assert cached.memory_bytes_per_iteration < uncached.memory_bytes_per_iteration / 10
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            cpa_profile(n_pixels=10, n_superpixels=100)
+        with pytest.raises(HardwareModelError):
+            ppa_profile(n_pixels=0)

@@ -1,0 +1,240 @@
+"""Unit tests for the segmentation-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricError
+from repro.metrics import (
+    achievable_segmentation_accuracy,
+    boundary_f_measure,
+    boundary_map,
+    boundary_precision,
+    boundary_recall,
+    compactness,
+    contingency_table,
+    corrected_undersegmentation_error,
+    dilate_mask,
+    explained_variation,
+    perimeter_counts,
+    superpixel_size_stats,
+    undersegmentation_error,
+)
+
+
+def _halves(h=10, w=10):
+    """GT: left/right halves."""
+    gt = np.zeros((h, w), dtype=np.int32)
+    gt[:, w // 2:] = 1
+    return gt
+
+
+def _quadrants(h=10, w=10):
+    labels = np.zeros((h, w), dtype=np.int32)
+    labels[: h // 2, w // 2:] = 1
+    labels[h // 2:, : w // 2] = 2
+    labels[h // 2:, w // 2:] = 3
+    return labels
+
+
+class TestBoundaryMap:
+    def test_no_boundaries_in_constant_map(self):
+        assert not boundary_map(np.zeros((5, 5), dtype=np.int32)).any()
+
+    def test_vertical_edge_marks_both_sides(self):
+        edges = boundary_map(_halves())
+        assert edges[:, 4].all()
+        assert edges[:, 5].all()
+        assert not edges[:, 0].any()
+
+    def test_symmetric_under_label_swap(self):
+        gt = _halves()
+        assert np.array_equal(boundary_map(gt), boundary_map(1 - gt))
+
+
+class TestDilate:
+    def test_radius_zero_is_copy(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[2, 2] = True
+        out = dilate_mask(mask, 0)
+        assert np.array_equal(out, mask)
+        assert out is not mask
+
+    def test_radius_one_chebyshev(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[2, 2] = True
+        out = dilate_mask(mask, 1)
+        assert out[1:4, 1:4].all()
+        assert out.sum() == 9
+
+    def test_radius_two(self):
+        mask = np.zeros((7, 7), dtype=bool)
+        mask[3, 3] = True
+        assert dilate_mask(mask, 2).sum() == 25
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            dilate_mask(np.zeros((3, 3), dtype=bool), -1)
+
+
+class TestContingency:
+    def test_identity_is_diagonal(self):
+        labels = _quadrants()
+        table = contingency_table(labels, labels)
+        assert np.count_nonzero(table - np.diag(np.diag(table))) == 0
+        assert table.sum() == labels.size
+
+    def test_counts_correct(self):
+        a = np.array([[0, 0], [1, 1]])
+        b = np.array([[0, 1], [0, 1]])
+        table = contingency_table(a, b)
+        assert np.array_equal(table, [[1, 1], [1, 1]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            contingency_table(np.zeros((2, 2), int), np.zeros((3, 3), int))
+
+
+class TestUse:
+    def test_perfect_segmentation_zero(self):
+        gt = _halves()
+        assert undersegmentation_error(gt, gt) == pytest.approx(0.0)
+
+    def test_refinement_still_zero(self):
+        """Subdividing GT segments never leaks -> USE stays 0."""
+        gt = _halves()
+        assert undersegmentation_error(_quadrants(), gt) == pytest.approx(0.0)
+
+    def test_single_superpixel_max_leak(self):
+        gt = _halves()
+        labels = np.zeros_like(gt)
+        # One SP covering both halves is double-counted: USE = 1.
+        assert undersegmentation_error(labels, gt) == pytest.approx(1.0)
+
+    def test_straddling_increases_use(self):
+        gt = _halves(10, 10)
+        shifted = np.zeros_like(gt)
+        shifted[:, 7:] = 1  # boundary off by 2
+        assert undersegmentation_error(shifted, gt) > 0
+
+    def test_threshold_absorbs_small_overlap(self):
+        gt = _halves(10, 10)
+        labels = gt.copy()
+        labels[0, 5] = 0  # one pixel leak: 1/50 = 2% < 5% threshold
+        assert undersegmentation_error(labels, gt, threshold=0.05) == pytest.approx(0.0)
+        assert undersegmentation_error(labels, gt, threshold=0.0) > 0
+
+    def test_bad_threshold_rejected(self):
+        gt = _halves()
+        with pytest.raises(MetricError):
+            undersegmentation_error(gt, gt, threshold=1.5)
+
+    def test_corrected_use_zero_for_refinement(self):
+        gt = _halves()
+        assert corrected_undersegmentation_error(_quadrants(), gt) == pytest.approx(0.0)
+
+    def test_corrected_use_counts_leak(self):
+        gt = _halves(10, 10)
+        labels = gt.copy()
+        labels[:, 5] = 0  # superpixel 0 now straddles: 50 px in gt0, 10 in gt1
+        # CUSE charges min(in, out) for each overlapped segment:
+        # vs gt0 -> min(50, 10) = 10; vs gt1 -> min(10, 50) = 10.
+        expected = (10 + 10) / 100
+        assert corrected_undersegmentation_error(labels, gt) == pytest.approx(expected)
+
+
+class TestBoundaryRecallPrecision:
+    def test_perfect_recall(self):
+        gt = _halves()
+        assert boundary_recall(gt, gt) == pytest.approx(1.0)
+
+    def test_no_boundaries_computed_recall_zero(self):
+        gt = _halves()
+        flat = np.zeros_like(gt)
+        assert boundary_recall(flat, gt, tolerance=1) == 0.0
+
+    def test_gt_without_boundaries_recall_one(self):
+        flat = np.zeros((6, 6), dtype=np.int32)
+        assert boundary_recall(_quadrants(6, 6), flat) == 1.0
+
+    def test_tolerance_monotone(self):
+        gt = _halves(12, 12)
+        shifted = np.zeros_like(gt)
+        shifted[:, 9:] = 1  # boundary off by 3
+        r = [boundary_recall(shifted, gt, tolerance=t) for t in (0, 1, 2, 3)]
+        assert r[0] < 1.0
+        assert all(a <= b + 1e-12 for a, b in zip(r, r[1:]))
+        assert r[3] == pytest.approx(1.0)
+
+    def test_precision_penalizes_extra_boundaries(self):
+        gt = _halves(12, 12)
+        assert boundary_precision(_quadrants(12, 12), gt, tolerance=0) < 1.0
+        assert boundary_recall(_quadrants(12, 12), gt, tolerance=0) == pytest.approx(1.0)
+
+    def test_f_measure_between_recall_and_precision(self):
+        gt = _halves(12, 12)
+        labels = _quadrants(12, 12)
+        r = boundary_recall(labels, gt, tolerance=0)
+        p = boundary_precision(labels, gt, tolerance=0)
+        f = boundary_f_measure(labels, gt, tolerance=0)
+        assert min(r, p) <= f <= max(r, p)
+
+    def test_negative_tolerance_rejected(self):
+        gt = _halves()
+        with pytest.raises(MetricError):
+            boundary_recall(gt, gt, tolerance=-1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MetricError):
+            boundary_recall(np.zeros((3, 3), int), np.zeros((4, 4), int))
+
+
+class TestRegionMetrics:
+    def test_asa_perfect(self):
+        gt = _quadrants()
+        assert achievable_segmentation_accuracy(gt, gt) == pytest.approx(1.0)
+
+    def test_asa_refinement_perfect(self):
+        assert achievable_segmentation_accuracy(
+            _quadrants(), _halves()
+        ) == pytest.approx(1.0)
+
+    def test_asa_single_superpixel(self):
+        gt = _halves()
+        labels = np.zeros_like(gt)
+        assert achievable_segmentation_accuracy(labels, gt) == pytest.approx(0.5)
+
+    def test_compactness_of_squares_beats_stripes(self):
+        squares = _quadrants(12, 12)
+        stripes = np.repeat(np.arange(4), 3)[None, :].repeat(12, axis=0)
+        assert compactness(squares) > compactness(stripes.astype(np.int32))
+
+    def test_compactness_bounded(self):
+        labels = _quadrants(16, 16)
+        assert 0.0 < compactness(labels) <= 1.0
+
+    def test_explained_variation_perfect_for_piecewise_constant(self):
+        labels = _quadrants(8, 8)
+        img = labels[..., None] * np.array([10.0, 20.0, 30.0])
+        assert explained_variation(labels, img) == pytest.approx(1.0)
+
+    def test_explained_variation_zero_for_unrelated(self, rng):
+        labels = _quadrants(16, 16)
+        img = rng.normal(size=(16, 16, 3))
+        ev = explained_variation(labels, img)
+        assert 0.0 <= ev < 0.5
+
+    def test_explained_variation_constant_image(self):
+        labels = _quadrants(8, 8)
+        assert explained_variation(labels, np.ones((8, 8, 3))) == 1.0
+
+    def test_perimeter_counts_square(self):
+        labels = np.zeros((4, 4), dtype=np.int32)
+        # Single 4x4 square: perimeter = 16 border units.
+        assert perimeter_counts(labels)[0] == 16
+
+    def test_size_stats(self):
+        stats = superpixel_size_stats(_quadrants(10, 10))
+        assert stats["n_superpixels"] == 4
+        assert stats["min_area"] == 25
+        assert stats["max_area"] == 25
+        assert stats["mean_area"] == pytest.approx(25.0)

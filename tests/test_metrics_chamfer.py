@@ -1,0 +1,119 @@
+"""Tests for the chamfer distance transform and Euclidean-tolerance
+boundary metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import MetricError
+from repro.metrics import boundary_recall, chamfer_distance
+
+
+def _brute_force(mask):
+    ys, xs = np.nonzero(mask)
+    pts = np.stack([ys, xs], axis=1)
+    h, w = mask.shape
+    yy, xx = np.mgrid[0:h, 0:w]
+    return np.sqrt(
+        ((yy[..., None] - pts[:, 0]) ** 2 + (xx[..., None] - pts[:, 1]) ** 2)
+    ).min(axis=-1)
+
+
+class TestChamfer:
+    def test_zero_on_mask(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[3, 7] = True
+        d = chamfer_distance(mask)
+        assert d[3, 7] == 0.0
+
+    def test_axial_distances_exact(self):
+        mask = np.zeros((9, 9), dtype=bool)
+        mask[4, 4] = True
+        d = chamfer_distance(mask)
+        assert d[4, 0] == pytest.approx(4.0)
+        assert d[0, 4] == pytest.approx(4.0)
+        assert d[8, 4] == pytest.approx(4.0)
+
+    def test_diagonal_uses_3_4_weights(self):
+        mask = np.zeros((9, 9), dtype=bool)
+        mask[4, 4] = True
+        d = chamfer_distance(mask)
+        # One diagonal step: 4/3 ~ 1.333 (vs exact sqrt(2) ~ 1.414).
+        assert d[5, 5] == pytest.approx(4 / 3)
+
+    def test_empty_mask_is_inf(self):
+        assert np.isinf(chamfer_distance(np.zeros((4, 6), dtype=bool))).all()
+
+    def test_full_mask_is_zero(self):
+        assert (chamfer_distance(np.ones((4, 6), dtype=bool)) == 0).all()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            chamfer_distance(np.zeros((2, 2, 2), dtype=bool))
+
+    def test_within_8pct_of_euclidean(self, rng):
+        mask = rng.random((30, 42)) < 0.03
+        mask[0, 0] = True  # guarantee non-empty
+        d = chamfer_distance(mask)
+        exact = _brute_force(mask)
+        rel = np.abs(d - exact) / np.maximum(exact, 1.0)
+        assert rel.max() < 0.081
+
+
+masks = hnp.arrays(
+    dtype=bool,
+    shape=st.tuples(st.integers(2, 16), st.integers(2, 16)),
+    elements=st.booleans(),
+)
+
+
+@given(mask=masks)
+@settings(max_examples=60)
+def test_chamfer_properties(mask):
+    d = chamfer_distance(mask)
+    if not mask.any():
+        assert np.isinf(d).all()
+        return
+    # Zero exactly on the mask, positive elsewhere.
+    assert (d[mask] == 0).all()
+    assert (d[~mask] > 0).all()
+    # 1-Lipschitz up to the chamfer diagonal weight (4/3 per step).
+    assert np.abs(np.diff(d, axis=0)).max() <= 4 / 3 + 1e-9
+    assert np.abs(np.diff(d, axis=1)).max() <= 4 / 3 + 1e-9
+
+
+class TestEuclideanRecall:
+    def _shifted(self, offset, w=20):
+        gt = np.zeros((12, w), dtype=np.int32)
+        gt[:, w // 2:] = 1
+        lab = np.zeros_like(gt)
+        lab[:, w // 2 + offset:] = 1
+        return lab, gt
+
+    def test_exact_match_full_recall(self):
+        lab, gt = self._shifted(0)
+        assert boundary_recall(lab, gt, tolerance=0, distance="euclidean") == 1.0
+
+    def test_tolerance_semantics(self):
+        lab, gt = self._shifted(3)
+        # GT edge columns are 2 and 3 px from the shifted boundary.
+        assert boundary_recall(lab, gt, tolerance=3, distance="euclidean") == 1.0
+        assert boundary_recall(lab, gt, tolerance=2, distance="euclidean") == 0.5
+        assert boundary_recall(lab, gt, tolerance=1, distance="euclidean") == 0.0
+
+    def test_euclidean_stricter_than_chebyshev(self, hard_scene):
+        from repro.core import sslic
+
+        r = sslic(hard_scene.image, n_superpixels=48, max_iterations=3)
+        che = boundary_recall(r.labels, hard_scene.gt_labels, tolerance=2,
+                              distance="chebyshev")
+        euc = boundary_recall(r.labels, hard_scene.gt_labels, tolerance=2,
+                              distance="euclidean")
+        assert euc <= che + 1e-9
+
+    def test_unknown_distance_rejected(self):
+        lab, gt = self._shifted(1)
+        with pytest.raises(MetricError):
+            boundary_recall(lab, gt, distance="manhattan")

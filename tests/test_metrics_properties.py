@@ -1,0 +1,96 @@
+"""Property-based tests for metric invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics import (
+    achievable_segmentation_accuracy,
+    boundary_precision,
+    boundary_recall,
+    compactness,
+    contingency_table,
+    corrected_undersegmentation_error,
+    undersegmentation_error,
+)
+
+label_maps = hnp.arrays(
+    dtype=np.int32,
+    shape=st.tuples(st.integers(3, 12), st.integers(3, 12)),
+    elements=st.integers(0, 4),
+)
+
+
+def _pair(a, b):
+    """Crop two maps to a common shape."""
+    h = min(a.shape[0], b.shape[0])
+    w = min(a.shape[1], b.shape[1])
+    return a[:h, :w], b[:h, :w]
+
+
+@given(labels=label_maps, gt=label_maps)
+@settings(max_examples=120)
+def test_use_nonnegative(labels, gt):
+    labels, gt = _pair(labels, gt)
+    assert undersegmentation_error(labels, gt) >= -1e-12
+
+
+@given(labels=label_maps, gt=label_maps)
+@settings(max_examples=120)
+def test_corrected_use_in_unit_interval(labels, gt):
+    labels, gt = _pair(labels, gt)
+    v = corrected_undersegmentation_error(labels, gt)
+    assert -1e-12 <= v <= 1.0 + 1e-12
+
+
+@given(labels=label_maps)
+@settings(max_examples=80)
+def test_use_zero_against_self(labels):
+    assert undersegmentation_error(labels, labels) == 0.0
+    assert corrected_undersegmentation_error(labels, labels) == 0.0
+
+
+@given(labels=label_maps, gt=label_maps)
+@settings(max_examples=120)
+def test_recall_and_precision_in_unit_interval(labels, gt):
+    labels, gt = _pair(labels, gt)
+    for tol in (0, 1):
+        assert 0.0 <= boundary_recall(labels, gt, tolerance=tol) <= 1.0
+        assert 0.0 <= boundary_precision(labels, gt, tolerance=tol) <= 1.0
+
+
+@given(labels=label_maps, gt=label_maps)
+@settings(max_examples=80)
+def test_recall_precision_duality(labels, gt):
+    """Recall(A vs B) == Precision(B vs A) by definition."""
+    labels, gt = _pair(labels, gt)
+    assert boundary_recall(labels, gt, tolerance=1) == boundary_precision(
+        gt, labels, tolerance=1
+    )
+
+
+@given(labels=label_maps, gt=label_maps)
+@settings(max_examples=80)
+def test_asa_bounds_and_self_perfection(labels, gt):
+    labels, gt = _pair(labels, gt)
+    v = achievable_segmentation_accuracy(labels, gt)
+    assert 0.0 < v <= 1.0
+    assert achievable_segmentation_accuracy(labels, labels) == 1.0
+
+
+@given(labels=label_maps)
+@settings(max_examples=80)
+def test_compactness_unit_interval(labels):
+    assert 0.0 <= compactness(labels) <= 1.0
+
+
+@given(labels=label_maps, gt=label_maps)
+@settings(max_examples=80)
+def test_contingency_marginals(labels, gt):
+    labels, gt = _pair(labels, gt)
+    table = contingency_table(labels, gt)
+    assert table.sum() == labels.size
+    row_sums = table.sum(axis=1)
+    counts = np.bincount(labels.ravel(), minlength=table.shape[0])
+    assert np.array_equal(row_sums, counts)

@@ -1,0 +1,60 @@
+"""Public-API surface tests: imports, types, and the README quickstart."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_error_hierarchy(self):
+        for exc in (
+            repro.ConfigurationError,
+            repro.ImageError,
+            repro.FixedPointError,
+            repro.DatasetError,
+            repro.MetricError,
+            repro.HardwareModelError,
+            repro.ConvergenceError,
+        ):
+            assert issubclass(exc, repro.ReproError)
+
+    def test_resolution_constants(self):
+        assert repro.HD_1080.pixels == 1920 * 1080
+        assert repro.VGA.shape == (480, 640)
+        assert str(repro.HD_720) == "1280x768"
+
+
+class TestQuickstartFlow:
+    """The exact flow the README shows must work end to end."""
+
+    def test_quickstart(self):
+        scene = repro.generate_scene(seed=1)
+        result = repro.sslic(scene.image, n_superpixels=150)
+        assert result.labels.shape == scene.image.shape[:2]
+        use = repro.undersegmentation_error(result.labels, scene.gt_labels)
+        recall = repro.boundary_recall(result.labels, scene.gt_labels)
+        assert 0.0 <= use < 0.5
+        assert 0.5 < recall <= 1.0
+
+    def test_accelerator_report_flow(self):
+        report = repro.AcceleratorModel(repro.AcceleratorConfig()).report()
+        assert report.real_time
+        assert report.area_mm2 < 0.1
+        assert report.power_mw < 100
+
+    def test_hardware_simulation_flow(self):
+        scene = repro.generate_scene(
+            repro.SceneConfig(height=48, width=64, n_regions=6), seed=2
+        )
+        model = repro.AcceleratorModel()
+        result, report = model.simulate(scene.image, n_superpixels=12)
+        assert result.labels.max() < result.n_superpixels
+        assert report.fps > 0

@@ -1,0 +1,75 @@
+"""Unit tests for the visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import sslic
+from repro.viz import ascii_xy_plot, draw_boundaries, label_color_image, mean_color_image
+
+
+class TestDrawBoundaries:
+    def test_overlay_paints_boundary_pixels(self, small_scene):
+        r = sslic(small_scene.image, n_superpixels=16, max_iterations=2)
+        out = draw_boundaries(small_scene.image, r.labels, color=(255, 0, 0))
+        assert out.shape == small_scene.image.shape
+        assert out.dtype == np.uint8
+        reds = (out == np.array([255, 0, 0], dtype=np.uint8)).all(axis=-1)
+        assert reds.any()
+
+    def test_input_not_mutated(self, small_scene):
+        r = sslic(small_scene.image, n_superpixels=16, max_iterations=2)
+        before = small_scene.image.copy()
+        draw_boundaries(small_scene.image, r.labels)
+        assert np.array_equal(small_scene.image, before)
+
+    def test_shape_mismatch_rejected(self, small_scene):
+        with pytest.raises(ValueError):
+            draw_boundaries(small_scene.image, np.zeros((3, 3), dtype=np.int32))
+
+
+class TestLabelColorImage:
+    def test_distinct_labels_distinct_colors(self):
+        labels = np.array([[0, 1], [2, 3]], dtype=np.int32)
+        img = label_color_image(labels)
+        colors = {tuple(img[y, x]) for y in range(2) for x in range(2)}
+        assert len(colors) == 4
+
+    def test_deterministic_by_seed(self):
+        labels = np.arange(9).reshape(3, 3).astype(np.int32)
+        assert np.array_equal(label_color_image(labels, 1), label_color_image(labels, 1))
+        assert not np.array_equal(label_color_image(labels, 1), label_color_image(labels, 2))
+
+
+class TestMeanColorImage:
+    def test_constant_within_superpixels(self, small_scene):
+        r = sslic(small_scene.image, n_superpixels=16, max_iterations=2)
+        out = mean_color_image(small_scene.image, r.labels)
+        for k in np.unique(r.labels)[:5]:
+            region = out[r.labels == k]
+            assert (region == region[0]).all()
+
+    def test_mean_value_correct(self):
+        img = np.zeros((2, 2, 3), dtype=np.uint8)
+        img[0, 0] = 10
+        img[0, 1] = 20
+        labels = np.zeros((2, 2), dtype=np.int32)
+        out = mean_color_image(img, labels)
+        assert out[0, 0, 0] == (10 + 20 + 0 + 0) // 4
+
+
+class TestAsciiPlot:
+    def test_contains_series_and_legend(self):
+        chart = ascii_xy_plot(
+            {"a": ([1, 2, 3], [1, 4, 9]), "b": ([1, 2, 3], [2, 3, 4])},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "* a" in chart
+        assert "o b" in chart
+
+    def test_empty_series(self):
+        assert ascii_xy_plot({"a": ([], [])}) == "(no data)"
+
+    def test_degenerate_single_point(self):
+        chart = ascii_xy_plot({"a": ([1.0], [1.0])})
+        assert "*" in chart
