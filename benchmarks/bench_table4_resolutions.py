@@ -42,7 +42,24 @@ def test_table4_best_configurations(benchmark, emit):
         f"{hd.cluster_update_ms:.1f} ms (compute {hd.compute_ms:.1f} / memory "
         f"{hd.memory_ms:.1f})"
     )
-    emit("table4_resolutions", "\n".join(lines))
+    emit(
+        "table4_resolutions",
+        "\n".join(lines),
+        records=[
+            {
+                "resolution": name,
+                "buffer_kb": r.config.buffer_kb_per_channel,
+                "area_mm2": r.area_mm2,
+                "power_mw": r.power_mw,
+                "latency_ms": r.latency_ms,
+                "fps": r.fps,
+                "energy_mj": r.energy_per_frame_mj,
+                "perf_per_area": r.perf_per_area_fps_mm2,
+                "paper": PAPER_TABLE4[name],
+            }
+            for name, r in reports.items()
+        ],
+    )
 
     for name, r in reports.items():
         assert r.real_time, name

@@ -3,7 +3,12 @@
 Every bench regenerates one of the paper's tables/figures, prints the rows
 (paper value alongside the measured one where applicable), and writes the
 same text to ``benchmarks/output/<name>.txt`` so the artifacts survive the
-pytest capture.
+pytest capture. Each emit additionally writes
+``benchmarks/output/<name>.jsonl`` through :class:`repro.obs.JsonlSink` —
+a ``bench`` event with the report text plus one ``bench.record`` event per
+structured row when the bench provides them — so downstream tooling
+(``python -m repro stats``, the markdown report, regression dashboards)
+can consume benchmark numbers without scraping text.
 
 Scale: set ``REPRO_BENCH_SCALE=full`` for paper-sized corpora (slower);
 the default ``quick`` keeps every bench CI-friendly.
@@ -12,9 +17,12 @@ the default ``quick`` keeps every bench CI-friendly.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 
 import pytest
+
+from repro.obs import JsonlSink
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
@@ -29,11 +37,23 @@ def bench_scale() -> str:
 
 @pytest.fixture(scope="session")
 def emit():
-    """Print a report and persist it under benchmarks/output/."""
+    """Print a report and persist it under benchmarks/output/.
+
+    ``emit(name, text)`` keeps the historical behaviour (stdout + .txt).
+    ``emit(name, text, records=[{...}, ...])`` additionally writes each
+    record as a ``bench.record`` JSONL event; the text itself always goes
+    into a ``bench`` event so every artifact has a machine-readable twin.
+    """
     OUTPUT_DIR.mkdir(exist_ok=True)
 
-    def _emit(name: str, text: str) -> None:
+    def _emit(name: str, text: str, records=None) -> None:
         print(f"\n{text}\n")
         (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        with JsonlSink(OUTPUT_DIR / f"{name}.jsonl") as sink:
+            sink.emit(
+                {"ev": "bench", "name": name, "ts": time.time(), "text": text}
+            )
+            for record in records or ():
+                sink.emit({"ev": "bench.record", "name": name, **record})
 
     return _emit

@@ -32,6 +32,8 @@ Subpackages
     Per-table/figure experiment drivers and DSE sweeps.
 ``repro.viz``
     Boundary overlays and ASCII plots.
+``repro.obs``
+    Unified instrumentation: tracing spans, metrics, JSONL run telemetry.
 """
 
 from .version import __version__
@@ -61,6 +63,7 @@ from .metrics import (
 )
 from .hw import AcceleratorConfig, AcceleratorModel, ClusterWays
 from .baselines import gslic, preemptive_slic, preemptive_sslic
+from .obs import JsonlSink, RunManifest, Tracer
 
 __all__ = [
     "__version__",
@@ -101,4 +104,8 @@ __all__ = [
     "gslic",
     "preemptive_slic",
     "preemptive_sslic",
+    # obs
+    "Tracer",
+    "JsonlSink",
+    "RunManifest",
 ]

@@ -12,13 +12,22 @@ Commands
     for arbitrary resolutions / buffer sizes / widths).
 ``report-md``
     Aggregate the benchmark artifacts into a single markdown report.
+``stats``
+    Summarize a JSONL telemetry trace written with ``--trace``.
+
+Observability: ``segment`` and ``experiment`` accept ``--trace PATH``
+(JSONL span/metric telemetry, see ``docs/observability.md``) and
+``--manifest PATH`` (a single JSON artifact pinning params, seed,
+versions, and final metrics).
 
 Examples
 --------
 ::
 
     python -m repro segment --input frame.ppm --superpixels 400 --out seg.ppm
-    python -m repro segment --synthetic --seed 3 --algorithm slic
+    python -m repro segment --synthetic --seed 3 --trace run.jsonl \
+        --manifest run.json
+    python -m repro stats run.jsonl
     python -m repro experiment table3
     python -m repro experiment fig6 --scale quick
     python -m repro report --width 1280 --height 768 --buffer-kb 1
@@ -32,12 +41,23 @@ import sys
 from . import __version__
 
 
+def _make_tracer(trace_path):
+    """Tracer writing to ``trace_path``, or the shared disabled tracer."""
+    from .obs import JsonlSink, Tracer
+    from .obs.tracer import NULL_TRACER
+
+    if trace_path:
+        return Tracer(JsonlSink(trace_path))
+    return NULL_TRACER
+
+
 def _cmd_segment(args) -> int:
     import numpy as np
 
     from .core import slic, sslic
     from .data import SceneConfig, generate_scene, read_ppm, write_ppm
     from .metrics import boundary_recall, undersegmentation_error
+    from .obs import RunManifest
     from .viz import draw_boundaries, mean_color_image
 
     if args.synthetic:
@@ -60,15 +80,46 @@ def _cmd_segment(args) -> int:
     )
     if args.algorithm == "sslic":
         kwargs["subsample_ratio"] = args.ratio
-    result = run(image, **kwargs)
+
+    manifest = RunManifest.start(
+        "segment",
+        params=dict(kwargs, algorithm=args.algorithm,
+                    height=image.shape[0], width=image.shape[1],
+                    synthetic=bool(args.synthetic), input=args.input),
+        seed=args.seed,
+    )
+    tracer = _make_tracer(args.trace)
+    try:
+        result = run(image, tracer=tracer, **kwargs)
+    except BaseException:
+        tracer.close()
+        if args.manifest:
+            manifest.finish(status="error").write(args.manifest)
+        raise
     print(
         f"{args.algorithm}: {result.n_superpixels} superpixels, "
         f"{result.iterations} sweeps, converged={result.converged}, "
         f"{result.total_time * 1e3:.1f} ms"
     )
+    final_metrics = dict(
+        iterations=result.iterations,
+        subiterations=result.subiterations,
+        converged=result.converged,
+        realized_superpixels=result.n_superpixels,
+        total_time_s=result.total_time,
+    )
     if gt is not None:
-        print(f"USE {undersegmentation_error(result.labels, gt):.4f}  "
-              f"boundary recall {boundary_recall(result.labels, gt):.4f}")
+        use = undersegmentation_error(result.labels, gt)
+        recall = boundary_recall(result.labels, gt)
+        final_metrics["undersegmentation_error"] = use
+        final_metrics["boundary_recall"] = recall
+        print(f"USE {use:.4f}  boundary recall {recall:.4f}")
+    tracer.close()
+    if args.trace:
+        print(f"wrote trace telemetry to {args.trace}")
+    if args.manifest:
+        manifest.finish(**final_metrics).write(args.manifest)
+        print(f"wrote run manifest to {args.manifest}")
     if args.out:
         write_ppm(args.out, draw_boundaries(image, result.labels))
         print(f"wrote boundary overlay to {args.out}")
@@ -80,11 +131,49 @@ def _cmd_segment(args) -> int:
 
 def _cmd_experiment(args) -> int:
     from .analysis import render_table, run_experiment
+    from .obs import RunManifest
 
-    result = run_experiment(args.name, scale=args.scale)
+    manifest = RunManifest.start(
+        f"experiment:{args.name}", params={"scale": args.scale}
+    )
+    tracer = _make_tracer(args.trace)
+    try:
+        with tracer.span("experiment", experiment=args.name, scale=args.scale) as span:
+            result = run_experiment(args.name, scale=args.scale)
+            span.set(rows=len(result.rows))
+    except BaseException:
+        tracer.close()
+        if args.manifest:
+            manifest.finish(status="error").write(args.manifest)
+        raise
     print(render_table(result.headers, result.rows, title=result.title, precision=4))
     if result.notes:
         print(result.notes)
+    tracer.close()
+    if args.trace:
+        print(f"wrote trace telemetry to {args.trace}")
+    if args.manifest:
+        manifest.finish(rows=len(result.rows), title=result.title)
+        manifest.write(args.manifest)
+        print(f"wrote run manifest to {args.manifest}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .obs import format_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.trace)
+    except FileNotFoundError:
+        print(f"stats: no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(format_summary(summary, title=f"trace summary: {args.trace}"))
+    except BrokenPipeError:  # e.g. `repro stats t.jsonl | head`
+        sys.stderr.close()  # suppress the interpreter's epipe warning
     return 0
 
 
@@ -155,13 +244,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="S-SLIC subsample ratio (1/n)")
     seg.add_argument("--out", help="boundary-overlay PPM output path")
     seg.add_argument("--mean-out", help="mean-color PPM output path")
+    seg.add_argument("--trace", metavar="PATH",
+                     help="write JSONL span/metric telemetry to PATH")
+    seg.add_argument("--manifest", metavar="PATH",
+                     help="write a JSON run manifest (params, seed, metrics)")
     seg.set_defaults(func=_cmd_segment)
 
     exp = sub.add_parser("experiment", help="run a registered paper experiment")
     exp.add_argument("name", help="fig2 | table1 | table2 | table3 | sec61 | "
                                   "fig6 | table4 | table5")
     exp.add_argument("--scale", choices=("quick", "full"), default="quick")
+    exp.add_argument("--trace", metavar="PATH",
+                     help="write JSONL span/metric telemetry to PATH")
+    exp.add_argument("--manifest", metavar="PATH",
+                     help="write a JSON run manifest (params, metrics)")
     exp.set_defaults(func=_cmd_experiment)
+
+    sts = sub.add_parser("stats", help="summarize a JSONL telemetry trace")
+    sts.add_argument("trace", help="trace file written with --trace")
+    sts.set_defaults(func=_cmd_stats)
 
     rep = sub.add_parser("report", help="accelerator report for a configuration")
     rep.add_argument("--width", type=int, default=1920)

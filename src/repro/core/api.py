@@ -38,6 +38,7 @@ def slic(
     params: SlicParams = None,
     warm_centers: np.ndarray = None,
     warm_labels: np.ndarray = None,
+    tracer=None,
     **overrides,
 ) -> SegmentationResult:
     """Run original SLIC superpixel segmentation on an RGB image.
@@ -51,6 +52,9 @@ def slic(
         top (e.g. ``slic(img, n_superpixels=900, compactness=10)``).
         The architecture is forced to CPA and the subsample ratio to 1 —
         that is what "SLIC" means in the paper's comparisons.
+    tracer:
+        Optional :class:`repro.obs.Tracer` the run emits spans and
+        counters into.
 
     Returns a :class:`~repro.core.result.SegmentationResult`.
     """
@@ -58,7 +62,8 @@ def slic(
         params, overrides, {"architecture": ARCH_CPA, "subsample_ratio": 1.0}
     )
     return run_segmentation(
-        image, params, warm_centers=warm_centers, warm_labels=warm_labels
+        image, params, warm_centers=warm_centers, warm_labels=warm_labels,
+        tracer=tracer,
     )
 
 
@@ -67,6 +72,7 @@ def sslic(
     params: SlicParams = None,
     warm_centers: np.ndarray = None,
     warm_labels: np.ndarray = None,
+    tracer=None,
     **overrides,
 ) -> SegmentationResult:
     """Run S-SLIC (subsampled SLIC) on an RGB image.
@@ -75,7 +81,8 @@ def sslic(
     with a 0.5 subsample ratio ("S-SLIC (0.5)"). Pass
     ``subsample_ratio=0.25`` for the other published variant, or
     ``architecture="cpa"`` for the center-perspective subsampling the paper
-    examined and rejected.
+    examined and rejected. ``tracer`` is an optional
+    :class:`repro.obs.Tracer` the run emits spans and counters into.
 
     Returns a :class:`~repro.core.result.SegmentationResult`.
     """
@@ -92,5 +99,6 @@ def sslic(
     merged.update(overrides)
     params = _build_params(params, merged, {})
     return run_segmentation(
-        image, params, warm_centers=warm_centers, warm_labels=warm_labels
+        image, params, warm_centers=warm_centers, warm_labels=warm_labels,
+        tracer=tracer,
     )

@@ -13,7 +13,12 @@ One engine implements the two flowcharts of Figure 1:
 pixel-perspective SLIC; with CPA it reproduces the original algorithm.
 
 The engine is instrumented with :class:`~repro.core.profiles.PhaseTimer`
-buckets that map onto Table 1's columns.
+buckets that map onto Table 1's columns, and — when a
+:class:`repro.obs.Tracer` is passed — emits a full span tree
+(``segmentation`` > ``sweep`` > ``subiteration`` > ``phase:*``) plus
+pixels-touched / centers-updated counters and the per-sweep
+center-movement residual, so convergence dynamics are observable from
+the JSONL telemetry alone.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import numpy as np
 from ..color import rgb_to_lab
 from ..color.hw_convert import HwColorConverter
 from ..errors import ConfigurationError
+from ..obs.tracer import NULL_TRACER
 from ..types import as_uint8_rgb, validate_rgb_image
 from .accumulators import SigmaAccumulator, center_movement
 from .assignment import PixelArrays, assign_cpa, assign_ppa
@@ -61,6 +67,7 @@ def run_segmentation(
     params: SlicParams,
     warm_centers: np.ndarray = None,
     warm_labels: np.ndarray = None,
+    tracer=None,
 ) -> SegmentationResult:
     """Segment ``image`` according to ``params``; see module docstring.
 
@@ -68,9 +75,37 @@ def run_segmentation(
     run from a previous result — used for video streams (frame-to-frame
     temporal coherence) and for sweep-at-a-time drivers like Preemptive
     S-SLIC. The warm centers must match the grid-realized cluster count.
+
+    ``tracer`` is an optional :class:`repro.obs.Tracer`; when given, the
+    run emits the span tree and counters described in the module
+    docstring. When ``None`` the shared disabled tracer is used and the
+    instrumentation cost is a handful of attribute checks per sweep.
     """
     validate_rgb_image(image)
-    timer = PhaseTimer()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    timer = PhaseTimer(tracer=tracer)
+    with tracer.span(
+        "segmentation",
+        architecture=params.architecture,
+        n_superpixels=params.n_superpixels,
+        subsample_ratio=params.subsample_ratio,
+        height=image.shape[0],
+        width=image.shape[1],
+    ) as root:
+        result = _run_instrumented(
+            image, params, warm_centers, warm_labels, tracer, timer
+        )
+        root.set(
+            sweeps=result.iterations,
+            subiterations=result.subiterations,
+            converged=result.converged,
+            realized_superpixels=result.n_superpixels,
+        )
+    return result
+
+
+def _run_instrumented(image, params, warm_centers, warm_labels, tracer, timer):
+    """The engine body; always runs inside the root ``segmentation`` span."""
 
     # ------------------------------------------------------------------
     # Color conversion (reference float path, or the LUT hardware path
@@ -142,85 +177,116 @@ def run_segmentation(
     sub = 0
     sweeps = 0
     while sub < max_sub:
-        sweep_start = centers.copy()
-        for _ in range(n_subsets):
-            if sub >= max_sub:
-                break
-            if params.architecture == ARCH_PPA:
-                idx = schedule.subset(sub)
-                with timer.phase("distance_min"):
-                    chosen = assign_ppa(
-                        pixels,
-                        idx,
-                        cands,
-                        centers,
-                        weight,
-                        compactness=params.compactness,
-                        grid_s=s,
+        with tracer.span("sweep", index=sweeps) as sweep_span:
+            sweep_start = centers.copy()
+            for _ in range(n_subsets):
+                if sub >= max_sub:
+                    break
+                if params.architecture == ARCH_PPA:
+                    idx = schedule.subset(sub)
+                    subit = tracer.span(
+                        "subiteration",
+                        sub=sub,
+                        subset=sub % n_subsets,
+                        architecture=ARCH_PPA,
+                        pixels=len(idx),
                     )
-                    labels_flat[idx] = chosen
-                with timer.phase("center_update"):
-                    mode = params.center_update_mode
-                    if mode == "accumulate":
-                        # Sigma registers persist across the sweep's subset
-                        # passes and reset at sweep boundaries (hardware
-                        # behaviour; see SlicParams.center_update_mode).
-                        if sub % n_subsets == 0:
+                    with subit:
+                        with timer.phase("distance_min"):
+                            chosen = assign_ppa(
+                                pixels,
+                                idx,
+                                cands,
+                                centers,
+                                weight,
+                                compactness=params.compactness,
+                                grid_s=s,
+                            )
+                            labels_flat[idx] = chosen
+                        with timer.phase("center_update"):
+                            mode = params.center_update_mode
+                            if mode == "accumulate":
+                                # Sigma registers persist across the sweep's
+                                # subset passes and reset at sweep boundaries
+                                # (hardware behaviour; see
+                                # SlicParams.center_update_mode).
+                                if sub % n_subsets == 0:
+                                    acc.reset()
+                                acc.add(pixels.values5(idx), chosen)
+                            elif mode == "subset":
+                                acc.reset()
+                                acc.add(pixels.values5(idx), chosen)
+                            else:  # all_assigned
+                                acc.reset()
+                                all_idx = np.arange(pixels.n_pixels)
+                                acc.add(pixels.values5(all_idx), labels_flat)
+                            centers = acc.compute_centers(fallback=centers)
+                    tracer.count("engine.pixels_assigned", len(idx))
+                    tracer.count("engine.centers_updated", n_clusters)
+                else:
+                    subset_k = c_subsets[sub % n_subsets]
+                    if n_subsets > 1 and sub % n_subsets == 0:
+                        dist_buf.fill(_INF)
+                    elif n_subsets == 1:
+                        dist_buf.fill(_INF)
+                    subit = tracer.span(
+                        "subiteration",
+                        sub=sub,
+                        subset=sub % n_subsets,
+                        architecture=ARCH_CPA,
+                        centers=len(subset_k),
+                    )
+                    with subit:
+                        with timer.phase("distance_min"):
+                            assign_cpa(
+                                lab,
+                                centers,
+                                weight,
+                                s,
+                                dist_buf,
+                                labels_buf,
+                                cluster_indices=subset_k,
+                                datapath=datapath,
+                                compactness=params.compactness,
+                                codes=codes,
+                            )
+                        with timer.phase("center_update"):
+                            if lab5_cache is None:
+                                yy, xx = np.mgrid[0:h, 0:w]
+                                lab5_cache = np.concatenate(
+                                    [
+                                        lab.reshape(-1, 3),
+                                        xx.reshape(-1, 1).astype(np.float64),
+                                        yy.reshape(-1, 1).astype(np.float64),
+                                    ],
+                                    axis=1,
+                                )
                             acc.reset()
-                        acc.add(pixels.values5(idx), chosen)
-                    elif mode == "subset":
-                        acc.reset()
-                        acc.add(pixels.values5(idx), chosen)
-                    else:  # all_assigned
-                        acc.reset()
-                        all_idx = np.arange(pixels.n_pixels)
-                        acc.add(pixels.values5(all_idx), labels_flat)
-                    centers = acc.compute_centers(fallback=centers)
-            else:
-                subset_k = c_subsets[sub % n_subsets]
-                if n_subsets > 1 and sub % n_subsets == 0:
-                    dist_buf.fill(_INF)
-                elif n_subsets == 1:
-                    dist_buf.fill(_INF)
-                with timer.phase("distance_min"):
-                    assign_cpa(
-                        lab,
-                        centers,
-                        weight,
-                        s,
-                        dist_buf,
-                        labels_buf,
-                        cluster_indices=subset_k,
-                        datapath=datapath,
-                        compactness=params.compactness,
-                        codes=codes,
+                            acc.add(lab5_cache, labels_buf.ravel())
+                            new_centers = acc.compute_centers(fallback=centers)
+                            if n_subsets > 1:
+                                # Only the scanned subset's centers move this
+                                # sub-iteration (the others' pixel sets are
+                                # stale).
+                                merged = centers.copy()
+                                merged[subset_k] = new_centers[subset_k]
+                                centers = merged
+                            else:
+                                centers = new_centers
+                    # Each scanned center sweeps a 2S x 2S candidate window.
+                    tracer.count(
+                        "engine.pixels_assigned",
+                        min(h * w, int(len(subset_k) * (2 * s) ** 2)),
                     )
-                with timer.phase("center_update"):
-                    if lab5_cache is None:
-                        yy, xx = np.mgrid[0:h, 0:w]
-                        lab5_cache = np.concatenate(
-                            [
-                                lab.reshape(-1, 3),
-                                xx.reshape(-1, 1).astype(np.float64),
-                                yy.reshape(-1, 1).astype(np.float64),
-                            ],
-                            axis=1,
-                        )
-                    acc.reset()
-                    acc.add(lab5_cache, labels_buf.ravel())
-                    new_centers = acc.compute_centers(fallback=centers)
-                    if n_subsets > 1:
-                        # Only the scanned subset's centers move this
-                        # sub-iteration (the others' pixel sets are stale).
-                        merged = centers.copy()
-                        merged[subset_k] = new_centers[subset_k]
-                        centers = merged
-                    else:
-                        centers = new_centers
-            sub += 1
-        sweeps += 1
-        movement = center_movement(sweep_start, centers)
-        movement_history.append(movement)
+                    tracer.count("engine.centers_updated", len(subset_k))
+                sub += 1
+                tracer.count("engine.subiterations")
+            sweeps += 1
+            tracer.count("engine.sweeps")
+            movement = center_movement(sweep_start, centers)
+            movement_history.append(movement)
+            sweep_span.set(movement=movement, subiterations_done=sub)
+            tracer.gauge("engine.center_movement", movement)
         if params.convergence_threshold > 0 and movement < params.convergence_threshold:
             converged = True
             break

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from ..core import SlicParams, sslic
 from ..core.distance import FixedDatapath
 from ..errors import HardwareModelError
+from ..obs.tracer import NULL_TRACER
 from .cluster_unit import ClusterUnitModel
 from .components import FSM_AREA_MM2, CenterUnitModel, ColorUnitModel, ScratchpadModel
 from .config import AcceleratorConfig
@@ -119,6 +120,9 @@ class AcceleratorModel:
         External memory model.
     always_on_power_mw:
         Baseline power consumed for the whole frame time.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; :meth:`report` and
+        :meth:`simulate` emit spans and design-point gauges into it.
     """
 
     def __init__(
@@ -127,11 +131,13 @@ class AcceleratorModel:
         tech: TechnologyParams = TECH_16NM,
         dram: DramModel = None,
         always_on_power_mw: float = ALWAYS_ON_POWER_MW,
+        tracer=None,
     ):
         self.config = config if config is not None else AcceleratorConfig()
         self.tech = tech
         self.dram = dram if dram is not None else DramModel()
         self.always_on_power_mw = always_on_power_mw
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.cluster = ClusterUnitModel(self.config.ways, self.config.bits, tech)
         self.color_unit = ColorUnitModel(tech=tech)
         self.center_unit = CenterUnitModel(tech=tech)
@@ -211,19 +217,40 @@ class AcceleratorModel:
     # ------------------------------------------------------------------
     def report(self) -> AcceleratorReport:
         """Produce the Table 4 column for this configuration."""
-        latency = self.latency_breakdown()
-        energy_uj = sum(self.energy_breakdown_uj(latency.total_ms).values())
-        energy_mj = energy_uj * 1e-3
-        power_mw = energy_mj / latency.total_ms * 1e3  # mJ/ms = W; *1e3 -> mW
-        return AcceleratorReport(
-            config=self.config,
-            latency=latency,
-            area_mm2=self.area_mm2(),
-            area_breakdown=self.area_breakdown(),
-            power_mw=power_mw,
-            energy_per_frame_mj=energy_mj,
-            on_chip_kb=self.scratchpads.total_kb + EXTRA_ON_CHIP_KB,
-        )
+        tracer = self.tracer
+        with tracer.span(
+            "accelerator.report",
+            resolution=str(self.config.resolution),
+            n_superpixels=self.config.n_superpixels,
+            ways=self.config.ways.label,
+            buffer_kb=self.config.buffer_kb_per_channel,
+            bits=self.config.bits,
+        ):
+            latency = self.latency_breakdown()
+            energy_uj = sum(self.energy_breakdown_uj(latency.total_ms).values())
+            energy_mj = energy_uj * 1e-3
+            power_mw = energy_mj / latency.total_ms * 1e3  # mJ/ms = W; *1e3 -> mW
+            report = AcceleratorReport(
+                config=self.config,
+                latency=latency,
+                area_mm2=self.area_mm2(),
+                area_breakdown=self.area_breakdown(),
+                power_mw=power_mw,
+                energy_per_frame_mj=energy_mj,
+                on_chip_kb=self.scratchpads.total_kb + EXTRA_ON_CHIP_KB,
+            )
+            if tracer.enabled:
+                tracer.gauge("accelerator.latency_ms", report.latency_ms)
+                tracer.gauge("accelerator.fps", report.fps)
+                tracer.gauge("accelerator.power_mw", report.power_mw)
+                tracer.gauge("accelerator.area_mm2", report.area_mm2)
+                tracer.gauge(
+                    "accelerator.energy_per_frame_mj", report.energy_per_frame_mj
+                )
+                tracer.gauge(
+                    "accelerator.memory_stall_ms", latency.memory_stall_ms
+                )
+        return report
 
     # ------------------------------------------------------------------
     # Functional simulation
@@ -250,15 +277,19 @@ class AcceleratorModel:
         )
         if overrides:
             params = params.with_(**overrides)
-        result = sslic(image, params)
-        from ..types import Resolution  # local import avoids cycle at module load
+        with self.tracer.span(
+            "accelerator.simulate", height=h, width=w, n_superpixels=n_superpixels
+        ):
+            result = sslic(image, params, tracer=self.tracer)
+            from ..types import Resolution  # local import avoids cycle at module load
 
-        frame_cfg = self.config.with_(
-            resolution=Resolution(w, h), n_superpixels=n_superpixels
-        )
-        report = AcceleratorModel(
-            frame_cfg, self.tech, self.dram, self.always_on_power_mw
-        ).report()
+            frame_cfg = self.config.with_(
+                resolution=Resolution(w, h), n_superpixels=n_superpixels
+            )
+            report = AcceleratorModel(
+                frame_cfg, self.tech, self.dram, self.always_on_power_mw,
+                tracer=self.tracer,
+            ).report()
         return result, report
 
 

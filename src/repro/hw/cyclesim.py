@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..errors import HardwareModelError
+from ..obs.tracer import NULL_TRACER
 from .components import CenterUnitModel, ColorUnitModel
 from .config import AcceleratorConfig
 from .dram import DramModel
@@ -96,10 +97,11 @@ class ClusterUnitSim:
     whose front-end is still busy with its predecessor.
     """
 
-    def __init__(self, ways: ClusterWays = None):
+    def __init__(self, ways: ClusterWays = None, tracer=None):
         if ways is None:
             ways = ClusterWays()
         self.ways = ways
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         d_issue = math.ceil(9 / ways.distance)
         m_issue = math.ceil(9 / ways.minimum)
         a_issue = math.ceil(6 / ways.adder)
@@ -127,12 +129,24 @@ class ClusterUnitSim:
         util = {
             s.name: (s.busy_cycles / total if total else 0.0) for s in stages
         }
-        return ClusterUnitTrace(
+        trace = ClusterUnitTrace(
             n_pixels=n_pixels,
             total_cycles=total,
             first_result_cycle=first if first is not None else 0,
             utilization=util,
         )
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.event(
+                "cyclesim.cluster_unit",
+                ways=self.ways.label,
+                n_pixels=n_pixels,
+                total_cycles=total,
+                **{f"util_{k}": round(v, 4) for k, v in util.items()},
+            )
+            tracer.count("cyclesim.cluster_unit.pixels", n_pixels)
+            tracer.count("cyclesim.cluster_unit.cycles", total)
+        return trace
 
 
 # ---------------------------------------------------------------------------
@@ -185,12 +199,14 @@ class AcceleratorSim:
         dram: DramModel = None,
         tech: TechnologyParams = TECH_16NM,
         prefetch: bool = False,
+        tracer=None,
     ):
         self.config = config if config is not None else AcceleratorConfig()
         self.dram = dram if dram is not None else DramModel()
         self.tech = tech
         self.prefetch = prefetch
-        self.cluster = ClusterUnitSim(self.config.ways)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.cluster = ClusterUnitSim(self.config.ways, tracer=self.tracer)
         self.color = ColorUnitModel(tech=tech)
         self.center = CenterUnitModel(tech=tech)
 
@@ -211,55 +227,98 @@ class AcceleratorSim:
 
     def run_frame(self) -> FrameTrace:
         cfg = self.config
-        color_cycles = self.color.cycles_for_pixels(cfg.n_pixels) / cfg.n_cores
-        # Input frame fetch overlaps color conversion (raster streaming);
-        # the conversion rate (1 px/cycle) is below the DRAM rate
-        # (32 B/cycle), so color conversion is compute-bound.
-        clock = color_cycles
-
-        fetch = self._tile_fetch_cycles()
-        compute = self._tile_compute_cycles()
-        n_tiles = cfg.n_tiles
-        exposed = 0.0
-        dram_busy = 0.0
-        compute_busy = 0.0
-        for _ in range(cfg.iterations):
-            if self.prefetch:
-                # Double buffering what-if: fetch(i+1) overlaps compute(i).
-                # The first tile's fetch is fully exposed; afterwards each
-                # tile starts at max(its fetch done, previous compute done).
-                fetch_done = clock + fetch
-                dram_busy += fetch
-                compute_done = fetch_done  # tile 0 compute start
-                for _ in range(n_tiles):
-                    start = compute_done  # previous tile's compute end
-                    if fetch_done > start:
-                        exposed += fetch_done - start
-                        start = fetch_done
-                    compute_done = start + compute
-                    compute_busy += compute
-                    # The next prefetch begins once this tile's compute
-                    # frees the shadow buffer.
-                    fetch_done = max(fetch_done, compute_done - compute) + fetch
-                    dram_busy += fetch
-                clock = compute_done
-            else:
-                # The paper's serial FSM: load, then process, every tile.
-                for _ in range(n_tiles):
-                    clock += fetch
-                    dram_busy += fetch
-                    exposed += fetch
-                    clock += compute
-                    compute_busy += compute
-            clock += self.center.cycles_for_update(cfg.n_superpixels)
-        return FrameTrace(
-            total_cycles=clock,
-            color_cycles=color_cycles,
-            compute_cycles=compute_busy,
-            center_cycles=cfg.iterations
-            * self.center.cycles_for_update(cfg.n_superpixels),
-            dram_busy_cycles=dram_busy,
-            exposed_stall_cycles=exposed,
-            n_tiles=n_tiles,
+        tracer = self.tracer
+        with tracer.span(
+            "cyclesim.frame",
+            resolution=str(cfg.resolution),
+            n_superpixels=cfg.n_superpixels,
+            n_tiles=cfg.n_tiles,
             iterations=cfg.iterations,
-        )
+            prefetch=self.prefetch,
+        ) as frame_span:
+            color_cycles = self.color.cycles_for_pixels(cfg.n_pixels) / cfg.n_cores
+            # Input frame fetch overlaps color conversion (raster streaming);
+            # the conversion rate (1 px/cycle) is below the DRAM rate
+            # (32 B/cycle), so color conversion is compute-bound.
+            clock = color_cycles
+
+            fetch = self._tile_fetch_cycles()
+            compute = self._tile_compute_cycles()
+            center = self.center.cycles_for_update(cfg.n_superpixels)
+            n_tiles = cfg.n_tiles
+            streamed = self.dram.bytes_per_pixel_per_iteration * cfg.pixels_per_tile
+            buffer_bytes = cfg.buffer_kb_per_channel * 1024
+            # Scratchpad dynamics per tile: one double-buffer fill plus the
+            # refill (spill + reload) rounds forced when the streamed tile
+            # data exceeds one channel buffer.
+            spills_per_tile = max(0, math.ceil(streamed / buffer_bytes) - 1)
+            exposed = 0.0
+            dram_busy = 0.0
+            compute_busy = 0.0
+            for it in range(cfg.iterations):
+                iter_start = clock
+                if self.prefetch:
+                    # Double buffering what-if: fetch(i+1) overlaps compute(i).
+                    # The first tile's fetch is fully exposed; afterwards each
+                    # tile starts at max(its fetch done, previous compute done).
+                    fetch_done = clock + fetch
+                    dram_busy += fetch
+                    compute_done = fetch_done  # tile 0 compute start
+                    for _ in range(n_tiles):
+                        start = compute_done  # previous tile's compute end
+                        if fetch_done > start:
+                            exposed += fetch_done - start
+                            start = fetch_done
+                        compute_done = start + compute
+                        compute_busy += compute
+                        # The next prefetch begins once this tile's compute
+                        # frees the shadow buffer.
+                        fetch_done = max(fetch_done, compute_done - compute) + fetch
+                        dram_busy += fetch
+                    clock = compute_done
+                else:
+                    # The paper's serial FSM: load, then process, every tile.
+                    for _ in range(n_tiles):
+                        clock += fetch
+                        dram_busy += fetch
+                        exposed += fetch
+                        clock += compute
+                        compute_busy += compute
+                clock += center
+                if tracer.enabled:
+                    tracer.event(
+                        "cyclesim.iteration", index=it, cycles=clock - iter_start
+                    )
+                    tracer.count("cyclesim.fsm.fetch_cycles", n_tiles * fetch)
+                    tracer.count("cyclesim.fsm.compute_cycles", n_tiles * compute)
+                    tracer.count("cyclesim.fsm.center_cycles", center)
+                    tracer.count("cyclesim.scratchpad.fills", n_tiles)
+                    tracer.count(
+                        "cyclesim.scratchpad.spills", n_tiles * spills_per_tile
+                    )
+                    tracer.count(
+                        "cyclesim.dram.bytes_streamed", n_tiles * streamed
+                    )
+            trace = FrameTrace(
+                total_cycles=clock,
+                color_cycles=color_cycles,
+                compute_cycles=compute_busy,
+                center_cycles=cfg.iterations * center,
+                dram_busy_cycles=dram_busy,
+                exposed_stall_cycles=exposed,
+                n_tiles=n_tiles,
+                iterations=cfg.iterations,
+            )
+            if tracer.enabled:
+                frame_span.set(
+                    total_cycles=clock, total_ms=trace.total_ms(self.tech)
+                )
+                tracer.count("cyclesim.fsm.color_cycles", color_cycles)
+                tracer.gauge("cyclesim.dram.busy_cycles", dram_busy)
+                tracer.gauge("cyclesim.dram.exposed_stall_cycles", exposed)
+                tracer.gauge("cyclesim.scratchpad.buffer_bytes", buffer_bytes)
+                tracer.gauge(
+                    "cyclesim.dram.bytes_per_frame",
+                    cfg.iterations * n_tiles * streamed,
+                )
+        return trace

@@ -1,0 +1,137 @@
+"""Run manifests: one JSON artifact that makes a run reproducible.
+
+A :class:`RunManifest` captures what was run (command + params), how
+(seed, versions, git state), and what came out (final metrics), so a
+trace file plus its manifest fully describe a run without consulting the
+shell history. The schema is flat JSON — see ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+__all__ = ["RunManifest", "git_describe"]
+
+#: Manifest schema version.
+MANIFEST_SCHEMA = 1
+
+
+def git_describe(cwd=None) -> str:
+    """``git describe --always --dirty`` of the source tree, or ``None``.
+
+    Failure (no git binary, not a repo, timeout) is expected in deployed
+    environments and reported as ``None`` rather than raised.
+    """
+    if cwd is None:
+        cwd = Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=str(cwd),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def _versions() -> dict:
+    from .. import __version__
+
+    versions = {
+        "python": platform.python_version(),
+        "repro": __version__,
+    }
+    numpy = sys.modules.get("numpy")
+    if numpy is not None:
+        versions["numpy"] = numpy.__version__
+    return versions
+
+
+class RunManifest:
+    """Mutable manifest builder; ``start`` it, ``finish`` it, ``write`` it.
+
+    Parameters
+    ----------
+    command:
+        What ran (``"segment"``, ``"experiment:fig6"``, a bench name...).
+    params:
+        JSON-serializable run parameters.
+    seed:
+        The RNG seed, surfaced top-level because reproducibility hinges
+        on it.
+    extra:
+        Any further top-level fields (e.g. input path, scale).
+    """
+
+    def __init__(self, command: str, params: dict = None, seed=None, **extra):
+        self.command = command
+        self.params = dict(params) if params else {}
+        self.seed = seed
+        self.extra = extra
+        self.metrics = {}
+        self.status = "running"
+        self.started_at = time.time()
+        self.finished_at = None
+        self.git = git_describe()
+        self.versions = _versions()
+
+    @classmethod
+    def start(cls, command: str, params: dict = None, seed=None, **extra):
+        return cls(command, params=params, seed=seed, **extra)
+
+    def finish(self, status: str = "ok", **metrics) -> "RunManifest":
+        """Record final metrics and stamp the end time; chainable."""
+        self.metrics.update(metrics)
+        self.status = status
+        self.finished_at = time.time()
+        return self
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        doc = {
+            "schema": MANIFEST_SCHEMA,
+            "command": self.command,
+            "params": self.params,
+            "seed": self.seed,
+            "git": self.git,
+            "versions": self.versions,
+            "status": self.status,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "duration_s": (
+                self.finished_at - self.started_at
+                if self.finished_at is not None
+                else None
+            ),
+            "metrics": self.metrics,
+        }
+        doc.update(self.extra)
+        return doc
+
+    def write(self, path) -> Path:
+        """Serialize to ``path`` as indented JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, default=_coerce) + "\n")
+        return path
+
+    @staticmethod
+    def read(path) -> dict:
+        """Load a previously written manifest as a plain dict."""
+        return json.loads(Path(path).read_text())
+
+
+def _coerce(obj):
+    if hasattr(obj, "item"):  # numpy scalars
+        return obj.item()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")

@@ -1,0 +1,159 @@
+"""Counters, gauges, and fixed-bucket histograms — pure stdlib.
+
+A :class:`MetricsRegistry` is a namespace of named instruments. Registries
+are cheap enough to create per run; the engine, the cycle simulator, and
+the CLI all write into the registry owned by their
+:class:`~repro.obs.tracer.Tracer` and the values are flushed to the
+tracer's sink as ``counter`` / ``gauge`` / ``hist`` events.
+
+Instruments accept ints and floats (hardware cycle counts are fractional
+in the analytical models), and a histogram's buckets are fixed at
+creation — observation is O(#buckets) with no allocation.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from ..errors import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically non-decreasing accumulator."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} increment must be >= 0, got {amount}"
+            )
+        self.value += amount
+
+    def as_event(self) -> dict:
+        return {"ev": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins value (e.g. buffer bytes, residual movement)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = None
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def as_event(self) -> dict:
+        return {"ev": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count, Prometheus-style.
+
+    ``buckets`` are the upper bounds of the finite buckets, strictly
+    increasing; values above the last bound land in the implicit +inf
+    bucket. ``counts`` has ``len(buckets) + 1`` entries.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "count")
+
+    def __init__(self, name: str, buckets):
+        bounds = [float(b) for b in buckets]
+        if not bounds or any(nxt <= prev for nxt, prev in zip(bounds[1:], bounds)):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be non-empty and strictly "
+                f"increasing, got {list(buckets)}"
+            )
+        self.name = name
+        self.buckets = tuple(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_event(self) -> dict:
+        return {
+            "ev": "hist",
+            "name": self.name,
+            "count": self.count,
+            "sum": self.total,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Names are free-form dotted strings (``engine.pixels_assigned``,
+    ``cyclesim.fsm.fetch_cycles``). Re-requesting a name returns the same
+    instrument; requesting it as a different kind raises.
+    """
+
+    def __init__(self):
+        self._instruments = {}
+
+    def _get(self, name: str, kind, factory):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = factory()
+            self._instruments[name] = inst
+        elif not isinstance(inst, kind):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, requested {kind.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, buckets) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self):
+        return iter(self._instruments.values())
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: ``{counters: {}, gauges: {}, histograms: {}}``."""
+        snap = {"counters": {}, "gauges": {}, "histograms": {}}
+        for inst in self:
+            if isinstance(inst, Counter):
+                snap["counters"][inst.name] = inst.value
+            elif isinstance(inst, Gauge):
+                snap["gauges"][inst.name] = inst.value
+            else:
+                snap["histograms"][inst.name] = {
+                    "count": inst.count,
+                    "sum": inst.total,
+                    "mean": inst.mean,
+                }
+        return snap
+
+    def emit_to(self, sink) -> None:
+        """Write one event per instrument to ``sink``."""
+        for inst in self:
+            sink.emit(inst.as_event())

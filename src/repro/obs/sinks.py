@@ -1,0 +1,128 @@
+"""Event sinks: where tracer spans and metric snapshots go.
+
+Every event is a flat JSON-serializable dict with an ``"ev"`` type field
+(see ``docs/observability.md`` for the schema). Sinks are deliberately
+dumb — they receive finished events and persist them; all buffering and
+formatting decisions live here so the :class:`~repro.obs.tracer.Tracer`
+stays allocation-free on the disabled path.
+
+Three implementations:
+
+* :class:`NullSink` — discards everything; the default, so instrumented
+  code pays near-zero cost when observability is off.
+* :class:`MemorySink` — keeps events in a list; for tests and in-process
+  consumers.
+* :class:`JsonlSink` — one compact JSON object per line, append-friendly
+  and greppable; the on-disk run-telemetry format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink", "read_jsonl"]
+
+
+class Sink:
+    """Abstract event consumer. Subclasses override :meth:`emit`."""
+
+    def emit(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.flush()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class NullSink(Sink):
+    """Discards every event (the disabled-observability default)."""
+
+    def emit(self, event: dict) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Accumulates events in :attr:`events` (insertion order)."""
+
+    def __init__(self):
+        self.events = []
+        self.closed = False
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        super().close()
+        self.closed = True
+
+    def by_type(self, ev: str) -> list:
+        """Events whose ``"ev"`` field equals ``ev``."""
+        return [e for e in self.events if e.get("ev") == ev]
+
+
+class JsonlSink(Sink):
+    """Writes one compact JSON object per line to ``path``.
+
+    The file is opened lazily on the first event and truncated (a sink
+    represents one run's telemetry; use distinct paths per run). Events
+    must be JSON-serializable; numpy scalars are coerced via ``float``.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fh = None
+        self.n_events = 0
+
+    def _coerce(self, obj):
+        # numpy ints/floats/bools and other scalar-likes -> builtins.
+        if hasattr(obj, "item"):
+            return obj.item()
+        raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+    def emit(self, event: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w", encoding="utf-8")
+        line = json.dumps(event, separators=(",", ":"), default=self._coerce)
+        self._fh.write(line + "\n")
+        self.n_events += 1
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            self._fh.close()
+            self._fh = None
+
+
+def read_jsonl(path) -> list:
+    """Parse a JSONL telemetry file back into a list of event dicts.
+
+    Blank lines are skipped; a malformed line raises ``ValueError`` with
+    its line number (telemetry is machine-written, so corruption should
+    be loud, not silently dropped).
+    """
+    events = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: malformed JSONL: {exc}") from exc
+    return events

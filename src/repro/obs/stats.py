@@ -1,0 +1,145 @@
+"""Trace summarization: turn a JSONL telemetry file into a readable table.
+
+Backs ``python -m repro stats run.jsonl``. The summary aggregates span
+events by name (count, total/mean/min/max duration, error count), lists
+final counter and gauge values, and condenses histograms to count/mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .sinks import read_jsonl
+
+__all__ = ["SpanStats", "TraceSummary", "summarize_events", "summarize_trace",
+           "format_summary"]
+
+
+@dataclass
+class SpanStats:
+    """Aggregate over all spans sharing one name."""
+
+    name: str
+    count: int = 0
+    errors: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    def add(self, duration: float, status: str) -> None:
+        self.count += 1
+        if status == "error":
+            self.errors += 1
+        if duration is None:
+            return
+        self.total_s += duration
+        self.min_s = min(self.min_s, duration)
+        self.max_s = max(self.max_s, duration)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything :func:`format_summary` needs, machine-readable."""
+
+    n_events: int = 0
+    schema: int = None
+    spans: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+    unknown_events: int = 0
+
+
+def summarize_events(events) -> TraceSummary:
+    """Aggregate a list of event dicts (see :func:`read_jsonl`)."""
+    summary = TraceSummary(n_events=len(events))
+    for ev in events:
+        kind = ev.get("ev")
+        if kind == "span":
+            name = ev.get("name", "?")
+            stats = summary.spans.get(name)
+            if stats is None:
+                stats = summary.spans[name] = SpanStats(name)
+            stats.add(ev.get("dur"), ev.get("status", "ok"))
+        elif kind == "counter":
+            summary.counters[ev.get("name", "?")] = ev.get("value")
+        elif kind == "gauge":
+            summary.gauges[ev.get("name", "?")] = ev.get("value")
+        elif kind == "hist":
+            count = ev.get("count", 0)
+            total = ev.get("sum", 0.0)
+            summary.histograms[ev.get("name", "?")] = {
+                "count": count,
+                "sum": total,
+                "mean": total / count if count else 0.0,
+            }
+        elif kind == "meta":
+            summary.schema = ev.get("schema")
+        elif kind in ("event", "bench", "bench.record"):
+            pass  # point events carry no aggregate
+        else:
+            summary.unknown_events += 1
+    return summary
+
+
+def summarize_trace(path) -> TraceSummary:
+    """Read ``path`` (JSONL) and aggregate it."""
+    return summarize_events(read_jsonl(path))
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:8.3f}s "
+    return f"{s * 1e3:8.2f}ms"
+
+
+def _fmt_value(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def format_summary(summary: TraceSummary, title: str = "trace summary") -> str:
+    """Render a :class:`TraceSummary` as an aligned plain-text report."""
+    lines = [title, "=" * len(title),
+             f"events: {summary.n_events}"
+             + (f"  (schema v{summary.schema})" if summary.schema else "")]
+    if summary.unknown_events:
+        lines.append(f"unrecognized events: {summary.unknown_events}")
+
+    if summary.spans:
+        lines += ["", "spans",
+                  f"  {'name':<28} {'count':>6} {'errors':>6} "
+                  f"{'total':>10} {'mean':>10} {'max':>10}"]
+        ordered = sorted(
+            summary.spans.values(), key=lambda s: s.total_s, reverse=True
+        )
+        for s in ordered:
+            lines.append(
+                f"  {s.name:<28} {s.count:>6} {s.errors:>6} "
+                f"{_fmt_seconds(s.total_s)} {_fmt_seconds(s.mean_s)} "
+                f"{_fmt_seconds(s.max_s if s.count else 0.0)}"
+            )
+
+    if summary.counters:
+        lines += ["", "counters"]
+        for name in sorted(summary.counters):
+            lines.append(f"  {name:<40} {_fmt_value(summary.counters[name]):>14}")
+
+    if summary.gauges:
+        lines += ["", "gauges"]
+        for name in sorted(summary.gauges):
+            lines.append(f"  {name:<40} {_fmt_value(summary.gauges[name]):>14}")
+
+    if summary.histograms:
+        lines += ["", "histograms"]
+        for name in sorted(summary.histograms):
+            h = summary.histograms[name]
+            lines.append(
+                f"  {name:<40} count={h['count']} mean={h['mean']:.6g}"
+            )
+    return "\n".join(lines)

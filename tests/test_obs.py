@@ -1,0 +1,287 @@
+"""Unit tests for the repro.obs instrumentation layer."""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    NullSink,
+    RunManifest,
+    Tracer,
+    format_summary,
+    read_jsonl,
+    summarize_events,
+    summarize_trace,
+)
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER
+
+
+class TestSpans:
+    def test_nesting_parent_ids(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        spans = {e["name"]: e for e in sink.by_type("span")}
+        assert spans["outer"]["parent"] is None
+        assert spans["middle"]["parent"] == outer.span_id
+        assert spans["inner"]["parent"] == middle.span_id
+        assert spans["sibling"]["parent"] == outer.span_id
+
+    def test_emission_order_is_close_order(self):
+        # Children close before parents: inner spans appear first.
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        names = [e["name"] for e in sink.by_type("span")]
+        assert names == ["b", "a"]
+
+    def test_span_ids_unique(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        for _ in range(5):
+            with tracer.span("x"):
+                pass
+        ids = [e["id"] for e in sink.by_type("span")]
+        assert len(set(ids)) == 5
+
+    def test_duration_and_wallclock(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        before = time.time()
+        with tracer.span("timed"):
+            time.sleep(0.002)
+        (ev,) = sink.by_type("span")
+        assert ev["dur"] >= 0.002
+        assert before <= ev["ts"] <= time.time()
+
+    def test_exception_tags_error_status_and_propagates(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (ev,) = sink.by_type("span")
+        assert ev["status"] == "error"
+        assert ev["attrs"]["error_type"] == "ValueError"
+        assert tracer.current_span is None  # stack unwound
+
+    def test_attributes_via_set(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("s", a=1) as span:
+            span.set(b=2.5, c="x")
+        (ev,) = sink.by_type("span")
+        assert ev["attrs"] == {"a": 1, "b": 2.5, "c": "x"}
+
+    def test_meta_event_emitted_once(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert len(sink.by_type("meta")) == 1
+        assert sink.events[0]["ev"] == "meta"
+
+    def test_point_events_carry_parent(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("parent") as span:
+            tracer.event("tick", n=1)
+        (ev,) = sink.by_type("event")
+        assert ev["parent"] == span.span_id
+        assert ev["attrs"] == {"n": 1}
+
+
+class TestDisabledTracer:
+    def test_null_sink_disables(self):
+        assert Tracer(NullSink()).enabled is False
+        assert Tracer().enabled is False
+        assert Tracer(MemorySink()).enabled is True
+
+    def test_disabled_span_is_null(self):
+        tracer = Tracer()
+        with tracer.span("x", k=1) as span:
+            assert span is NULL_SPAN
+            span.set(anything="goes")  # no-op, no error
+
+    def test_disabled_metrics_record_nothing(self):
+        tracer = Tracer()
+        tracer.count("c", 5)
+        tracer.gauge("g", 1.0)
+        tracer.observe("h", 1.0, buckets=(1, 2))
+        assert len(tracer.metrics) == 0
+
+    def test_shared_null_tracer_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+
+class TestMetrics:
+    def test_counter_arithmetic(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        c.inc(0.5)
+        assert c.value == 5.5
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("g")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_buckets(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+            h.observe(v)
+        # <=1: {0.5, 1.0}; <=2: {1.5}; <=4: {3.0}; +inf: {100.0}
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.total == pytest.approx(106.0)
+        assert h.mean == pytest.approx(21.2)
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=())
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_registry_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("a")
+
+    def test_registry_snapshot_and_emit(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7.0)
+        reg.histogram("h", (1,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        sink = MemorySink()
+        reg.emit_to(sink)
+        assert {e["ev"] for e in sink.events} == {"counter", "gauge", "hist"}
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = [
+            {"ev": "meta", "schema": 1},
+            {"ev": "span", "name": "s", "dur": 0.25, "attrs": {"k": [1, 2]}},
+            {"ev": "counter", "name": "c", "value": 3},
+        ]
+        with JsonlSink(path) as sink:
+            for ev in events:
+                sink.emit(ev)
+        assert read_jsonl(path) == events
+        # one compact object per line
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 3
+        assert all(json.loads(line) for line in lines)
+
+    def test_numpy_scalars_coerced(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        path = tmp_path / "np.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"ev": "gauge", "value": np.float64(1.5), "n": np.int32(3)})
+        (ev,) = read_jsonl(path)
+        assert ev["value"] == 1.5 and ev["n"] == 3
+
+    def test_malformed_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ev":"meta"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_jsonl(path)
+
+    def test_tracer_flush_writes_metrics(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with Tracer(JsonlSink(path)) as tracer:
+            with tracer.span("s"):
+                tracer.count("hits", 2)
+        events = read_jsonl(path)
+        counters = [e for e in events if e["ev"] == "counter"]
+        assert counters == [{"ev": "counter", "name": "hits", "value": 2}]
+
+
+class TestManifest:
+    def test_schema_fields(self, tmp_path):
+        m = RunManifest.start("segment", params={"k": 5}, seed=3, scale="quick")
+        m.finish(boundary_recall=0.9)
+        doc = RunManifest.read(m.write(tmp_path / "m.json"))
+        assert doc["schema"] == 1
+        assert doc["command"] == "segment"
+        assert doc["params"] == {"k": 5}
+        assert doc["seed"] == 3
+        assert doc["scale"] == "quick"
+        assert doc["status"] == "ok"
+        assert doc["metrics"] == {"boundary_recall": 0.9}
+        assert doc["duration_s"] >= 0.0
+        assert set(doc["versions"]) >= {"python", "repro"}
+
+    def test_error_status(self, tmp_path):
+        m = RunManifest.start("x").finish(status="error")
+        doc = RunManifest.read(m.write(tmp_path / "e.json"))
+        assert doc["status"] == "error"
+
+
+class TestSummaries:
+    def test_summarize_spans_counters(self):
+        events = [
+            {"ev": "meta", "schema": 1},
+            {"ev": "span", "name": "a", "dur": 0.5, "status": "ok"},
+            {"ev": "span", "name": "a", "dur": 1.5, "status": "error"},
+            {"ev": "counter", "name": "c", "value": 9},
+            {"ev": "gauge", "name": "g", "value": 0.25},
+            {"ev": "hist", "name": "h", "count": 2, "sum": 3.0},
+            {"ev": "mystery"},
+        ]
+        s = summarize_events(events)
+        assert s.schema == 1
+        assert s.spans["a"].count == 2
+        assert s.spans["a"].errors == 1
+        assert s.spans["a"].total_s == pytest.approx(2.0)
+        assert s.spans["a"].mean_s == pytest.approx(1.0)
+        assert s.spans["a"].max_s == pytest.approx(1.5)
+        assert s.counters == {"c": 9}
+        assert s.gauges == {"g": 0.25}
+        assert s.histograms["h"]["mean"] == pytest.approx(1.5)
+        assert s.unknown_events == 1
+
+    def test_format_summary_mentions_everything(self):
+        s = summarize_events(
+            [
+                {"ev": "span", "name": "sweep", "dur": 0.01, "status": "ok"},
+                {"ev": "counter", "name": "pixels", "value": 100},
+            ]
+        )
+        text = format_summary(s, title="t")
+        assert "sweep" in text and "pixels" in text and "spans" in text
+
+    def test_summarize_trace_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(JsonlSink(path)) as tracer:
+            with tracer.span("root"):
+                pass
+        s = summarize_trace(path)
+        assert s.spans["root"].count == 1

@@ -97,11 +97,16 @@ class TestPhaseTimer:
         assert sum(fr.values()) == pytest.approx(1.0)
 
     def test_exception_still_recorded(self):
+        # A phase aborted by an exception records its partial time in a
+        # distinct "<name>!aborted" bucket, keeping the clean bucket pure.
         timer = PhaseTimer()
         with pytest.raises(RuntimeError):
             with timer.phase("fail"):
                 raise RuntimeError("boom")
-        assert "fail" in timer.totals
+        assert "fail" not in timer.totals
+        assert timer.totals["fail!aborted"] > 0.0
+        assert timer.aborted() == {"fail": timer.totals["fail!aborted"]}
+        assert timer.total >= timer.totals["fail!aborted"]
 
     def test_canonical_phase_names(self):
         assert "distance_min" in PHASES
