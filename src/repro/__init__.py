@@ -34,6 +34,9 @@ Subpackages
     Boundary overlays and ASCII plots.
 ``repro.obs``
     Unified instrumentation: tracing spans, metrics, JSONL run telemetry.
+``repro.parallel``
+    Batch/video execution engine: process-pool sharding with per-stream
+    warm starts and bit-identical-to-serial results.
 """
 
 from .version import __version__
@@ -64,6 +67,8 @@ from .metrics import (
 from .hw import AcceleratorConfig, AcceleratorModel, ClusterWays
 from .baselines import gslic, preemptive_slic, preemptive_sslic
 from .obs import JsonlSink, RunManifest, Tracer
+from .errors import StreamError
+from .parallel import BatchResult, ParallelRunner
 
 __all__ = [
     "__version__",
@@ -76,6 +81,7 @@ __all__ = [
     "MetricError",
     "HardwareModelError",
     "ConvergenceError",
+    "StreamError",
     # types
     "Resolution",
     "HD_1080",
@@ -108,4 +114,7 @@ __all__ = [
     "Tracer",
     "JsonlSink",
     "RunManifest",
+    # parallel
+    "ParallelRunner",
+    "BatchResult",
 ]

@@ -5,6 +5,10 @@ Commands
 ``segment``
     Segment a PPM image (or a generated synthetic scene) with SLIC/S-SLIC
     and write boundary / mean-color visualizations.
+``batch``
+    Segment a batch of images (directory/glob of PPMs or a synthetic
+    spec, optionally as multi-frame video streams) across a worker pool
+    — the ``repro.parallel`` engine.
 ``experiment``
     Run one of the registered paper experiments and print its table.
 ``report``
@@ -27,6 +31,9 @@ Examples
     python -m repro segment --input frame.ppm --superpixels 400 --out seg.ppm
     python -m repro segment --synthetic --seed 3 --trace run.jsonl \
         --manifest run.json
+    python -m repro batch --synthetic 16 --workers 4 --trace batch.jsonl
+    python -m repro batch --synthetic 4 --frames 8 --motion shake --workers 2
+    python -m repro batch --images 'frames/*.ppm' --workers 4
     python -m repro stats run.jsonl
     python -m repro experiment table3
     python -m repro experiment fig6 --scale quick
@@ -127,6 +134,110 @@ def _cmd_segment(args) -> int:
         write_ppm(args.mean_out, mean_color_image(image, result.labels))
         print(f"wrote mean-color rendering to {args.mean_out}")
     return 0
+
+
+def _cmd_batch(args) -> int:
+    from .core import SlicParams
+    from .errors import DatasetError
+    from .obs import RunManifest
+    from .parallel import (
+        ParallelRunner,
+        load_image_batch,
+        synthetic_batch,
+        synthetic_streams,
+    )
+
+    if not args.images and not args.synthetic:
+        print("batch: provide --images DIR_OR_GLOB or --synthetic N",
+              file=sys.stderr)
+        return 2
+
+    params = SlicParams(
+        n_superpixels=args.superpixels,
+        compactness=args.compactness,
+        max_iterations=args.iterations,
+        subsample_ratio=args.ratio,
+        convergence_threshold=args.threshold,
+    )
+    manifest = RunManifest.start(
+        "batch",
+        params=dict(
+            images=args.images, synthetic=args.synthetic, frames=args.frames,
+            motion=args.motion, workers=args.workers,
+            n_superpixels=args.superpixels, compactness=args.compactness,
+            max_iterations=args.iterations, subsample_ratio=args.ratio,
+        ),
+        seed=args.seed,
+    )
+    tracer = _make_tracer(args.trace)
+    runner = ParallelRunner(
+        params,
+        n_workers=args.workers,
+        max_pending=args.max_pending,
+        tracer=tracer,
+        collect_worker_traces=bool(args.trace and args.worker_traces),
+    )
+    try:
+        if args.images:
+            streams = [[image] for image in load_image_batch(args.images)]
+        elif args.frames > 1:
+            streams = synthetic_streams(
+                args.synthetic, args.frames,
+                height=args.height or 120, width=args.width or 160,
+                motion=args.motion, seed=args.seed,
+            )
+        else:
+            streams = [
+                [image]
+                for image in synthetic_batch(
+                    args.synthetic,
+                    height=args.height or 120, width=args.width or 160,
+                    seed=args.seed,
+                )
+            ]
+        batch = runner.run_streams(streams)
+    except DatasetError as exc:
+        tracer.close()
+        if args.manifest:
+            manifest.finish(status="error").write(args.manifest)
+        print(f"batch: {exc}", file=sys.stderr)
+        return 2
+    except BaseException:
+        tracer.close()
+        if args.manifest:
+            manifest.finish(status="error").write(args.manifest)
+        raise
+
+    n_streams = len({r.stream_id for r in batch.records})
+    print(
+        f"batch: {batch.n_frames} frames over {n_streams} stream(s), "
+        f"{batch.n_workers} worker(s): {batch.n_ok} ok, "
+        f"{batch.n_failed} failed, {batch.elapsed_s:.2f} s "
+        f"({batch.throughput_fps:.2f} fps)"
+    )
+    warm = sum(1 for r in batch.records if r.warm_started)
+    if warm:
+        print(f"warm-started frames: {warm}/{batch.n_frames}")
+    for rec in batch.failures:
+        print(
+            f"  FAILED stream {rec.stream_id} frame {rec.frame_index}: "
+            f"[{rec.error_type}] {rec.error}",
+            file=sys.stderr,
+        )
+    tracer.close()
+    if args.trace:
+        print(f"wrote trace telemetry to {args.trace}")
+    if args.manifest:
+        manifest.finish(
+            frames=batch.n_frames,
+            ok=batch.n_ok,
+            failed=batch.n_failed,
+            elapsed_s=batch.elapsed_s,
+            throughput_fps=batch.throughput_fps,
+            pool_restarts=batch.pool_restarts,
+        ).write(args.manifest)
+        print(f"wrote run manifest to {args.manifest}")
+    return 1 if batch.n_failed else 0
 
 
 def _cmd_experiment(args) -> int:
@@ -249,6 +360,40 @@ def build_parser() -> argparse.ArgumentParser:
     seg.add_argument("--manifest", metavar="PATH",
                      help="write a JSON run manifest (params, seed, metrics)")
     seg.set_defaults(func=_cmd_segment)
+
+    bat = sub.add_parser(
+        "batch",
+        help="segment a batch of images / video streams across a worker pool",
+    )
+    bat.add_argument("--images", metavar="DIR_OR_GLOB",
+                     help="directory or glob of PPM stills")
+    bat.add_argument("--synthetic", type=int, metavar="N", default=0,
+                     help="generate N synthetic scenes (or streams with --frames)")
+    bat.add_argument("--frames", type=int, default=1,
+                     help="frames per synthetic stream (>1 enables warm starts)")
+    bat.add_argument("--motion", choices=("shake", "pan", "static"),
+                     default="shake", help="synthetic stream motion model")
+    bat.add_argument("--seed", type=int, default=0)
+    bat.add_argument("--width", type=int, default=None)
+    bat.add_argument("--height", type=int, default=None)
+    bat.add_argument("--superpixels", type=int, default=200)
+    bat.add_argument("--compactness", type=float, default=10.0)
+    bat.add_argument("--iterations", type=int, default=10)
+    bat.add_argument("--ratio", type=float, default=0.5,
+                     help="S-SLIC subsample ratio (1/n)")
+    bat.add_argument("--threshold", type=float, default=0.25,
+                     help="convergence threshold (px center movement)")
+    bat.add_argument("--workers", type=int, default=1,
+                     help="worker processes (1 = serial reference)")
+    bat.add_argument("--max-pending", type=int, default=None,
+                     help="in-flight frame cap (default 2x workers)")
+    bat.add_argument("--trace", metavar="PATH",
+                     help="write JSONL span/metric telemetry to PATH")
+    bat.add_argument("--worker-traces", action="store_true",
+                     help="merge per-worker span trees into the trace")
+    bat.add_argument("--manifest", metavar="PATH",
+                     help="write a JSON run manifest (params, throughput)")
+    bat.set_defaults(func=_cmd_batch)
 
     exp = sub.add_parser("experiment", help="run a registered paper experiment")
     exp.add_argument("name", help="fig2 | table1 | table2 | table3 | sec61 | "

@@ -14,7 +14,7 @@ from .params import ARCH_CPA, ARCH_PPA, SUBSET_STRATEGIES, SlicParams
 from .result import SegmentationResult
 from .distance import FixedDatapath, pairwise_d2_float, spatial_weight
 from .api import slic, sslic
-from .engine import run_segmentation
+from .engine import expected_cluster_count, run_segmentation
 from .initialization import (
     grid_geometry,
     gradient_magnitude,
@@ -26,12 +26,13 @@ from .subsampling import SubsetSchedule, center_subsets, make_schedule
 from .accumulators import SigmaAccumulator, center_movement
 from .connectivity import connected_components, enforce_connectivity
 from .profiles import PHASES, PhaseTimer
-from .streaming import StreamFrameStats, StreamSegmenter
+from .streaming import FramePlan, StreamFrameStats, StreamSegmenter
 
 __all__ = [
     "slic",
     "sslic",
     "run_segmentation",
+    "expected_cluster_count",
     "SlicParams",
     "SegmentationResult",
     "FixedDatapath",
@@ -58,4 +59,5 @@ __all__ = [
     "PHASES",
     "StreamSegmenter",
     "StreamFrameStats",
+    "FramePlan",
 ]

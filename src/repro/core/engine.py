@@ -41,10 +41,22 @@ from .profiles import PhaseTimer
 from .result import SegmentationResult
 from .subsampling import center_subsets, make_schedule
 
-__all__ = ["run_segmentation"]
+__all__ = ["run_segmentation", "expected_cluster_count"]
 
 #: Sentinel for "not yet assigned" in the CPA distance buffer.
 _INF = np.inf
+
+
+def expected_cluster_count(shape, n_superpixels: int) -> int:
+    """Grid-realized cluster count K' for an (H, W) image and requested K.
+
+    This is the number of rows ``initial_centers`` will produce — and
+    therefore the K the engine validates ``warm_centers`` against. Stream
+    drivers use it to detect K mismatches (e.g. after a resolution
+    change) *before* shipping a frame to a worker process.
+    """
+    grid_h, grid_w, _, _ = grid_geometry(shape, n_superpixels)
+    return grid_h * grid_w
 
 
 def _check_warm_labels(warm_labels, shape, n_clusters) -> np.ndarray:
@@ -135,8 +147,9 @@ def _run_instrumented(image, params, warm_centers, warm_labels, tracer, timer):
             warm_centers = np.asarray(warm_centers, dtype=np.float64)
             if warm_centers.shape != (n_clusters, 5):
                 raise ConfigurationError(
-                    f"warm_centers must be ({n_clusters}, 5) for this image/K, "
-                    f"got {warm_centers.shape}"
+                    f"warm_centers must be ({n_clusters}, 5) — the "
+                    f"grid-realized cluster count for this image/K (see "
+                    f"expected_cluster_count) — got {warm_centers.shape}"
                 )
             centers = warm_centers.copy()
         grid_h, grid_w, _, _ = grid_geometry((h, w), params.n_superpixels)

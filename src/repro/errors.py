@@ -41,6 +41,16 @@ class HardwareModelError(ReproError):
     """An accelerator model was configured or driven inconsistently."""
 
 
+class StreamError(ReproError):
+    """A video/stream driver was fed an inconsistent frame sequence.
+
+    Raised by the streaming and parallel drivers when a warm-start chain
+    is violated — e.g. a stream whose resolution changes mid-sequence
+    under strict shape checking — so callers see the protocol violation
+    rather than a downstream numpy broadcast error.
+    """
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to make progress.
 

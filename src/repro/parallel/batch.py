@@ -1,0 +1,74 @@
+"""Batch construction helpers for the CLI and benchmarks.
+
+Three ways to build the input of a :class:`~repro.parallel.ParallelRunner`:
+
+* :func:`load_image_batch` — a directory or glob of PPM stills;
+* :func:`synthetic_batch` — ``count`` distinct seeded synthetic scenes;
+* :func:`synthetic_streams` — ``n_streams`` synthetic video streams whose
+  frames are generated lazily, so a long stream never materializes ahead
+  of the runner's backpressure window.
+"""
+
+from __future__ import annotations
+
+import glob as _glob
+from pathlib import Path
+
+from ..data import SceneConfig, VideoSequence, generate_scene, read_ppm
+from ..errors import DatasetError
+
+__all__ = ["load_image_batch", "synthetic_batch", "synthetic_streams"]
+
+
+def load_image_batch(pattern) -> list:
+    """Load a batch of RGB stills from a directory or glob pattern.
+
+    A directory loads every ``*.ppm`` inside it (sorted by name, so the
+    batch order — and therefore the record order — is stable across
+    filesystems). Anything else is treated as a glob pattern.
+    """
+    path = Path(pattern)
+    if path.is_dir():
+        files = sorted(path.glob("*.ppm"))
+    else:
+        files = sorted(Path(p) for p in _glob.glob(str(pattern)))
+    if not files:
+        raise DatasetError(f"no PPM images match {pattern!r}")
+    return [read_ppm(f) for f in files]
+
+
+def synthetic_batch(
+    count: int, height: int = 120, width: int = 160, seed: int = 0
+) -> list:
+    """``count`` independent synthetic scenes (seeds ``seed .. seed+count-1``)."""
+    if count < 1:
+        raise DatasetError(f"batch count must be >= 1, got {count}")
+    config = SceneConfig(height=height, width=width)
+    return [generate_scene(config, seed=seed + i).image for i in range(count)]
+
+
+def synthetic_streams(
+    n_streams: int,
+    n_frames: int,
+    height: int = 120,
+    width: int = 160,
+    motion: str = "shake",
+    seed: int = 0,
+):
+    """``n_streams`` lazy synthetic video streams of ``n_frames`` each.
+
+    Returns a list of generators; each yields its frames' images on
+    demand (the :class:`~repro.data.VideoSequence` renders per access).
+    """
+    if n_streams < 1:
+        raise DatasetError(f"n_streams must be >= 1, got {n_streams}")
+    config = SceneConfig(height=height, width=width, noise=0.0)
+
+    def frames(stream_seed):
+        seq = VideoSequence(
+            n_frames, config=config, motion=motion, seed=stream_seed
+        )
+        for frame in seq:
+            yield frame.image
+
+    return [frames(seed + i) for i in range(n_streams)]

@@ -1,0 +1,138 @@
+"""Task and result records crossing the worker-process boundary.
+
+Everything here must pickle cleanly: a :class:`FrameTask` travels parent
+-> worker, a :class:`FrameRecord` travels back. Failures are *data* — a
+crashed or rejected frame comes back as a record with ``ok=False`` and
+the error message, never as an exception that would wedge the pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.params import SlicParams
+from ..core.result import SegmentationResult
+
+__all__ = ["FrameTask", "FrameRecord", "BatchResult"]
+
+
+@dataclass(frozen=True)
+class FrameTask:
+    """One frame's worth of work, shipped to a worker process.
+
+    ``warm_centers`` / ``warm_labels`` carry the predecessor frame's
+    state when the stream scheduler decided on a warm start (``None``
+    for cold starts). ``collect_trace`` asks the worker to record its
+    span tree in-memory and return the events with the record.
+    """
+
+    stream_id: int
+    frame_index: int
+    image: np.ndarray
+    params: SlicParams
+    warm_centers: np.ndarray = None
+    warm_labels: np.ndarray = None
+    collect_trace: bool = False
+
+
+@dataclass
+class FrameRecord:
+    """The outcome of one frame — success or failure, never an exception.
+
+    Attributes
+    ----------
+    stream_id, frame_index:
+        Position of the frame in the batch (records are returned sorted
+        by this pair, regardless of completion order).
+    ok:
+        True when ``result`` holds a :class:`SegmentationResult`.
+    result:
+        The segmentation result, or ``None`` on failure.
+    error, error_type:
+        Failure message and exception class name (``ok=False`` only).
+        A worker process that died mid-frame yields
+        ``error_type="WorkerCrash"``.
+    warm_started:
+        Whether this frame warm-started from its predecessor.
+    elapsed_s:
+        Wall-clock seconds the frame spent inside the worker (compute
+        only — queueing and transfer excluded). 0.0 for crashed frames.
+    worker_pid:
+        PID of the process that ran the frame (the parent's PID in
+        serial mode).
+    trace_events:
+        The worker's span/metric events when tracing was requested.
+    """
+
+    stream_id: int
+    frame_index: int
+    ok: bool
+    result: SegmentationResult = None
+    error: str = None
+    error_type: str = None
+    warm_started: bool = False
+    elapsed_s: float = 0.0
+    worker_pid: int = 0
+    trace_events: list = field(default_factory=list)
+
+    @property
+    def key(self) -> tuple:
+        return (self.stream_id, self.frame_index)
+
+
+@dataclass
+class BatchResult:
+    """Everything a :class:`~repro.parallel.ParallelRunner` run produced.
+
+    ``records`` is sorted by ``(stream_id, frame_index)`` — deterministic
+    regardless of worker scheduling. ``elapsed_s`` is the parent's
+    wall-clock for the whole batch; ``throughput_fps`` counts *completed*
+    frames against it.
+    """
+
+    records: list
+    n_workers: int
+    elapsed_s: float
+    max_in_flight: int = 0
+    pool_restarts: int = 0
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def n_failed(self) -> int:
+        return self.n_frames - self.n_ok
+
+    @property
+    def throughput_fps(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.n_ok / self.elapsed_s
+
+    @property
+    def results(self) -> list:
+        """Successful :class:`SegmentationResult`s in deterministic order."""
+        return [r.result for r in self.records if r.ok]
+
+    @property
+    def failures(self) -> list:
+        """Failed records in deterministic order."""
+        return [r for r in self.records if not r.ok]
+
+    def stream(self, stream_id: int) -> list:
+        """All records of one stream, in frame order."""
+        return [r for r in self.records if r.stream_id == stream_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchResult(frames={self.n_frames}, ok={self.n_ok}, "
+            f"failed={self.n_failed}, workers={self.n_workers}, "
+            f"fps={self.throughput_fps:.2f})"
+        )

@@ -1,0 +1,408 @@
+"""The parallel batch/video execution engine.
+
+:class:`ParallelRunner` shards work across a ``concurrent.futures``
+process pool under three rules that together give the package its
+guarantees (see ``docs/parallel.md``):
+
+1. **Per-stream ordering** — frames of one stream run strictly in order,
+   each warm-starting from its committed predecessor via the same
+   :meth:`~repro.core.streaming.StreamSegmenter.plan` /
+   :meth:`~repro.core.streaming.StreamSegmenter.commit` pair the serial
+   streaming driver uses. Parallelism comes from *independent* streams
+   (a batch of still images is a batch of one-frame streams).
+2. **Bounded in-flight work** — at most ``max_pending`` frames are
+   submitted at a time, so a huge batch never materializes more than a
+   pool's worth of images in the executor's queues (backpressure).
+3. **Failure as data** — a frame that raises comes back as a
+   ``FrameRecord(ok=False)``; a worker process that *dies* breaks the
+   pool, which the runner detects, converts to ``WorkerCrash`` records
+   for the in-flight frames, and recovers from by restarting the pool
+   (falling back to in-process execution when restarts are exhausted).
+   A failed frame breaks its stream's warm chain; the next frame of that
+   stream cold-starts.
+
+Because a frame's output is a pure function of
+``(image, params, warm state)`` and warm state follows the serial chain,
+the collected records are **bit-identical** to a serial run of the same
+batch — asserted by ``tests/test_parallel.py`` and the throughput bench.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+
+from ..core.params import SlicParams
+from ..core.streaming import StreamSegmenter
+from ..errors import ConfigurationError, StreamError
+from ..obs.tracer import NULL_TRACER
+from .records import BatchResult, FrameRecord, FrameTask
+from .worker import run_frame
+
+__all__ = ["ParallelRunner"]
+
+
+class _StreamState:
+    """Scheduler-side state of one stream."""
+
+    __slots__ = ("stream_id", "frames", "cursor", "segmenter", "in_flight")
+
+    def __init__(self, stream_id, frames, segmenter):
+        self.stream_id = stream_id
+        self.frames = iter(frames)
+        self.cursor = 0  # index of the next frame to submit
+        self.segmenter = segmenter
+        self.in_flight = False
+
+    def next_frame(self):
+        """The next frame image, or ``None`` when the stream is drained."""
+        try:
+            return next(self.frames)
+        except StopIteration:
+            return None
+
+
+class ParallelRunner:
+    """Run batches of images / video streams across a worker pool.
+
+    Parameters
+    ----------
+    params:
+        :class:`SlicParams` applied to every frame. Defaults to the
+        streaming default (S-SLIC(0.5), 0.3 px convergence threshold).
+    n_workers:
+        Worker process count. ``1`` (default) runs every frame in the
+        parent process through the *same* scheduler — the serial
+        reference the parallel path is bit-identical to.
+    max_pending:
+        In-flight frame cap (backpressure). Defaults to ``2 * n_workers``.
+    drift_limit, strict_shape:
+        Forwarded to each stream's :class:`StreamSegmenter`. Strict shape
+        checking is ON by default here (a mid-stream resolution change
+        produces a clear per-frame ``StreamError`` record).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; the run emits a ``batch``
+        span, ``parallel.*`` counters/gauges, one ``frame`` span per
+        frame, and — with ``collect_worker_traces`` — each worker's own
+        span tree remapped into the parent trace.
+    collect_worker_traces:
+        Ship every frame's in-worker span tree back with its record and
+        merge it into the parent trace. Costs pickling bandwidth;
+        defaults to off.
+    max_pool_restarts:
+        How many times a broken pool (crashed worker process) is rebuilt
+        before the runner falls back to in-process execution for the
+        remaining frames.
+    """
+
+    def __init__(
+        self,
+        params: SlicParams = None,
+        n_workers: int = 1,
+        max_pending: int = None,
+        drift_limit: float = 0.6,
+        strict_shape: bool = True,
+        tracer=None,
+        collect_worker_traces: bool = False,
+        max_pool_restarts: int = 2,
+    ):
+        if params is not None and not isinstance(params, SlicParams):
+            raise ConfigurationError(
+                f"params must be a SlicParams, got {type(params).__name__}"
+            )
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        if max_pending is not None and max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if max_pool_restarts < 0:
+            raise ConfigurationError(
+                f"max_pool_restarts must be >= 0, got {max_pool_restarts}"
+            )
+        # Resolve the default once so serial and parallel runs, and every
+        # stream, share the exact same params object.
+        self.params = params if params is not None else SlicParams(
+            subsample_ratio=0.5, architecture="ppa", convergence_threshold=0.3
+        )
+        self.n_workers = int(n_workers)
+        self.max_pending = (
+            int(max_pending) if max_pending is not None else 2 * self.n_workers
+        )
+        self.drift_limit = drift_limit
+        self.strict_shape = bool(strict_shape)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.collect_worker_traces = bool(collect_worker_traces)
+        self.max_pool_restarts = int(max_pool_restarts)
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def run_batch(self, images) -> BatchResult:
+        """Segment independent images (each its own one-frame stream)."""
+        return self.run_streams([[image] for image in images])
+
+    def run_streams(self, streams) -> BatchResult:
+        """Segment several frame streams with per-stream warm starting.
+
+        ``streams`` is a sequence of frame iterables. Frames are pulled
+        lazily — a stream generator is advanced only when its previous
+        frame has been collected, so memory stays bounded by the
+        in-flight cap, not the batch size.
+        """
+        states = [
+            _StreamState(
+                sid,
+                frames,
+                StreamSegmenter(
+                    self.params,
+                    drift_limit=self.drift_limit,
+                    strict_shape=self.strict_shape,
+                ),
+            )
+            for sid, frames in enumerate(streams)
+        ]
+        with self.tracer.span(
+            "batch",
+            n_streams=len(states),
+            n_workers=self.n_workers,
+            max_pending=self.max_pending,
+        ) as batch_span:
+            start = time.perf_counter()
+            records, max_in_flight, restarts = self._drive(states, batch_span)
+            elapsed = time.perf_counter() - start
+        records.sort(key=lambda r: r.key)
+        result = BatchResult(
+            records=records,
+            n_workers=self.n_workers,
+            elapsed_s=elapsed,
+            max_in_flight=max_in_flight,
+            pool_restarts=restarts,
+        )
+        self.tracer.gauge("parallel.throughput_fps", result.throughput_fps)
+        self.tracer.gauge("parallel.workers", self.n_workers)
+        return result
+
+    def run(self, batch) -> BatchResult:
+        """Dispatch on batch shape: images -> :meth:`run_batch`, frame
+        streams -> :meth:`run_streams`."""
+        batch = list(batch)
+        if batch and isinstance(batch[0], np.ndarray):
+            return self.run_batch(batch)
+        return self.run_streams(batch)
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _make_task(self, state: _StreamState, image):
+        """Plan the frame against the stream's warm state; returns
+        ``(FrameTask, FramePlan)``."""
+        plan = state.segmenter.plan(np.asarray(image).shape)
+        return FrameTask(
+            stream_id=state.stream_id,
+            frame_index=state.cursor,
+            image=image,
+            params=self.params,
+            warm_centers=plan.warm_centers,
+            warm_labels=plan.warm_labels,
+            collect_trace=self.collect_worker_traces,
+        ), plan
+
+    def _drive(self, states, batch_span):
+        """The scheduling loop shared by serial and parallel execution."""
+        records = []
+        max_in_flight = 0
+        restarts = 0
+        pending = {}  # future -> (state, plan, task)
+        executor = None
+        serial_fallback = self.n_workers == 1
+
+        def collect(state, plan, record):
+            if record.ok:
+                state.segmenter.commit(plan, record.result)
+            else:
+                # Broken warm chain: the next frame of this stream
+                # cold-starts (identical policy in serial and parallel).
+                state.segmenter.reset()
+                self.tracer.count("parallel.frames_failed")
+            self.tracer.count("parallel.frames_completed")
+            self._emit_frame_telemetry(record, batch_span)
+            records.append(record)
+            state.cursor += 1
+            state.in_flight = False
+
+        def failed_plan_record(state, exc):
+            return FrameRecord(
+                stream_id=state.stream_id,
+                frame_index=state.cursor,
+                ok=False,
+                error=str(exc),
+                error_type=type(exc).__name__,
+                worker_pid=os.getpid(),
+            )
+
+        def crash_record(task, detail="worker process died"):
+            return FrameRecord(
+                stream_id=task.stream_id,
+                frame_index=task.frame_index,
+                ok=False,
+                error=detail,
+                error_type="WorkerCrash",
+                warm_started=task.warm_centers is not None,
+            )
+
+        try:
+            while True:
+                # Submit every stream that is ready, up to the cap.
+                progressed = True
+                while progressed and len(pending) < self.max_pending:
+                    progressed = False
+                    for state in states:
+                        if state.in_flight or len(pending) >= self.max_pending:
+                            continue
+                        image = state.next_frame()
+                        if image is None:
+                            continue
+                        try:
+                            task, plan = self._make_task(state, image)
+                        except StreamError as exc:
+                            record = failed_plan_record(state, exc)
+                            state.segmenter.reset()
+                            self.tracer.count("parallel.frames_failed")
+                            self.tracer.count("parallel.frames_completed")
+                            self._emit_frame_telemetry(record, batch_span)
+                            records.append(record)
+                            state.cursor += 1
+                            progressed = True
+                            continue
+                        self.tracer.count("parallel.frames_submitted")
+                        if serial_fallback:
+                            max_in_flight = max(max_in_flight, 1)
+                            collect(state, plan, run_frame(task))
+                            progressed = True
+                            continue
+                        if executor is None:
+                            executor = ProcessPoolExecutor(
+                                max_workers=self.n_workers
+                            )
+                        try:
+                            future = executor.submit(run_frame, task)
+                        except BrokenProcessPool:
+                            # The pool broke between detection points;
+                            # this frame dies, the drain below handles
+                            # the rest.
+                            collect(state, plan, crash_record(task))
+                            executor.shutdown(wait=False)
+                            executor = None
+                            restarts += 1
+                            self.tracer.count("parallel.pool_restarts")
+                            if restarts > self.max_pool_restarts:
+                                serial_fallback = True
+                            progressed = True
+                            continue
+                        state.in_flight = True
+                        pending[future] = (state, plan, task)
+                        max_in_flight = max(max_in_flight, len(pending))
+                        progressed = True
+                if not pending:
+                    break  # every stream drained and nothing in flight
+
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                pool_broken = False
+                for future in done:
+                    state, plan, task = pending.pop(future)
+                    exc = future.exception()
+                    if exc is None:
+                        collect(state, plan, future.result())
+                    elif isinstance(exc, BrokenProcessPool):
+                        pool_broken = True
+                        collect(state, plan, crash_record(task, str(exc)))
+                    else:
+                        # e.g. the task failed to pickle on the way out.
+                        collect(
+                            state,
+                            plan,
+                            FrameRecord(
+                                stream_id=task.stream_id,
+                                frame_index=task.frame_index,
+                                ok=False,
+                                error=str(exc),
+                                error_type=type(exc).__name__,
+                                warm_started=task.warm_centers is not None,
+                            ),
+                        )
+                if pool_broken:
+                    # Every remaining in-flight future is doomed; drain
+                    # them as crash records and rebuild the pool.
+                    for future, (state, plan, task) in list(pending.items()):
+                        collect(
+                            state, plan,
+                            crash_record(task, "worker process died (pool broken)"),
+                        )
+                    pending.clear()
+                    executor.shutdown(wait=False)
+                    executor = None
+                    restarts += 1
+                    self.tracer.count("parallel.pool_restarts")
+                    if restarts > self.max_pool_restarts:
+                        serial_fallback = True
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+        return records, max_in_flight, restarts
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _emit_frame_telemetry(self, record: FrameRecord, batch_span) -> None:
+        """One ``frame`` span per record + remapped worker span trees."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        frame_id = f"s{record.stream_id}f{record.frame_index}"
+        parent_id = getattr(batch_span, "span_id", None)
+        tracer.sink.emit(
+            {
+                "ev": "span",
+                "name": "frame",
+                "id": frame_id,
+                "parent": parent_id,
+                "ts": time.time() - record.elapsed_s,
+                "dur": record.elapsed_s,
+                "status": "ok" if record.ok else "error",
+                "attrs": {
+                    "stream": record.stream_id,
+                    "frame": record.frame_index,
+                    "worker_pid": record.worker_pid,
+                    "warm_started": record.warm_started,
+                    **(
+                        {"error_type": record.error_type, "error": record.error}
+                        if not record.ok
+                        else {}
+                    ),
+                },
+            }
+        )
+        for event in record.trace_events:
+            kind = event.get("ev")
+            if kind == "span":
+                remapped = dict(event)
+                remapped["id"] = f"{frame_id}:{event['id']}"
+                remapped["parent"] = (
+                    f"{frame_id}:{event['parent']}"
+                    if event.get("parent")
+                    else frame_id
+                )
+                tracer.sink.emit(remapped)
+            elif kind == "counter":
+                # Accumulate through the parent registry so per-frame
+                # snapshots sum instead of clobbering each other.
+                tracer.count(f"worker.{event['name']}", event.get("value", 0))
+            elif kind == "gauge":
+                tracer.gauge(f"worker.{event['name']}", event.get("value"))
+            # meta / hist / point events from workers are dropped: the
+            # parent emits its own meta, and no worker path uses those.

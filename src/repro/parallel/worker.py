@@ -1,0 +1,79 @@
+"""The function that runs inside each worker process.
+
+:func:`run_frame` is the *only* code the pool executes. It is defensive
+by design: any exception the segmentation raises — bad image, warm-state
+mismatch, numerical failure — is converted into a ``FrameRecord`` with
+``ok=False`` so the pool never sees a traceback. Only an interpreter
+death (segfault, OOM kill, ``os._exit``) escapes it; the runner converts
+that into a ``WorkerCrash`` record when the pool reports the break.
+
+Workers are deliberately stateless: a frame's output is a pure function
+of ``(image, params, warm_centers, warm_labels)``, which is what makes
+parallel output bit-identical to serial (see ``docs/parallel.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..core.engine import run_segmentation
+from ..errors import ReproError
+from .records import FrameRecord, FrameTask
+
+__all__ = ["run_frame"]
+
+#: Test-only crash injection: set to ``"<stream_id>:<frame_index>"`` in the
+#: environment to make the worker die mid-frame with ``os._exit`` —
+#: exercising the runner's broken-pool recovery without a real segfault.
+CRASH_ENV = "REPRO_PARALLEL_CRASH_FRAME"
+
+
+def _collecting_tracer():
+    from ..obs import MemorySink, Tracer
+
+    return Tracer(MemorySink())
+
+
+def run_frame(task: FrameTask) -> FrameRecord:
+    """Execute one :class:`FrameTask`; never raises for frame errors."""
+    if os.environ.get(CRASH_ENV) == f"{task.stream_id}:{task.frame_index}":
+        os._exit(3)  # simulate a hard worker death (tests only)
+
+    tracer = _collecting_tracer() if task.collect_trace else None
+    start = time.perf_counter()
+    try:
+        result = run_segmentation(
+            task.image,
+            task.params,
+            warm_centers=task.warm_centers,
+            warm_labels=task.warm_labels,
+            tracer=tracer,
+        )
+    except (ReproError, ValueError, TypeError) as exc:
+        return FrameRecord(
+            stream_id=task.stream_id,
+            frame_index=task.frame_index,
+            ok=False,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            warm_started=task.warm_centers is not None,
+            elapsed_s=time.perf_counter() - start,
+            worker_pid=os.getpid(),
+        )
+    elapsed = time.perf_counter() - start
+
+    events = []
+    if tracer is not None:
+        tracer.flush()
+        events = list(tracer.sink.events)
+    return FrameRecord(
+        stream_id=task.stream_id,
+        frame_index=task.frame_index,
+        ok=True,
+        result=result,
+        warm_started=task.warm_centers is not None,
+        elapsed_s=elapsed,
+        worker_pid=os.getpid(),
+        trace_events=events,
+    )

@@ -12,6 +12,26 @@ import pytest
 from repro.data import SceneConfig, generate_scene
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "Regenerate tests/golden/*.json fixtures from the current "
+            "implementation instead of comparing against them. Inspect "
+            "the diff before committing — a changed hash means changed "
+            "segmentation output."
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    """True when the run should rewrite golden fixtures."""
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def small_scene():
     """A 64x96 scene with clear regions — fast, easy workload."""
