@@ -84,6 +84,7 @@ def _cmd_segment(args) -> int:
         n_superpixels=args.superpixels,
         compactness=args.compactness,
         max_iterations=args.iterations,
+        kernel_backend=args.kernel_backend,
     )
     if args.algorithm == "sslic":
         kwargs["subsample_ratio"] = args.ratio
@@ -158,6 +159,7 @@ def _cmd_batch(args) -> int:
         max_iterations=args.iterations,
         subsample_ratio=args.ratio,
         convergence_threshold=args.threshold,
+        kernel_backend=args.kernel_backend,
     )
     manifest = RunManifest.start(
         "batch",
@@ -351,6 +353,10 @@ def build_parser() -> argparse.ArgumentParser:
     seg.add_argument("--superpixels", type=int, default=200)
     seg.add_argument("--compactness", type=float, default=10.0)
     seg.add_argument("--iterations", type=int, default=10)
+    seg.add_argument("--kernel-backend", default=None,
+                     choices=("auto", "reference", "vectorized", "native"),
+                     help="kernel backend for the hot loops (default: "
+                          "$REPRO_KERNEL_BACKEND, then auto)")
     seg.add_argument("--ratio", type=float, default=0.5,
                      help="S-SLIC subsample ratio (1/n)")
     seg.add_argument("--out", help="boundary-overlay PPM output path")
@@ -379,6 +385,10 @@ def build_parser() -> argparse.ArgumentParser:
     bat.add_argument("--superpixels", type=int, default=200)
     bat.add_argument("--compactness", type=float, default=10.0)
     bat.add_argument("--iterations", type=int, default=10)
+    bat.add_argument("--kernel-backend", default=None,
+                     choices=("auto", "reference", "vectorized", "native"),
+                     help="kernel backend for the hot loops (default: "
+                          "$REPRO_KERNEL_BACKEND, then auto)")
     bat.add_argument("--ratio", type=float, default=0.5,
                      help="S-SLIC subsample ratio (1/n)")
     bat.add_argument("--threshold", type=float, default=0.25,

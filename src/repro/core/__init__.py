@@ -19,6 +19,7 @@ from .initialization import (
     grid_geometry,
     gradient_magnitude,
     initial_centers,
+    initial_grid_xy,
     perturb_centers,
 )
 from .neighbors import candidate_map, dynamic_candidate_map, tile_map
@@ -43,6 +44,7 @@ __all__ = [
     "spatial_weight",
     "grid_geometry",
     "initial_centers",
+    "initial_grid_xy",
     "perturb_centers",
     "gradient_magnitude",
     "tile_map",

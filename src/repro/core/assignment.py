@@ -150,9 +150,12 @@ def assign_cpa(
     datapath: FixedDatapath = None,
     compactness: float = None,
     codes: np.ndarray = None,
-) -> None:
+) -> int:
     """CPA assignment: scan a 2S x 2S window per center, updating the
     running-minimum buffers in place.
+
+    The window is the paper's 2S x 2S region: ``ceil(S)`` pixels each
+    side of the center's integer position.
 
     ``dist_buf`` (float64 or int64 (H, W), pre-filled with +inf / a large
     sentinel) and ``labels_buf`` (int32 (H, W)) are the paper's two
@@ -160,15 +163,19 @@ def assign_cpa(
     subset of centers — the CPA flavour of S-SLIC; ``None`` scans all.
 
     In fixed mode pass ``codes`` (the encoded image) and ``compactness``.
+
+    Returns the number of distinct pixels scanned at least once (windows
+    overlap, so this is less than the summed window areas).
     """
     h, w = lab.shape[:2]
-    half = int(np.ceil(2.0 * grid_s))
+    half = int(np.ceil(grid_s))
     if cluster_indices is None:
         cluster_indices = np.arange(len(centers))
     if datapath is not None:
         c_all = datapath.encode_centers(centers)
         weight_raw = datapath.weight_raw(compactness, grid_s)
         sf = datapath.spatial_frac_bits
+    touched = np.zeros((h, w), dtype=bool)
     for k in cluster_indices:
         cx, cy = centers[k, 3], centers[k, 4]
         x0 = max(0, int(np.floor(cx)) - half)
@@ -200,3 +207,5 @@ def assign_cpa(
         better = d2 < sub_d
         sub_d[better] = d2[better]
         sub_l[better] = k
+        touched[y0:y1, x0:x1] = True
+    return int(np.count_nonzero(touched))

@@ -16,6 +16,12 @@ The pass:
    into another small one ends up wherever that one goes;
 4. each pixel takes the superpixel label of its component's final root, so
    labels remain comparable to the cluster centers.
+
+``connected_components`` dispatches through :mod:`repro.kernels` (the
+pure-Python union-find here is the ``reference`` backend; the optimized
+backends use a loop-free min-propagation pass). Both renumber components
+by first appearance — the minimal run id of each component — so backends
+are interchangeable bit for bit.
 """
 
 from __future__ import annotations
@@ -24,7 +30,11 @@ import numpy as np
 
 from ..types import validate_label_map
 
-__all__ = ["connected_components", "enforce_connectivity"]
+__all__ = [
+    "connected_components",
+    "connected_components_reference",
+    "enforce_connectivity",
+]
 
 
 class _UnionFind:
@@ -47,20 +57,40 @@ class _UnionFind:
             self.parent[rc] = rt
 
 
-def connected_components(labels: np.ndarray):
-    """4-connected components of a label map.
-
-    Returns ``(components, n_components)`` where ``components`` is an
-    (H, W) int array of dense component ids.
-    """
-    labels = validate_label_map(labels)
+def _run_ids(labels: np.ndarray):
+    """Provisional run decomposition: id of each horizontal run of equal
+    labels, numbered in raster order. Returns ``(run_id, n_runs)``."""
     h, w = labels.shape
-    # Provisional ids: start of each horizontal run of equal labels.
     same_left = np.zeros((h, w), dtype=bool)
     same_left[:, 1:] = labels[:, 1:] == labels[:, :-1]
     run_start = ~same_left
     run_id = np.cumsum(run_start.ravel()).reshape(h, w) - 1
-    n_runs = int(run_id.max()) + 1
+    return run_id, int(run_id[-1, -1]) + 1
+
+
+def _resolve_roots(parent: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Union-find roots of ``idx`` via vectorized pointer jumping.
+
+    Read-only on ``parent`` (no path compression) — used to replace the
+    per-element ``uf.find`` generator loops on the hot path.
+    """
+    roots = parent[idx]
+    while True:
+        hop = parent[roots]
+        if np.array_equal(hop, roots):
+            return roots
+        roots = hop
+
+
+def connected_components_reference(labels: np.ndarray):
+    """4-connected components of a label map (sequential union-find).
+
+    Returns ``(components, n_components)`` where ``components`` is an
+    (H, W) int array of dense component ids, numbered by first
+    appearance in raster order.
+    """
+    labels = validate_label_map(labels)
+    run_id, n_runs = _run_ids(labels)
     uf = _UnionFind(n_runs)
     # Vertical unions: where a pixel matches the one above, union the runs.
     same_up = labels[1:, :] == labels[:-1, :]
@@ -74,13 +104,31 @@ def connected_components(labels: np.ndarray):
     roots = np.fromiter(
         (uf.find(i) for i in range(n_runs)), dtype=np.int64, count=n_runs
     )
-    # Dense renumbering of roots in order of first appearance.
-    uniq, dense = np.unique(roots, return_inverse=True)
+    # Canonical dense renumbering by each component's minimal run id
+    # (first appearance in raster order) — independent of which run the
+    # union-find happened to leave as root, so optimized backends can
+    # reproduce it exactly.
+    comp_min = np.full(n_runs, n_runs, dtype=np.int64)
+    np.minimum.at(comp_min, roots, np.arange(n_runs, dtype=np.int64))
+    uniq, dense = np.unique(comp_min[roots], return_inverse=True)
     components = dense[run_id]
     return components.astype(np.int32), int(len(uniq))
 
 
-def enforce_connectivity(labels: np.ndarray, min_size: int) -> np.ndarray:
+def connected_components(labels: np.ndarray, backend: str = None):
+    """4-connected components, dispatched through :mod:`repro.kernels`.
+
+    ``backend`` selects the kernel backend by name (``None`` honours the
+    ``REPRO_KERNEL_BACKEND`` environment variable, then ``auto``).
+    """
+    from ..kernels import get_backend  # lazy: kernels imports this module
+
+    return get_backend(backend).connected_components(labels)
+
+
+def enforce_connectivity(
+    labels: np.ndarray, min_size: int, backend: str = None
+) -> np.ndarray:
     """Absorb connected fragments smaller than ``min_size`` pixels.
 
     See module docstring for the algorithm. The returned map reuses the
@@ -90,7 +138,7 @@ def enforce_connectivity(labels: np.ndarray, min_size: int) -> np.ndarray:
     labels = validate_label_map(labels).astype(np.int32)
     if min_size <= 1:
         return labels.copy()
-    comps, n_comps = connected_components(labels)
+    comps, n_comps = connected_components(labels, backend=backend)
     if n_comps == 1:
         return labels.copy()
     flat_c = comps.ravel()
@@ -129,8 +177,10 @@ def enforce_connectivity(labels: np.ndarray, min_size: int) -> np.ndarray:
     merged_size = sizes.copy()
     # Process small components in increasing size order: tiny strays are
     # absorbed first, and a small component that grew past min_size by
-    # absorbing others is skipped when its turn comes.
-    for c in np.argsort(sizes, kind="stable"):
+    # absorbing others is skipped when its turn comes. Components already
+    # large enough never start a merge, so only the small ones are walked.
+    size_order = np.argsort(sizes, kind="stable")
+    for c in size_order[sizes[size_order] < min_size]:
         c = int(c)
         root_c = uf.find(c)
         if merged_size[root_c] >= min_size:
@@ -141,9 +191,7 @@ def enforce_connectivity(labels: np.ndarray, min_size: int) -> np.ndarray:
         neigh = dst[lo:hi]
         weights = border_len[lo:hi]
         # Exclude neighbors already merged into the same root.
-        roots = np.fromiter(
-            (uf.find(int(n_)) for n_ in neigh), dtype=np.int64, count=len(neigh)
-        )
+        roots = _resolve_roots(uf.parent, neigh)
         valid = roots != root_c
         if not valid.any():
             continue
@@ -157,7 +205,5 @@ def enforce_connectivity(labels: np.ndarray, min_size: int) -> np.ndarray:
         new_root = uf.find(target_root)
         merged_size[new_root] = merged_size[root_c] + merged_size[target_root]
 
-    final_root = np.fromiter(
-        (uf.find(i) for i in range(n_comps)), dtype=np.int64, count=n_comps
-    )
+    final_root = _resolve_roots(uf.parent, np.arange(n_comps, dtype=np.int64))
     return comp_label[final_root][comps].astype(np.int32)

@@ -28,10 +28,11 @@ import numpy as np
 from ..color import rgb_to_lab
 from ..color.hw_convert import HwColorConverter
 from ..errors import ConfigurationError
+from ..kernels import get_backend, resolve_name
 from ..obs.tracer import NULL_TRACER
 from ..types import as_uint8_rgb, validate_rgb_image
 from .accumulators import SigmaAccumulator, center_movement
-from .assignment import PixelArrays, assign_cpa, assign_ppa
+from .assignment import PixelArrays
 from .connectivity import enforce_connectivity
 from .distance import spatial_weight
 from .initialization import grid_geometry, initial_centers, perturb_centers
@@ -62,14 +63,24 @@ def expected_cluster_count(shape, n_superpixels: int) -> int:
 def _check_warm_labels(warm_labels, shape, n_clusters) -> np.ndarray:
     """Validate a warm-start label map and return an int32 copy."""
     arr = np.asarray(warm_labels)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ConfigurationError(
+            f"warm_labels must be a non-empty 2-D label map, got shape "
+            f"{arr.shape}"
+        )
     if arr.shape != shape:
         raise ConfigurationError(
             f"warm_labels must have shape {shape}, got {arr.shape}"
         )
-    if arr.min() < 0 or arr.max() >= n_clusters:
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ConfigurationError(
+            f"warm_labels must be integer-typed, got dtype {arr.dtype}"
+        )
+    lo, hi = int(arr.min()), int(arr.max())
+    if lo < 0 or hi >= n_clusters:
         raise ConfigurationError(
             f"warm_labels values must be in [0, {n_clusters}), got "
-            f"[{arr.min()}, {arr.max()}]"
+            f"[{lo}, {hi}]"
         )
     return arr.astype(np.int32).copy()
 
@@ -96,6 +107,7 @@ def run_segmentation(
     validate_rgb_image(image)
     tracer = tracer if tracer is not None else NULL_TRACER
     timer = PhaseTimer(tracer=tracer)
+    kernel_name = resolve_name(params.kernel_backend)
     with tracer.span(
         "segmentation",
         architecture=params.architecture,
@@ -103,9 +115,11 @@ def run_segmentation(
         subsample_ratio=params.subsample_ratio,
         height=image.shape[0],
         width=image.shape[1],
+        kernel_backend=kernel_name,
     ) as root:
         result = _run_instrumented(
-            image, params, warm_centers, warm_labels, tracer, timer
+            image, params, warm_centers, warm_labels, tracer, timer,
+            kernel_name,
         )
         root.set(
             sweeps=result.iterations,
@@ -116,8 +130,11 @@ def run_segmentation(
     return result
 
 
-def _run_instrumented(image, params, warm_centers, warm_labels, tracer, timer):
+def _run_instrumented(
+    image, params, warm_centers, warm_labels, tracer, timer, kernel_name
+):
     """The engine body; always runs inside the root ``segmentation`` span."""
+    kernels = get_backend(kernel_name)
 
     # ------------------------------------------------------------------
     # Color conversion (reference float path, or the LUT hardware path
@@ -164,14 +181,18 @@ def _run_instrumented(image, params, warm_centers, warm_labels, tracer, timer):
             schedule = make_schedule(
                 (h, w), params.subsample_ratio, params.subset_strategy, params.seed
             )
-            labels_flat = tiles.ravel().astype(np.int32).copy()
             if warm_labels is not None:
-                labels_flat = _check_warm_labels(warm_labels, (h, w), n_clusters).ravel()
+                labels_flat = _check_warm_labels(
+                    warm_labels, (h, w), n_clusters
+                ).ravel()
+            else:
+                labels_flat = tiles.ravel().astype(np.int32).copy()
         else:
             dist_buf = np.full((h, w), _INF, dtype=np.float64)
-            labels_buf = tile_map((h, w), grid_h, grid_w).astype(np.int32)
             if warm_labels is not None:
                 labels_buf = _check_warm_labels(warm_labels, (h, w), n_clusters)
+            else:
+                labels_buf = tile_map((h, w), grid_h, grid_w).astype(np.int32)
             c_subsets = center_subsets(n_clusters, n_subsets)
             lab5_cache = None  # built lazily for center updates
 
@@ -206,7 +227,7 @@ def _run_instrumented(image, params, warm_centers, warm_labels, tracer, timer):
                     )
                     with subit:
                         with timer.phase("distance_min"):
-                            chosen = assign_ppa(
+                            chosen = kernels.ppa_assign(
                                 pixels,
                                 idx,
                                 cands,
@@ -235,7 +256,13 @@ def _run_instrumented(image, params, warm_centers, warm_labels, tracer, timer):
                                 acc.add(pixels.values5(all_idx), labels_flat)
                             centers = acc.compute_centers(fallback=centers)
                     tracer.count("engine.pixels_assigned", len(idx))
-                    tracer.count("engine.centers_updated", n_clusters)
+                    if tracer is not NULL_TRACER:
+                        # Centers actually refreshed from data this pass:
+                        # those with at least one accumulated pixel.
+                        tracer.count(
+                            "engine.centers_updated",
+                            int(np.count_nonzero(acc.counts)),
+                        )
                 else:
                     subset_k = c_subsets[sub % n_subsets]
                     if n_subsets > 1 and sub % n_subsets == 0:
@@ -251,7 +278,7 @@ def _run_instrumented(image, params, warm_centers, warm_labels, tracer, timer):
                     )
                     with subit:
                         with timer.phase("distance_min"):
-                            assign_cpa(
+                            n_touched = kernels.cpa_assign(
                                 lab,
                                 centers,
                                 weight,
@@ -286,11 +313,9 @@ def _run_instrumented(image, params, warm_centers, warm_labels, tracer, timer):
                                 centers = merged
                             else:
                                 centers = new_centers
-                    # Each scanned center sweeps a 2S x 2S candidate window.
-                    tracer.count(
-                        "engine.pixels_assigned",
-                        min(h * w, int(len(subset_k) * (2 * s) ** 2)),
-                    )
+                    # Distinct pixels scanned this pass (windows overlap,
+                    # so this is the deduplicated count, never > h*w).
+                    tracer.count("engine.pixels_assigned", n_touched)
                     tracer.count("engine.centers_updated", len(subset_k))
                 sub += 1
                 tracer.count("engine.subiterations")
@@ -317,7 +342,7 @@ def _run_instrumented(image, params, warm_centers, warm_labels, tracer, timer):
     if params.enforce_connectivity:
         with timer.phase("connectivity"):
             min_size = max(1, int(params.min_size_factor * s * s))
-            labels = enforce_connectivity(labels, min_size)
+            labels = enforce_connectivity(labels, min_size, backend=kernel_name)
 
     return SegmentationResult(
         labels=labels.astype(np.int32),

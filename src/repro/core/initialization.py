@@ -12,7 +12,13 @@ import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["grid_geometry", "initial_centers", "gradient_magnitude", "perturb_centers"]
+__all__ = [
+    "grid_geometry",
+    "initial_grid_xy",
+    "initial_centers",
+    "gradient_magnitude",
+    "perturb_centers",
+]
 
 
 def grid_geometry(shape, n_superpixels: int):
@@ -35,6 +41,18 @@ def grid_geometry(shape, n_superpixels: int):
     ys = ((np.arange(grid_h) + 0.5) * h / grid_h)
     xs = ((np.arange(grid_w) + 0.5) * w / grid_w)
     return grid_h, grid_w, ys, xs
+
+
+def initial_grid_xy(shape, n_superpixels: int) -> np.ndarray:
+    """Initial center positions only: ``(K', 2)`` float64 ``[x, y]`` rows.
+
+    Shape-only companion to :func:`initial_centers` — same grid order,
+    no image required. Used by stream drivers that need the home grid
+    of a resolution without touching pixel data.
+    """
+    grid_h, grid_w, ys, xs = grid_geometry(shape, n_superpixels)
+    yy, xx = np.meshgrid(ys, xs, indexing="ij")
+    return np.stack([xx.ravel(), yy.ravel()], axis=1)
 
 
 def initial_centers(lab: np.ndarray, n_superpixels: int) -> np.ndarray:

@@ -96,6 +96,12 @@ class SlicParams:
         hardware datapath.
     seed:
         Seed for the ``"random"`` subset strategy.
+    kernel_backend:
+        Which :mod:`repro.kernels` backend runs the assignment and
+        connectivity hot loops: ``"reference"``, ``"vectorized"``,
+        ``"native"``, or ``"auto"``. ``None`` (default) defers to the
+        ``REPRO_KERNEL_BACKEND`` environment variable, then ``auto``.
+        All backends produce bit-identical labels.
     """
 
     n_superpixels: int = 100
@@ -113,6 +119,7 @@ class SlicParams:
     static_neighbors: bool = True
     datapath: object = None
     seed: int = 0
+    kernel_backend: str = None
 
     def __post_init__(self) -> None:
         if self.n_superpixels < 1:
@@ -156,6 +163,13 @@ class SlicParams:
         if not (0.0 <= self.min_size_factor < 1.0):
             raise ConfigurationError(
                 f"min_size_factor must be in [0, 1), got {self.min_size_factor}"
+            )
+        if self.kernel_backend is not None:
+            # Lazy import: kernels imports core modules at load time.
+            from ..kernels import validate_name
+
+            object.__setattr__(
+                self, "kernel_backend", validate_name(self.kernel_backend)
             )
 
     @property

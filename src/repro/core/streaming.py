@@ -173,14 +173,13 @@ class StreamSegmenter:
         """Record ``result`` as the outcome of ``plan`` and advance state."""
         if plan.reanchor or self._home_xy is None or plan.shape != self._shape:
             # Home positions are the *initial grid* of this cold start;
-            # they depend only on shape and K, so recover them without
-            # rerunning segmentation.
-            from .initialization import initial_centers
+            # they depend only on shape and K, so recover them from the
+            # grid geometry alone — no image allocation, no segmentation.
+            from .initialization import initial_grid_xy
 
-            grid = initial_centers(
-                np.zeros(plan.shape + (3,)), self.params.n_superpixels
+            self._home_xy = initial_grid_xy(
+                plan.shape, self.params.n_superpixels
             )
-            self._home_xy = grid[:, 3:5].copy()
         self._centers = result.centers
         self._labels = result.labels
         self._shape = plan.shape

@@ -1,0 +1,33 @@
+"""Dispatchable kernels for the assignment/connectivity hot paths.
+
+The engine's inner loops — the CPA window scan, the PPA 9-candidate
+evaluation, and connected-component labeling — are implemented three
+times behind one contract:
+
+* ``reference`` — the readable loops in :mod:`repro.core` (semantics
+  ground truth);
+* ``vectorized`` — batched pure numpy;
+* ``native`` — C loops compiled on demand via ctypes.
+
+All backends return bit-identical labels; pick one with
+``SlicParams(kernel_backend=...)``, the ``--kernel-backend`` CLI flag, or
+the ``REPRO_KERNEL_BACKEND`` environment variable. See ``docs/kernels.md``.
+"""
+
+from .dispatch import (
+    BACKEND_NAMES,
+    ENV_VAR,
+    available_backends,
+    get_backend,
+    resolve_name,
+    validate_name,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ENV_VAR",
+    "available_backends",
+    "get_backend",
+    "resolve_name",
+    "validate_name",
+]

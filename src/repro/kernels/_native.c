@@ -1,0 +1,225 @@
+/* Native assignment kernels: the CPA window scan and the PPA 9-candidate
+ * evaluation as plain C loops.
+ *
+ * Compiled on demand by repro.kernels.native with
+ *
+ *     cc -O3 -fPIC -shared -ffp-contract=off  (no -ffast-math, no -march)
+ *
+ * so every float64 operation rounds exactly like the numpy reference:
+ * contraction into FMA is disabled and the summation orders below mirror
+ * numpy's add.reduce over the last axis ((x0 + x1) + x2). That is what
+ * makes the native labels bit-identical to repro.core.assignment — the
+ * property tests and benchmarks/bench_kernels.py assert it.
+ *
+ * Integer (FixedDatapath) variants take the code-domain image/centers and
+ * replicate the shift/saturate pipeline of FixedDatapath.pairwise_d2 and
+ * the fixed branch of assign_cpa.
+ */
+
+#include <math.h>
+#include <stdint.h>
+
+/* ------------------------------------------------------------------ */
+/* CPA: for each listed center, scan the clipped (2*half+1)^2 window,
+ * keeping running minima in the image-sized dist/labels buffers.
+ * `touched` is an h*w byte mask marking every pixel scanned at least
+ * once (the deduplicated pixels_assigned telemetry counter).           */
+/* ------------------------------------------------------------------ */
+
+void cpa_assign_f64(
+    const double *lab,        /* h*w*3, row-major Lab image             */
+    const double *centers,    /* k*5 rows [L, a, b, x, y]               */
+    const int64_t *ks,        /* center indices to scan, in order       */
+    int64_t n_ks,
+    double weight,            /* m^2 / S^2                              */
+    int64_t half,             /* window half-extent, ceil(S)            */
+    int64_t h, int64_t w,
+    double *dist,             /* h*w running minimum distances          */
+    int32_t *labels,          /* h*w running argmin labels              */
+    uint8_t *touched)         /* h*w scanned-pixel mask                 */
+{
+    for (int64_t i = 0; i < n_ks; i++) {
+        int64_t k = ks[i];
+        const double *c = centers + 5 * k;
+        double cl = c[0], ca = c[1], cb = c[2], cx = c[3], cy = c[4];
+        int64_t fx = (int64_t)floor(cx);
+        int64_t fy = (int64_t)floor(cy);
+        int64_t x0 = fx - half < 0 ? 0 : fx - half;
+        int64_t x1 = fx + half + 1 > w ? w : fx + half + 1;
+        int64_t y0 = fy - half < 0 ? 0 : fy - half;
+        int64_t y1 = fy + half + 1 > h ? h : fy + half + 1;
+        for (int64_t y = y0; y < y1; y++) {
+            double dy = (double)y - cy;
+            double dy2 = dy * dy;
+            const double *px = lab + (y * w + x0) * 3;
+            double *drow = dist + y * w;
+            int32_t *lrow = labels + y * w;
+            uint8_t *trow = touched + y * w;
+            for (int64_t x = x0; x < x1; x++, px += 3) {
+                double dl = px[0] - cl;
+                double da = px[1] - ca;
+                double db = px[2] - cb;
+                double dc2 = (dl * dl + da * da) + db * db;
+                double dx = (double)x - cx;
+                double d2 = dc2 + weight * (dx * dx + dy2);
+                trow[x] = 1;
+                if (d2 < drow[x]) {
+                    drow[x] = d2;
+                    lrow[x] = (int32_t)k;
+                }
+            }
+        }
+    }
+}
+
+void cpa_assign_fixed(
+    const int64_t *codes,     /* h*w*3 Lab channel codes                */
+    const int64_t *c_codes,   /* k*5 encoded centers (codes + raw xy)   */
+    const double *centers,    /* k*5 float centers (window placement)   */
+    const int64_t *ks,
+    int64_t n_ks,
+    int64_t weight_raw,       /* fixed-point spatial weight             */
+    int64_t wfrac,            /* WEIGHT_FRAC_BITS                       */
+    int64_t sf,               /* spatial_frac_bits                      */
+    int64_t quantize,         /* nonzero: shift + saturate the distance */
+    int64_t dshift,           /* effective_distance_shift               */
+    int64_t dmax,             /* distance_max_code                      */
+    int64_t half,
+    int64_t h, int64_t w,
+    double *dist,             /* float64 running minima (engine buffer) */
+    int32_t *labels,
+    uint8_t *touched)
+{
+    for (int64_t i = 0; i < n_ks; i++) {
+        int64_t k = ks[i];
+        const int64_t *cc = c_codes + 5 * k;
+        int64_t cl = cc[0], ca = cc[1], cb = cc[2], cxr = cc[3], cyr = cc[4];
+        double cx = centers[5 * k + 3];
+        double cy = centers[5 * k + 4];
+        int64_t fx = (int64_t)floor(cx);
+        int64_t fy = (int64_t)floor(cy);
+        int64_t x0 = fx - half < 0 ? 0 : fx - half;
+        int64_t x1 = fx + half + 1 > w ? w : fx + half + 1;
+        int64_t y0 = fy - half < 0 ? 0 : fy - half;
+        int64_t y1 = fy + half + 1 > h ? h : fy + half + 1;
+        for (int64_t y = y0; y < y1; y++) {
+            int64_t dyv = (y << sf) - cyr;
+            int64_t dy2 = dyv * dyv;
+            const int64_t *px = codes + (y * w + x0) * 3;
+            double *drow = dist + y * w;
+            int32_t *lrow = labels + y * w;
+            uint8_t *trow = touched + y * w;
+            for (int64_t x = x0; x < x1; x++, px += 3) {
+                int64_t dl = px[0] - cl;
+                int64_t da = px[1] - ca;
+                int64_t db = px[2] - cb;
+                int64_t dc2 = (dl * dl + da * da) + db * db;
+                int64_t dxv = (x << sf) - cxr;
+                int64_t ds2 = (dxv * dxv + dy2) >> (2 * sf);
+                int64_t d2 = dc2 + ((weight_raw * ds2) >> wfrac);
+                if (quantize) {
+                    d2 >>= dshift;
+                    if (d2 > dmax) d2 = dmax;
+                }
+                trow[x] = 1;
+                double d2f = (double)d2;
+                if (d2f < drow[x]) {
+                    drow[x] = d2f;
+                    lrow[x] = (int32_t)k;
+                }
+            }
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* PPA: 9-candidate argmin per subset pixel, fully fused — no (M, 9, 3)
+ * temporaries, one running minimum per pixel. Ties resolve to the
+ * lowest candidate slot via the strict <, like the hardware 9:1 tree. */
+/* ------------------------------------------------------------------ */
+
+void ppa_assign_f64(
+    const double *lab_flat,   /* n*3 flat Lab                           */
+    const int64_t *xs,        /* n flat pixel x                         */
+    const int64_t *ys,        /* n flat pixel y                         */
+    const int64_t *tiles,     /* n tile index per pixel                 */
+    const int64_t *subset,    /* m flat indices to assign               */
+    int64_t m,
+    const int32_t *cands,     /* t*9 candidate clusters per tile        */
+    const double *centers,    /* k*5                                    */
+    double weight,
+    int32_t *out)             /* m chosen clusters                      */
+{
+    for (int64_t j = 0; j < m; j++) {
+        int64_t i = subset[j];
+        const int32_t *cnd = cands + 9 * tiles[i];
+        const double *px = lab_flat + 3 * i;
+        double x = (double)xs[i];
+        double y = (double)ys[i];
+        double best = INFINITY;
+        int32_t bk = cnd[0];
+        for (int s = 0; s < 9; s++) {
+            const double *c = centers + 5 * cnd[s];
+            double dl = px[0] - c[0];
+            double da = px[1] - c[1];
+            double db = px[2] - c[2];
+            double dc2 = (dl * dl + da * da) + db * db;
+            double dx = x - c[3];
+            double dyv = y - c[4];
+            double d2 = dc2 + weight * (dx * dx + dyv * dyv);
+            if (d2 < best) {
+                best = d2;
+                bk = cnd[s];
+            }
+        }
+        out[j] = bk;
+    }
+}
+
+void ppa_assign_fixed(
+    const int64_t *codes_flat, /* n*3 flat channel codes                */
+    const int64_t *xs,
+    const int64_t *ys,
+    const int64_t *tiles,
+    const int64_t *subset,
+    int64_t m,
+    const int32_t *cands,
+    const int64_t *c_codes,    /* k*5 encoded centers                   */
+    int64_t weight_raw,
+    int64_t wfrac,
+    int64_t sf,
+    int64_t quantize,
+    int64_t dshift,
+    int64_t dmax,
+    int32_t *out)
+{
+    for (int64_t j = 0; j < m; j++) {
+        int64_t i = subset[j];
+        const int32_t *cnd = cands + 9 * tiles[i];
+        const int64_t *px = codes_flat + 3 * i;
+        int64_t xr = xs[i] << sf;
+        int64_t yr = ys[i] << sf;
+        int64_t best = INT64_MAX;
+        int32_t bk = cnd[0];
+        for (int s = 0; s < 9; s++) {
+            const int64_t *c = c_codes + 5 * cnd[s];
+            int64_t dl = px[0] - c[0];
+            int64_t da = px[1] - c[1];
+            int64_t db = px[2] - c[2];
+            int64_t dc2 = (dl * dl + da * da) + db * db;
+            int64_t dxv = xr - c[3];
+            int64_t dyv = yr - c[4];
+            int64_t ds2 = (dxv * dxv + dyv * dyv) >> (2 * sf);
+            int64_t d2 = dc2 + ((weight_raw * ds2) >> wfrac);
+            if (quantize) {
+                d2 >>= dshift;
+                if (d2 > dmax) d2 = dmax;
+            }
+            if (d2 < best) {
+                best = d2;
+                bk = cnd[s];
+            }
+        }
+        out[j] = bk;
+    }
+}

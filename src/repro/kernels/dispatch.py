@@ -1,0 +1,94 @@
+"""Backend selection for the kernel layer.
+
+Three backends implement the same kernel contract (``cpa_assign``,
+``ppa_assign``, ``connected_components``; see ``docs/kernels.md``):
+
+* ``reference`` — the original loops in :mod:`repro.core`;
+* ``vectorized`` — batched pure numpy, always available;
+* ``native`` — compiled C hot loops, available when a C compiler is.
+
+Selection order: an explicit name (``SlicParams.kernel_backend`` or a
+``backend=`` argument) wins; otherwise the ``REPRO_KERNEL_BACKEND``
+environment variable; otherwise ``auto``, which picks ``native`` when it
+can compile and ``vectorized`` when it can't. All backends produce
+bit-identical labels, so selection only affects speed.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ENV_VAR",
+    "available_backends",
+    "get_backend",
+    "resolve_name",
+    "validate_name",
+]
+
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Accepted backend names (``auto`` resolves to a concrete one).
+BACKEND_NAMES = ("auto", "reference", "vectorized", "native")
+
+
+def _module(name: str):
+    if name == "reference":
+        from . import reference as mod
+    elif name == "vectorized":
+        from . import vectorized as mod
+    else:
+        from . import native as mod
+    return mod
+
+
+def validate_name(name: str) -> str:
+    """Check ``name`` is a known backend name without loading anything."""
+    lowered = str(name).lower()
+    if lowered not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; expected one of "
+            f"{', '.join(BACKEND_NAMES)}"
+        )
+    return lowered
+
+
+def resolve_name(name: str = None) -> str:
+    """Resolve a requested backend name to a concrete backend name.
+
+    ``None`` falls back to ``$REPRO_KERNEL_BACKEND``, then ``auto``.
+    ``auto`` probes the native backend (compiling it on first use) and
+    falls back to ``vectorized``. An explicitly requested ``native`` that
+    cannot load raises :class:`ConfigurationError` instead of silently
+    degrading.
+    """
+    if name is None:
+        name = os.environ.get(ENV_VAR) or "auto"
+    name = validate_name(name)
+    if name == "auto":
+        from . import native
+
+        return "native" if native.is_available() else "vectorized"
+    if name == "native":
+        from . import native
+
+        native.load()  # raises ConfigurationError with the compile detail
+    return name
+
+
+def get_backend(name: str = None):
+    """Return the kernel module for ``name`` (resolved per above)."""
+    return _module(resolve_name(name))
+
+
+def available_backends() -> tuple:
+    """Concrete backend names usable in this environment."""
+    names = ["reference", "vectorized"]
+    from . import native
+
+    if native.is_available():
+        names.append("native")
+    return tuple(names)

@@ -1,0 +1,266 @@
+"""The ``native`` backend: the C hot loops in ``_native.c``.
+
+The module compiles the C source on first use with the system C compiler
+(``$CC``, else ``cc``/``gcc``/``clang``) and loads it through
+:mod:`ctypes` — no third-party build dependency, and nothing happens at
+import time. The shared object is cached under
+``$REPRO_KERNEL_CACHE`` (default: the user cache dir, falling back to a
+per-user temp dir), keyed by a hash of the source and compile flags, so
+recompiles happen only when the kernels change and concurrent builds
+(parallel workers) race harmlessly to an atomic rename.
+
+Availability is probed lazily and memoized; :func:`is_available` never
+raises. When no compiler exists the dispatch layer's ``auto`` selection
+falls back to the pure-numpy ``vectorized`` backend.
+
+Bit-identity with the reference implementations is a hard contract —
+see the header comment in ``_native.c`` for the compile flags that
+guarantee it (``-ffp-contract=off``, no ``-ffast-math``).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from ..core.distance import WEIGHT_FRAC_BITS
+from ..errors import ConfigurationError
+from .vectorized import connected_components  # noqa: F401 — CC is numpy-bound
+
+__all__ = [
+    "is_available",
+    "load",
+    "cpa_assign",
+    "ppa_assign",
+    "connected_components",
+]
+
+_SRC = Path(__file__).with_name("_native.c")
+_CFLAGS = ("-O3", "-fPIC", "-shared", "-ffp-contract=off")
+
+#: Memoized load state: None = unprobed, False = unavailable, else the
+#: loaded ctypes library.
+_lib = None
+_load_error = None
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    try:
+        base.mkdir(parents=True, exist_ok=True)
+        return base / "repro-kernels"
+    except OSError:
+        return Path(tempfile.gettempdir()) / f"repro-kernels-{os.getuid()}"
+
+
+def _compiler() -> str:
+    cc = os.environ.get("CC")
+    candidates = [cc] if cc else []
+    candidates += ["cc", "gcc", "clang"]
+    for cand in candidates:
+        path = shutil.which(cand)
+        if path:
+            return path
+    raise ConfigurationError(
+        "no C compiler found (checked $CC, cc, gcc, clang); the native "
+        "kernel backend is unavailable — use backend 'vectorized' instead"
+    )
+
+
+def _build() -> Path:
+    """Compile ``_native.c`` into the cache (atomic, race-safe)."""
+    source = _SRC.read_bytes()
+    key = hashlib.sha256(source + " ".join(_CFLAGS).encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    cache.mkdir(parents=True, exist_ok=True)
+    so_path = cache / f"repro_native_{key}.so"
+    if so_path.exists():
+        return so_path
+    cc = _compiler()
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [cc, *_CFLAGS, "-o", tmp, str(_SRC), "-lm"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            raise ConfigurationError(
+                f"native kernel compile failed ({cc}): {proc.stderr.strip()[:500]}"
+            )
+        os.replace(tmp, so_path)  # atomic: concurrent builders both win
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return so_path
+
+
+def _declare(lib) -> None:
+    f64 = np.ctypeslib.ndpointer(np.float64, flags="C_CONTIGUOUS")
+    i64 = np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS")
+    i32 = np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS")
+    u8 = np.ctypeslib.ndpointer(np.uint8, flags="C_CONTIGUOUS")
+    ll = ctypes.c_int64
+
+    lib.cpa_assign_f64.restype = None
+    lib.cpa_assign_f64.argtypes = [
+        f64, f64, i64, ll, ctypes.c_double, ll, ll, ll, f64, i32, u8,
+    ]
+    lib.cpa_assign_fixed.restype = None
+    lib.cpa_assign_fixed.argtypes = [
+        i64, i64, f64, i64, ll, ll, ll, ll, ll, ll, ll, ll, ll, ll,
+        f64, i32, u8,
+    ]
+    lib.ppa_assign_f64.restype = None
+    lib.ppa_assign_f64.argtypes = [
+        f64, i64, i64, i64, i64, ll, i32, f64, ctypes.c_double, i32,
+    ]
+    lib.ppa_assign_fixed.restype = None
+    lib.ppa_assign_fixed.argtypes = [
+        i64, i64, i64, i64, i64, ll, i32, i64, ll, ll, ll, ll, ll, ll, i32,
+    ]
+
+
+def load():
+    """Compile (if needed) and load the native library; raises on failure."""
+    global _lib, _load_error
+    if _lib is not None:
+        return _lib
+    if _load_error is not None:
+        raise _load_error
+    try:
+        lib = ctypes.CDLL(str(_build()))
+        _declare(lib)
+    except Exception as exc:  # memoize: probing must stay cheap
+        _load_error = (
+            exc
+            if isinstance(exc, ConfigurationError)
+            else ConfigurationError(f"native kernel backend unavailable: {exc}")
+        )
+        raise _load_error from None
+    _lib = lib
+    return lib
+
+
+def is_available() -> bool:
+    """True when the native library loads (compiling it on first call)."""
+    try:
+        load()
+        return True
+    except ConfigurationError:
+        return False
+
+
+# ----------------------------------------------------------------------
+# Kernel entry points (KernelBackend interface)
+# ----------------------------------------------------------------------
+
+def cpa_assign(
+    lab,
+    centers,
+    weight,
+    grid_s,
+    dist_buf,
+    labels_buf,
+    cluster_indices=None,
+    datapath=None,
+    compactness=None,
+    codes=None,
+) -> int:
+    """Batched CPA window scan; see ``repro.core.assignment.assign_cpa``.
+
+    Returns the number of distinct pixels scanned. Falls back to the
+    vectorized backend for non-float64 distance buffers (the engine
+    always passes float64; only direct callers pass int64 buffers).
+    """
+    if dist_buf.dtype != np.float64 or not (
+        dist_buf.flags.c_contiguous and labels_buf.flags.c_contiguous
+    ):
+        from . import vectorized
+
+        return vectorized.cpa_assign(
+            lab, centers, weight, grid_s, dist_buf, labels_buf,
+            cluster_indices=cluster_indices, datapath=datapath,
+            compactness=compactness, codes=codes,
+        )
+    lib = load()
+    h, w = lab.shape[:2]
+    half = int(np.ceil(grid_s))
+    if cluster_indices is None:
+        cluster_indices = np.arange(len(centers))
+    ks = np.ascontiguousarray(cluster_indices, dtype=np.int64)
+    if len(ks) == 0:
+        return 0
+    centers_c = np.ascontiguousarray(centers, dtype=np.float64)
+    labels_v = labels_buf.reshape(-1)
+    dist_v = dist_buf.reshape(-1)
+    touched = np.zeros(h * w, dtype=np.uint8)
+    if datapath is None:
+        lab_c = np.ascontiguousarray(lab, dtype=np.float64)
+        lib.cpa_assign_f64(
+            lab_c.reshape(-1), centers_c.reshape(-1), ks, len(ks),
+            float(weight), half, h, w, dist_v, labels_v, touched,
+        )
+    else:
+        codes_c = np.ascontiguousarray(codes, dtype=np.int64)
+        c_codes = np.ascontiguousarray(datapath.encode_centers(centers))
+        weight_raw = datapath.weight_raw(compactness, grid_s)
+        lib.cpa_assign_fixed(
+            codes_c.reshape(-1), c_codes.reshape(-1), centers_c.reshape(-1),
+            ks, len(ks), weight_raw, WEIGHT_FRAC_BITS,
+            datapath.spatial_frac_bits, int(datapath.quantize_distance),
+            datapath.effective_distance_shift, datapath.distance_max_code,
+            half, h, w, dist_v, labels_v, touched,
+        )
+    return int(np.count_nonzero(touched))
+
+
+def ppa_assign(
+    pixels,
+    subset_idx,
+    candidates,
+    centers,
+    weight,
+    compactness=None,
+    grid_s=None,
+):
+    """Fused PPA 9-candidate argmin; see ``assign_ppa`` for semantics."""
+    lib = load()
+    subset = np.ascontiguousarray(subset_idx, dtype=np.int64)
+    out = np.empty(len(subset), dtype=np.int32)
+    if len(subset) == 0:
+        return out
+    cands = np.ascontiguousarray(candidates, dtype=np.int32)
+    dp = pixels.datapath
+    if dp is None:
+        lib.ppa_assign_f64(
+            np.ascontiguousarray(pixels.lab_flat).reshape(-1),
+            pixels.x_flat, pixels.y_flat, pixels.tile_flat,
+            subset, len(subset), cands.reshape(-1),
+            np.ascontiguousarray(centers, dtype=np.float64).reshape(-1),
+            float(weight), out,
+        )
+    else:
+        c_codes = np.ascontiguousarray(dp.encode_centers(centers))
+        lib.ppa_assign_fixed(
+            np.ascontiguousarray(pixels.codes_flat).reshape(-1),
+            pixels.x_flat, pixels.y_flat, pixels.tile_flat,
+            subset, len(subset), cands.reshape(-1), c_codes.reshape(-1),
+            dp.weight_raw(compactness, grid_s), WEIGHT_FRAC_BITS,
+            dp.spatial_frac_bits, int(dp.quantize_distance),
+            dp.effective_distance_shift, dp.distance_max_code, out,
+        )
+    return out

@@ -1,0 +1,21 @@
+"""The ``reference`` backend: the original per-center / per-edge loops.
+
+Thin aliases onto the canonical implementations in :mod:`repro.core` —
+these define the semantics every optimized backend must reproduce bit
+for bit, and they remain selectable (``REPRO_KERNEL_BACKEND=reference``)
+for debugging and for the identity checks in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..core.assignment import assign_cpa as cpa_assign
+from ..core.assignment import assign_ppa as ppa_assign
+from ..core.connectivity import (
+    connected_components_reference as connected_components,
+)
+
+__all__ = ["cpa_assign", "ppa_assign", "connected_components", "is_available"]
+
+
+def is_available() -> bool:
+    return True

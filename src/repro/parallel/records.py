@@ -64,6 +64,9 @@ class FrameRecord:
         serial mode).
     trace_events:
         The worker's span/metric events when tracing was requested.
+    kernel_backend:
+        Concrete kernel backend name the worker ran with (``None`` for
+        frames that failed before backend resolution).
     """
 
     stream_id: int
@@ -76,6 +79,7 @@ class FrameRecord:
     elapsed_s: float = 0.0
     worker_pid: int = 0
     trace_events: list = field(default_factory=list)
+    kernel_backend: str = None
 
     @property
     def key(self) -> tuple:

@@ -129,6 +129,15 @@ class ParallelRunner:
         self.params = params if params is not None else SlicParams(
             subsample_ratio=0.5, architecture="ppa", convergence_threshold=0.3
         )
+        # Pin the kernel backend to a concrete name up front: workers then
+        # inherit the parent's choice instead of re-deciding per process,
+        # and an explicitly requested but unavailable backend fails fast
+        # here rather than once per frame inside the pool.
+        from ..kernels import resolve_name
+
+        self.params = self.params.with_(
+            kernel_backend=resolve_name(self.params.kernel_backend)
+        )
         self.n_workers = int(n_workers)
         self.max_pending = (
             int(max_pending) if max_pending is not None else 2 * self.n_workers

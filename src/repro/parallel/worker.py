@@ -67,6 +67,8 @@ def run_frame(task: FrameTask) -> FrameRecord:
     if tracer is not None:
         tracer.flush()
         events = list(tracer.sink.events)
+    from ..kernels import resolve_name
+
     return FrameRecord(
         stream_id=task.stream_id,
         frame_index=task.frame_index,
@@ -76,4 +78,5 @@ def run_frame(task: FrameTask) -> FrameRecord:
         elapsed_s=elapsed,
         worker_pid=os.getpid(),
         trace_events=events,
+        kernel_backend=resolve_name(task.params.kernel_backend),
     )

@@ -121,7 +121,9 @@ class TestPreemptive:
 
     def test_quality_preserved(self, small_scene):
         r = preemptive_slic(small_scene.image, n_superpixels=24)
-        assert undersegmentation_error(r.labels, small_scene.gt_labels) < 0.08
+        # 0.1 bound: the corrected 2S x 2S CPA window (paper Section 2)
+        # shifts a handful of boundary pixels on this 64x96 scene.
+        assert undersegmentation_error(r.labels, small_scene.gt_labels) < 0.1
 
     def test_threshold_validated(self, small_scene):
         with pytest.raises(ConfigurationError):

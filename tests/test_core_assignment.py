@@ -126,7 +126,37 @@ class TestAssignCpa:
             pixels, np.arange(pixels.n_pixels), cands, centers, weight
         ).reshape(h, w)
         agreement = (labels_cpa == labels_ppa).mean()
-        assert agreement > 0.99
+        # Not 1.0: with the paper's 2S x 2S window a pixel whose nearest
+        # center is a *diagonal* grid neighbor (up to ~1.5S away on one
+        # axis) falls outside that center's scan, so CPA keeps its
+        # second-best — PPA's 9-candidate set still sees the winner.
+        assert agreement > 0.97
+
+    def test_scan_extent_is_2s_by_2s(self):
+        """Regression pin for the paper's 2S x 2S window (Section 2,
+        Figure 1a): a pixel just beyond ceil(S) of a center's integer
+        position must be unreachable in one scan. The seed implementation
+        scanned ceil(2S) each side, which would have claimed it."""
+        h, w = 40, 64
+        lab = np.zeros((h, w, 3))
+        s = 5.0
+        half = int(np.ceil(s))
+        centers = np.array([[0.0, 0.0, 0.0, 30.3, 20.7]])
+        fx, fy = 30, 20
+        dist = np.full((h, w), np.inf)
+        labels = np.full((h, w), -1, dtype=np.int32)
+        n = assign_cpa(lab, centers, 1.0, s, dist, labels)
+        touched = labels != -1
+        ys, xs = np.nonzero(touched)
+        assert xs.min() == fx - half and xs.max() == fx + half
+        assert ys.min() == fy - half and ys.max() == fy + half
+        # Just beyond the window on each axis: unreachable in one scan.
+        assert not touched[fy, fx + half + 1]
+        assert not touched[fy + half + 1, fx]
+        # Inside S < distance <= 2S (reachable under the old 4S x 4S
+        # deviation): must stay unassigned.
+        assert not touched[fy, fx + 2 * half]
+        assert n == int(touched.sum()) == (2 * half + 1) ** 2
 
     def test_cluster_subset_only_affects_windows(self, setup):
         lab, centers, tiles, cands, s, weight = setup

@@ -4,6 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core import connected_components, enforce_connectivity
+from repro.kernels import available_backends
+
+BACKENDS = available_backends()
 
 
 class TestConnectedComponents:
@@ -113,3 +116,68 @@ class TestEnforceConnectivity:
         before = labels.copy()
         enforce_connectivity(labels, 4)
         assert np.array_equal(labels, before)
+
+
+def _ring(h=12, w=12):
+    """A thick ring of label 1 (48 px) enclosing a 0-island (16 px)."""
+    labels = np.zeros((h, w), dtype=np.int32)
+    labels[2:-2, 2:-2] = 1
+    labels[4:-4, 4:-4] = 0
+    return labels
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestEdgeCases:
+    """Shapes that have historically broken union-find renumbering."""
+
+    def test_ring_splits_enclosed_island(self, backend):
+        labels = _ring()
+        comps, n = connected_components(labels, backend=backend)
+        # Outside 0, the ring of 1, and the enclosed 0 island: 3 comps.
+        assert n == 3
+        assert comps[0, 0] != comps[6, 6]
+        assert labels[comps == comps[6, 6]].sum() == 0
+
+    def test_thin_ring_and_island_collapse(self, backend):
+        # Ring (24 px) below min_size merges into the outside (longest
+        # border), then the island (25 px) has only the merged ring as a
+        # neighbor — chaining must land everything on label 0.
+        labels = np.zeros((11, 11), dtype=np.int32)
+        labels[2:9, 2:9] = 1
+        labels[3:8, 3:8] = 0
+        out = enforce_connectivity(labels, 30, backend=backend)
+        assert (out == 0).all()
+
+    def test_enclosed_island_below_min_size(self, backend):
+        # The island (16 px) is too small; its only neighbor is the ring,
+        # so it must take the ring's label, not the outside's.
+        labels = _ring()
+        out = enforce_connectivity(labels, 20, backend=backend)
+        comps, n = connected_components(out, backend=backend)
+        assert n == 2
+        assert (out[4:-4, 4:-4] == 1).all()
+        assert (out[0] == 0).all()
+
+    def test_min_size_equals_image_area(self, backend):
+        # Nothing can satisfy min_size == area except a constant map;
+        # everything collapses into one surviving component.
+        labels = np.zeros((6, 8), dtype=np.int32)
+        labels[:, 4:] = 1
+        out = enforce_connectivity(labels, 48, backend=backend)
+        assert len(np.unique(out)) == 1
+
+    def test_min_size_beyond_image_area_constant_map(self, backend):
+        # A single component can never be merged anywhere — it must
+        # survive unchanged even when smaller than min_size.
+        labels = np.full((5, 5), 7, dtype=np.int32)
+        out = enforce_connectivity(labels, 10_000, backend=backend)
+        assert np.array_equal(out, labels)
+
+    def test_single_row_and_column(self, backend):
+        row = np.array([[0, 0, 1, 1, 0]], dtype=np.int32)
+        comps, n = connected_components(row, backend=backend)
+        assert n == 3
+        col = row.T.copy()
+        comps_t, n_t = connected_components(col, backend=backend)
+        assert n_t == 3
+        assert np.array_equal(comps_t, comps.T)

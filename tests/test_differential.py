@@ -7,7 +7,7 @@ Three layers of cross-checking, per the ISSUE-2 test harness:
    over the same 9-candidate sets, including the tie rule (lowest
    candidate slot wins, like the hardware 9:1 minimum tree).
 2. **CPA center-perspective vs. pixel-perspective** — ``assign_cpa``
-   scans a +/-ceil(2S) window per center keeping running minima; the
+   scans a +/-ceil(S) window per center keeping running minima; the
    reference recomputes the same assignment from the pixel's perspective
    (masked argmin over every center whose window covers the pixel).
    Identical output proves the window bookkeeping and the strict-<
@@ -83,7 +83,7 @@ def naive_cpa(lab, centers, weight, s, cluster_indices=None):
     initial value, so callers compare on the finite mask).
     """
     h, w = lab.shape[:2]
-    half = int(np.ceil(2.0 * s))
+    half = int(np.ceil(s))  # the paper's 2S x 2S window
     ks = (
         np.arange(len(centers))
         if cluster_indices is None
@@ -183,7 +183,7 @@ class TestPpaVsCpa:
         cpa = np.full((H, W), -1, dtype=np.int32)
         assign_cpa(lab, centers, weight, s, dist, cpa, cluster_indices=None)
 
-        half = int(np.ceil(2.0 * s))
+        half = int(np.ceil(s))  # the paper's 2S x 2S window
         yy, xx = np.mgrid[0:H, 0:W]
         fx = np.floor(centers[:, 3]).astype(int)
         fy = np.floor(centers[:, 4]).astype(int)

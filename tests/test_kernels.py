@@ -1,0 +1,312 @@
+"""The repro.kernels layer: dispatch rules and backend bit-identity.
+
+Every optimized backend must reproduce the reference loops *exactly* —
+same labels, same distance buffers, same touched counts, same component
+numbering — across the float and fixed datapaths. The property tests
+here are the contract ``docs/kernels.md`` promises; the speedup side is
+asserted in ``benchmarks/bench_kernels.py``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.color import rgb_to_lab
+from repro.core import (
+    FixedDatapath,
+    SlicParams,
+    candidate_map,
+    grid_geometry,
+    initial_centers,
+    spatial_weight,
+    tile_map,
+)
+from repro.core.assignment import PixelArrays
+from repro.errors import ConfigurationError
+from repro.kernels import (
+    BACKEND_NAMES,
+    available_backends,
+    get_backend,
+    resolve_name,
+    validate_name,
+)
+from repro.kernels import native as native_mod
+
+H, W = 48, 64
+
+OPTIMIZED = [
+    name for name in ("vectorized", "native") if name in available_backends()
+]
+
+
+def _setup(seed, k, m, fixed=False):
+    rng = np.random.default_rng(seed)
+    image = rng.integers(0, 256, size=(H, W, 3), dtype=np.uint8)
+    lab = rgb_to_lab(image)
+    centers = initial_centers(lab, k)
+    # Off-grid centers exercise window clipping and sub-pixel handling.
+    centers = centers.copy()
+    centers[:, 3] += rng.uniform(-2, 2, len(centers))
+    centers[:, 4] += rng.uniform(-2, 2, len(centers))
+    gh, gw, _, _ = grid_geometry((H, W), k)
+    tiles = tile_map((H, W), gh, gw)
+    cands = candidate_map(gh, gw)
+    s = float(np.sqrt(H * W / len(centers)))
+    weight = spatial_weight(m, s)
+    dp = FixedDatapath(bits=8) if fixed else None
+    codes = dp.encode_image(lab) if fixed else None
+    return lab, centers, tiles, cands, s, weight, dp, codes
+
+
+class TestDispatch:
+    def test_reference_and_vectorized_always_available(self):
+        names = available_backends()
+        assert "reference" in names
+        assert "vectorized" in names
+
+    def test_validate_name_rejects_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            validate_name("cuda")
+
+    def test_validate_name_accepts_all_known(self):
+        for name in BACKEND_NAMES:
+            assert validate_name(name.upper()) == name
+
+    def test_resolve_name_concrete_passthrough(self):
+        assert resolve_name("reference") == "reference"
+        assert resolve_name("vectorized") == "vectorized"
+
+    def test_resolve_name_auto_is_concrete(self):
+        assert resolve_name("auto") in ("native", "vectorized")
+
+    def test_env_var_drives_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "reference")
+        assert resolve_name(None) == "reference"
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "bogus")
+        with pytest.raises(ConfigurationError):
+            resolve_name(None)
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "reference")
+        assert resolve_name("vectorized") == "vectorized"
+
+    def test_get_backend_has_kernel_surface(self):
+        for name in available_backends():
+            mod = get_backend(name)
+            assert callable(mod.cpa_assign)
+            assert callable(mod.ppa_assign)
+            assert callable(mod.connected_components)
+
+    def test_params_validate_backend_name(self):
+        assert SlicParams(kernel_backend="Vectorized").kernel_backend == (
+            "vectorized"
+        )
+        with pytest.raises(ConfigurationError):
+            SlicParams(kernel_backend="fpga")
+
+    def test_params_default_is_none(self):
+        assert SlicParams().kernel_backend is None
+
+
+@pytest.mark.parametrize("backend", OPTIMIZED)
+class TestCpaIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        k=st.integers(8, 48),
+        m=st.floats(1.0, 40.0),
+        stride=st.sampled_from([1, 2, 4]),
+    )
+    def test_float64_bit_identical(self, backend, seed, k, m, stride):
+        lab, centers, _, _, s, weight, _, _ = _setup(seed, k, m)
+        subset = np.arange(len(centers))[::stride]
+        ref = get_backend("reference")
+        opt = get_backend(backend)
+        d_r = np.full((H, W), np.inf)
+        l_r = np.full((H, W), -1, dtype=np.int32)
+        d_o = np.full((H, W), np.inf)
+        l_o = np.full((H, W), -1, dtype=np.int32)
+        n_r = ref.cpa_assign(
+            lab, centers, weight, s, d_r, l_r, cluster_indices=subset
+        )
+        n_o = opt.cpa_assign(
+            lab, centers, weight, s, d_o, l_o, cluster_indices=subset
+        )
+        assert np.array_equal(l_r, l_o)
+        assert np.array_equal(d_r, d_o)  # bitwise: includes inf pattern
+        assert n_r == n_o
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(8, 32))
+    def test_fixed_datapath_bit_identical(self, backend, seed, k):
+        lab, centers, _, _, s, weight, dp, codes = _setup(
+            seed, k, 10.0, fixed=True
+        )
+        ref = get_backend("reference")
+        opt = get_backend(backend)
+        kw = dict(datapath=dp, compactness=10.0, codes=codes)
+        d_r = np.full((H, W), np.inf)
+        l_r = np.full((H, W), -1, dtype=np.int32)
+        d_o = np.full((H, W), np.inf)
+        l_o = np.full((H, W), -1, dtype=np.int32)
+        n_r = ref.cpa_assign(lab, centers, weight, s, d_r, l_r, **kw)
+        n_o = opt.cpa_assign(lab, centers, weight, s, d_o, l_o, **kw)
+        assert np.array_equal(l_r, l_o)
+        assert np.array_equal(d_r, d_o)
+        assert n_r == n_o
+
+    def test_int64_dist_buffer_supported(self, backend):
+        """Direct callers may pass an int64 sentinel buffer in fixed mode;
+        every backend must accept it (native falls back internally)."""
+        lab, centers, _, _, s, weight, dp, codes = _setup(
+            3, 12, 10.0, fixed=True
+        )
+        kw = dict(datapath=dp, compactness=10.0, codes=codes)
+        big = np.int64(2**62)
+        d_r = np.full((H, W), big)
+        l_r = np.full((H, W), -1, dtype=np.int32)
+        d_o = np.full((H, W), big)
+        l_o = np.full((H, W), -1, dtype=np.int32)
+        get_backend("reference").cpa_assign(
+            lab, centers, weight, s, d_r, l_r, **kw
+        )
+        get_backend(backend).cpa_assign(
+            lab, centers, weight, s, d_o, l_o, **kw
+        )
+        assert np.array_equal(l_r, l_o)
+        assert np.array_equal(d_r, d_o)
+
+
+@pytest.mark.parametrize("backend", OPTIMIZED)
+class TestPpaIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        k=st.integers(8, 48),
+        m=st.floats(1.0, 40.0),
+        n_subsets=st.sampled_from([1, 2, 4]),
+    )
+    def test_float64_bit_identical(self, backend, seed, k, m, n_subsets):
+        lab, centers, tiles, cands, s, weight, _, _ = _setup(seed, k, m)
+        pixels = PixelArrays(lab, tiles)
+        idx = np.arange(pixels.n_pixels)[::n_subsets]
+        ref = get_backend("reference").ppa_assign(
+            pixels, idx, cands, centers, weight
+        )
+        opt = get_backend(backend).ppa_assign(
+            pixels, idx, cands, centers, weight
+        )
+        assert np.array_equal(ref, opt)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(8, 32))
+    def test_fixed_datapath_bit_identical(self, backend, seed, k):
+        lab, centers, tiles, cands, s, weight, dp, codes = _setup(
+            seed, k, 10.0, fixed=True
+        )
+        pixels = PixelArrays(lab, tiles, datapath=dp, codes=codes)
+        idx = np.arange(pixels.n_pixels)
+        kw = dict(compactness=10.0, grid_s=s)
+        ref = get_backend("reference").ppa_assign(
+            pixels, idx, cands, centers, weight, **kw
+        )
+        opt = get_backend(backend).ppa_assign(
+            pixels, idx, cands, centers, weight, **kw
+        )
+        assert np.array_equal(ref, opt)
+
+    def test_empty_subset(self, backend):
+        lab, centers, tiles, cands, s, weight, _, _ = _setup(1, 12, 10.0)
+        pixels = PixelArrays(lab, tiles)
+        out = get_backend(backend).ppa_assign(
+            pixels, np.array([], dtype=np.int64), cands, centers, weight
+        )
+        assert out.shape == (0,)
+        assert out.dtype == np.int32
+
+
+@pytest.mark.parametrize("backend", OPTIMIZED)
+class TestConnectedComponentsIdentity:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n_labels=st.integers(1, 8),
+        h=st.integers(1, 40),
+        w=st.integers(1, 40),
+    )
+    def test_random_maps_identical(self, backend, seed, n_labels, h, w):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, n_labels, size=(h, w)).astype(np.int32)
+        ref_c, ref_n = get_backend("reference").connected_components(labels)
+        opt_c, opt_n = get_backend(backend).connected_components(labels)
+        assert ref_n == opt_n
+        assert np.array_equal(ref_c, opt_c)
+
+    def test_spiral_chain_identical(self, backend):
+        """A single long snaking component — worst case for propagation
+        depth, exercising the pointer-jumping convergence loop."""
+        h, w = 31, 31
+        labels = np.ones((h, w), dtype=np.int32)
+        # Comb pattern: vertical teeth connected only along the top row.
+        for x in range(1, w, 2):
+            labels[1:, x] = 0
+        ref_c, ref_n = get_backend("reference").connected_components(labels)
+        opt_c, opt_n = get_backend(backend).connected_components(labels)
+        assert ref_n == opt_n
+        assert np.array_equal(ref_c, opt_c)
+
+
+class TestEngineBackendEquivalence:
+    def test_end_to_end_labels_identical(self):
+        from repro.core import slic
+
+        rng = np.random.default_rng(11)
+        image = rng.integers(0, 256, size=(H, W, 3), dtype=np.uint8)
+        results = {
+            name: slic(image, n_superpixels=30, kernel_backend=name)
+            for name in available_backends()
+        }
+        base = results["reference"].labels
+        for name, res in results.items():
+            assert np.array_equal(base, res.labels), name
+
+    def test_end_to_end_cpa_fixed_identical(self):
+        from repro.core import slic
+
+        rng = np.random.default_rng(12)
+        image = rng.integers(0, 256, size=(H, W, 3), dtype=np.uint8)
+        results = {
+            name: slic(
+                image,
+                n_superpixels=24,
+                architecture="cpa",
+                datapath=FixedDatapath(bits=8),
+                kernel_backend=name,
+            )
+            for name in available_backends()
+        }
+        base = results["reference"].labels
+        for name, res in results.items():
+            assert np.array_equal(base, res.labels), name
+
+
+class TestNativeBackend:
+    def test_probe_does_not_raise(self):
+        assert native_mod.is_available() in (True, False)
+
+    @pytest.mark.skipif(
+        "native" not in OPTIMIZED, reason="no C compiler in environment"
+    )
+    def test_compile_cache_reused(self, tmp_path, monkeypatch):
+        """A fresh cache dir gets exactly one .so; a second build reuses
+        it (hash-keyed, so reruns don't recompile)."""
+        import repro.kernels.native as native
+
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path))
+        first = native._build()
+        assert first.exists() and first.parent == tmp_path
+        mtime = first.stat().st_mtime_ns
+        second = native._build()
+        assert second == first
+        assert second.stat().st_mtime_ns == mtime
