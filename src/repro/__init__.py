@@ -37,6 +37,9 @@ Subpackages
 ``repro.parallel``
     Batch/video execution engine: process-pool sharding with per-stream
     warm starts and bit-identical-to-serial results.
+``repro.resilience``
+    Hardened execution: deterministic fault injection, retry policies,
+    checkpoint journals, and the soft-error quality model.
 """
 
 from .version import __version__
@@ -67,8 +70,9 @@ from .metrics import (
 from .hw import AcceleratorConfig, AcceleratorModel, ClusterWays
 from .baselines import gslic, preemptive_slic, preemptive_sslic
 from .obs import JsonlSink, RunManifest, Tracer
-from .errors import StreamError
+from .errors import CheckpointError, ResilienceError, StreamError
 from .parallel import BatchResult, ParallelRunner
+from .resilience import FaultPlan, RetryPolicy
 
 __all__ = [
     "__version__",
@@ -82,6 +86,8 @@ __all__ = [
     "HardwareModelError",
     "ConvergenceError",
     "StreamError",
+    "ResilienceError",
+    "CheckpointError",
     # types
     "Resolution",
     "HD_1080",
@@ -117,4 +123,7 @@ __all__ = [
     # parallel
     "ParallelRunner",
     "BatchResult",
+    # resilience
+    "FaultPlan",
+    "RetryPolicy",
 ]

@@ -171,6 +171,21 @@ def _cmd_batch(args) -> int:
         ),
         seed=args.seed,
     )
+    if args.resume and not args.checkpoint:
+        print("batch: --resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    faults = None
+    if args.inject_faults:
+        from .resilience import FaultPlan
+
+        faults = FaultPlan.parse(
+            args.inject_faults, seed=args.fault_seed, rate=args.fault_rate
+        )
+    retry = None
+    if args.retries:
+        from .resilience import RetryPolicy
+
+        retry = RetryPolicy(retries=args.retries, retry_budget=args.retry_budget)
     tracer = _make_tracer(args.trace)
     runner = ParallelRunner(
         params,
@@ -178,6 +193,10 @@ def _cmd_batch(args) -> int:
         max_pending=args.max_pending,
         tracer=tracer,
         collect_worker_traces=bool(args.trace and args.worker_traces),
+        frame_timeout=args.frame_timeout,
+        retry=retry,
+        checkpoint=args.checkpoint,
+        faults=faults,
     )
     try:
         if args.images:
@@ -197,7 +216,10 @@ def _cmd_batch(args) -> int:
                     seed=args.seed,
                 )
             ]
-        batch = runner.run_streams(streams)
+        if args.resume:
+            batch = runner.resume(streams)
+        else:
+            batch = runner.run_streams(streams)
     except DatasetError as exc:
         tracer.close()
         if args.manifest:
@@ -220,6 +242,15 @@ def _cmd_batch(args) -> int:
     warm = sum(1 for r in batch.records if r.warm_started)
     if warm:
         print(f"warm-started frames: {warm}/{batch.n_frames}")
+    if batch.resumed_frames:
+        print(f"resumed from checkpoint: {batch.resumed_frames} frames replayed")
+    if batch.retries_used or batch.timeouts or batch.n_quarantined:
+        print(
+            f"resilience: {batch.retries_used} retries "
+            f"({batch.n_recovered} frames recovered), "
+            f"{batch.timeouts} timeouts, {batch.n_quarantined} quarantined, "
+            f"{batch.pool_restarts} pool restarts"
+        )
     for rec in batch.failures:
         print(
             f"  FAILED stream {rec.stream_id} frame {rec.frame_index}: "
@@ -237,6 +268,10 @@ def _cmd_batch(args) -> int:
             elapsed_s=batch.elapsed_s,
             throughput_fps=batch.throughput_fps,
             pool_restarts=batch.pool_restarts,
+            retries_used=batch.retries_used,
+            timeouts=batch.timeouts,
+            quarantined=batch.n_quarantined,
+            resumed_frames=batch.resumed_frames,
         ).write(args.manifest)
         print(f"wrote run manifest to {args.manifest}")
     return 1 if batch.n_failed else 0
@@ -397,6 +432,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes (1 = serial reference)")
     bat.add_argument("--max-pending", type=int, default=None,
                      help="in-flight frame cap (default 2x workers)")
+    bat.add_argument("--frame-timeout", type=float, default=None, metavar="S",
+                     help="per-frame deadline in seconds; a hung worker "
+                          "becomes a FrameTimeout record (default: no "
+                          "deadline)")
+    bat.add_argument("--retries", type=int, default=0,
+                     help="retry transient frame failures up to N times "
+                          "with exponential backoff (default 0 = off)")
+    bat.add_argument("--retry-budget", type=int, default=None,
+                     help="cap total retries across the whole batch")
+    bat.add_argument("--checkpoint", metavar="PATH",
+                     help="append per-frame records to a JSONL journal at "
+                          "PATH as they complete")
+    bat.add_argument("--resume", action="store_true",
+                     help="resume from the --checkpoint journal: completed "
+                          "frames replay bit-identically, the rest run")
+    bat.add_argument("--inject-faults", metavar="SPEC",
+                     help="deterministic chaos: comma list of "
+                          "kind@stream:frame[:attempt][~dur] entries and/or "
+                          "'random' (e.g. 'crash@0:1,random')")
+    bat.add_argument("--fault-rate", type=float, default=0.05,
+                     help="random-fault probability per frame when "
+                          "--inject-faults includes 'random' (default 0.05)")
+    bat.add_argument("--fault-seed", type=int, default=0,
+                     help="seed of the random fault field (default 0)")
     bat.add_argument("--trace", metavar="PATH",
                      help="write JSONL span/metric telemetry to PATH")
     bat.add_argument("--worker-traces", action="store_true",

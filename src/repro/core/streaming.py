@@ -116,6 +116,11 @@ class StreamSegmenter:
         self.history = []
 
     # ------------------------------------------------------------------
+    @property
+    def has_state(self) -> bool:
+        """Whether the segmenter holds warm state a next frame could use."""
+        return self._centers is not None
+
     def reset(self) -> None:
         """Drop all temporal state (next frame cold-starts)."""
         self._centers = None

@@ -51,6 +51,23 @@ class StreamError(ReproError):
     """
 
 
+class ResilienceError(ReproError):
+    """The hardened execution layer was misconfigured or violated.
+
+    Raised by :mod:`repro.resilience` for invalid fault specs, retry
+    policies, or recovery protocol violations — never for the injected
+    faults themselves, which always surface as ``FrameRecord`` data.
+    """
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint journal could not be written, read, or resumed.
+
+    Carries the mismatch detail when a resume is attempted against a
+    journal produced with different parameters.
+    """
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to make progress.
 

@@ -28,7 +28,14 @@ from .accelerator import (
     AcceleratorReport,
     LatencyBreakdown,
 )
-from .cyclesim import AcceleratorSim, ClusterUnitSim, ClusterUnitTrace, FrameTrace
+from .cyclesim import (
+    AcceleratorSim,
+    ClusterUnitSim,
+    ClusterUnitTrace,
+    FrameTrace,
+    SoftErrorModel,
+    SoftErrorReport,
+)
 from .power_trace import PowerSegment, PowerTrace, frame_power_trace
 from .dvfs import OperatingPoint, min_real_time_point, report_at, scaled_tech
 from .presets import (
@@ -73,6 +80,8 @@ __all__ = [
     "ClusterUnitSim",
     "ClusterUnitTrace",
     "FrameTrace",
+    "SoftErrorModel",
+    "SoftErrorReport",
     "PowerSegment",
     "PowerTrace",
     "frame_power_trace",

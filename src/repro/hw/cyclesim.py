@@ -36,7 +36,15 @@ from .dram import DramModel
 from .hls import ClusterWays, schedule_cluster_unit
 from .tech import TECH_16NM, TechnologyParams
 
-__all__ = ["StageSim", "ClusterUnitSim", "ClusterUnitTrace", "AcceleratorSim", "FrameTrace"]
+__all__ = [
+    "StageSim",
+    "ClusterUnitSim",
+    "ClusterUnitTrace",
+    "AcceleratorSim",
+    "FrameTrace",
+    "SoftErrorModel",
+    "SoftErrorReport",
+]
 
 
 @dataclass
@@ -150,6 +158,118 @@ class ClusterUnitSim:
 
 
 # ---------------------------------------------------------------------------
+# Soft-error model
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SoftErrorReport:
+    """What seeded scratchpad-read upsets did to one simulated frame.
+
+    ``detected_words`` counts corrupted words an odd number of flips hit
+    — the ones per-word parity catches; ``silent_words`` are corrupted
+    words parity misses (an even flip count preserves the parity bit),
+    plus *every* corrupted word when parity is disabled. Silent words
+    are the ones that reach the datapath; their quality cost is measured
+    by :func:`repro.resilience.soft_error_quality_delta`.
+    """
+
+    bit_error_rate: float
+    seed: int
+    parity: bool
+    bits_read: int
+    n_flips: int
+    corrupted_words: int
+    detected_words: int
+    silent_words: int
+
+    @property
+    def detection_coverage(self) -> float:
+        """Fraction of corrupted words parity caught (1.0 when clean)."""
+        if self.corrupted_words == 0:
+            return 1.0
+        return self.detected_words / self.corrupted_words
+
+
+@dataclass(frozen=True)
+class SoftErrorModel:
+    """Seeded Bernoulli bit-flip field over scratchpad reads.
+
+    Each bit read out of a channel scratchpad flips independently with
+    probability ``bit_error_rate`` — the standard SEU abstraction. With
+    ``parity=True`` every ``word_bits``-wide read carries a parity bit:
+    an odd number of flips in a word is *detected*; an even number is a
+    *silent* corruption. The model is purely statistical (the analytical
+    simulator streams no real pixel data); the seeded sampling makes a
+    frame's upset census reproducible, and the same Bernoulli field is
+    injected into real pixel data by
+    :func:`repro.resilience.flip_bits` to price the silent fraction in
+    BR/USE (see ``docs/resilience.md``).
+    """
+
+    bit_error_rate: float = 1e-9
+    seed: int = 0
+    parity: bool = True
+    word_bits: int = 32
+
+    def __post_init__(self):
+        if not (0.0 <= self.bit_error_rate <= 1.0):
+            raise HardwareModelError(
+                f"bit_error_rate must be in [0, 1], got {self.bit_error_rate}"
+            )
+        if self.word_bits < 1:
+            raise HardwareModelError(
+                f"word_bits must be >= 1, got {self.word_bits}"
+            )
+
+    def sample_frame(self, bits_read: int, frame_index: int = 0) -> SoftErrorReport:
+        """Sample one frame's upsets over ``bits_read`` scratchpad bits.
+
+        Deterministic in ``(model, bits_read, frame_index)`` — distinct
+        frames draw from distinct seeded streams.
+        """
+        import numpy as np
+
+        if bits_read < 0:
+            raise HardwareModelError(f"bits_read must be >= 0, got {bits_read}")
+        rng = np.random.default_rng([int(self.seed), int(frame_index)])
+        n_flips = int(rng.binomial(int(bits_read), self.bit_error_rate))
+        if n_flips > 5_000_000:
+            raise HardwareModelError(
+                f"{n_flips} sampled flips ({bits_read} bits at BER "
+                f"{self.bit_error_rate:g}) is beyond the per-flip model; "
+                "use a realistic bit_error_rate (< ~1e-4)"
+            )
+        if n_flips == 0:
+            return SoftErrorReport(
+                bit_error_rate=self.bit_error_rate,
+                seed=self.seed,
+                parity=self.parity,
+                bits_read=int(bits_read),
+                n_flips=0,
+                corrupted_words=0,
+                detected_words=0,
+                silent_words=0,
+            )
+        n_words = max(1, int(bits_read) // self.word_bits)
+        words = rng.integers(0, n_words, size=n_flips)
+        _, per_word = np.unique(words, return_counts=True)
+        corrupted = int(per_word.size)
+        if self.parity:
+            detected = int(np.count_nonzero(per_word % 2 == 1))
+        else:
+            detected = 0
+        return SoftErrorReport(
+            bit_error_rate=self.bit_error_rate,
+            seed=self.seed,
+            parity=self.parity,
+            bits_read=int(bits_read),
+            n_flips=n_flips,
+            corrupted_words=corrupted,
+            detected_words=detected,
+            silent_words=corrupted - detected,
+        )
+
+
+# ---------------------------------------------------------------------------
 # Frame-level simulation
 # ---------------------------------------------------------------------------
 @dataclass
@@ -164,6 +284,8 @@ class FrameTrace:
     exposed_stall_cycles: float
     n_tiles: int
     iterations: int
+    #: Upset census when the sim ran with a :class:`SoftErrorModel`.
+    soft_errors: SoftErrorReport = None
 
     def total_ms(self, tech: TechnologyParams = TECH_16NM) -> float:
         return tech.cycles_to_ms(self.total_cycles)
@@ -200,6 +322,7 @@ class AcceleratorSim:
         tech: TechnologyParams = TECH_16NM,
         prefetch: bool = False,
         tracer=None,
+        soft_errors: SoftErrorModel = None,
     ):
         self.config = config if config is not None else AcceleratorConfig()
         self.dram = dram if dram is not None else DramModel()
@@ -209,6 +332,13 @@ class AcceleratorSim:
         self.cluster = ClusterUnitSim(self.config.ways, tracer=self.tracer)
         self.color = ColorUnitModel(tech=tech)
         self.center = CenterUnitModel(tech=tech)
+        if soft_errors is not None and not isinstance(soft_errors, SoftErrorModel):
+            raise HardwareModelError(
+                f"soft_errors must be a SoftErrorModel, got "
+                f"{type(soft_errors).__name__}"
+            )
+        self.soft_errors = soft_errors
+        self._frame_counter = 0
 
     def _tile_fetch_cycles(self) -> float:
         """DRAM cycles to service one tile's request streams."""
@@ -299,6 +429,32 @@ class AcceleratorSim:
                     tracer.count(
                         "cyclesim.dram.bytes_streamed", n_tiles * streamed
                     )
+            soft_report = None
+            if self.soft_errors is not None:
+                # Every streamed byte is read out of a scratchpad once per
+                # iteration — that readout traffic is the upset surface.
+                bits_read = int(cfg.iterations * n_tiles * streamed * 8)
+                soft_report = self.soft_errors.sample_frame(
+                    bits_read, frame_index=self._frame_counter
+                )
+                self._frame_counter += 1
+                if tracer.enabled:
+                    tracer.count("cyclesim.soft.bits_read", bits_read)
+                    tracer.count("cyclesim.soft.flips", soft_report.n_flips)
+                    tracer.count(
+                        "cyclesim.soft.detected_words", soft_report.detected_words
+                    )
+                    tracer.count(
+                        "cyclesim.soft.silent_words", soft_report.silent_words
+                    )
+                    tracer.event(
+                        "cyclesim.soft_errors",
+                        bit_error_rate=self.soft_errors.bit_error_rate,
+                        parity=self.soft_errors.parity,
+                        n_flips=soft_report.n_flips,
+                        detected=soft_report.detected_words,
+                        silent=soft_report.silent_words,
+                    )
             trace = FrameTrace(
                 total_cycles=clock,
                 color_cycles=color_cycles,
@@ -308,6 +464,7 @@ class AcceleratorSim:
                 exposed_stall_cycles=exposed,
                 n_tiles=n_tiles,
                 iterations=cfg.iterations,
+                soft_errors=soft_report,
             )
             if tracer.enabled:
                 frame_span.set(

@@ -12,6 +12,11 @@ times behind one contract:
 All backends return bit-identical labels; pick one with
 ``SlicParams(kernel_backend=...)``, the ``--kernel-backend`` CLI flag, or
 the ``REPRO_KERNEL_BACKEND`` environment variable. See ``docs/kernels.md``.
+
+Backends are *supervised*: before a process trusts one it must pass a
+known-answer self-test, and failures demote down the chain
+native -> vectorized -> reference (see :mod:`repro.kernels.supervisor`
+and ``docs/resilience.md``).
 """
 
 from .dispatch import (
@@ -22,12 +27,22 @@ from .dispatch import (
     resolve_name,
     validate_name,
 )
+from .supervisor import (
+    DEMOTION_CHAIN,
+    SupervisedBackend,
+    self_test,
+    supervised_resolve,
+)
 
 __all__ = [
     "BACKEND_NAMES",
+    "DEMOTION_CHAIN",
     "ENV_VAR",
+    "SupervisedBackend",
     "available_backends",
     "get_backend",
     "resolve_name",
+    "self_test",
+    "supervised_resolve",
     "validate_name",
 ]

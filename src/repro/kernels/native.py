@@ -79,7 +79,18 @@ def _compiler() -> str:
 
 
 def _build() -> Path:
-    """Compile ``_native.c`` into the cache (atomic, race-safe)."""
+    """Compile ``_native.c`` into the cache (atomic, race-safe).
+
+    Concurrent builders (parallel workers, or two unrelated processes
+    sharing the cache) each compile into their own ``mkstemp`` file and
+    race to one atomic ``os.replace``; whoever loses simply discards its
+    temp file. A compiler that *dies mid-build* (crash, OOM kill, the
+    120 s timeout) surfaces as :class:`ConfigurationError`, which the
+    ``auto``/supervised paths turn into a fall back to ``vectorized`` —
+    but only after re-checking whether a concurrent builder finished the
+    cache entry in the meantime, so one flaky compile cannot mask a
+    healthy cache.
+    """
     source = _SRC.read_bytes()
     key = hashlib.sha256(source + " ".join(_CFLAGS).encode()).hexdigest()[:16]
     cache = _cache_dir()
@@ -91,20 +102,35 @@ def _build() -> Path:
     fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
     os.close(fd)
     try:
-        proc = subprocess.run(
-            [cc, *_CFLAGS, "-o", tmp, str(_SRC), "-lm"],
-            capture_output=True,
-            text=True,
-            timeout=120,
-        )
+        try:
+            proc = subprocess.run(
+                [cc, *_CFLAGS, "-o", tmp, str(_SRC), "-lm"],
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+        except (subprocess.TimeoutExpired, OSError) as exc:
+            # The compiler died or hung mid-build. A concurrent builder
+            # may still have produced the artifact — prefer it.
+            if so_path.exists():
+                return so_path
+            raise ConfigurationError(
+                f"native kernel compiler died mid-build ({cc}): {exc}; "
+                "falling back to the vectorized backend"
+            ) from None
         if proc.returncode != 0:
+            if so_path.exists():  # a concurrent builder won with a good .so
+                return so_path
             raise ConfigurationError(
                 f"native kernel compile failed ({cc}): {proc.stderr.strip()[:500]}"
             )
         os.replace(tmp, so_path)  # atomic: concurrent builders both win
     finally:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
+        try:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        except OSError:
+            pass  # racing cleanup with another builder is harmless
     return so_path
 
 

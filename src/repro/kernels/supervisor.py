@@ -1,0 +1,196 @@
+"""Kernel backend supervision: first-dispatch self-test + demotion.
+
+PR 3 introduced swappable kernel backends whose only correctness check
+was "the native library compiled". This module adds the missing trust
+boundary: before a process uses a backend for real work it must pass a
+tiny **known-answer self-test** — a fixed CPA window scan whose output
+is compared against the reference loops. A backend that fails to load
+*or* fails the self-test is **demoted** down the chain
+
+    native -> vectorized -> reference
+
+and the demotion is recorded (tracer counter ``kernels.demotions``, an
+event naming both backends, and the frame's
+:class:`~repro.parallel.FrameRecord` via ``demoted_from``). The
+reference loops are the semantics definition and cannot be demoted —
+if *they* are forced to fail (fault injection), supervision raises.
+
+Results are memoized per process and per forced-failure set, so the
+self-test runs once per worker, not once per frame. Fault injection
+forces failures via :data:`FAULT_ENV` (a comma-separated backend list)
+or the ``forced_failures`` argument; this is how the resilience suite
+drives the demotion chain deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .dispatch import resolve_name, validate_name
+
+__all__ = [
+    "DEMOTION_CHAIN",
+    "FAULT_ENV",
+    "SupervisedBackend",
+    "self_test",
+    "supervised_resolve",
+    "reset_supervision",
+]
+
+#: Demotion order: each name falls back to the next on failure.
+DEMOTION_CHAIN = ("native", "vectorized", "reference")
+
+#: Env var forcing self-test failures (comma-separated backend names) —
+#: the fault-injection hook for the supervisor.
+FAULT_ENV = "REPRO_FAULT_KERNEL_BACKENDS"
+
+#: Per-process memo: (requested, forced) -> SupervisedBackend.
+_memo = {}
+
+
+class SupervisedBackend:
+    """The outcome of supervising one requested backend."""
+
+    __slots__ = ("requested", "name", "demoted_from")
+
+    def __init__(self, requested, name, demoted_from):
+        self.requested = requested
+        self.name = name
+        self.demoted_from = demoted_from
+
+    @property
+    def demoted(self) -> bool:
+        return self.demoted_from is not None
+
+
+def reset_supervision() -> None:
+    """Drop memoized verdicts (tests re-probe with different forcing)."""
+    _memo.clear()
+
+
+def _known_answer_inputs():
+    """A tiny deterministic CPA problem with full window coverage."""
+    h, w = 6, 9
+    yy, xx = np.mgrid[0:h, 0:w].astype(np.float64)
+    lab = np.stack(
+        [10.0 + 7.0 * xx + yy, 3.0 * yy - xx, 0.5 * xx * yy - 4.0], axis=-1
+    )
+    centers = np.array(
+        [
+            [20.0, 1.0, -2.0, 2.0, 2.5],
+            [60.0, 8.0, 3.0, 6.5, 3.0],
+        ]
+    )
+    return lab, centers, 0.8, 3.0  # lab, centers, weight, grid_s
+
+
+def self_test(name: str) -> None:
+    """Run the known-answer kernel check for backend ``name``.
+
+    Raises :class:`ConfigurationError` with the mismatch detail when the
+    backend's CPA output differs from the reference loops. Cheap (a
+    6 x 9 image, two centers) — intended to run once per process.
+    """
+    from . import reference
+    from .dispatch import _module
+
+    backend = _module(validate_name(name))
+    lab, centers, weight, grid_s = _known_answer_inputs()
+    h, w = lab.shape[:2]
+
+    def run(mod):
+        dist = np.full((h, w), np.inf)
+        labels = np.full((h, w), -1, dtype=np.int32)
+        touched = mod.cpa_assign(lab, centers, weight, grid_s, dist, labels)
+        return touched, dist, labels
+
+    got_touched, got_dist, got_labels = run(backend)
+    want_touched, want_dist, want_labels = run(reference)
+    if (
+        got_touched != want_touched
+        or not np.array_equal(got_labels, want_labels)
+        or not np.array_equal(got_dist, want_dist)
+    ):
+        raise ConfigurationError(
+            f"kernel backend {name!r} failed its known-answer self-test "
+            f"(labels match: {np.array_equal(got_labels, want_labels)}, "
+            f"distances match: {np.array_equal(got_dist, want_dist)}, "
+            f"touched: {got_touched} vs {want_touched})"
+        )
+
+
+def _forced_failures(extra=None) -> frozenset:
+    env = os.environ.get(FAULT_ENV, "")
+    forced = {p.strip() for p in env.split(",") if p.strip()}
+    if extra:
+        forced |= set(extra)
+    return frozenset(forced)
+
+
+def supervised_resolve(
+    name: str = None, tracer=None, forced_failures=None
+) -> SupervisedBackend:
+    """Resolve ``name`` to a backend that passed its self-test.
+
+    Walks the demotion chain from the requested (resolved) backend until
+    a candidate both loads and passes :func:`self_test`. Returns a
+    :class:`SupervisedBackend` naming the survivor and, when demotion
+    happened, the first backend that was trusted and failed. Raises
+    :class:`ConfigurationError` only when even ``reference`` is forced
+    to fail — there is nothing left to demote to.
+    """
+    forced = _forced_failures(forced_failures)
+    key = (name, forced)
+    cached = _memo.get(key)
+    if cached is not None:
+        return cached
+
+    try:
+        start = resolve_name(name)
+    except ConfigurationError:
+        # An explicitly requested backend that cannot load: supervision
+        # demotes instead of failing the frame.
+        start = "vectorized" if name == "native" else "reference"
+        demoted_from = name
+    else:
+        demoted_from = None
+
+    chain = DEMOTION_CHAIN[DEMOTION_CHAIN.index(start):]
+    failure = None
+    for candidate in chain:
+        try:
+            if candidate in forced:
+                raise ConfigurationError(
+                    f"kernel backend {candidate!r} self-test failure forced "
+                    f"by fault injection"
+                )
+            self_test(candidate)
+        except ConfigurationError as exc:
+            failure = exc
+            if demoted_from is None:
+                demoted_from = candidate
+            if tracer is not None:
+                tracer.count("kernels.selftest_failures")
+            continue
+        verdict = SupervisedBackend(
+            requested=name,
+            name=candidate,
+            demoted_from=demoted_from if candidate != demoted_from else None,
+        )
+        if verdict.demoted and tracer is not None:
+            tracer.count("kernels.demotions")
+            tracer.event(
+                "kernels.demoted",
+                requested=str(name),
+                demoted_from=verdict.demoted_from,
+                demoted_to=candidate,
+            )
+        _memo[key] = verdict
+        return verdict
+    raise ConfigurationError(
+        "every kernel backend failed supervision (reference included): "
+        f"{failure}"
+    )

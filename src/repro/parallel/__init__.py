@@ -11,6 +11,13 @@ of stills or the frames of multiple video streams across a
 * deterministic, bit-identical-to-serial result collection, and
 * worker failures returned as per-frame error records, never a hung pool.
 
+The hardened layer (``repro.resilience``) rides on the same runner:
+per-frame deadlines with a hung-worker watchdog, bounded retries with
+exponential backoff and quarantine, JSONL checkpoint journals with
+bit-identical :meth:`ParallelRunner.resume`, kernel-backend supervision,
+and deterministic fault injection to drive every recovery path in tests
+(``docs/resilience.md``).
+
 Quick start::
 
     from repro.parallel import ParallelRunner, synthetic_batch

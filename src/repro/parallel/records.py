@@ -26,6 +26,11 @@ class FrameTask:
     state when the stream scheduler decided on a warm start (``None``
     for cold starts). ``collect_trace`` asks the worker to record its
     span tree in-memory and return the events with the record.
+
+    ``attempt`` is the 0-based execution attempt (retries re-ship the
+    same frame with ``attempt + 1``); ``fault`` is an optional
+    :class:`repro.resilience.FaultSpec` the worker-side injection hook
+    applies before running (chaos testing — ``None`` in production).
     """
 
     stream_id: int
@@ -35,6 +40,8 @@ class FrameTask:
     warm_centers: np.ndarray = None
     warm_labels: np.ndarray = None
     collect_trace: bool = False
+    attempt: int = 0
+    fault: object = None
 
 
 @dataclass
@@ -53,7 +60,8 @@ class FrameRecord:
     error, error_type:
         Failure message and exception class name (``ok=False`` only).
         A worker process that died mid-frame yields
-        ``error_type="WorkerCrash"``.
+        ``error_type="WorkerCrash"``; a frame whose worker blew through
+        the runner's deadline yields ``error_type="FrameTimeout"``.
     warm_started:
         Whether this frame warm-started from its predecessor.
     elapsed_s:
@@ -67,6 +75,17 @@ class FrameRecord:
     kernel_backend:
         Concrete kernel backend name the worker ran with (``None`` for
         frames that failed before backend resolution).
+    attempts:
+        How many executions this frame consumed (> 1 means the retry
+        policy recovered — or exhausted itself on — transient failures).
+    quarantined:
+        True when the frame failed every allowed attempt under an
+        active retry policy — a poison frame, excluded from further
+        retrying.
+    demoted_from:
+        When the kernel backend supervisor demoted the requested
+        backend (failed load or self-test), the backend that was
+        demoted; ``kernel_backend`` then names the survivor.
     """
 
     stream_id: int
@@ -80,6 +99,9 @@ class FrameRecord:
     worker_pid: int = 0
     trace_events: list = field(default_factory=list)
     kernel_backend: str = None
+    attempts: int = 1
+    quarantined: bool = False
+    demoted_from: str = None
 
     @property
     def key(self) -> tuple:
@@ -101,6 +123,9 @@ class BatchResult:
     elapsed_s: float
     max_in_flight: int = 0
     pool_restarts: int = 0
+    retries_used: int = 0
+    timeouts: int = 0
+    resumed_frames: int = 0
 
     @property
     def n_frames(self) -> int:
@@ -129,6 +154,16 @@ class BatchResult:
     def failures(self) -> list:
         """Failed records in deterministic order."""
         return [r for r in self.records if not r.ok]
+
+    @property
+    def n_quarantined(self) -> int:
+        """Poison frames: failed every allowed attempt under retrying."""
+        return sum(1 for r in self.records if r.quarantined)
+
+    @property
+    def n_recovered(self) -> int:
+        """Frames that failed at least once but ended ``ok=True``."""
+        return sum(1 for r in self.records if r.ok and r.attempts > 1)
 
     def stream(self, stream_id: int) -> list:
         """All records of one stream, in frame order."""

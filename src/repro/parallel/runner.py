@@ -21,6 +21,17 @@ guarantees (see ``docs/parallel.md``):
    A failed frame breaks its stream's warm chain; the next frame of that
    stream cold-starts.
 
+The hardened layer (``repro.resilience``, see ``docs/resilience.md``)
+adds: a **per-frame deadline** with a watchdog (a hung worker becomes a
+``FrameTimeout`` record and the pool is torn down instead of blocking
+``wait()`` forever), **bounded retries** with exponential backoff and a
+batch-wide budget (transient failures recover; exhausted frames are
+quarantined as poison), a **JSONL checkpoint journal** with
+:meth:`resume` (a killed batch restarts from completed frames with
+bit-identical records), and **deterministic fault injection** through a
+:class:`~repro.resilience.FaultPlan` so every one of those paths is a
+reproducible test case.
+
 Because a frame's output is a pure function of
 ``(image, params, warm state)`` and warm state follows the serial chain,
 the collected records are **bit-identical** to a serial run of the same
@@ -33,12 +44,13 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
 
 import numpy as np
 
 from ..core.params import SlicParams
 from ..core.streaming import StreamSegmenter
-from ..errors import ConfigurationError, StreamError
+from ..errors import CheckpointError, ConfigurationError, ImageError, StreamError
 from ..obs.tracer import NULL_TRACER
 from .records import BatchResult, FrameRecord, FrameTask
 from .worker import run_frame
@@ -96,7 +108,29 @@ class ParallelRunner:
     max_pool_restarts:
         How many times a broken pool (crashed worker process) is rebuilt
         before the runner falls back to in-process execution for the
-        remaining frames.
+        remaining frames. Watchdog teardowns count as restarts.
+    frame_timeout:
+        Per-frame deadline in seconds (``None`` disables the watchdog —
+        the seed behavior). A worker that blows through it is declared
+        hung: the pool is torn down (its processes terminated), the
+        frame becomes a ``FrameTimeout`` record, and innocent in-flight
+        frames are resubmitted without an attempt penalty.
+    retry:
+        A :class:`repro.resilience.RetryPolicy`, or an int shorthand for
+        ``RetryPolicy(retries=n)``. ``None`` / 0 disables retrying.
+        Transient failures (worker crash, timeout, unexpected
+        exceptions) are re-run with exponential backoff; deterministic
+        failures (``ImageError``, ``StreamError``) are not. A frame that
+        fails every allowed attempt is quarantined
+        (``FrameRecord.quarantined``).
+    checkpoint:
+        Path of a JSONL checkpoint journal. Every finalized record is
+        appended as it completes; :meth:`resume` restarts a killed batch
+        from the journal's completed frames.
+    faults:
+        A :class:`repro.resilience.FaultPlan` (or compact spec string —
+        see :meth:`FaultPlan.parse`) of deterministic faults to inject.
+        Chaos testing only; ``None`` in production.
     """
 
     def __init__(
@@ -109,6 +143,10 @@ class ParallelRunner:
         tracer=None,
         collect_worker_traces: bool = False,
         max_pool_restarts: int = 2,
+        frame_timeout: float = None,
+        retry=None,
+        checkpoint=None,
+        faults=None,
     ):
         if params is not None and not isinstance(params, SlicParams):
             raise ConfigurationError(
@@ -123,6 +161,10 @@ class ParallelRunner:
         if max_pool_restarts < 0:
             raise ConfigurationError(
                 f"max_pool_restarts must be >= 0, got {max_pool_restarts}"
+            )
+        if frame_timeout is not None and frame_timeout <= 0:
+            raise ConfigurationError(
+                f"frame_timeout must be > 0 seconds, got {frame_timeout}"
             )
         # Resolve the default once so serial and parallel runs, and every
         # stream, share the exact same params object.
@@ -147,6 +189,30 @@ class ParallelRunner:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.collect_worker_traces = bool(collect_worker_traces)
         self.max_pool_restarts = int(max_pool_restarts)
+        self.frame_timeout = (
+            float(frame_timeout) if frame_timeout is not None else None
+        )
+
+        from ..resilience.policy import RetryPolicy
+
+        if retry is None:
+            self.retry_policy = RetryPolicy()
+        elif isinstance(retry, int):
+            self.retry_policy = RetryPolicy(retries=retry)
+        elif isinstance(retry, RetryPolicy):
+            self.retry_policy = retry
+        else:
+            raise ConfigurationError(
+                f"retry must be a RetryPolicy or int, got {type(retry).__name__}"
+            )
+
+        self.checkpoint = checkpoint
+        if faults is not None:
+            from ..resilience.faults import FaultInjector
+
+            self.fault_injector = FaultInjector(faults, tracer=self.tracer)
+        else:
+            self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -155,7 +221,7 @@ class ParallelRunner:
         """Segment independent images (each its own one-frame stream)."""
         return self.run_streams([[image] for image in images])
 
-    def run_streams(self, streams) -> BatchResult:
+    def run_streams(self, streams, _resume: bool = False) -> BatchResult:
         """Segment several frame streams with per-stream warm starting.
 
         ``streams`` is a sequence of frame iterables. Frames are pulled
@@ -175,26 +241,66 @@ class ParallelRunner:
             )
             for sid, frames in enumerate(streams)
         ]
-        with self.tracer.span(
-            "batch",
-            n_streams=len(states),
-            n_workers=self.n_workers,
-            max_pending=self.max_pending,
-        ) as batch_span:
-            start = time.perf_counter()
-            records, max_in_flight, restarts = self._drive(states, batch_span)
-            elapsed = time.perf_counter() - start
+
+        journal = None
+        replayed = []
+        if self.checkpoint is not None:
+            from ..resilience.checkpoint import CheckpointJournal
+
+            if _resume:
+                replayed = self._replay_journal(states)
+                journal = CheckpointJournal.open_append(
+                    self.checkpoint, self.params
+                )
+            else:
+                journal = CheckpointJournal.start(self.checkpoint, self.params)
+        elif _resume:
+            raise CheckpointError(
+                "resume() requires the runner to be constructed with a "
+                "checkpoint= journal path"
+            )
+
+        try:
+            with self.tracer.span(
+                "batch",
+                n_streams=len(states),
+                n_workers=self.n_workers,
+                max_pending=self.max_pending,
+                resumed_frames=len(replayed),
+            ) as batch_span:
+                start = time.perf_counter()
+                stats = self._drive(states, batch_span, journal)
+                elapsed = time.perf_counter() - start
+        finally:
+            if journal is not None:
+                journal.close()
+        records = replayed + stats["records"]
         records.sort(key=lambda r: r.key)
         result = BatchResult(
             records=records,
             n_workers=self.n_workers,
             elapsed_s=elapsed,
-            max_in_flight=max_in_flight,
-            pool_restarts=restarts,
+            max_in_flight=stats["max_in_flight"],
+            pool_restarts=stats["restarts"],
+            retries_used=stats["retries"],
+            timeouts=stats["timeouts"],
+            resumed_frames=len(replayed),
         )
         self.tracer.gauge("parallel.throughput_fps", result.throughput_fps)
         self.tracer.gauge("parallel.workers", self.n_workers)
         return result
+
+    def resume(self, streams) -> BatchResult:
+        """Restart a killed batch from its checkpoint journal.
+
+        Re-supply the *same* streams the original run was given. Frames
+        the journal shows completed (per-stream contiguous prefixes) are
+        replayed — their records return bit-identical, and the warm
+        chains they established are reconstructed through the same
+        plan/commit protocol — then the remaining frames execute
+        normally, appending to the same journal.
+        """
+        return self.run_streams(streams, _resume=True)
 
     def run(self, batch) -> BatchResult:
         """Dispatch on batch shape: images -> :meth:`run_batch`, frame
@@ -205,9 +311,36 @@ class ParallelRunner:
         return self.run_streams(batch)
 
     # ------------------------------------------------------------------
+    # Resume replay
+    # ------------------------------------------------------------------
+    def _replay_journal(self, states) -> list:
+        """Advance ``states`` past journaled frames; returns their records."""
+        from ..resilience.checkpoint import completed_prefixes, load_journal
+
+        prior = load_journal(self.checkpoint, self.params)
+        prefixes = completed_prefixes(prior)
+        replayed = []
+        for state in states:
+            for rec in prefixes.get(state.stream_id, []):
+                if state.next_frame() is None:
+                    break  # journal covers more frames than the stream has
+                if rec.ok:
+                    # plan() is a pure function of (segmenter state,
+                    # shape), so replaying plan+commit reconstructs the
+                    # exact warm chain the original run produced.
+                    plan = state.segmenter.plan(rec.result.labels.shape)
+                    state.segmenter.commit(plan, rec.result)
+                else:
+                    state.segmenter.reset()  # original chain broke here
+                state.cursor += 1
+                replayed.append(rec)
+                self.tracer.count("resilience.frames_resumed")
+        return replayed
+
+    # ------------------------------------------------------------------
     # Scheduler
     # ------------------------------------------------------------------
-    def _make_task(self, state: _StreamState, image):
+    def _make_task(self, state: _StreamState, image, attempt: int = 0):
         """Plan the frame against the stream's warm state; returns
         ``(FrameTask, FramePlan)``."""
         plan = state.segmenter.plan(np.asarray(image).shape)
@@ -219,16 +352,58 @@ class ParallelRunner:
             warm_centers=plan.warm_centers,
             warm_labels=plan.warm_labels,
             collect_trace=self.collect_worker_traces,
+            attempt=attempt,
         ), plan
 
-    def _drive(self, states, batch_span):
+    def _validate_frame(self, image):
+        """Submission-time frame validation (satellite: fail in the
+        parent with a clear ``ImageError`` instead of a worker traceback).
+        Returns the error, or ``None`` when the frame is shippable."""
+        from ..types import validate_rgb_image
+
+        try:
+            validate_rgb_image(np.asarray(image))
+        except ImageError as exc:
+            return exc
+        return None
+
+    @staticmethod
+    def _teardown_executor(executor) -> None:
+        """Hard-stop a pool: terminate its processes, abandon its futures.
+
+        ``shutdown(wait=False)`` alone leaves hung workers running (and
+        their sleep/loop holding resources); terminating the processes is
+        what actually unsticks a hung frame. ``_processes`` is stdlib-
+        private, so reach for it defensively.
+        """
+        for proc in list(
+            (getattr(executor, "_processes", None) or {}).values()
+        ):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _drive(self, states, batch_span, journal):
         """The scheduling loop shared by serial and parallel execution."""
+        policy = self.retry_policy
+        injector = self.fault_injector
         records = []
         max_in_flight = 0
         restarts = 0
-        pending = {}  # future -> (state, plan, task)
+        retries_used = 0
+        timeouts = 0
+        pending = {}  # future -> (state, plan, task, deadline)
+        retry_queue = []  # (due_monotonic, state, plan, task)
         executor = None
         serial_fallback = self.n_workers == 1
+
+        def now():
+            return time.monotonic()
 
         def collect(state, plan, record):
             if record.ok:
@@ -240,9 +415,50 @@ class ParallelRunner:
                 self.tracer.count("parallel.frames_failed")
             self.tracer.count("parallel.frames_completed")
             self._emit_frame_telemetry(record, batch_span)
+            if journal is not None:
+                journal.append(record)
             records.append(record)
             state.cursor += 1
             state.in_flight = False
+
+        def finish(state, plan, task, record):
+            """Route one attempt's outcome: retry, quarantine, or collect."""
+            nonlocal retries_used
+            if not record.ok and policy.should_retry(
+                record.error_type, task.attempt, retries_used
+            ):
+                retries_used += 1
+                self.tracer.count("resilience.retries")
+                next_attempt = task.attempt + 1
+                next_task = replace(
+                    task,
+                    attempt=next_attempt,
+                    fault=(
+                        injector.fault_for(
+                            task.stream_id, task.frame_index, next_attempt,
+                            in_worker=not serial_fallback,
+                        )
+                        if injector is not None
+                        else None
+                    ),
+                )
+                due = now() + policy.delay(next_attempt)
+                retry_queue.append((due, state, plan, next_task))
+                # The stream stays blocked until the retry resolves —
+                # without this, the scheduler would pull its next frame
+                # while this one waits out its backoff (serial execution
+                # never set the flag on the way in).
+                state.in_flight = True
+                return
+            if (
+                not record.ok
+                and policy.retries > 0
+                and policy.retryable(record.error_type)
+                and task.attempt >= policy.retries
+            ):
+                record.quarantined = True
+                self.tracer.count("resilience.quarantined")
+            collect(state, plan, record)
 
         def failed_plan_record(state, exc):
             return FrameRecord(
@@ -252,6 +468,7 @@ class ParallelRunner:
                 error=str(exc),
                 error_type=type(exc).__name__,
                 worker_pid=os.getpid(),
+                warm_started=state.segmenter.has_state,
             )
 
         def crash_record(task, detail="worker process died"):
@@ -262,11 +479,107 @@ class ParallelRunner:
                 error=detail,
                 error_type="WorkerCrash",
                 warm_started=task.warm_centers is not None,
+                attempts=task.attempt + 1,
             )
+
+        def timeout_record(task):
+            return FrameRecord(
+                stream_id=task.stream_id,
+                frame_index=task.frame_index,
+                ok=False,
+                error=(
+                    f"frame exceeded the {self.frame_timeout:.3g} s deadline; "
+                    "worker presumed hung, pool torn down"
+                ),
+                error_type="FrameTimeout",
+                warm_started=task.warm_centers is not None,
+                elapsed_s=self.frame_timeout,
+                attempts=task.attempt + 1,
+            )
+
+        def run_local(task):
+            """In-process execution; unexpected exceptions become data
+            (in a pool they would surface via ``future.exception()``)."""
+            try:
+                return run_frame(task, in_worker=False)
+            except Exception as exc:
+                return FrameRecord(
+                    stream_id=task.stream_id,
+                    frame_index=task.frame_index,
+                    ok=False,
+                    error=str(exc),
+                    error_type=type(exc).__name__,
+                    warm_started=task.warm_centers is not None,
+                    worker_pid=os.getpid(),
+                    attempts=task.attempt + 1,
+                )
+
+        def break_pool():
+            """Tear the current pool down and count the restart."""
+            nonlocal executor, restarts, serial_fallback
+            if executor is not None:
+                self._teardown_executor(executor)
+                executor = None
+            restarts += 1
+            self.tracer.count("parallel.pool_restarts")
+            if restarts > self.max_pool_restarts:
+                serial_fallback = True
+                self.tracer.count("parallel.serial_fallbacks")
+
+        def submit_one(state, plan, task):
+            """Ship one task to the pool or run it in-process."""
+            nonlocal executor, max_in_flight
+            if injector is not None and task.fault is None:
+                task = replace(
+                    task,
+                    fault=injector.fault_for(
+                        task.stream_id, task.frame_index, task.attempt,
+                        in_worker=not serial_fallback,
+                    ),
+                )
+            if serial_fallback:
+                max_in_flight = max(max_in_flight, 1)
+                finish(state, plan, task, run_local(task))
+                return
+            if executor is None:
+                executor = ProcessPoolExecutor(max_workers=self.n_workers)
+            try:
+                if injector is not None and injector.breaks_submit(
+                    task.stream_id, task.frame_index, task.attempt
+                ):
+                    raise BrokenProcessPool(
+                        "injected: pool broke before submit"
+                    )
+                future = executor.submit(run_frame, task)
+            except BrokenProcessPool as exc:
+                # The pool broke between detection points; this attempt
+                # dies as a crash (retryable), the pool is rebuilt.
+                break_pool()
+                finish(state, plan, task, crash_record(task, str(exc)))
+                return
+            state.in_flight = True
+            deadline = (
+                now() + self.frame_timeout
+                if self.frame_timeout is not None
+                else None
+            )
+            pending[future] = (state, plan, task, deadline)
+            max_in_flight = max(max_in_flight, len(pending))
 
         try:
             while True:
-                # Submit every stream that is ready, up to the cap.
+                # Submit due retries first — they hold their stream's slot.
+                due_now = [
+                    item for item in retry_queue if item[0] <= now()
+                ]
+                for item in due_now:
+                    if len(pending) >= self.max_pending and not serial_fallback:
+                        break
+                    retry_queue.remove(item)
+                    _, state, plan, task = item
+                    submit_one(state, plan, task)
+
+                # Then every stream that is ready, up to the cap.
                 progressed = True
                 while progressed and len(pending) < self.max_pending:
                     progressed = False
@@ -276,65 +589,71 @@ class ParallelRunner:
                         image = state.next_frame()
                         if image is None:
                             continue
+                        invalid = self._validate_frame(image)
+                        if invalid is not None:
+                            # A bad image fails here in the parent with a
+                            # clear ImageError record — the worker never
+                            # sees it (deterministic, so never retried).
+                            collect(state, None, failed_plan_record(state, invalid))
+                            progressed = True
+                            continue
                         try:
                             task, plan = self._make_task(state, image)
                         except StreamError as exc:
-                            record = failed_plan_record(state, exc)
-                            state.segmenter.reset()
-                            self.tracer.count("parallel.frames_failed")
-                            self.tracer.count("parallel.frames_completed")
-                            self._emit_frame_telemetry(record, batch_span)
-                            records.append(record)
-                            state.cursor += 1
+                            collect(state, None, failed_plan_record(state, exc))
                             progressed = True
                             continue
                         self.tracer.count("parallel.frames_submitted")
-                        if serial_fallback:
-                            max_in_flight = max(max_in_flight, 1)
-                            collect(state, plan, run_frame(task))
-                            progressed = True
-                            continue
-                        if executor is None:
-                            executor = ProcessPoolExecutor(
-                                max_workers=self.n_workers
-                            )
-                        try:
-                            future = executor.submit(run_frame, task)
-                        except BrokenProcessPool:
-                            # The pool broke between detection points;
-                            # this frame dies, the drain below handles
-                            # the rest.
-                            collect(state, plan, crash_record(task))
-                            executor.shutdown(wait=False)
-                            executor = None
-                            restarts += 1
-                            self.tracer.count("parallel.pool_restarts")
-                            if restarts > self.max_pool_restarts:
-                                serial_fallback = True
-                            progressed = True
-                            continue
-                        state.in_flight = True
-                        pending[future] = (state, plan, task)
-                        max_in_flight = max(max_in_flight, len(pending))
+                        submit_one(state, plan, task)
                         progressed = True
+
                 if not pending:
+                    if retry_queue:
+                        # Nothing in flight; sleep out the earliest backoff.
+                        due = min(item[0] for item in retry_queue)
+                        delay = due - now()
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
                     break  # every stream drained and nothing in flight
 
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                # Wake for the first completion, the next frame deadline,
+                # or the next due retry — whichever comes first.
+                wait_timeout = None
+                deadlines = [
+                    dl for (_, _, _, dl) in pending.values() if dl is not None
+                ]
+                if deadlines:
+                    wait_timeout = max(0.0, min(deadlines) - now())
+                if retry_queue:
+                    next_due = max(
+                        0.0, min(item[0] for item in retry_queue) - now()
+                    )
+                    wait_timeout = (
+                        next_due
+                        if wait_timeout is None
+                        else min(wait_timeout, next_due)
+                    )
+                done, _ = wait(
+                    pending, timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+
                 pool_broken = False
                 for future in done:
-                    state, plan, task = pending.pop(future)
+                    state, plan, task, _ = pending.pop(future)
                     exc = future.exception()
                     if exc is None:
-                        collect(state, plan, future.result())
+                        finish(state, plan, task, future.result())
                     elif isinstance(exc, BrokenProcessPool):
                         pool_broken = True
-                        collect(state, plan, crash_record(task, str(exc)))
+                        finish(state, plan, task, crash_record(task, str(exc)))
                     else:
-                        # e.g. the task failed to pickle on the way out.
-                        collect(
+                        # e.g. the task failed to pickle on the way out,
+                        # or an injected unexpected exception.
+                        finish(
                             state,
                             plan,
+                            task,
                             FrameRecord(
                                 stream_id=task.stream_id,
                                 frame_index=task.frame_index,
@@ -342,27 +661,55 @@ class ParallelRunner:
                                 error=str(exc),
                                 error_type=type(exc).__name__,
                                 warm_started=task.warm_centers is not None,
+                                attempts=task.attempt + 1,
                             ),
                         )
+
+                # Watchdog: any frame past its deadline is presumed hung.
+                hung = [
+                    future
+                    for future, (_, _, _, dl) in pending.items()
+                    if dl is not None and now() > dl and not future.done()
+                ]
+                if hung:
+                    # The hung frames get FrameTimeout records; innocent
+                    # in-flight frames are resubmitted at the same attempt
+                    # (their work was lost to the teardown, not failed).
+                    victims = [f for f in pending if f not in hung]
+                    hung_items = [pending[f] for f in hung]
+                    victim_items = [pending[f] for f in victims]
+                    pending.clear()
+                    break_pool()
+                    for state, plan, task, _ in hung_items:
+                        timeouts += 1
+                        self.tracer.count("resilience.timeouts")
+                        finish(state, plan, task, timeout_record(task))
+                    for state, plan, task, _ in victim_items:
+                        retry_queue.append((now(), state, plan, task))
+                    continue
+
                 if pool_broken:
-                    # Every remaining in-flight future is doomed; drain
-                    # them as crash records and rebuild the pool.
-                    for future, (state, plan, task) in list(pending.items()):
-                        collect(
-                            state, plan,
+                    # Every remaining in-flight future is doomed; their
+                    # attempts die as crashes (retryable) and the pool is
+                    # rebuilt.
+                    doomed = list(pending.values())
+                    pending.clear()
+                    break_pool()
+                    for state, plan, task, _ in doomed:
+                        finish(
+                            state, plan, task,
                             crash_record(task, "worker process died (pool broken)"),
                         )
-                    pending.clear()
-                    executor.shutdown(wait=False)
-                    executor = None
-                    restarts += 1
-                    self.tracer.count("parallel.pool_restarts")
-                    if restarts > self.max_pool_restarts:
-                        serial_fallback = True
         finally:
             if executor is not None:
                 executor.shutdown(wait=True)
-        return records, max_in_flight, restarts
+        return {
+            "records": records,
+            "max_in_flight": max_in_flight,
+            "restarts": restarts,
+            "retries": retries_used,
+            "timeouts": timeouts,
+        }
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -388,8 +735,18 @@ class ParallelRunner:
                     "frame": record.frame_index,
                     "worker_pid": record.worker_pid,
                     "warm_started": record.warm_started,
+                    "attempts": record.attempts,
                     **(
-                        {"error_type": record.error_type, "error": record.error}
+                        {"kernel_demoted_from": record.demoted_from}
+                        if record.demoted_from
+                        else {}
+                    ),
+                    **(
+                        {
+                            "error_type": record.error_type,
+                            "error": record.error,
+                            "quarantined": record.quarantined,
+                        }
                         if not record.ok
                         else {}
                     ),

@@ -7,6 +7,19 @@ mismatch, numerical failure — is converted into a ``FrameRecord`` with
 death (segfault, OOM kill, ``os._exit``) escapes it; the runner converts
 that into a ``WorkerCrash`` record when the pool reports the break.
 
+Two resilience hooks live here:
+
+* **fault injection** — when the task carries a
+  :class:`repro.resilience.FaultSpec`, it is applied first
+  (crash/hang/slow/corrupt/raise; see ``repro.resilience.faults``).
+  ``in_worker`` gates the process-level faults: the runner sets it
+  False when executing frames in-process, where killing the interpreter
+  would end the experiment rather than exercise recovery.
+* **backend supervision** — the kernel backend is resolved through the
+  supervisor (first-dispatch known-answer self-test, memoized per
+  process); a failing backend is demoted native -> vectorized ->
+  reference and the demotion is recorded on the ``FrameRecord``.
+
 Workers are deliberately stateless: a frame's output is a pure function
 of ``(image, params, warm_centers, warm_labels)``, which is what makes
 parallel output bit-identical to serial (see ``docs/parallel.md``).
@@ -26,6 +39,8 @@ __all__ = ["run_frame"]
 #: Test-only crash injection: set to ``"<stream_id>:<frame_index>"`` in the
 #: environment to make the worker die mid-frame with ``os._exit`` —
 #: exercising the runner's broken-pool recovery without a real segfault.
+#: (Superseded by ``repro.resilience.FaultPlan`` crash faults, kept for
+#: env-only contexts.)
 CRASH_ENV = "REPRO_PARALLEL_CRASH_FRAME"
 
 
@@ -35,17 +50,46 @@ def _collecting_tracer():
     return Tracer(MemorySink())
 
 
-def run_frame(task: FrameTask) -> FrameRecord:
-    """Execute one :class:`FrameTask`; never raises for frame errors."""
+def run_frame(task: FrameTask, in_worker: bool = True) -> FrameRecord:
+    """Execute one :class:`FrameTask`; never raises for frame errors.
+
+    ``in_worker`` is True in pool processes (the default — it is what
+    the executor calls); the runner passes False for in-process
+    execution so process-level injected faults are skipped.
+    """
     if os.environ.get(CRASH_ENV) == f"{task.stream_id}:{task.frame_index}":
         os._exit(3)  # simulate a hard worker death (tests only)
+
+    image = task.image
+    forced_backend_failures = None
+    if task.fault is not None:
+        from ..resilience.faults import apply_fault
+
+        if task.fault.kind == "kernel_fail":
+            forced_backend_failures = {
+                _requested_backend_name(task.params.kernel_backend)
+            }
+        else:
+            # crash/hang never return; error kinds raise out of run_frame
+            # only if they are not part of the expected-error contract.
+            image = apply_fault(task.fault, image, in_worker=in_worker)
+
+    from ..kernels.supervisor import supervised_resolve
 
     tracer = _collecting_tracer() if task.collect_trace else None
     start = time.perf_counter()
     try:
+        backend = supervised_resolve(
+            task.params.kernel_backend,
+            tracer=tracer,
+            forced_failures=forced_backend_failures,
+        )
+        params = task.params
+        if backend.name != params.kernel_backend:
+            params = params.with_(kernel_backend=backend.name)
         result = run_segmentation(
-            task.image,
-            task.params,
+            image,
+            params,
             warm_centers=task.warm_centers,
             warm_labels=task.warm_labels,
             tracer=tracer,
@@ -60,6 +104,7 @@ def run_frame(task: FrameTask) -> FrameRecord:
             warm_started=task.warm_centers is not None,
             elapsed_s=time.perf_counter() - start,
             worker_pid=os.getpid(),
+            attempts=task.attempt + 1,
         )
     elapsed = time.perf_counter() - start
 
@@ -67,7 +112,6 @@ def run_frame(task: FrameTask) -> FrameRecord:
     if tracer is not None:
         tracer.flush()
         events = list(tracer.sink.events)
-    from ..kernels import resolve_name
 
     return FrameRecord(
         stream_id=task.stream_id,
@@ -78,5 +122,17 @@ def run_frame(task: FrameTask) -> FrameRecord:
         elapsed_s=elapsed,
         worker_pid=os.getpid(),
         trace_events=events,
-        kernel_backend=resolve_name(task.params.kernel_backend),
+        kernel_backend=backend.name,
+        attempts=task.attempt + 1,
+        demoted_from=backend.demoted_from,
     )
+
+
+def _requested_backend_name(name):
+    """The concrete backend a ``kernel_fail`` fault should break."""
+    from ..kernels import resolve_name
+
+    try:
+        return resolve_name(name)
+    except Exception:
+        return "vectorized"

@@ -1,0 +1,58 @@
+"""repro.resilience — deterministic fault injection + hardened execution.
+
+The paper's pitch is *real-time* segmentation; a real-time system is
+defined by what it does when things go wrong — a worker dies, a frame
+hangs, a result fails to cross the process boundary, a scratchpad bit
+flips. This package supplies both halves of that story:
+
+* **fault injection** (:mod:`~repro.resilience.faults`) — a seeded,
+  deterministic :class:`FaultPlan` applied through a single worker-side
+  hook, so every recovery path in
+  :class:`repro.parallel.ParallelRunner` is a reproducible test case;
+* **hardened execution** — the retry/deadline policy
+  (:class:`RetryPolicy`), the JSONL checkpoint journal and resume
+  protocol (:class:`CheckpointJournal`), and the soft-error quality
+  harness (:func:`soft_error_quality_delta`) that pairs with the
+  scratchpad bit-flip model in :mod:`repro.hw.cyclesim`.
+
+See ``docs/resilience.md`` for the failure taxonomy and guarantees.
+"""
+
+from .checkpoint import (
+    CheckpointJournal,
+    completed_prefixes,
+    load_journal,
+    params_fingerprint,
+    record_from_json,
+    record_to_json,
+)
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    apply_fault,
+)
+from .policy import NON_RETRYABLE_ERRORS, RetryPolicy
+from .soft_error import SoftErrorQuality, flip_bits, soft_error_quality_delta
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "apply_fault",
+    "RetryPolicy",
+    "NON_RETRYABLE_ERRORS",
+    "CheckpointJournal",
+    "load_journal",
+    "completed_prefixes",
+    "params_fingerprint",
+    "record_to_json",
+    "record_from_json",
+    "SoftErrorQuality",
+    "flip_bits",
+    "soft_error_quality_delta",
+]

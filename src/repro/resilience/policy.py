@@ -1,0 +1,91 @@
+"""Retry and deadline policy for the hardened runner.
+
+A :class:`RetryPolicy` is pure decision logic — no clocks, no state —
+so the runner's behavior under failure is specified in one place and
+testable without a pool. The policy distinguishes *transient* failures
+(worker death, timeout, unexpected exceptions: retrying can help) from
+*deterministic* ones (a bad image is bad on every attempt: retrying
+burns budget for nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ResilienceError
+
+__all__ = ["RetryPolicy", "NON_RETRYABLE_ERRORS"]
+
+#: Error types that are properties of the input, not of the execution —
+#: a retry re-runs the same deterministic failure, so these fail fast.
+NON_RETRYABLE_ERRORS = frozenset(
+    {"ImageError", "StreamError", "ConfigurationError"}
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded per-frame retries with exponential backoff.
+
+    Parameters
+    ----------
+    retries:
+        Extra attempts allowed per frame after the first (0 disables
+        retrying — the seed behavior).
+    backoff_s:
+        Delay before the first retry; attempt ``n`` waits
+        ``backoff_s * backoff_factor**(n-1)``, capped at
+        ``max_backoff_s``.
+    retry_budget:
+        Total retries allowed across the whole batch (``None`` =
+        unbounded). A storm of transient failures degrades to
+        fail-as-data instead of retrying forever.
+    """
+
+    retries: int = 0
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 2.0
+    retry_budget: int = None
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ResilienceError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_s < 0:
+            raise ResilienceError(
+                f"backoff_s must be >= 0, got {self.backoff_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ResilienceError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ResilienceError(
+                f"retry_budget must be >= 0, got {self.retry_budget}"
+            )
+
+    def retryable(self, error_type: str) -> bool:
+        """Whether a failure of this type can succeed on a re-run."""
+        return error_type not in NON_RETRYABLE_ERRORS
+
+    def should_retry(self, error_type, attempt, budget_used) -> bool:
+        """Decide for a failure on 0-based ``attempt``.
+
+        ``budget_used`` is the batch-wide retry count so far.
+        """
+        if self.retries == 0 or not self.retryable(error_type):
+            return False
+        if attempt + 1 > self.retries:
+            return False
+        if self.retry_budget is not None and budget_used >= self.retry_budget:
+            return False
+        return True
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before 1-based retry ``attempt`` (attempt 1 = first retry)."""
+        if attempt <= 0:
+            return 0.0
+        return min(
+            self.backoff_s * self.backoff_factor ** (attempt - 1),
+            self.max_backoff_s,
+        )

@@ -1,0 +1,121 @@
+"""Soft-error quality impact: what a scratchpad bit-flip costs in BR/USE.
+
+:mod:`repro.hw.cyclesim` models *how many* scratchpad reads a frame
+performs and how many of the resulting bit flips parity would catch
+(:class:`~repro.hw.cyclesim.SoftErrorModel`). This module answers the
+complementary question — what a *silent* (undetected) flip does to
+segmentation quality — by injecting the same seeded bit flips into the
+8-bit pixel datapath of a real segmentation run and measuring the
+boundary-recall / undersegmentation-error deltas against the clean run
+on the same synthetic scene.
+
+The injection site is the uint8 image the accelerator would hold in its
+channel scratchpads: each sampled flip XORs one bit of one byte. This is
+the faithful software analog of a scratchpad read upset — downstream
+stages consume the corrupted value exactly as the hardware would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ResilienceError
+
+__all__ = ["SoftErrorQuality", "flip_bits", "soft_error_quality_delta"]
+
+
+@dataclass(frozen=True)
+class SoftErrorQuality:
+    """BR/USE impact of seeded datapath bit flips on one scene."""
+
+    bit_error_rate: float
+    seed: int
+    n_bits_flipped: int
+    boundary_recall_clean: float
+    boundary_recall_faulty: float
+    undersegmentation_clean: float
+    undersegmentation_faulty: float
+
+    @property
+    def boundary_recall_delta(self) -> float:
+        return self.boundary_recall_faulty - self.boundary_recall_clean
+
+    @property
+    def undersegmentation_delta(self) -> float:
+        return self.undersegmentation_faulty - self.undersegmentation_clean
+
+
+def flip_bits(data: np.ndarray, bit_error_rate: float, seed: int):
+    """Return a copy of uint8 ``data`` with seeded random bit flips.
+
+    Each of the ``data.size * 8`` bits flips independently with
+    probability ``bit_error_rate`` — the same Bernoulli field
+    :class:`repro.hw.cyclesim.SoftErrorModel` integrates analytically.
+    Returns ``(flipped, n_flips)``.
+    """
+    if data.dtype != np.uint8:
+        raise ResilienceError(
+            f"bit flips are injected into the uint8 datapath, got {data.dtype}"
+        )
+    if not (0.0 <= bit_error_rate <= 1.0):
+        raise ResilienceError(
+            f"bit_error_rate must be in [0, 1], got {bit_error_rate}"
+        )
+    rng = np.random.default_rng(seed)
+    total_bits = data.size * 8
+    n_flips = int(rng.binomial(total_bits, bit_error_rate))
+    out = data.copy()
+    if n_flips == 0:
+        return out, 0
+    positions = rng.choice(total_bits, size=n_flips, replace=False)
+    flat = out.reshape(-1)
+    np.bitwise_xor.at(
+        flat, positions // 8, (1 << (positions % 8)).astype(np.uint8)
+    )
+    return out, n_flips
+
+
+def soft_error_quality_delta(
+    bit_error_rate: float,
+    seed: int = 0,
+    height: int = 80,
+    width: int = 120,
+    params=None,
+):
+    """Measure the BR/USE deltas silent bit flips cause on one scene.
+
+    Segments a deterministic synthetic scene twice — clean, and with
+    every scratchpad byte subjected to seeded bit flips at
+    ``bit_error_rate`` — and scores both against the scene's ground
+    truth. Deterministic in ``(bit_error_rate, seed, height, width,
+    params)``.
+    """
+    from ..core.engine import run_segmentation
+    from ..core.params import SlicParams
+    from ..data import SceneConfig, generate_scene
+    from ..metrics import boundary_recall, undersegmentation_error
+    from ..types import as_uint8_rgb
+
+    if params is None:
+        params = SlicParams(
+            n_superpixels=60, max_iterations=4, subsample_ratio=0.5,
+            convergence_threshold=0.3,
+        )
+    scene = generate_scene(SceneConfig(height=height, width=width), seed=seed)
+    clean_u8 = as_uint8_rgb(scene.image)
+    faulty_u8, n_flips = flip_bits(clean_u8, bit_error_rate, seed)
+
+    clean = run_segmentation(clean_u8, params)
+    faulty = run_segmentation(faulty_u8, params)
+    gt = scene.gt_labels
+    return SoftErrorQuality(
+        bit_error_rate=bit_error_rate,
+        seed=seed,
+        n_bits_flipped=n_flips,
+        boundary_recall_clean=boundary_recall(clean.labels, gt),
+        boundary_recall_faulty=boundary_recall(faulty.labels, gt),
+        undersegmentation_clean=undersegmentation_error(clean.labels, gt),
+        undersegmentation_faulty=undersegmentation_error(faulty.labels, gt),
+    )

@@ -84,6 +84,13 @@ def validate_rgb_image(image: np.ndarray) -> np.ndarray:
     if arr.dtype == np.uint8:
         return arr
     if np.issubdtype(arr.dtype, np.floating):
+        if arr.size and not np.isfinite(arr).all():
+            # NaN/Inf sails through min/max range checks (comparisons
+            # with NaN are False) and detonates deep in the engine;
+            # reject it here with a clear message instead.
+            raise ImageError(
+                "float RGB image contains non-finite values (NaN/Inf)"
+            )
         # Tolerate tiny numeric spill from prior processing.
         if arr.size and (arr.min() < -1e-6 or arr.max() > 1.0 + 1e-6):
             raise ImageError(

@@ -1,0 +1,126 @@
+"""Kernel backend supervision: self-test, demotion chain, forcing."""
+
+import numpy as np
+import pytest
+
+from repro.core import SlicParams
+from repro.errors import ConfigurationError
+from repro.kernels import available_backends
+from repro.kernels.supervisor import (
+    DEMOTION_CHAIN,
+    FAULT_ENV,
+    reset_supervision,
+    self_test,
+    supervised_resolve,
+)
+from repro.obs import MemorySink, Tracer
+from repro.parallel import ParallelRunner, synthetic_batch
+from repro.resilience import FaultPlan
+
+
+@pytest.fixture(autouse=True)
+def _fresh_supervision():
+    reset_supervision()
+    yield
+    reset_supervision()
+
+
+class TestSelfTest:
+    def test_every_available_backend_passes(self):
+        for name in available_backends():
+            self_test(name)  # must not raise
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self_test("fpga")
+
+
+class TestSupervisedResolve:
+    def test_healthy_backend_is_not_demoted(self):
+        verdict = supervised_resolve("vectorized")
+        assert verdict.name == "vectorized"
+        assert not verdict.demoted
+        assert verdict.demoted_from is None
+
+    def test_forced_failure_demotes_down_the_chain(self):
+        verdict = supervised_resolve(
+            "vectorized", forced_failures={"vectorized"}
+        )
+        assert verdict.name == "reference"
+        assert verdict.demoted_from == "vectorized"
+        assert verdict.demoted
+
+    def test_chain_walks_all_the_way_to_reference(self):
+        verdict = supervised_resolve(
+            "native", forced_failures={"native", "vectorized"}
+        )
+        assert verdict.name == "reference"
+        assert verdict.demoted_from == "native"
+
+    def test_reference_failure_is_fatal(self):
+        with pytest.raises(ConfigurationError, match="every kernel backend"):
+            supervised_resolve(
+                "reference", forced_failures=set(DEMOTION_CHAIN)
+            )
+
+    def test_env_var_forces_failures(self, monkeypatch):
+        monkeypatch.setenv(FAULT_ENV, "vectorized")
+        verdict = supervised_resolve("vectorized")
+        assert verdict.name == "reference"
+        assert verdict.demoted_from == "vectorized"
+
+    def test_memoized_per_forcing_set(self):
+        a = supervised_resolve("vectorized")
+        b = supervised_resolve("vectorized")
+        assert a is b
+        c = supervised_resolve("vectorized", forced_failures={"vectorized"})
+        assert c is not a
+
+    def test_demotion_emits_telemetry(self):
+        tracer = Tracer(MemorySink())
+        supervised_resolve(
+            "vectorized", tracer=tracer, forced_failures={"vectorized"}
+        )
+        tracer.flush()
+        names = [e.get("name") for e in tracer.sink.events]
+        assert "kernels.selftest_failures" in names
+        assert "kernels.demotions" in names
+        events = [
+            e for e in tracer.sink.events if e.get("name") == "kernels.demoted"
+        ]
+        assert events and events[0]["attrs"]["demoted_to"] == "reference"
+        tracer.close()
+
+
+class TestSupervisionInRunner:
+    PARAMS = SlicParams(
+        n_superpixels=40,
+        max_iterations=4,
+        subsample_ratio=0.5,
+        convergence_threshold=0.3,
+        kernel_backend="vectorized",
+    )
+
+    def test_kernel_fail_fault_records_demotion(self):
+        frames = synthetic_batch(2, height=50, width=70, seed=2)
+        res = ParallelRunner(
+            self.PARAMS, faults=FaultPlan.parse("kernel_fail@0:0")
+        ).run_batch(frames)
+        rec = res.records[0]
+        assert rec.ok
+        assert rec.kernel_backend == "reference"
+        assert rec.demoted_from == "vectorized"
+        # The un-faulted frame used the healthy requested backend.
+        assert res.records[1].kernel_backend == "vectorized"
+        assert res.records[1].demoted_from is None
+
+    def test_demoted_output_is_bit_identical(self):
+        # Demotion changes the implementation, never the answer.
+        frames = synthetic_batch(1, height=50, width=70, seed=3)
+        demoted = ParallelRunner(
+            self.PARAMS, faults=FaultPlan.parse("kernel_fail@0:0")
+        ).run_batch(frames)
+        clean = ParallelRunner(self.PARAMS).run_batch(frames)
+        assert np.array_equal(
+            demoted.records[0].result.labels, clean.records[0].result.labels
+        )

@@ -1,0 +1,112 @@
+"""Soft-error model: scratchpad upsets, parity coverage, quality deltas."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareModelError, ResilienceError
+from repro.hw import AcceleratorSim, SoftErrorModel, SoftErrorReport
+from repro.hw.config import AcceleratorConfig
+from repro.resilience import flip_bits, soft_error_quality_delta
+from repro.types import Resolution
+
+VGA_CFG = AcceleratorConfig(
+    resolution=Resolution(640, 480), n_superpixels=1200
+)
+
+
+class TestSoftErrorModel:
+    def test_sampling_is_deterministic(self):
+        model = SoftErrorModel(bit_error_rate=1e-5, seed=11)
+        a = model.sample_frame(10_000_000, frame_index=0)
+        b = model.sample_frame(10_000_000, frame_index=0)
+        assert a == b
+        assert a.n_flips > 0
+
+    def test_frames_draw_distinct_streams(self):
+        model = SoftErrorModel(bit_error_rate=1e-6, seed=11)
+        reports = [model.sample_frame(10_000_000, i) for i in range(4)]
+        assert len({r.n_flips for r in reports}) > 1
+
+    def test_parity_accounting(self):
+        # At a rate high enough for multi-flip words, parity must split
+        # corrupted words into detected (odd flips) and silent (even).
+        model = SoftErrorModel(bit_error_rate=1e-3, seed=3)
+        report = model.sample_frame(3_200_000)
+        assert report.n_flips > 500
+        assert report.detected_words + report.silent_words == report.corrupted_words
+        assert report.detected_words > 0
+        assert report.silent_words > 0  # collisions exist at this rate
+        assert 0.0 < report.detection_coverage < 1.0
+
+    def test_no_parity_means_everything_silent(self):
+        model = SoftErrorModel(bit_error_rate=1e-6, seed=3, parity=False)
+        report = model.sample_frame(10_000_000)
+        assert report.detected_words == 0
+        assert report.silent_words == report.corrupted_words
+
+    def test_zero_rate_is_clean(self):
+        report = SoftErrorModel(bit_error_rate=0.0).sample_frame(10**9)
+        assert report.n_flips == 0
+        assert report.detection_coverage == 1.0
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            SoftErrorModel(bit_error_rate=2.0)
+        with pytest.raises(HardwareModelError):
+            SoftErrorModel().sample_frame(-1)
+        with pytest.raises(HardwareModelError, match="beyond the per-flip"):
+            SoftErrorModel(bit_error_rate=0.5).sample_frame(10**9)
+
+
+class TestSimIntegration:
+    def test_frame_trace_carries_report(self):
+        sim = AcceleratorSim(
+            config=VGA_CFG, soft_errors=SoftErrorModel(bit_error_rate=1e-8, seed=5)
+        )
+        trace = sim.run_frame()
+        assert isinstance(trace.soft_errors, SoftErrorReport)
+        assert trace.soft_errors.bits_read > 0
+        # Without a model the field stays None (seed behavior).
+        assert AcceleratorSim(config=VGA_CFG).run_frame().soft_errors is None
+
+    def test_consecutive_frames_vary_but_reruns_match(self):
+        mk = lambda: AcceleratorSim(
+            config=VGA_CFG, soft_errors=SoftErrorModel(bit_error_rate=1e-7, seed=5)
+        )
+        sim = mk()
+        first, second = sim.run_frame(), sim.run_frame()
+        assert first.soft_errors != second.soft_errors
+        again = mk()
+        assert again.run_frame().soft_errors == first.soft_errors
+
+    def test_rejects_non_model(self):
+        with pytest.raises(HardwareModelError):
+            AcceleratorSim(soft_errors="1e-9")
+
+
+class TestDatapathInjection:
+    def test_flip_bits_flips_exactly_the_sampled_count(self):
+        data = np.zeros(4096, dtype=np.uint8)
+        flipped, n = flip_bits(data, 1e-3, seed=9)
+        assert n > 0
+        assert int(np.unpackbits(flipped).sum()) == n  # distinct positions
+        again, n2 = flip_bits(data, 1e-3, seed=9)
+        assert n2 == n and np.array_equal(flipped, again)
+
+    def test_flip_bits_requires_uint8(self):
+        with pytest.raises(ResilienceError):
+            flip_bits(np.zeros(8, dtype=np.float64), 1e-3, seed=0)
+
+    def test_quality_delta_is_deterministic(self):
+        a = soft_error_quality_delta(2e-4, seed=3, height=60, width=80)
+        b = soft_error_quality_delta(2e-4, seed=3, height=60, width=80)
+        assert a == b
+        assert a.n_bits_flipped > 0
+        assert 0.0 <= a.boundary_recall_clean <= 1.0
+        assert a.undersegmentation_clean >= 0.0
+
+    def test_zero_ber_has_zero_delta(self):
+        q = soft_error_quality_delta(0.0, seed=3, height=60, width=80)
+        assert q.n_bits_flipped == 0
+        assert q.boundary_recall_delta == 0.0
+        assert q.undersegmentation_delta == 0.0
