@@ -166,6 +166,7 @@ def _cmd_batch(args) -> int:
         params=dict(
             images=args.images, synthetic=args.synthetic, frames=args.frames,
             motion=args.motion, workers=args.workers,
+            transport=args.transport,
             n_superpixels=args.superpixels, compactness=args.compactness,
             max_iterations=args.iterations, subsample_ratio=args.ratio,
         ),
@@ -197,6 +198,7 @@ def _cmd_batch(args) -> int:
         retry=retry,
         checkpoint=args.checkpoint,
         faults=faults,
+        transport=args.transport,
     )
     try:
         if args.images:
@@ -235,10 +237,17 @@ def _cmd_batch(args) -> int:
     n_streams = len({r.stream_id for r in batch.records})
     print(
         f"batch: {batch.n_frames} frames over {n_streams} stream(s), "
-        f"{batch.n_workers} worker(s): {batch.n_ok} ok, "
+        f"{batch.n_workers} worker(s), {batch.transport} transport: "
+        f"{batch.n_ok} ok, "
         f"{batch.n_failed} failed, {batch.elapsed_s:.2f} s "
         f"({batch.throughput_fps:.2f} fps)"
     )
+    if (
+        args.workers > 1
+        and args.transport in ("shm", "auto")
+        and batch.transport == "pickle"
+    ):
+        print("transport: shm unavailable, fell back to pickle")
     warm = sum(1 for r in batch.records if r.warm_started)
     if warm:
         print(f"warm-started frames: {warm}/{batch.n_frames}")
@@ -272,6 +281,7 @@ def _cmd_batch(args) -> int:
             timeouts=batch.timeouts,
             quarantined=batch.n_quarantined,
             resumed_frames=batch.resumed_frames,
+            transport=batch.transport,
         ).write(args.manifest)
         print(f"wrote run manifest to {args.manifest}")
     return 1 if batch.n_failed else 0
@@ -432,6 +442,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes (1 = serial reference)")
     bat.add_argument("--max-pending", type=int, default=None,
                      help="in-flight frame cap (default 2x workers)")
+    bat.add_argument("--transport", default="pickle",
+                     choices=("pickle", "shm", "auto"),
+                     help="frame transport to the pool: pickle (serialize "
+                          "arrays), shm (zero-copy shared-memory slabs; "
+                          "falls back to pickle if unavailable), or auto")
     bat.add_argument("--frame-timeout", type=float, default=None, metavar="S",
                      help="per-frame deadline in seconds; a hung worker "
                           "becomes a FrameTimeout record (default: no "

@@ -27,7 +27,7 @@ from ..types import as_uint8_rgb
 from .constants import D65_WHITE, SRGB_TO_XYZ
 from .lut import PiecewiseLinearLut, build_cbrt_pwl, build_gamma_lut
 
-__all__ = ["LabEncoding", "HwColorConverter"]
+__all__ = ["LabEncoding", "HwColorConverter", "convert_codes_reference"]
 
 
 @dataclass(frozen=True)
@@ -125,41 +125,18 @@ class HwColorConverter:
         self.matrix_raw = self._matrix_fmt.to_raw(folded)
 
     # ------------------------------------------------------------------
-    def convert_codes(self, rgb: np.ndarray) -> np.ndarray:
+    def convert_codes(self, rgb: np.ndarray, backend: str = None) -> np.ndarray:
         """uint8 RGB image -> integer Lab channel codes (H, W, 3), int64.
 
-        Every step is integer arithmetic on numpy int64 arrays, mirroring
-        the fixed-point datapath.
+        Every step is integer arithmetic mirroring the fixed-point
+        datapath. ``backend`` selects the :mod:`repro.kernels`
+        implementation (``None``/"auto" picks the best available); all
+        backends are bit-identical to :func:`convert_codes_reference`.
         """
+        from ..kernels import get_backend  # local import: kernels ↔ color
+
         rgb = as_uint8_rgb(rgb)
-        # Step 1: gamma LUT. linear codes have gamma_frac_bits fraction.
-        linear = self.gamma_lut[rgb.astype(np.intp)]  # (H, W, 3) int64
-        # Step 2: integer matrix multiply -> W/Wr codes.
-        # product fraction = gamma_frac + matrix_frac.
-        t_wide = np.einsum("hwc,kc->hwk", linear, self.matrix_raw, dtype=np.int64)
-        prod_frac = self.gamma_frac_bits + self._matrix_fmt.frac_bits
-        # Round to the PWL input format.
-        shift = prod_frac - self.pwl.in_fmt.frac_bits
-        half = np.int64(1) << (shift - 1)
-        t_raw = (t_wide + half) >> shift
-        t_raw = self.pwl.in_fmt.saturate_raw(np.maximum(t_raw, 0))
-        # Step 3: PWL cube root.
-        f_raw = self.pwl.eval_raw(t_raw)  # frac = out_fmt.frac_bits
-        fx = f_raw[..., 0]
-        fy = f_raw[..., 1]
-        fz = f_raw[..., 2]
-        f_frac = self.pwl.out_fmt.frac_bits
-        one = np.int64(1) << f_frac
-        # Step 4: Equation 3 with integer constants, then encode.
-        l_raw = 116 * fy - 16 * one  # frac = f_frac, range [0, 100]
-        a_raw = 500 * (fx - fy)
-        b_raw = 200 * (fy - fz)
-        enc = self.encoding
-        codes = np.empty(rgb.shape, dtype=np.int64)
-        codes[..., 0] = _scale_round(l_raw, enc.l_scale, f_frac)
-        codes[..., 1] = _scale_round(a_raw, enc.ab_scale, f_frac) + enc.ab_offset
-        codes[..., 2] = _scale_round(b_raw, enc.ab_scale, f_frac) + enc.ab_offset
-        return np.clip(codes, 0, enc.code_max)
+        return get_backend(backend).lab_codes(self, rgb)
 
     def convert(self, rgb: np.ndarray) -> np.ndarray:
         """uint8 RGB image -> real Lab values *as the hardware sees them*.
@@ -170,6 +147,44 @@ class HwColorConverter:
         Section 6.1 studies.
         """
         return self.encoding.decode(self.convert_codes(rgb))
+
+
+def convert_codes_reference(converter: HwColorConverter, rgb: np.ndarray) -> np.ndarray:
+    """The scalar-semantics reference pipeline for :meth:`convert_codes`.
+
+    uint8 RGB image -> integer Lab channel codes (H, W, 3), int64. Every
+    step is integer arithmetic on numpy int64 arrays; the vectorized and
+    native kernel backends must reproduce this bit for bit.
+    """
+    rgb = as_uint8_rgb(rgb)
+    # Step 1: gamma LUT. linear codes have gamma_frac_bits fraction.
+    linear = converter.gamma_lut[rgb.astype(np.intp)]  # (H, W, 3) int64
+    # Step 2: integer matrix multiply -> W/Wr codes.
+    # product fraction = gamma_frac + matrix_frac.
+    t_wide = np.einsum("hwc,kc->hwk", linear, converter.matrix_raw, dtype=np.int64)
+    prod_frac = converter.gamma_frac_bits + converter._matrix_fmt.frac_bits
+    # Round to the PWL input format.
+    shift = prod_frac - converter.pwl.in_fmt.frac_bits
+    half = np.int64(1) << (shift - 1)
+    t_raw = (t_wide + half) >> shift
+    t_raw = converter.pwl.in_fmt.saturate_raw(np.maximum(t_raw, 0))
+    # Step 3: PWL cube root.
+    f_raw = converter.pwl.eval_raw(t_raw)  # frac = out_fmt.frac_bits
+    fx = f_raw[..., 0]
+    fy = f_raw[..., 1]
+    fz = f_raw[..., 2]
+    f_frac = converter.pwl.out_fmt.frac_bits
+    one = np.int64(1) << f_frac
+    # Step 4: Equation 3 with integer constants, then encode.
+    l_raw = 116 * fy - 16 * one  # frac = f_frac, range [0, 100]
+    a_raw = 500 * (fx - fy)
+    b_raw = 200 * (fy - fz)
+    enc = converter.encoding
+    codes = np.empty(rgb.shape, dtype=np.int64)
+    codes[..., 0] = _scale_round(l_raw, enc.l_scale, f_frac)
+    codes[..., 1] = _scale_round(a_raw, enc.ab_scale, f_frac) + enc.ab_offset
+    codes[..., 2] = _scale_round(b_raw, enc.ab_scale, f_frac) + enc.ab_offset
+    return np.clip(codes, 0, enc.code_max)
 
 
 def _scale_round(raw: np.ndarray, scale: float, frac_bits: int) -> np.ndarray:

@@ -33,23 +33,51 @@ __all__ = [
     "PiecewiseLinearLut",
     "build_cbrt_pwl",
     "DEFAULT_CBRT_BREAKPOINTS",
+    "CACHE_STATS",
+    "reset_lut_caches",
 ]
+
+#: Per-process LUT construction caches. Tables are pure functions of
+#: their fixed-point configuration, so every HwColorConverter with the
+#: same config shares one (read-only) table instead of re-fitting per
+#: frame. ``CACHE_STATS`` feeds the ``color.lut_cache_hits`` telemetry
+#: counter the engine emits.
+_GAMMA_CACHE: dict = {}
+_PWL_CACHE: dict = {}
+CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def reset_lut_caches() -> None:
+    """Drop memoized LUTs and zero the stats (test isolation hook)."""
+    _GAMMA_CACHE.clear()
+    _PWL_CACHE.clear()
+    CACHE_STATS["hits"] = 0
+    CACHE_STATS["misses"] = 0
 
 
 def build_gamma_lut(frac_bits: int = 12) -> np.ndarray:
-    """Build the 256-entry inverse-gamma LUT.
+    """Build the 256-entry inverse-gamma LUT (memoized per process).
 
     Maps each 8-bit sRGB code (0..255) to the Equation 1 linear-light value
     quantized to an unsigned fixed-point code with ``frac_bits`` fraction
-    bits. Returned as an int64 array of length 256 with values in
-    ``[0, 2**frac_bits]``.
+    bits. Returned as a read-only int64 array of length 256 with values in
+    ``[0, 2**frac_bits]``; repeat calls with the same ``frac_bits`` share
+    one table.
     """
     if not (1 <= frac_bits <= 30):
         raise ConfigurationError(f"gamma LUT frac_bits must be in [1,30], got {frac_bits}")
+    cached = _GAMMA_CACHE.get(frac_bits)
+    if cached is not None:
+        CACHE_STATS["hits"] += 1
+        return cached
+    CACHE_STATS["misses"] += 1
     codes = np.arange(256, dtype=np.float64) / 255.0
     linear = srgb_gamma_expand(codes)
     scale = float(1 << frac_bits)
-    return np.rint(linear * scale).astype(np.int64)
+    lut = np.rint(linear * scale).astype(np.int64)
+    lut.flags.writeable = False  # shared across converters
+    _GAMMA_CACHE[frac_bits] = lut
+    return lut
 
 
 @dataclass(frozen=True)
@@ -198,10 +226,22 @@ def build_cbrt_pwl(
     Defaults model the accelerator's internal precision: 16-bit input codes
     with 12 fraction bits (covering W/Wr up to ~8, far beyond the needed
     1.1) and 16-bit output codes with 14 fraction bits (f() is in [0.1379,
-    1.04]).
+    1.04]). Memoized per process: the fit is a pure function of the
+    formats and breakpoints, and the LUT is immutable, so converters
+    sharing a configuration share one instance.
     """
     if in_fmt is None:
         in_fmt = QFormat(16, 12, signed=False)
     if out_fmt is None:
         out_fmt = QFormat(16, 14, signed=False)
-    return PiecewiseLinearLut.fit(_f_scalar, breakpoints, in_fmt, out_fmt)
+    key = (in_fmt, out_fmt, tuple(float(b) for b in breakpoints))
+    cached = _PWL_CACHE.get(key)
+    if cached is not None:
+        CACHE_STATS["hits"] += 1
+        return cached
+    CACHE_STATS["misses"] += 1
+    pwl = PiecewiseLinearLut.fit(_f_scalar, breakpoints, in_fmt, out_fmt)
+    for arr in (pwl.slopes_raw, pwl.intercepts_raw, pwl.breaks_raw):
+        arr.flags.writeable = False  # shared across converters
+    _PWL_CACHE[key] = pwl
+    return pwl

@@ -34,6 +34,7 @@ __all__ = [
     "connected_components",
     "connected_components_reference",
     "enforce_connectivity",
+    "merge_small_reference",
 ]
 
 
@@ -126,6 +127,55 @@ def connected_components(labels: np.ndarray, backend: str = None):
     return get_backend(backend).connected_components(labels)
 
 
+def merge_small_reference(
+    sizes: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    dst: np.ndarray,
+    border_len: np.ndarray,
+    min_size: int,
+    order: np.ndarray,
+) -> np.ndarray:
+    """The greedy small-component merge walk, pure scalar semantics.
+
+    Inputs are the component adjacency graph in CSR form (``starts``,
+    ``ends``, ``dst``, ``border_len``), the component ``sizes``, and the
+    ``order`` in which to process small components (increasing size,
+    stable). Returns the int64 union-find root of every component after
+    all merges — the kernel contract every backend must match bit for
+    bit, including the tie rule (longest shared border wins, ties to the
+    lowest neighbor *component id*).
+    """
+    n_comps = len(sizes)
+    uf = _UnionFind(n_comps)
+    merged_size = sizes.astype(np.int64).copy()
+    for c in order:
+        c = int(c)
+        root_c = uf.find(c)
+        if merged_size[root_c] >= min_size:
+            continue
+        lo, hi = int(starts[c]), int(ends[c])
+        if lo == hi:
+            continue  # isolated (whole image is one label)
+        best_w = -1
+        best_nb = -1
+        best_root = -1
+        for e in range(lo, hi):
+            nb = int(dst[e])
+            root_nb = uf.find(nb)
+            if root_nb == root_c:
+                continue  # already merged into the same component
+            w = int(border_len[e])
+            if w > best_w or (w == best_w and nb < best_nb):
+                best_w, best_nb, best_root = w, nb, root_nb
+        if best_root < 0:
+            continue
+        uf.union_into(root_c, best_root)
+        new_root = uf.find(best_root)
+        merged_size[new_root] = merged_size[root_c] + merged_size[best_root]
+    return _resolve_roots(uf.parent, np.arange(n_comps, dtype=np.int64))
+
+
 def enforce_connectivity(
     labels: np.ndarray, min_size: int, backend: str = None
 ) -> np.ndarray:
@@ -134,7 +184,11 @@ def enforce_connectivity(
     See module docstring for the algorithm. The returned map reuses the
     superpixel labels of the absorbing components; a lone image smaller
     than ``min_size`` is returned unchanged (nothing to merge into).
+    The greedy merge walk dispatches through :mod:`repro.kernels`
+    (``merge_small``); all backends match the reference bit for bit.
     """
+    from ..kernels import get_backend  # lazy: kernels imports this module
+
     labels = validate_label_map(labels).astype(np.int32)
     if min_size <= 1:
         return labels.copy()
@@ -168,42 +222,19 @@ def enforce_connectivity(
     src = (fused_unique // n_comps).astype(np.int64)
     dst = (fused_unique % n_comps).astype(np.int64)
     # CSR-style neighbor slices per source component.
-    order = np.argsort(src, kind="stable")
-    src, dst, border_len = src[order], dst[order], border_len[order]
+    csr_order = np.argsort(src, kind="stable")
+    src, dst = src[csr_order], dst[csr_order]
+    border_len = border_len[csr_order].astype(np.int64)
     starts = np.searchsorted(src, np.arange(n_comps))
     ends = np.searchsorted(src, np.arange(n_comps) + 1)
 
-    uf = _UnionFind(n_comps)
-    merged_size = sizes.copy()
     # Process small components in increasing size order: tiny strays are
     # absorbed first, and a small component that grew past min_size by
     # absorbing others is skipped when its turn comes. Components already
     # large enough never start a merge, so only the small ones are walked.
     size_order = np.argsort(sizes, kind="stable")
-    for c in size_order[sizes[size_order] < min_size]:
-        c = int(c)
-        root_c = uf.find(c)
-        if merged_size[root_c] >= min_size:
-            continue
-        lo, hi = starts[c], ends[c]
-        if lo == hi:
-            continue  # isolated (whole image is one label)
-        neigh = dst[lo:hi]
-        weights = border_len[lo:hi]
-        # Exclude neighbors already merged into the same root.
-        roots = _resolve_roots(uf.parent, neigh)
-        valid = roots != root_c
-        if not valid.any():
-            continue
-        # Longest shared border wins; ties to the lowest component id.
-        vneigh = neigh[valid]
-        vweights = weights[valid]
-        vroots = roots[valid]
-        best = np.lexsort((vneigh, -vweights))[0]
-        target_root = int(vroots[best])
-        uf.union_into(root_c, target_root)
-        new_root = uf.find(target_root)
-        merged_size[new_root] = merged_size[root_c] + merged_size[target_root]
-
-    final_root = _resolve_roots(uf.parent, np.arange(n_comps, dtype=np.int64))
+    small = size_order[sizes[size_order] < min_size]
+    final_root = get_backend(backend).merge_small(
+        sizes, starts, ends, dst, border_len, min_size, small
+    )
     return comp_label[final_root][comps].astype(np.int32)

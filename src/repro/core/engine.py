@@ -143,8 +143,16 @@ def _run_instrumented(
     datapath = params.datapath
     with timer.phase("color_conversion"):
         if datapath is not None:
+            from ..color.lut import CACHE_STATS
+
+            hits_before = CACHE_STATS["hits"]
             converter = HwColorConverter(encoding=datapath.encoding)
-            codes = converter.convert_codes(as_uint8_rgb(image))
+            lut_hits = CACHE_STATS["hits"] - hits_before
+            if lut_hits:
+                tracer.count("color.lut_cache_hits", lut_hits)
+            codes = converter.convert_codes(
+                as_uint8_rgb(image), backend=kernel_name
+            )
             lab = datapath.encoding.decode(codes)
         else:
             codes = None

@@ -68,6 +68,18 @@ class CheckpointError(ResilienceError):
     """
 
 
+class TransportError(ReproError):
+    """The zero-copy shared-memory frame transport was violated.
+
+    Raised by :mod:`repro.parallel.shm` when a slab cannot be allocated,
+    an attached slab's generation tag does not match the reference (a
+    stale or recycled slab), or a payload does not fit its slab. Frame
+    execution treats it like any other frame error — a ``FrameRecord``
+    with ``ok=False`` — and the transport layer itself falls back to
+    pickle when shared memory is unavailable at run start.
+    """
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to make progress.
 

@@ -1,8 +1,10 @@
 """Dispatchable kernels for the assignment/connectivity hot paths.
 
 The engine's inner loops — the CPA window scan, the PPA 9-candidate
-evaluation, and connected-component labeling — are implemented three
-times behind one contract:
+evaluation, connected-component labeling, the fixed-point RGB->Lab
+conversion, the small-component merge walk, and the BR/USE metric
+histograms/distance transform — are implemented three times behind one
+contract:
 
 * ``reference`` — the readable loops in :mod:`repro.core` (semantics
   ground truth);

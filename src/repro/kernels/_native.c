@@ -1,5 +1,7 @@
-/* Native assignment kernels: the CPA window scan and the PPA 9-candidate
- * evaluation as plain C loops.
+/* Native kernels: the CPA window scan, the PPA 9-candidate evaluation,
+ * the fixed-point RGB->Lab conversion, the small-component merge walk,
+ * and the BR/USE metric inner loops (joint histogram, 3-4 chamfer) as
+ * plain C loops.
  *
  * Compiled on demand by repro.kernels.native with
  *
@@ -173,6 +175,202 @@ void ppa_assign_f64(
             }
         }
         out[j] = bk;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Fixed-point RGB -> Lab channel codes: gamma LUT, folded 3x3 integer
+ * matrix, piecewise-linear cube root, scale-and-offset encode — one
+ * pixel at a time, replicating HwColorConverter.convert_codes exactly.
+ *
+ * Bit-identity notes: rounding shifts on possibly-negative values use
+ * the same arithmetic >> numpy does (gcc/clang on the targets we build
+ * for); the intercept alignment multiplies by 1<<shift instead of
+ * left-shifting, because shifting a negative signed value is UB in C
+ * while numpy's << is well-defined; the final scale rounding is
+ * sign-symmetric, mirroring _scale_round's np.where.                   */
+/* ------------------------------------------------------------------ */
+
+static int64_t scale_round_i64(int64_t raw, int64_t scale_raw,
+                               int64_t shift, int64_t half)
+{
+    int64_t wide = raw * scale_raw;
+    return wide >= 0 ? (wide + half) >> shift : -((-wide + half) >> shift);
+}
+
+void lab_codes_u8(
+    const uint8_t *rgb,        /* n*3 flat RGB                          */
+    int64_t n,                 /* pixel count                           */
+    const int64_t *gamma_lut,  /* 256 entries, gamma_frac fraction bits */
+    const int64_t *matrix_raw, /* 3*3 row-major folded matrix           */
+    int64_t mat_shift,         /* (gamma_frac + mat_frac) - in_frac     */
+    int64_t in_raw_min, int64_t in_raw_max,   /* PWL in_fmt raw range   */
+    const int64_t *breaks_raw, /* n_seg + 1 breakpoints, in_fmt raw     */
+    int64_t n_seg,
+    const int64_t *slopes_raw, /* n_seg, coeff_fmt raw                  */
+    const int64_t *intercepts_raw,
+    int64_t in_frac,           /* in_fmt fraction bits (b alignment)    */
+    int64_t out_shift,         /* (coeff_frac + in_frac) - out_frac, >0 */
+    int64_t out_raw_min, int64_t out_raw_max, /* PWL out_fmt raw range  */
+    int64_t f_frac,            /* out_fmt fraction bits                 */
+    int64_t l_scale_raw,       /* round(l_scale * 2^14)                 */
+    int64_t ab_scale_raw,      /* round(ab_scale * 2^14)                */
+    int64_t ab_offset,
+    int64_t code_max,
+    int64_t *codes)            /* n*3 output channel codes              */
+{
+    int64_t mat_half = (int64_t)1 << (mat_shift - 1);
+    int64_t b_align = (int64_t)1 << in_frac;
+    int64_t out_half = (int64_t)1 << (out_shift - 1);
+    int64_t one = (int64_t)1 << f_frac;
+    int64_t s_shift = f_frac + 14;
+    int64_t s_half = (int64_t)1 << (s_shift - 1);
+    for (int64_t i = 0; i < n; i++) {
+        const uint8_t *px = rgb + 3 * i;
+        int64_t lin0 = gamma_lut[px[0]];
+        int64_t lin1 = gamma_lut[px[1]];
+        int64_t lin2 = gamma_lut[px[2]];
+        int64_t f[3];
+        for (int k = 0; k < 3; k++) {
+            const int64_t *m = matrix_raw + 3 * k;
+            int64_t t = lin0 * m[0] + lin1 * m[1] + lin2 * m[2];
+            t = (t + mat_half) >> mat_shift;   /* arithmetic, like numpy */
+            if (t < 0) t = 0;
+            if (t < in_raw_min) t = in_raw_min;
+            if (t > in_raw_max) t = in_raw_max;
+            /* Segment select: count of interior breakpoints <= t.      */
+            int64_t seg = 0;
+            while (seg < n_seg - 1 && t >= breaks_raw[seg + 1]) seg++;
+            int64_t y = slopes_raw[seg] * t + intercepts_raw[seg] * b_align;
+            y = y >= 0 ? (y + out_half) >> out_shift
+                       : -((-y + out_half) >> out_shift);
+            if (y < out_raw_min) y = out_raw_min;
+            if (y > out_raw_max) y = out_raw_max;
+            f[k] = y;
+        }
+        int64_t l_raw = 116 * f[1] - 16 * one;
+        int64_t a_raw = 500 * (f[0] - f[1]);
+        int64_t b_raw = 200 * (f[1] - f[2]);
+        int64_t cl = scale_round_i64(l_raw, l_scale_raw, s_shift, s_half);
+        int64_t ca = scale_round_i64(a_raw, ab_scale_raw, s_shift, s_half)
+                     + ab_offset;
+        int64_t cb = scale_round_i64(b_raw, ab_scale_raw, s_shift, s_half)
+                     + ab_offset;
+        int64_t *out = codes + 3 * i;
+        out[0] = cl < 0 ? 0 : (cl > code_max ? code_max : cl);
+        out[1] = ca < 0 ? 0 : (ca > code_max ? code_max : ca);
+        out[2] = cb < 0 ? 0 : (cb > code_max ? code_max : cb);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Connectivity: the greedy small-component merge walk over the CSR
+ * adjacency graph. Semantics and tie rule match merge_small_reference
+ * exactly: longest shared border wins, ties to the lowest neighbor
+ * component id; chained merges follow union-find roots.                */
+/* ------------------------------------------------------------------ */
+
+static int64_t uf_find(int64_t *parent, int64_t i)
+{
+    while (parent[i] != i) {        /* path halving */
+        parent[i] = parent[parent[i]];
+        i = parent[i];
+    }
+    return i;
+}
+
+void merge_small(
+    const int64_t *starts,     /* n_comps CSR slice starts              */
+    const int64_t *ends,       /* n_comps CSR slice ends                */
+    const int64_t *dst,        /* edge target component ids             */
+    const int64_t *border_len, /* edge shared-border weights            */
+    int64_t min_size,
+    const int64_t *order,      /* small components, increasing size     */
+    int64_t n_order,
+    int64_t n_comps,
+    int64_t *parent,           /* n_comps, pre-set to identity          */
+    int64_t *merged_size,      /* n_comps, pre-set to sizes             */
+    int64_t *final_root)       /* n_comps output roots                  */
+{
+    for (int64_t i = 0; i < n_order; i++) {
+        int64_t c = order[i];
+        int64_t root_c = uf_find(parent, c);
+        if (merged_size[root_c] >= min_size) continue;
+        int64_t lo = starts[c], hi = ends[c];
+        if (lo == hi) continue;   /* isolated: whole image is one label */
+        int64_t best_w = -1, best_nb = -1, best_root = -1;
+        for (int64_t e = lo; e < hi; e++) {
+            int64_t nb = dst[e];
+            int64_t root_nb = uf_find(parent, nb);
+            if (root_nb == root_c) continue;
+            int64_t wgt = border_len[e];
+            if (wgt > best_w || (wgt == best_w && nb < best_nb)) {
+                best_w = wgt;
+                best_nb = nb;
+                best_root = root_nb;
+            }
+        }
+        if (best_root < 0) continue;
+        parent[root_c] = best_root;
+        int64_t new_root = uf_find(parent, best_root);
+        merged_size[new_root] = merged_size[root_c] + merged_size[best_root];
+    }
+    for (int64_t i = 0; i < n_comps; i++)
+        final_root[i] = uf_find(parent, i);
+}
+
+/* ------------------------------------------------------------------ */
+/* Metrics: the USE/ASA joint histogram and the 3-4 chamfer transform.
+ * The chamfer sweeps are the sequential raster form of the reference's
+ * per-row prefix-min formulation; on the integer grid the two are
+ * exactly equal (d[x] = min(pre[x], d[x-1]+3) unrolls to the same
+ * prefix minimum), so results stay bit-identical.                      */
+/* ------------------------------------------------------------------ */
+
+void contingency_i64(
+    const int64_t *a,          /* n flat labels                         */
+    const int64_t *b,          /* n flat labels                         */
+    int64_t n,
+    int64_t n_b,               /* table width                           */
+    int64_t *table)            /* n_a*n_b, zero-initialized             */
+{
+    for (int64_t i = 0; i < n; i++)
+        table[a[i] * n_b + b[i]] += 1;
+}
+
+void chamfer_i64(
+    int64_t *dist,             /* h*w grid: 0 on mask, BIG elsewhere    */
+    int64_t h, int64_t w)
+{
+    /* Forward pass: top-left to bottom-right. */
+    for (int64_t y = 0; y < h; y++) {
+        int64_t *row = dist + y * w;
+        const int64_t *up = row - w;
+        for (int64_t x = 0; x < w; x++) {
+            int64_t d = row[x], v;
+            if (y > 0) {
+                v = up[x] + 3; if (v < d) d = v;
+                if (x > 0)     { v = up[x - 1] + 4; if (v < d) d = v; }
+                if (x < w - 1) { v = up[x + 1] + 4; if (v < d) d = v; }
+            }
+            if (x > 0) { v = row[x - 1] + 3; if (v < d) d = v; }
+            row[x] = d;
+        }
+    }
+    /* Backward pass: bottom-right to top-left. */
+    for (int64_t y = h - 1; y >= 0; y--) {
+        int64_t *row = dist + y * w;
+        const int64_t *down = row + w;
+        for (int64_t x = w - 1; x >= 0; x--) {
+            int64_t d = row[x], v;
+            if (y < h - 1) {
+                v = down[x] + 3; if (v < d) d = v;
+                if (x > 0)     { v = down[x - 1] + 4; if (v < d) d = v; }
+                if (x < w - 1) { v = down[x + 1] + 4; if (v < d) d = v; }
+            }
+            if (x < w - 1) { v = row[x + 1] + 3; if (v < d) d = v; }
+            row[x] = d;
+        }
     }
 }
 

@@ -1,7 +1,9 @@
 """Backend selection for the kernel layer.
 
 Three backends implement the same kernel contract (``cpa_assign``,
-``ppa_assign``, ``connected_components``; see ``docs/kernels.md``):
+``ppa_assign``, ``connected_components``, ``lab_codes``,
+``merge_small``, ``contingency_table``, ``chamfer_distance``; see
+``docs/kernels.md``):
 
 * ``reference`` — the original loops in :mod:`repro.core`;
 * ``vectorized`` — batched pure numpy, always available;

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..core.distance import WEIGHT_FRAC_BITS
 from ..errors import ConfigurationError
+from ..metrics.boundaries import chamfer_finalize, chamfer_init
 from .vectorized import connected_components  # noqa: F401 — CC is numpy-bound
 
 __all__ = [
@@ -40,6 +41,10 @@ __all__ = [
     "cpa_assign",
     "ppa_assign",
     "connected_components",
+    "lab_codes",
+    "merge_small",
+    "contingency_table",
+    "chamfer_distance",
 ]
 
 _SRC = Path(__file__).with_name("_native.c")
@@ -158,6 +163,19 @@ def _declare(lib) -> None:
     lib.ppa_assign_fixed.argtypes = [
         i64, i64, i64, i64, i64, ll, i32, i64, ll, ll, ll, ll, ll, ll, i32,
     ]
+    lib.lab_codes_u8.restype = None
+    lib.lab_codes_u8.argtypes = [
+        u8, ll, i64, i64, ll, ll, ll, i64, ll, i64, i64, ll, ll, ll, ll,
+        ll, ll, ll, ll, ll, i64,
+    ]
+    lib.merge_small.restype = None
+    lib.merge_small.argtypes = [
+        i64, i64, i64, i64, ll, i64, ll, ll, i64, i64, i64,
+    ]
+    lib.contingency_i64.restype = None
+    lib.contingency_i64.argtypes = [i64, i64, ll, ll, i64]
+    lib.chamfer_i64.restype = None
+    lib.chamfer_i64.argtypes = [i64, ll, ll]
 
 
 def load():
@@ -290,3 +308,95 @@ def ppa_assign(
             dp.effective_distance_shift, dp.distance_max_code, out,
         )
     return out
+
+
+def lab_codes(converter, rgb):
+    """Fixed-point RGB->Lab codes; see ``convert_codes_reference``.
+
+    Ships the converter's LUTs/formats into the C pixel loop. Falls back
+    to the vectorized backend for exotic PWL configurations whose
+    rounding shifts are not strictly positive (the C loop assumes the
+    default Q-format layout, where both are).
+    """
+    rgb = np.ascontiguousarray(rgb, dtype=np.uint8)
+    pwl = converter.pwl
+    mat_shift = (
+        converter.gamma_frac_bits + converter._matrix_fmt.frac_bits
+    ) - pwl.in_fmt.frac_bits
+    out_shift = (
+        pwl.coeff_fmt.frac_bits + pwl.in_fmt.frac_bits
+    ) - pwl.out_fmt.frac_bits
+    if mat_shift <= 0 or out_shift <= 0:
+        from . import vectorized
+
+        return vectorized.lab_codes(converter, rgb)
+    lib = load()
+    h, w = rgb.shape[:2]
+    enc = converter.encoding
+    codes = np.empty((h, w, 3), dtype=np.int64)
+    lib.lab_codes_u8(
+        rgb.reshape(-1),
+        h * w,
+        np.ascontiguousarray(converter.gamma_lut, dtype=np.int64),
+        np.ascontiguousarray(converter.matrix_raw, dtype=np.int64).reshape(-1),
+        mat_shift,
+        pwl.in_fmt.raw_min, pwl.in_fmt.raw_max,
+        np.ascontiguousarray(pwl.breaks_raw, dtype=np.int64),
+        pwl.n_segments,
+        np.ascontiguousarray(pwl.slopes_raw, dtype=np.int64),
+        np.ascontiguousarray(pwl.intercepts_raw, dtype=np.int64),
+        pwl.in_fmt.frac_bits,
+        out_shift,
+        pwl.out_fmt.raw_min, pwl.out_fmt.raw_max,
+        pwl.out_fmt.frac_bits,
+        int(round(enc.l_scale * (1 << 14))),
+        int(round(enc.ab_scale * (1 << 14))),
+        enc.ab_offset,
+        enc.code_max,
+        codes.reshape(-1),
+    )
+    return codes
+
+
+def merge_small(sizes, starts, ends, dst, border_len, min_size, order):
+    """Greedy small-component merge walk; see ``merge_small_reference``."""
+    lib = load()
+    n_comps = len(sizes)
+    parent = np.arange(n_comps, dtype=np.int64)
+    merged_size = np.ascontiguousarray(sizes, dtype=np.int64).copy()
+    final_root = np.empty(n_comps, dtype=np.int64)
+    order = np.ascontiguousarray(order, dtype=np.int64)
+    lib.merge_small(
+        np.ascontiguousarray(starts, dtype=np.int64),
+        np.ascontiguousarray(ends, dtype=np.int64),
+        np.ascontiguousarray(dst, dtype=np.int64),
+        np.ascontiguousarray(border_len, dtype=np.int64),
+        int(min_size),
+        order, len(order),
+        n_comps, parent, merged_size, final_root,
+    )
+    return final_root
+
+
+def contingency_table(a_flat, b_flat, n_a, n_b):
+    """Joint label histogram; see ``contingency_table_reference``."""
+    lib = load()
+    a_flat = np.ascontiguousarray(a_flat, dtype=np.int64)
+    b_flat = np.ascontiguousarray(b_flat, dtype=np.int64)
+    table = np.zeros(n_a * n_b, dtype=np.int64)
+    lib.contingency_i64(a_flat, b_flat, len(a_flat), n_b, table)
+    return table.reshape(n_a, n_b)
+
+
+def chamfer_distance(mask):
+    """3-4 chamfer transform; see ``chamfer_distance_reference``.
+
+    The C sweeps are the sequential raster form of the reference's
+    prefix-min rows — exactly equal on the integer grid — and share the
+    init/finalize helpers so the float conversion is identical too.
+    """
+    lib = load()
+    dist = chamfer_init(mask)
+    h, w = dist.shape
+    lib.chamfer_i64(dist.reshape(-1), h, w)
+    return chamfer_finalize(dist)

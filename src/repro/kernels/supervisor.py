@@ -88,11 +88,14 @@ def _known_answer_inputs():
 
 
 def self_test(name: str) -> None:
-    """Run the known-answer kernel check for backend ``name``.
+    """Run the known-answer kernel checks for backend ``name``.
 
-    Raises :class:`ConfigurationError` with the mismatch detail when the
-    backend's CPA output differs from the reference loops. Cheap (a
-    6 x 9 image, two centers) — intended to run once per process.
+    Exercises every kernel in the contract (CPA scan, Lab conversion,
+    merge walk, metric histogram/chamfer) on tiny fixed inputs and
+    compares against the reference loops, raising
+    :class:`ConfigurationError` with the mismatch detail on any
+    difference. Cheap (a 6 x 9 image and a handful of components) —
+    intended to run once per process.
     """
     from . import reference
     from .dispatch import _module
@@ -120,6 +123,48 @@ def self_test(name: str) -> None:
             f"distances match: {np.array_equal(got_dist, want_dist)}, "
             f"touched: {got_touched} vs {want_touched})"
         )
+
+    def check(kernel, got, want):
+        if not np.array_equal(got, want):
+            raise ConfigurationError(
+                f"kernel backend {name!r} failed its known-answer "
+                f"self-test on {kernel!r} (output differs from reference)"
+            )
+
+    # Fixed-point Lab conversion: a tiny RGB ramp covering all channels.
+    from ..color.hw_convert import HwColorConverter
+
+    rgb = (np.arange(4 * 5 * 3, dtype=np.int64) * 13 % 256).astype(
+        np.uint8
+    ).reshape(4, 5, 3)
+    conv = HwColorConverter()
+    check("lab_codes", backend.lab_codes(conv, rgb), reference.lab_codes(conv, rgb))
+
+    # Merge walk: 4 components, CSR adjacency with a weight tie (1<->3).
+    sizes = np.array([2, 9, 1, 8], dtype=np.int64)
+    starts = np.array([0, 2, 5, 7], dtype=np.int64)
+    ends = np.array([2, 5, 7, 9], dtype=np.int64)
+    dst = np.array([1, 2, 0, 2, 3, 0, 1, 1, 2], dtype=np.int64)
+    border = np.array([3, 1, 3, 2, 4, 1, 2, 4, 2], dtype=np.int64)
+    order = np.array([2, 0], dtype=np.int64)
+    args = (sizes, starts, ends, dst, border, 4, order)
+    check("merge_small", backend.merge_small(*args), reference.merge_small(*args))
+
+    # Metrics: joint histogram and chamfer transform on tiny maps.
+    a_flat = np.array([0, 0, 1, 2, 1, 0], dtype=np.int64)
+    b_flat = np.array([1, 0, 1, 1, 0, 1], dtype=np.int64)
+    check(
+        "contingency_table",
+        backend.contingency_table(a_flat, b_flat, 3, 2),
+        reference.contingency_table(a_flat, b_flat, 3, 2),
+    )
+    mask = np.zeros((5, 7), dtype=bool)
+    mask[1, 2] = mask[4, 6] = True
+    check(
+        "chamfer_distance",
+        backend.chamfer_distance(mask),
+        reference.chamfer_distance(mask),
+    )
 
 
 def _forced_failures(extra=None) -> frozenset:

@@ -1,18 +1,27 @@
 """The ``vectorized`` backend: batched pure-numpy kernels.
 
-Portable optimized backend — no compiler required. Three kernels:
+Portable optimized backend — no compiler required. The kernels:
 
 * :func:`cpa_assign` — processes a whole center subset per call. Window
   pixels for a chunk of centers are gathered with clipped index arrays,
   distances computed in one batch, and the per-pixel winner selected with
   a two-pass ``np.minimum.at`` scatter-argmin that reproduces the
   reference's sequential tie rule exactly (first center in scan order to
-  reach the minimum keeps the pixel).
+  reach the minimum keeps the pixel). Scratch buffers are preallocated
+  per process and reused across sweeps.
 * :func:`ppa_assign` — the 9-candidate evaluation fused over candidate
   slots: per-slot ``(M,)`` temporaries and a running minimum instead of
   the reference's ``(M, 9, 3)`` intermediates.
 * :func:`connected_components` — union-find replaced by iterative
   min-label propagation with pointer jumping; no Python edge loop.
+* :func:`lab_codes` — the fixed-point RGB->Lab pipeline run once per
+  *unique* 24-bit color and gathered back, exploiting that real frames
+  use a small fraction of the color cube.
+* :func:`merge_small` — the greedy small-component merge walk with the
+  per-component neighbor scan batched (vectorized root resolution and
+  ``np.lexsort`` best-neighbor selection).
+* ``contingency_table`` / ``chamfer_distance`` — the numpy reference
+  implementations are already batched; aliased as-is.
 
 Every arithmetic expression mirrors the reference implementations
 operation for operation (same dtypes, same reduction order), so labels
@@ -24,12 +33,28 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..color.hw_convert import convert_codes_reference
 from ..core.assignment import _PPA_CHUNK, PixelArrays
-from ..core.connectivity import _run_ids
+from ..core.connectivity import _resolve_roots, _run_ids, _UnionFind
 from ..core.distance import WEIGHT_FRAC_BITS, FixedDatapath
+from ..metrics.boundaries import (  # noqa: F401 — numpy-bound, reference is optimal
+    chamfer_distance_reference as chamfer_distance,
+)
+from ..metrics.boundaries import (  # noqa: F401
+    contingency_table_reference as contingency_table,
+)
 from ..types import validate_label_map
 
-__all__ = ["cpa_assign", "ppa_assign", "connected_components", "is_available"]
+__all__ = [
+    "cpa_assign",
+    "ppa_assign",
+    "connected_components",
+    "lab_codes",
+    "merge_small",
+    "contingency_table",
+    "chamfer_distance",
+    "is_available",
+]
 
 #: Cap on window entries materialized per CPA chunk (entry = one
 #: center/pixel pair); bounds peak memory at ~160 MB of temporaries.
@@ -41,6 +66,33 @@ _POS_SENTINEL = np.int64(1) << 62
 
 def is_available() -> bool:
     return True
+
+
+#: Per-process reusable CPA scratch, keyed by ``(n_pixels, fixed)``.
+#: Checkout/checkin protocol: buffers are popped at sweep start and only
+#: stored back after a clean finish, so an exception mid-sweep can never
+#: leave a dirty buffer for the next sweep to trust. The chunk loop
+#: restores ``gmin``/``first`` to their sentinel state as it goes, so
+#: checkin needs no re-initialization; only ``touched`` is cleared on
+#: checkout.
+_CPA_SCRATCH: dict = {}
+
+
+def _cpa_scratch_checkout(n: int, fixed: bool, sentinel):
+    bufs = _CPA_SCRATCH.pop((n, fixed), None)
+    if bufs is None:
+        gmin = np.full(n, sentinel, dtype=np.int64 if fixed else np.float64)
+        first = np.full(n, _POS_SENTINEL, dtype=np.int64)
+        touched = np.zeros(n, dtype=bool)
+        return gmin, first, touched
+    bufs[2].fill(False)
+    return bufs
+
+
+def _cpa_scratch_checkin(n: int, fixed: bool, bufs) -> None:
+    if len(_CPA_SCRATCH) >= 4:  # bound growth across geometries
+        _CPA_SCRATCH.clear()
+    _CPA_SCRATCH[(n, fixed)] = bufs
 
 
 def cpa_assign(
@@ -72,15 +124,14 @@ def cpa_assign(
         sf = datapath.spatial_frac_bits
         codes_flat = np.asarray(codes, dtype=np.int64).reshape(-1, 3)
         sentinel = np.iinfo(np.int64).max
-        gmin = np.full(h * w, sentinel, dtype=np.int64)
     else:
         lab_flat = lab.reshape(-1, 3)
         sentinel = np.inf
-        gmin = np.full(h * w, np.inf, dtype=np.float64)
-    first = np.full(h * w, _POS_SENTINEL, dtype=np.int64)
+    gmin, first, touched = _cpa_scratch_checkout(
+        h * w, datapath is not None, sentinel
+    )
     dist_flat = dist_buf.reshape(-1)
     labels_flat = labels_buf.reshape(-1)
-    touched = np.zeros(h * w, dtype=bool)
     offsets = np.arange(-half, half + 1, dtype=np.int64)
     win = 2 * half + 1
     chunk = max(1, _MAX_ENTRIES // (win * win))
@@ -151,7 +202,9 @@ def cpa_assign(
         # Reset only the entries this chunk dirtied.
         gmin[pix] = sentinel
         first[pix] = _POS_SENTINEL
-    return int(np.count_nonzero(touched))
+    n_touched = int(np.count_nonzero(touched))
+    _cpa_scratch_checkin(h * w, datapath is not None, (gmin, first, touched))
+    return n_touched
 
 
 def ppa_assign(
@@ -251,3 +304,72 @@ def connected_components(labels: np.ndarray):
     uniq, dense = np.unique(parent, return_inverse=True)
     components = dense[run_id]
     return components.astype(np.int32), int(len(uniq))
+
+
+def lab_codes(converter, rgb: np.ndarray) -> np.ndarray:
+    """Fixed-point RGB->Lab codes via the unique-color gather trick.
+
+    The pipeline is a pure per-pixel function of the 24-bit RGB triple,
+    so it is run once per *unique* color (typically a few thousand for a
+    frame, vs. hundreds of thousands of pixels) and gathered back —
+    bit-identical to the reference by construction.
+    """
+    rgb = np.asarray(rgb)
+    h, w = rgb.shape[:2]
+    packed = (
+        (rgb[..., 0].astype(np.int64) << 16)
+        | (rgb[..., 1].astype(np.int64) << 8)
+        | rgb[..., 2].astype(np.int64)
+    ).ravel()
+    uniq, inverse = np.unique(packed, return_inverse=True)
+    uc = np.empty((1, len(uniq), 3), dtype=np.uint8)
+    uc[0, :, 0] = (uniq >> 16) & 0xFF
+    uc[0, :, 1] = (uniq >> 8) & 0xFF
+    uc[0, :, 2] = uniq & 0xFF
+    codes_u = convert_codes_reference(converter, uc)[0]  # (U, 3) int64
+    return codes_u[inverse].reshape(h, w, 3)
+
+
+def merge_small(
+    sizes: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    dst: np.ndarray,
+    border_len: np.ndarray,
+    min_size: int,
+    order: np.ndarray,
+) -> np.ndarray:
+    """Greedy small-component merge walk; same contract as the reference.
+
+    The per-component neighbor scan is batched: root resolution via
+    vectorized pointer jumping and best-neighbor selection via
+    ``np.lexsort`` (longest border, ties to lowest component id — the
+    reference tie rule exactly).
+    """
+    n_comps = len(sizes)
+    uf = _UnionFind(n_comps)
+    merged_size = sizes.astype(np.int64).copy()
+    for c in order:
+        c = int(c)
+        root_c = uf.find(c)
+        if merged_size[root_c] >= min_size:
+            continue
+        lo, hi = int(starts[c]), int(ends[c])
+        if lo == hi:
+            continue  # isolated (whole image is one label)
+        neigh = dst[lo:hi]
+        weights = border_len[lo:hi]
+        # Exclude neighbors already merged into the same root.
+        roots = _resolve_roots(uf.parent, neigh)
+        valid = roots != root_c
+        if not valid.any():
+            continue
+        vneigh = neigh[valid]
+        vweights = weights[valid]
+        vroots = roots[valid]
+        best = np.lexsort((vneigh, -vweights))[0]
+        target_root = int(vroots[best])
+        uf.union_into(root_c, target_root)
+        new_root = uf.find(target_root)
+        merged_size[new_root] = merged_size[root_c] + merged_size[target_root]
+    return _resolve_roots(uf.parent, np.arange(n_comps, dtype=np.int64))

@@ -32,6 +32,7 @@ See ``docs/parallel.md`` for the architecture and guarantees.
 from .batch import load_image_batch, synthetic_batch, synthetic_streams
 from .records import BatchResult, FrameRecord, FrameTask
 from .runner import ParallelRunner
+from .shm import ShmTransport, SlabPool, SlabRef, shm_available
 from .worker import run_frame
 
 __all__ = [
@@ -43,4 +44,8 @@ __all__ = [
     "load_image_batch",
     "synthetic_batch",
     "synthetic_streams",
+    "ShmTransport",
+    "SlabPool",
+    "SlabRef",
+    "shm_available",
 ]

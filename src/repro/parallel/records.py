@@ -31,6 +31,12 @@ class FrameTask:
     same frame with ``attempt + 1``); ``fault`` is an optional
     :class:`repro.resilience.FaultSpec` the worker-side injection hook
     applies before running (chaos testing — ``None`` in production).
+
+    Under the zero-copy transport (``transport="shm"``), ``image`` and
+    ``warm_labels`` are ``None`` and the ``shm_*`` fields carry
+    :class:`~repro.parallel.shm.SlabRef` pointers instead: the worker
+    attaches the slabs by name and reads the payloads in place
+    (``shm_result`` names the pre-sized slab it writes labels into).
     """
 
     stream_id: int
@@ -42,6 +48,9 @@ class FrameTask:
     collect_trace: bool = False
     attempt: int = 0
     fault: object = None
+    shm_image: object = None
+    shm_warm_labels: object = None
+    shm_result: object = None
 
 
 @dataclass
@@ -86,6 +95,15 @@ class FrameRecord:
         When the kernel backend supervisor demoted the requested
         backend (failed load or self-test), the backend that was
         demoted; ``kernel_backend`` then names the survivor.
+    transport:
+        How the frame's arrays crossed the process boundary:
+        ``"shm"`` for the zero-copy slab transport, ``None`` for
+        pickle/serial (the default path).
+    shm_labels:
+        In-flight only: the :class:`~repro.parallel.shm.SlabRef` of the
+        labels the worker wrote into the result slab. The parent
+        materializes ``result.labels`` from it at finalize time and
+        clears this field — records handed to callers never carry refs.
     """
 
     stream_id: int
@@ -102,6 +120,8 @@ class FrameRecord:
     attempts: int = 1
     quarantined: bool = False
     demoted_from: str = None
+    transport: str = None
+    shm_labels: object = None
 
     @property
     def key(self) -> tuple:
@@ -126,6 +146,10 @@ class BatchResult:
     retries_used: int = 0
     timeouts: int = 0
     resumed_frames: int = 0
+    #: Concrete transport the run used ("pickle" or "shm"); a requested
+    #: shm transport that fell back reports "pickle" here, with the
+    #: fallback visible in telemetry (parallel.transport_fallbacks).
+    transport: str = "pickle"
 
     @property
     def n_frames(self) -> int:

@@ -131,6 +131,15 @@ class ParallelRunner:
         A :class:`repro.resilience.FaultPlan` (or compact spec string —
         see :meth:`FaultPlan.parse`) of deterministic faults to inject.
         Chaos testing only; ``None`` in production.
+    transport:
+        How frame arrays cross the process boundary. ``"pickle"``
+        (default) serializes images/labels through the executor's pipes;
+        ``"shm"`` moves them through ``multiprocessing.shared_memory``
+        slabs (zero-copy — see :mod:`repro.parallel.shm`), falling back
+        to pickle (with ``parallel.transport_fallbacks`` telemetry) when
+        shared memory is unavailable or slab allocation fails;
+        ``"auto"`` picks shm when available. Serial runs
+        (``n_workers=1``) always use in-process arrays — no transport.
     """
 
     def __init__(
@@ -147,6 +156,7 @@ class ParallelRunner:
         retry=None,
         checkpoint=None,
         faults=None,
+        transport: str = "pickle",
     ):
         if params is not None and not isinstance(params, SlicParams):
             raise ConfigurationError(
@@ -166,6 +176,11 @@ class ParallelRunner:
             raise ConfigurationError(
                 f"frame_timeout must be > 0 seconds, got {frame_timeout}"
             )
+        if transport not in ("pickle", "shm", "auto"):
+            raise ConfigurationError(
+                f"transport must be 'pickle', 'shm', or 'auto', got {transport!r}"
+            )
+        self.transport = transport
         # Resolve the default once so serial and parallel runs, and every
         # stream, share the exact same params object.
         self.params = params if params is not None else SlicParams(
@@ -260,6 +275,7 @@ class ParallelRunner:
                 "checkpoint= journal path"
             )
 
+        transport, transport_name = self._resolve_transport()
         try:
             with self.tracer.span(
                 "batch",
@@ -267,13 +283,16 @@ class ParallelRunner:
                 n_workers=self.n_workers,
                 max_pending=self.max_pending,
                 resumed_frames=len(replayed),
+                transport=transport_name,
             ) as batch_span:
                 start = time.perf_counter()
-                stats = self._drive(states, batch_span, journal)
+                stats = self._drive(states, batch_span, journal, transport)
                 elapsed = time.perf_counter() - start
         finally:
             if journal is not None:
                 journal.close()
+            if transport is not None:
+                transport.close()
         records = replayed + stats["records"]
         records.sort(key=lambda r: r.key)
         result = BatchResult(
@@ -285,10 +304,40 @@ class ParallelRunner:
             retries_used=stats["retries"],
             timeouts=stats["timeouts"],
             resumed_frames=len(replayed),
+            transport=transport_name if not stats["transport_fallback"] else "pickle",
         )
         self.tracer.gauge("parallel.throughput_fps", result.throughput_fps)
         self.tracer.gauge("parallel.workers", self.n_workers)
         return result
+
+    def _resolve_transport(self):
+        """Pick the concrete transport for one run.
+
+        Returns ``(ShmTransport | None, name)``. The shm path mirrors
+        kernel-backend demotion: an explicit (or auto) shm request that
+        cannot be honored falls back to pickle and leaves a trace —
+        a ``transport_fallback`` event + ``parallel.transport_fallbacks``
+        counter — rather than failing the batch.
+        """
+        if self.transport == "pickle" or self.n_workers == 1:
+            return None, "pickle"
+        from .shm import ShmTransport, shm_available
+
+        if shm_available():
+            try:
+                return ShmTransport(tracer=self.tracer), "shm"
+            except Exception as exc:
+                reason = str(exc)
+        else:
+            reason = "shared memory unavailable (no usable /dev/shm)"
+        self.tracer.count("parallel.transport_fallbacks")
+        self.tracer.event(
+            "transport_fallback",
+            requested=self.transport,
+            fallback="pickle",
+            reason=reason,
+        )
+        return None, "pickle"
 
     def resume(self, streams) -> BatchResult:
         """Restart a killed batch from its checkpoint journal.
@@ -388,7 +437,7 @@ class ParallelRunner:
         except Exception:
             pass
 
-    def _drive(self, states, batch_span, journal):
+    def _drive(self, states, batch_span, journal, transport=None):
         """The scheduling loop shared by serial and parallel execution."""
         policy = self.retry_policy
         injector = self.fault_injector
@@ -397,6 +446,11 @@ class ParallelRunner:
         restarts = 0
         retries_used = 0
         timeouts = 0
+        # Mid-run fallback: when slab allocation fails, stop encoding new
+        # frames (already-encoded frames still finalize through the
+        # transport, whose slabs stay valid until close()).
+        transport_active = transport is not None
+        transport_fell_back = False
         pending = {}  # future -> (state, plan, task, deadline)
         retry_queue = []  # (due_monotonic, state, plan, task)
         executor = None
@@ -424,9 +478,16 @@ class ParallelRunner:
         def finish(state, plan, task, record):
             """Route one attempt's outcome: retry, quarantine, or collect."""
             nonlocal retries_used
-            if not record.ok and policy.should_retry(
+            will_retry = not record.ok and policy.should_retry(
                 record.error_type, task.attempt, retries_used
-            ):
+            )
+            if not will_retry and transport is not None:
+                # Final outcome for this frame: materialize labels out of
+                # the result slab and recycle both slabs. (A retried
+                # attempt keeps its slabs outstanding — the resubmission
+                # re-ships the same refs under the same generation.)
+                record = transport.finalize(task, record)
+            if will_retry:
                 retries_used += 1
                 self.tracer.count("resilience.retries")
                 next_attempt = task.attempt + 1
@@ -528,7 +589,7 @@ class ParallelRunner:
 
         def submit_one(state, plan, task):
             """Ship one task to the pool or run it in-process."""
-            nonlocal executor, max_in_flight
+            nonlocal executor, max_in_flight, transport_active, transport_fell_back
             if injector is not None and task.fault is None:
                 task = replace(
                     task,
@@ -537,6 +598,24 @@ class ParallelRunner:
                         in_worker=not serial_fallback,
                     ),
                 )
+            if transport_active:
+                try:
+                    task = transport.encode_task(task)
+                    self.tracer.count("parallel.shm_frames")
+                except Exception as exc:
+                    # Slab allocation failed mid-run: this frame (and all
+                    # later ones) ship by pickle; frames already in slabs
+                    # are unaffected. Same telemetry shape as a kernel
+                    # demotion.
+                    transport_active = False
+                    transport_fell_back = True
+                    self.tracer.count("parallel.transport_fallbacks")
+                    self.tracer.event(
+                        "transport_fallback",
+                        requested=self.transport,
+                        fallback="pickle",
+                        reason=str(exc),
+                    )
             if serial_fallback:
                 max_in_flight = max(max_in_flight, 1)
                 finish(state, plan, task, run_local(task))
@@ -709,6 +788,7 @@ class ParallelRunner:
             "restarts": restarts,
             "retries": retries_used,
             "timeouts": timeouts,
+            "transport_fallback": transport_fell_back,
         }
 
     # ------------------------------------------------------------------
@@ -736,6 +816,11 @@ class ParallelRunner:
                     "worker_pid": record.worker_pid,
                     "warm_started": record.warm_started,
                     "attempts": record.attempts,
+                    **(
+                        {"transport": record.transport}
+                        if record.transport
+                        else {}
+                    ),
                     **(
                         {"kernel_demoted_from": record.demoted_from}
                         if record.demoted_from

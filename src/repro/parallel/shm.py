@@ -1,0 +1,429 @@
+"""Zero-copy shared-memory frame transport for the parallel runner.
+
+The pickle transport ships every RGB frame into the pool and every label
+map back out through the executor's pipes — at 1080p that is ~6 MB of
+serialized bytes per frame each way, and it dominates end-to-end
+throughput once the per-pixel kernels are fast (the same observation
+that drives the paper's scratchpad design: once compute is tight, data
+movement is the ceiling). This module removes that traffic:
+
+* the parent writes each frame's RGB (and warm labels, when the stream
+  planned a warm start) into a **slab** of
+  ``multiprocessing.shared_memory``, and ships only a tiny picklable
+  :class:`SlabRef` (name + generation + layout) in the
+  :class:`~repro.parallel.records.FrameTask`;
+* the worker attaches to the slab by name (attachments are cached per
+  process), runs segmentation on a **read-only view** of the payload,
+  writes the ``int32`` label map into a pre-sized **result slab**, and
+  returns a record whose ``shm_labels`` ref replaces the array;
+* the parent materializes the labels out of the result slab when the
+  frame is *finalized* and returns both slabs to a free pool for reuse
+  by later frames.
+
+Slab lifecycle vs. the resilience layer (PR 4)
+----------------------------------------------
+Slabs are owned by the parent and keyed by ``(stream_id, frame_index)``
+— **not** by attempt. A retried, resubmitted (watchdog victim), or
+crashed-and-replayed frame re-ships the *same* refs; its slabs are
+released only when the frame's final record is collected. Every slab
+carries a **generation tag**: an 8-byte counter in the slab header,
+bumped each time the pool hands the slab to a new frame and embedded in
+every :class:`SlabRef`. A worker that somehow attaches a recycled slab
+(a stale task after the parent moved on) sees the mismatch and fails the
+frame with :class:`~repro.errors.TransportError` instead of silently
+reading another frame's pixels.
+
+Fallback
+--------
+``ParallelRunner(transport="shm")`` probes availability at run start and
+falls back to pickle — recorded in telemetry
+(``parallel.transport_fallbacks`` + a ``transport_fallback`` event),
+exactly like a kernel-backend demotion — when shared memory is missing
+(no ``/dev/shm``) or slab allocation fails mid-run.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..errors import TransportError
+
+try:  # pragma: no cover - exercised only where shm is missing
+    from multiprocessing import resource_tracker, shared_memory
+
+    _IMPORT_ERROR = None
+except ImportError as exc:  # pragma: no cover
+    shared_memory = None
+    resource_tracker = None
+    _IMPORT_ERROR = exc
+
+__all__ = [
+    "SlabRef",
+    "Slab",
+    "SlabPool",
+    "ShmTransport",
+    "shm_available",
+    "decode_task",
+    "publish_result",
+    "detach_all",
+]
+
+#: Payload offset inside every slab. The first 8 bytes hold the
+#: little-endian uint64 generation tag; the rest of the header is
+#: reserved padding so payloads start cache-line aligned.
+HEADER_BYTES = 64
+
+#: Slab capacities are rounded up to this granularity so frames of
+#: slightly different byte sizes can still reuse each other's slabs.
+_CAPACITY_QUANTUM = 4096
+
+
+@dataclass(frozen=True)
+class SlabRef:
+    """A picklable pointer into a shared-memory slab.
+
+    ``generation`` must match the tag in the slab header at attach time;
+    ``offset`` is relative to the payload start (header excluded).
+    """
+
+    name: str
+    generation: int
+    offset: int
+    shape: tuple
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+class Slab:
+    """Parent-side handle of one shared-memory segment."""
+
+    __slots__ = ("shm", "capacity", "generation")
+
+    def __init__(self, shm, capacity: int):
+        self.shm = shm
+        self.capacity = capacity  # payload bytes (header excluded)
+        self.generation = 0
+
+    def stamp(self) -> None:
+        """Bump the generation and write it into the slab header."""
+        self.generation += 1
+        struct.pack_into("<Q", self.shm.buf, 0, self.generation)
+
+    def view(self, ref: SlabRef, writeable: bool = True):
+        arr = np.ndarray(
+            ref.shape,
+            dtype=np.dtype(ref.dtype),
+            buffer=self.shm.buf,
+            offset=HEADER_BYTES + ref.offset,
+        )
+        arr.flags.writeable = writeable
+        return arr
+
+
+class SlabPool:
+    """Parent-side pool of reusable slabs (a free list, not a ring
+    buffer: the watchdog/retry paths hold slabs for arbitrary spans, so
+    strict ring order cannot be guaranteed — reuse order is whatever
+    frames finalize first, which is equivalent and simpler)."""
+
+    def __init__(self):
+        if shared_memory is None:
+            raise TransportError(
+                f"multiprocessing.shared_memory unavailable: {_IMPORT_ERROR}"
+            )
+        self._free = []  # Slab, sorted by capacity (ascending)
+        self._all = []
+        self.created = 0
+        self.reused = 0
+
+    def acquire(self, nbytes: int) -> Slab:
+        """A slab with >= ``nbytes`` payload capacity, generation bumped."""
+        for i, slab in enumerate(self._free):
+            if slab.capacity >= nbytes:  # best fit: list is size-sorted
+                self._free.pop(i)
+                self.reused += 1
+                slab.stamp()
+                return slab
+        capacity = -(-max(nbytes, 1) // _CAPACITY_QUANTUM) * _CAPACITY_QUANTUM
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=HEADER_BYTES + capacity
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"failed to allocate a {capacity}-byte shared-memory slab: {exc}"
+            ) from exc
+        slab = Slab(shm, capacity)
+        self._all.append(slab)
+        self.created += 1
+        slab.stamp()
+        return slab
+
+    def release(self, slab: Slab) -> None:
+        """Return a slab to the free list for reuse."""
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid].capacity < slab.capacity:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, slab)
+
+    def close(self) -> None:
+        """Close and unlink every slab this pool ever created."""
+        for slab in self._all:
+            try:
+                slab.shm.close()
+                slab.shm.unlink()
+            except Exception:
+                pass  # already gone (e.g. the OS cleaned up)
+        self._free.clear()
+        self._all.clear()
+
+
+def shm_available() -> bool:
+    """Can this process create (and attach) a shared-memory segment?"""
+    if shared_memory is None:
+        return False
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=HEADER_BYTES)
+    except OSError:
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except Exception:
+        pass
+    return True
+
+
+# ----------------------------------------------------------------------
+# Worker side: attach, decode, publish
+# ----------------------------------------------------------------------
+_ATTACHED = {}  # name -> SharedMemory, cached per process
+
+
+def _attach(name: str):
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        if shared_memory is None:
+            raise TransportError(
+                f"cannot attach slab {name}: shared_memory unavailable"
+            )
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except (OSError, ValueError) as exc:
+            raise TransportError(
+                f"failed to attach shared-memory slab {name}: {exc}"
+            ) from exc
+        # The parent owns slab lifetime (it unlinks at transport close,
+        # which also unregisters). Under fork, workers share the parent's
+        # resource tracker, so a worker must NOT unregister — concurrent
+        # unregisters of the same name race into tracker KeyErrors and
+        # strip the parent's crash protection. Under spawn, each worker
+        # has its *own* tracker which would unlink live slabs at worker
+        # exit, so there the attachment must be unregistered.
+        import multiprocessing
+
+        if multiprocessing.get_start_method(allow_none=True) not in (
+            None,
+            "fork",
+        ):  # pragma: no cover - spawn/forkserver platforms
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        _ATTACHED[name] = shm
+    return shm
+
+
+def detach_all() -> None:
+    """Drop this process's cached slab attachments (close the handles)."""
+    for shm in _ATTACHED.values():
+        try:
+            shm.close()
+        except Exception:
+            pass
+    _ATTACHED.clear()
+
+
+def ref_to_array(ref: SlabRef, writeable: bool = False):
+    """Attach ``ref``'s slab and return a payload view, verifying the
+    generation tag — a mismatch means the slab was recycled for another
+    frame and the ref is stale."""
+    shm = _attach(ref.name)
+    gen = struct.unpack_from("<Q", shm.buf, 0)[0]
+    if gen != ref.generation:
+        raise TransportError(
+            f"stale slab ref: {ref.name} is at generation {gen}, "
+            f"ref expects {ref.generation} (slab recycled for another frame)"
+        )
+    if HEADER_BYTES + ref.offset + ref.nbytes > shm.size:
+        raise TransportError(
+            f"slab ref overruns {ref.name}: offset {ref.offset} + "
+            f"{ref.nbytes} bytes exceeds slab size {shm.size}"
+        )
+    arr = np.ndarray(
+        ref.shape,
+        dtype=np.dtype(ref.dtype),
+        buffer=shm.buf,
+        offset=HEADER_BYTES + ref.offset,
+    )
+    arr.flags.writeable = writeable
+    return arr
+
+
+def decode_task(task):
+    """Materialize a task's shm refs into arrays (worker side).
+
+    The image comes back as a *read-only view* of the slab — zero-copy.
+    Everything downstream that mutates (fault corruption, warm-label
+    sanitation) copies first, so the slab payload is never dirtied.
+    """
+    if task.shm_image is None:
+        return task
+    image = ref_to_array(task.shm_image, writeable=False)
+    warm_labels = task.warm_labels
+    if task.shm_warm_labels is not None:
+        warm_labels = ref_to_array(task.shm_warm_labels, writeable=False)
+    return replace(task, image=image, warm_labels=warm_labels)
+
+
+def publish_result(task, record):
+    """Write a successful record's labels into the result slab and strip
+    the array from the record (worker side). The parent re-materializes
+    them at finalize time."""
+    if task.shm_result is None or not record.ok or record.result is None:
+        return record
+    ref = task.shm_result
+    labels = np.asarray(record.result.labels)
+    if tuple(labels.shape) != tuple(ref.shape):
+        raise TransportError(
+            f"label shape {tuple(labels.shape)} does not match the result "
+            f"slab layout {tuple(ref.shape)}"
+        )
+    out = ref_to_array(ref, writeable=True)
+    out[...] = labels
+    record.result.labels = None
+    record.shm_labels = ref
+    record.transport = "shm"
+    return record
+
+
+# ----------------------------------------------------------------------
+# Parent side: the transport object the runner drives
+# ----------------------------------------------------------------------
+def _align(nbytes: int, granule: int = 64) -> int:
+    return -(-nbytes // granule) * granule
+
+
+class ShmTransport:
+    """Parent-side transport: encode tasks into slabs, finalize records
+    out of them. Single-threaded (driven by the runner's scheduling
+    loop), one instance per run."""
+
+    name = "shm"
+
+    def __init__(self, tracer=None):
+        self.pool = SlabPool()
+        self.tracer = tracer
+        self._outstanding = {}  # (stream_id, frame_index) -> (in_slab, out_slab)
+        self.frames_encoded = 0
+
+    def encode_task(self, task):
+        """Move the task's arrays into slabs; returns the slim task.
+
+        Idempotent: a task that already carries refs (a retry or a
+        watchdog resubmission) passes through untouched — its slabs stay
+        live under the same generation until the frame finalizes.
+        """
+        if task.shm_result is not None:
+            return task
+        image = np.ascontiguousarray(np.asarray(task.image))
+        arrays = [image]
+        if task.warm_labels is not None:
+            arrays.append(np.ascontiguousarray(task.warm_labels))
+        offsets = []
+        total = 0
+        for arr in arrays:
+            offsets.append(total)
+            total += _align(arr.nbytes)
+        in_slab = self.pool.acquire(total)
+        try:
+            refs = []
+            for arr, off in zip(arrays, offsets):
+                ref = SlabRef(
+                    name=in_slab.shm.name,
+                    generation=in_slab.generation,
+                    offset=off,
+                    shape=tuple(arr.shape),
+                    dtype=str(arr.dtype),
+                )
+                in_slab.view(ref)[...] = arr
+                refs.append(ref)
+            h, w = image.shape[:2]
+            out_slab = self.pool.acquire(h * w * np.dtype(np.int32).itemsize)
+        except Exception:
+            self.pool.release(in_slab)
+            raise
+        out_ref = SlabRef(
+            name=out_slab.shm.name,
+            generation=out_slab.generation,
+            offset=0,
+            shape=(h, w),
+            dtype="int32",
+        )
+        self._outstanding[(task.stream_id, task.frame_index)] = (
+            in_slab,
+            out_slab,
+        )
+        self.frames_encoded += 1
+        return replace(
+            task,
+            image=None,
+            warm_labels=None,
+            shm_image=refs[0],
+            shm_warm_labels=refs[1] if len(refs) > 1 else None,
+            shm_result=out_ref,
+        )
+
+    def finalize(self, task, record):
+        """Materialize the labels from the result slab and release the
+        frame's slabs. Called exactly once per frame, on its *final*
+        record (never on an attempt that is about to be retried)."""
+        slabs = self._outstanding.pop((task.stream_id, task.frame_index), None)
+        if slabs is None:
+            return record  # frame was never shm-encoded (e.g. pre-fallback)
+        in_slab, out_slab = slabs
+        if record.shm_labels is not None:
+            ref = record.shm_labels
+            if ref.generation != out_slab.generation:
+                raise TransportError(
+                    f"result slab {ref.name} generation mismatch at finalize "
+                    f"({out_slab.generation} vs ref {ref.generation})"
+                )
+            if record.result is not None and record.result.labels is None:
+                record.result.labels = out_slab.view(ref).copy()
+            record.shm_labels = None
+        self.pool.release(in_slab)
+        self.pool.release(out_slab)
+        return record
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)
+
+    def close(self) -> None:
+        """Release everything and unlink every slab. In-process
+        attachments (the parent may have attached its own slabs during a
+        serial fallback) are dropped first so no stale handles survive."""
+        detach_all()
+        self._outstanding.clear()
+        self.pool.close()

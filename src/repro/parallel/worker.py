@@ -60,25 +60,33 @@ def run_frame(task: FrameTask, in_worker: bool = True) -> FrameRecord:
     if os.environ.get(CRASH_ENV) == f"{task.stream_id}:{task.frame_index}":
         os._exit(3)  # simulate a hard worker death (tests only)
 
-    image = task.image
-    forced_backend_failures = None
-    if task.fault is not None:
-        from ..resilience.faults import apply_fault
-
-        if task.fault.kind == "kernel_fail":
-            forced_backend_failures = {
-                _requested_backend_name(task.params.kernel_backend)
-            }
-        else:
-            # crash/hang never return; error kinds raise out of run_frame
-            # only if they are not part of the expected-error contract.
-            image = apply_fault(task.fault, image, in_worker=in_worker)
-
     from ..kernels.supervisor import supervised_resolve
 
     tracer = _collecting_tracer() if task.collect_trace else None
     start = time.perf_counter()
     try:
+        if task.shm_result is not None or task.shm_image is not None:
+            # Zero-copy transport: attach the parent's slabs and run on
+            # read-only views (elapsed_s honestly includes the attach).
+            from .shm import decode_task
+
+            task = decode_task(task)
+
+        image = task.image
+        forced_backend_failures = None
+        if task.fault is not None:
+            from ..resilience.faults import apply_fault
+
+            if task.fault.kind == "kernel_fail":
+                forced_backend_failures = {
+                    _requested_backend_name(task.params.kernel_backend)
+                }
+            else:
+                # crash/hang never return; error kinds raise out of
+                # run_frame only if they are not part of the
+                # expected-error contract.
+                image = apply_fault(task.fault, image, in_worker=in_worker)
+
         backend = supervised_resolve(
             task.params.kernel_backend,
             tracer=tracer,
@@ -113,7 +121,7 @@ def run_frame(task: FrameTask, in_worker: bool = True) -> FrameRecord:
         tracer.flush()
         events = list(tracer.sink.events)
 
-    return FrameRecord(
+    record = FrameRecord(
         stream_id=task.stream_id,
         frame_index=task.frame_index,
         ok=True,
@@ -126,6 +134,27 @@ def run_frame(task: FrameTask, in_worker: bool = True) -> FrameRecord:
         attempts=task.attempt + 1,
         demoted_from=backend.demoted_from,
     )
+    if task.shm_result is not None:
+        # Return the labels through the result slab instead of pickling
+        # them; a slab violation fails the frame like any other error.
+        from .shm import publish_result
+
+        try:
+            record = publish_result(task, record)
+        except ReproError as exc:
+            return FrameRecord(
+                stream_id=task.stream_id,
+                frame_index=task.frame_index,
+                ok=False,
+                error=str(exc),
+                error_type=type(exc).__name__,
+                warm_started=task.warm_centers is not None,
+                elapsed_s=time.perf_counter() - start,
+                worker_pid=os.getpid(),
+                kernel_backend=backend.name,
+                attempts=task.attempt + 1,
+            )
+    return record
 
 
 def _requested_backend_name(name):

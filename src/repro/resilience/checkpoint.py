@@ -85,6 +85,7 @@ def record_to_json(record) -> dict:
         "attempts": record.attempts,
         "quarantined": record.quarantined,
         "demoted_from": record.demoted_from,
+        "transport": record.transport,
     }
     if record.ok and record.result is not None:
         res = record.result
@@ -134,6 +135,7 @@ def record_from_json(payload: dict, params=None):
         attempts=payload.get("attempts", 1),
         quarantined=payload.get("quarantined", False),
         demoted_from=payload.get("demoted_from"),
+        transport=payload.get("transport"),
     )
 
 

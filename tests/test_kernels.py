@@ -310,3 +310,128 @@ class TestNativeBackend:
         second = native._build()
         assert second == first
         assert second.stat().st_mtime_ns == mtime
+
+
+class TestLabCodesIdentity:
+    """The fixed-point RGB->Lab conversion kernel across backends."""
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    @pytest.mark.parametrize("bits,uniform", [(8, True), (10, True), (8, False)])
+    def test_matches_reference(self, name, bits, uniform):
+        from repro.color.hw_convert import HwColorConverter, LabEncoding
+
+        rng = np.random.default_rng(bits * 7 + uniform)
+        rgb = rng.integers(0, 256, size=(H, W, 3), dtype=np.uint8)
+        conv = HwColorConverter(encoding=LabEncoding(bits, uniform=uniform))
+        want = get_backend("reference").lab_codes(conv, rgb)
+        got = get_backend(name).lab_codes(conv, rgb)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_extreme_colors_match(self, name):
+        """Saturation corners: black, white, pure primaries."""
+        from repro.color.hw_convert import HwColorConverter
+
+        corners = np.array(
+            [
+                [0, 0, 0], [255, 255, 255], [255, 0, 0],
+                [0, 255, 0], [0, 0, 255], [255, 255, 0],
+                [0, 255, 255], [255, 0, 255], [1, 1, 1],
+            ],
+            dtype=np.uint8,
+        ).reshape(3, 3, 3)
+        conv = HwColorConverter()
+        want = get_backend("reference").lab_codes(conv, corners)
+        got = get_backend(name).lab_codes(conv, corners)
+        assert np.array_equal(got, want)
+
+    def test_convert_codes_dispatches_per_backend(self):
+        from repro.color.hw_convert import HwColorConverter
+
+        rng = np.random.default_rng(3)
+        rgb = rng.integers(0, 256, size=(16, 16, 3), dtype=np.uint8)
+        conv = HwColorConverter()
+        base = conv.convert_codes(rgb, backend="reference")
+        for name in OPTIMIZED:
+            assert np.array_equal(conv.convert_codes(rgb, backend=name), base)
+
+
+class TestMergeSmallIdentity:
+    """The enforce_connectivity merge walk across backends."""
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    @pytest.mark.parametrize("min_size", [2, 5, 25, 400])
+    def test_enforce_connectivity_matches_reference(self, name, min_size):
+        from repro.core.connectivity import enforce_connectivity
+
+        rng = np.random.default_rng(min_size)
+        labels = rng.integers(0, 15, size=(H, W)).astype(np.int32)
+        want = enforce_connectivity(labels, min_size, backend="reference")
+        got = enforce_connectivity(labels, min_size, backend=name)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_tie_breaks_match_reference(self, name):
+        """Equal border weights must resolve to the same neighbor."""
+        from repro.core.connectivity import enforce_connectivity
+
+        # A one-pixel stray with symmetric borders to two regions.
+        labels = np.zeros((9, 9), dtype=np.int32)
+        labels[:, 5:] = 1
+        labels[4, 4] = 2
+        want = enforce_connectivity(labels, 3, backend="reference")
+        got = enforce_connectivity(labels, 3, backend=name)
+        assert np.array_equal(got, want)
+
+    @given(seed=st.integers(0, 200), min_size=st.integers(2, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_maps(self, seed, min_size):
+        from repro.core.connectivity import enforce_connectivity
+
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 8, size=(24, 30)).astype(np.int32)
+        want = enforce_connectivity(labels, min_size, backend="reference")
+        for name in OPTIMIZED:
+            got = enforce_connectivity(labels, min_size, backend=name)
+            assert np.array_equal(got, want), name
+
+
+class TestMetricKernelsIdentity:
+    """contingency_table / chamfer_distance across backends."""
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_contingency_table_matches(self, name):
+        from repro.metrics import contingency_table
+
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 11, size=(40, 55)).astype(np.int32)
+        b = rng.integers(0, 6, size=(40, 55)).astype(np.int32)
+        want = contingency_table(a, b, backend="reference")
+        got = contingency_table(a, b, backend=name)
+        assert np.array_equal(got, want)
+        assert got.sum() == a.size
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_chamfer_matches_on_sparse_and_dense_masks(self, name):
+        from repro.metrics import chamfer_distance
+
+        rng = np.random.default_rng(9)
+        for density in (0.002, 0.05, 0.6):
+            mask = rng.random((48, 64)) < density
+            want = chamfer_distance(mask, backend="reference")
+            got = chamfer_distance(mask, backend=name)
+            assert np.array_equal(got, want), density
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_chamfer_all_false_is_inf(self, name):
+        from repro.metrics import chamfer_distance
+
+        out = chamfer_distance(np.zeros((7, 8), dtype=bool), backend=name)
+        assert np.isinf(out).all()
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_chamfer_all_true_is_zero(self, name):
+        from repro.metrics import chamfer_distance
+
+        out = chamfer_distance(np.ones((7, 8), dtype=bool), backend=name)
+        assert (out == 0).all()
