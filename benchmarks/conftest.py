@@ -22,7 +22,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.obs import JsonlSink
+from repro.obs import JsonlSink, new_trace_id
+from repro.obs.regress import BENCH_SCHEMA_VERSION
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
@@ -36,24 +37,41 @@ def bench_scale() -> str:
 
 
 @pytest.fixture(scope="session")
-def emit():
+def bench_trace_id() -> str:
+    """One trace id per benchmark session.
+
+    Stamped into every JSONL event and the ``BENCH_*.json`` artifacts so
+    all numbers from one run are correlatable with each other (and with
+    any ``--trace`` telemetry collected alongside).
+    """
+    return new_trace_id()
+
+
+@pytest.fixture(scope="session")
+def emit(bench_trace_id):
     """Print a report and persist it under benchmarks/output/.
 
     ``emit(name, text)`` keeps the historical behaviour (stdout + .txt).
     ``emit(name, text, records=[{...}, ...])`` additionally writes each
     record as a ``bench.record`` JSONL event; the text itself always goes
     into a ``bench`` event so every artifact has a machine-readable twin.
+    Every event carries the artifact schema version and the session's
+    trace id (see ``repro.obs.regress``).
     """
     OUTPUT_DIR.mkdir(exist_ok=True)
 
     def _emit(name: str, text: str, records=None) -> None:
         print(f"\n{text}\n")
         (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        stamp = {"schema": BENCH_SCHEMA_VERSION, "trace": bench_trace_id}
         with JsonlSink(OUTPUT_DIR / f"{name}.jsonl") as sink:
             sink.emit(
-                {"ev": "bench", "name": name, "ts": time.time(), "text": text}
+                {
+                    "ev": "bench", "name": name, "ts": time.time(),
+                    "text": text, **stamp,
+                }
             )
             for record in records or ():
-                sink.emit({"ev": "bench.record", "name": name, **record})
+                sink.emit({"ev": "bench.record", "name": name, **stamp, **record})
 
     return _emit

@@ -18,11 +18,19 @@ Commands
     Aggregate the benchmark artifacts into a single markdown report.
 ``stats``
     Summarize a JSONL telemetry trace written with ``--trace``.
+``regress``
+    Compare benchmark artifacts (``BENCH_*.json``) against a baseline
+    and exit nonzero on performance regressions.
 
 Observability: ``segment`` and ``experiment`` accept ``--trace PATH``
 (JSONL span/metric telemetry, see ``docs/observability.md``) and
 ``--manifest PATH`` (a single JSON artifact pinning params, seed,
-versions, and final metrics).
+versions, and final metrics). ``segment`` and ``batch`` additionally
+accept ``--telemetry-port N`` (serve live ``/metrics`` + ``/spans``
+over HTTP while the run executes; 0 picks an ephemeral port),
+``--telemetry-linger S`` (keep the exporter up after the run so
+scrapers can collect final values), and ``--profile-spans`` (attach
+CPU / peak-RSS / GC deltas to every span).
 
 Examples
 --------
@@ -48,14 +56,46 @@ import sys
 from . import __version__
 
 
-def _make_tracer(trace_path):
-    """Tracer writing to ``trace_path``, or the shared disabled tracer."""
+def _make_tracer(trace_path, telemetry_port=None, profile=False):
+    """Build the run's tracer and (optionally) its telemetry exporter.
+
+    Returns ``(tracer, server)``. ``--trace`` alone gets a JSONL-backed
+    tracer; ``--telemetry-port`` alone gets an in-memory tracer whose
+    recent spans the server rings; both together tee the sink. With
+    neither, the shared disabled tracer (zero overhead) and no server.
+    """
     from .obs import JsonlSink, Tracer
     from .obs.tracer import NULL_TRACER
 
     if trace_path:
-        return Tracer(JsonlSink(trace_path))
-    return NULL_TRACER
+        tracer = Tracer(JsonlSink(trace_path))
+    elif telemetry_port is not None:
+        tracer = Tracer()  # NullSink; the server swaps in its span ring
+    else:
+        return NULL_TRACER, None
+
+    if profile:
+        tracer.enable_profiling()
+
+    server = None
+    if telemetry_port is not None:
+        from .obs import TelemetryServer
+
+        server = TelemetryServer(tracer, port=telemetry_port).start()
+        print(f"telemetry: serving {server.url}/metrics (trace {server.trace_id})")
+    return tracer, server
+
+
+def _finish_telemetry(tracer, server, linger=0.0) -> None:
+    """Linger (so scrapers catch final values), then tear down."""
+    if server is not None:
+        if linger and linger > 0:
+            import time
+
+            print(f"telemetry: lingering {linger:g}s at {server.url}/metrics")
+            time.sleep(linger)
+        server.close()
+    tracer.close()
 
 
 def _cmd_segment(args) -> int:
@@ -96,11 +136,14 @@ def _cmd_segment(args) -> int:
                     synthetic=bool(args.synthetic), input=args.input),
         seed=args.seed,
     )
-    tracer = _make_tracer(args.trace)
+    tracer, server = _make_tracer(
+        args.trace, telemetry_port=args.telemetry_port,
+        profile=args.profile_spans,
+    )
     try:
         result = run(image, tracer=tracer, **kwargs)
     except BaseException:
-        tracer.close()
+        _finish_telemetry(tracer, server)
         if args.manifest:
             manifest.finish(status="error").write(args.manifest)
         raise
@@ -122,7 +165,7 @@ def _cmd_segment(args) -> int:
         final_metrics["undersegmentation_error"] = use
         final_metrics["boundary_recall"] = recall
         print(f"USE {use:.4f}  boundary recall {recall:.4f}")
-    tracer.close()
+    _finish_telemetry(tracer, server, args.telemetry_linger)
     if args.trace:
         print(f"wrote trace telemetry to {args.trace}")
     if args.manifest:
@@ -187,13 +230,18 @@ def _cmd_batch(args) -> int:
         from .resilience import RetryPolicy
 
         retry = RetryPolicy(retries=args.retries, retry_budget=args.retry_budget)
-    tracer = _make_tracer(args.trace)
+    tracer, server = _make_tracer(
+        args.trace, telemetry_port=args.telemetry_port,
+        profile=args.profile_spans,
+    )
     runner = ParallelRunner(
         params,
         n_workers=args.workers,
         max_pending=args.max_pending,
         tracer=tracer,
-        collect_worker_traces=bool(args.trace and args.worker_traces),
+        collect_worker_traces=bool(
+            args.worker_traces and (args.trace or args.telemetry_port is not None)
+        ),
         frame_timeout=args.frame_timeout,
         retry=retry,
         checkpoint=args.checkpoint,
@@ -223,13 +271,13 @@ def _cmd_batch(args) -> int:
         else:
             batch = runner.run_streams(streams)
     except DatasetError as exc:
-        tracer.close()
+        _finish_telemetry(tracer, server)
         if args.manifest:
             manifest.finish(status="error").write(args.manifest)
         print(f"batch: {exc}", file=sys.stderr)
         return 2
     except BaseException:
-        tracer.close()
+        _finish_telemetry(tracer, server)
         if args.manifest:
             manifest.finish(status="error").write(args.manifest)
         raise
@@ -266,7 +314,7 @@ def _cmd_batch(args) -> int:
             f"[{rec.error_type}] {rec.error}",
             file=sys.stderr,
         )
-    tracer.close()
+    _finish_telemetry(tracer, server, args.telemetry_linger)
     if args.trace:
         print(f"wrote trace telemetry to {args.trace}")
     if args.manifest:
@@ -294,20 +342,20 @@ def _cmd_experiment(args) -> int:
     manifest = RunManifest.start(
         f"experiment:{args.name}", params={"scale": args.scale}
     )
-    tracer = _make_tracer(args.trace)
+    tracer, server = _make_tracer(args.trace)
     try:
         with tracer.span("experiment", experiment=args.name, scale=args.scale) as span:
             result = run_experiment(args.name, scale=args.scale)
             span.set(rows=len(result.rows))
     except BaseException:
-        tracer.close()
+        _finish_telemetry(tracer, server)
         if args.manifest:
             manifest.finish(status="error").write(args.manifest)
         raise
     print(render_table(result.headers, result.rows, title=result.title, precision=4))
     if result.notes:
         print(result.notes)
-    tracer.close()
+    _finish_telemetry(tracer, server)
     if args.trace:
         print(f"wrote trace telemetry to {args.trace}")
     if args.manifest:
@@ -333,6 +381,50 @@ def _cmd_stats(args) -> int:
     except BrokenPipeError:  # e.g. `repro stats t.jsonl | head`
         sys.stderr.close()  # suppress the interpreter's epipe warning
     return 0
+
+
+def _cmd_regress(args) -> int:
+    import glob
+    import json
+
+    from .errors import ConfigurationError
+    from .obs import check_regressions
+    from .obs.regress import DEFAULT_TOLERANCE
+
+    patterns = args.baseline or ["BENCH_*.json"]
+    baselines = sorted(p for pattern in patterns for p in glob.glob(pattern))
+    if not baselines:
+        print(
+            f"regress: no baseline artifacts match {patterns!r}",
+            file=sys.stderr,
+        )
+        return 2
+    currents = None
+    if args.current:
+        currents = sorted(
+            p for pattern in args.current for p in glob.glob(pattern)
+        )
+        if not currents:
+            print(
+                f"regress: no current artifacts match {args.current!r}",
+                file=sys.stderr,
+            )
+            return 2
+    tolerance = (
+        args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    )
+    try:
+        report = check_regressions(baselines, currents, tolerance=tolerance)
+    except (ConfigurationError, ValueError, OSError) as exc:
+        print(f"regress: {exc}", file=sys.stderr)
+        return 2
+    print(report.format_text())
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote regression report to {args.report}")
+    return 0 if report.ok else 1
 
 
 def _cmd_report_md(args) -> int:
@@ -379,6 +471,20 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _add_telemetry_args(cmd) -> None:
+    cmd.add_argument("--telemetry-port", type=int, default=None, metavar="N",
+                     help="serve live /metrics (Prometheus text), /healthz "
+                          "and /spans on 127.0.0.1:N while the run executes "
+                          "(0 = pick an ephemeral port)")
+    cmd.add_argument("--telemetry-linger", type=float, default=0.0,
+                     metavar="S",
+                     help="keep the telemetry server up S seconds after the "
+                          "run completes so scrapers catch final values")
+    cmd.add_argument("--profile-spans", action="store_true",
+                     help="attach per-span resource deltas (CPU user/sys, "
+                          "peak RSS, GC collections) to the telemetry")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -408,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
     seg.add_argument("--mean-out", help="mean-color PPM output path")
     seg.add_argument("--trace", metavar="PATH",
                      help="write JSONL span/metric telemetry to PATH")
+    _add_telemetry_args(seg)
     seg.add_argument("--manifest", metavar="PATH",
                      help="write a JSON run manifest (params, seed, metrics)")
     seg.set_defaults(func=_cmd_segment)
@@ -475,6 +582,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write JSONL span/metric telemetry to PATH")
     bat.add_argument("--worker-traces", action="store_true",
                      help="merge per-worker span trees into the trace")
+    _add_telemetry_args(bat)
     bat.add_argument("--manifest", metavar="PATH",
                      help="write a JSON run manifest (params, throughput)")
     bat.set_defaults(func=_cmd_batch)
@@ -492,6 +600,26 @@ def build_parser() -> argparse.ArgumentParser:
     sts = sub.add_parser("stats", help="summarize a JSONL telemetry trace")
     sts.add_argument("trace", help="trace file written with --trace")
     sts.set_defaults(func=_cmd_stats)
+
+    rgr = sub.add_parser(
+        "regress",
+        help="compare benchmark artifacts against a baseline; exit 1 on "
+             "performance regressions",
+    )
+    rgr.add_argument("--baseline", action="append", metavar="GLOB",
+                     default=None,
+                     help="baseline artifact glob(s) (default BENCH_*.json — "
+                          "the committed history)")
+    rgr.add_argument("--current", action="append", metavar="GLOB",
+                     default=None,
+                     help="current-run artifact glob(s); omitted = compare "
+                          "the baseline against itself (sanity check)")
+    rgr.add_argument("--tolerance", type=float, default=None,
+                     help="allowed relative slack before a delta counts as "
+                          "a regression (default 0.25)")
+    rgr.add_argument("--report", metavar="PATH",
+                     help="write the full delta report as JSON to PATH")
+    rgr.set_defaults(func=_cmd_regress)
 
     rep = sub.add_parser("report", help="accelerator report for a configuration")
     rep.add_argument("--width", type=int, default=1920)

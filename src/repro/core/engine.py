@@ -23,6 +23,8 @@ the JSONL telemetry alone.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..color import rgb_to_lab
@@ -46,6 +48,11 @@ __all__ = ["run_segmentation", "expected_cluster_count"]
 
 #: Sentinel for "not yet assigned" in the CPA distance buffer.
 _INF = np.inf
+
+#: Histogram buckets (seconds) for per-sweep latency. Spans 1 ms tile
+#: sweeps on thumbnails up to multi-second 1080p software sweeps; the
+#: exporter adds the +Inf overflow bucket.
+SWEEP_SECONDS_BUCKETS = (0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0)
 
 
 def expected_cluster_count(shape, n_superpixels: int) -> int:
@@ -219,6 +226,7 @@ def _run_instrumented(
     sub = 0
     sweeps = 0
     while sub < max_sub:
+        sweep_t0 = time.perf_counter()
         with tracer.span("sweep", index=sweeps) as sweep_span:
             sweep_start = centers.copy()
             for _ in range(n_subsets):
@@ -333,6 +341,11 @@ def _run_instrumented(
             movement_history.append(movement)
             sweep_span.set(movement=movement, subiterations_done=sub)
             tracer.gauge("engine.center_movement", movement)
+        tracer.observe(
+            "engine.sweep_seconds",
+            time.perf_counter() - sweep_t0,
+            buckets=SWEEP_SECONDS_BUCKETS,
+        )
         if params.convergence_threshold > 0 and movement < params.convergence_threshold:
             converged = True
             break

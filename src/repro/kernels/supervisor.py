@@ -218,7 +218,10 @@ def supervised_resolve(
             if demoted_from is None:
                 demoted_from = candidate
             if tracer is not None:
-                tracer.count("kernels.selftest_failures")
+                tracer.count(
+                    "kernels.selftest_failures",
+                    labels={"backend": str(candidate)},
+                )
             continue
         verdict = SupervisedBackend(
             requested=name,
@@ -226,7 +229,13 @@ def supervised_resolve(
             demoted_from=demoted_from if candidate != demoted_from else None,
         )
         if verdict.demoted and tracer is not None:
-            tracer.count("kernels.demotions")
+            tracer.count(
+                "kernels.demotions",
+                labels={
+                    "demoted_from": str(verdict.demoted_from),
+                    "demoted_to": str(candidate),
+                },
+            )
             tracer.event(
                 "kernels.demoted",
                 requested=str(name),

@@ -20,9 +20,26 @@ shared disabled tracer and costs a single attribute check.
 """
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .sinks import JsonlSink, MemorySink, NullSink, Sink, read_jsonl
-from .tracer import NULL_TRACER, Span, Tracer
+from .sinks import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    SpanRingSink,
+    TeeSink,
+    read_jsonl,
+)
+from .tracer import NULL_TRACER, Span, Tracer, new_trace_id
 from .manifest import RunManifest, git_describe
+from .export import TelemetryServer, render_prometheus, span_forest
+from .profile import ResourceProfiler
+from .regress import (
+    BENCH_SCHEMA_VERSION,
+    RegressionReport,
+    check_regressions,
+    compare_metrics,
+    flatten_bench_metrics,
+)
 from .stats import (
     SpanStats,
     TraceSummary,
@@ -36,6 +53,7 @@ __all__ = [
     "Tracer",
     "Span",
     "NULL_TRACER",
+    "new_trace_id",
     # metrics
     "MetricsRegistry",
     "Counter",
@@ -46,10 +64,24 @@ __all__ = [
     "NullSink",
     "MemorySink",
     "JsonlSink",
+    "SpanRingSink",
+    "TeeSink",
     "read_jsonl",
     # manifest
     "RunManifest",
     "git_describe",
+    # export / live telemetry
+    "TelemetryServer",
+    "render_prometheus",
+    "span_forest",
+    # profiling
+    "ResourceProfiler",
+    # regression sentinel
+    "BENCH_SCHEMA_VERSION",
+    "RegressionReport",
+    "check_regressions",
+    "compare_metrics",
+    "flatten_bench_metrics",
     # stats
     "TraceSummary",
     "SpanStats",

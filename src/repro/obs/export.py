@@ -1,0 +1,420 @@
+"""Prometheus text exposition + a live telemetry HTTP server.
+
+Two halves, both pure stdlib:
+
+:func:`render_prometheus`
+    Renders a :class:`~repro.obs.metrics.MetricsRegistry` in the
+    Prometheus **text exposition format v0.0.4**: counters as
+    ``<name>_total``, gauges verbatim, histograms expanded into
+    cumulative ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.
+    Metric and label names are sanitized to the Prometheus grammar
+    (``[a-zA-Z_:][a-zA-Z0-9_:]*`` / ``[a-zA-Z_][a-zA-Z0-9_]*``) with
+    deterministic collision resolution; label values are escaped per the
+    spec.
+
+:class:`TelemetryServer`
+    A ``ThreadingHTTPServer`` (daemon thread, ephemeral or fixed port)
+    serving
+
+    * ``GET /metrics`` — the exposition above (``text/plain; version=0.0.4``),
+    * ``GET /healthz`` — liveness JSON (status, uptime, pid, event count),
+    * ``GET /spans``  — the most recent span forest as JSON (reconstructed
+      from a bounded :class:`~repro.obs.sinks.SpanRingSink`).
+
+    Attach it to any live :class:`~repro.obs.tracer.Tracer` — the
+    engine's, a :class:`~repro.parallel.ParallelRunner`'s, or the CLI's
+    (``--telemetry-port``) — and scrape while the run executes. Reads
+    are lock-free: the GIL makes int/float loads atomic, and a scrape
+    observing a half-updated *set* of metrics is acceptable for
+    monitoring (each individual sample is consistent).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import ConfigurationError
+from .metrics import Counter, Gauge, Histogram
+from .sinks import NullSink, SpanRingSink, TeeSink
+
+__all__ = [
+    "sanitize_metric_name",
+    "sanitize_label_name",
+    "escape_label_value",
+    "render_prometheus",
+    "span_forest",
+    "TelemetryServer",
+]
+
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_METRIC_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce ``name`` to the Prometheus metric-name grammar.
+
+    Invalid characters (the repo's dotted names use ``.``) become ``_``;
+    a leading digit gets a ``_`` prefix; empty input becomes ``_``.
+    Idempotent, and the identity on already-valid names.
+    """
+    name = str(name)
+    if _METRIC_NAME_RE.match(name):
+        return name
+    out = _METRIC_INVALID.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def sanitize_label_name(name: str) -> str:
+    """Coerce ``name`` to the label-name grammar (no ``:`` allowed).
+
+    A ``__`` prefix is reserved by Prometheus, so it is stripped to a
+    single leading underscore.
+    """
+    name = str(name)
+    out = _LABEL_INVALID.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    while out.startswith("__"):
+        out = out[1:]
+    return out
+
+
+def escape_label_value(value) -> str:
+    """Escape a label value per the text format: ``\\``, ``"``, newline."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r'\"')
+        .replace("\n", r"\n")
+    )
+
+
+def _fmt(value) -> str:
+    """Format a sample value: ints exact, floats via repr, specials per spec."""
+    if value is None:
+        return "0"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_labels(labels, extra=None) -> str:
+    """The ``{k="v",...}`` block, or empty for no labels."""
+    pairs = []
+    if labels:
+        for key, val in sorted(labels.items()):
+            pairs.append(
+                f'{sanitize_label_name(key)}="{escape_label_value(val)}"'
+            )
+    if extra:
+        pairs.extend(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+class _FamilyNames:
+    """Deterministic raw-name -> exposition-name mapping.
+
+    Two distinct raw families whose sanitized names collide (e.g.
+    ``a.b`` and ``a_b``) get suffixes in first-seen order: the first
+    keeps the clean name, later ones get ``_2``, ``_3``, ... — stable
+    for a fixed registration order, and never silently merged.
+    """
+
+    def __init__(self, namespace: str):
+        self.namespace = sanitize_metric_name(namespace) if namespace else ""
+        self._by_raw = {}
+        self._taken = set()
+
+    def resolve(self, raw_name: str) -> str:
+        known = self._by_raw.get(raw_name)
+        if known is not None:
+            return known
+        base = sanitize_metric_name(
+            f"{self.namespace}_{raw_name}" if self.namespace else raw_name
+        )
+        candidate, n = base, 1
+        while candidate in self._taken:
+            n += 1
+            candidate = f"{base}_{n}"
+        self._by_raw[raw_name] = candidate
+        self._taken.add(candidate)
+        return candidate
+
+
+def render_prometheus(registry, namespace: str = "repro") -> str:
+    """Render ``registry`` in the Prometheus text format (v0.0.4).
+
+    One ``# TYPE`` line per family, then one sample line per series
+    (label set). Counters get the conventional ``_total`` suffix;
+    histograms expand to cumulative ``_bucket`` series with ``le``
+    labels (``+Inf`` last), ``_sum``, and ``_count``. Unset gauges
+    (never written) are skipped. Ends with a trailing newline, as the
+    format requires.
+    """
+    names = _FamilyNames(namespace)
+    families = {}  # exposition family name -> (type, [lines])
+    for inst in registry:
+        if isinstance(inst, Counter):
+            family = names.resolve(inst.name) + "_total"
+            kind = "counter"
+            lines = [f"{family}{_render_labels(inst.labels)} {_fmt(inst.value)}"]
+        elif isinstance(inst, Gauge):
+            if inst.value is None:
+                continue
+            family = names.resolve(inst.name)
+            kind = "gauge"
+            lines = [f"{family}{_render_labels(inst.labels)} {_fmt(inst.value)}"]
+        elif isinstance(inst, Histogram):
+            family = names.resolve(inst.name)
+            kind = "histogram"
+            lines = []
+            cumulative = 0
+            for bound, count in zip(inst.buckets, inst.counts):
+                cumulative += count
+                le = f'le="{_fmt(bound)}"'
+                lines.append(
+                    f"{family}_bucket"
+                    f"{_render_labels(inst.labels, [le])} {cumulative}"
+                )
+            inf_label = 'le="+Inf"'
+            lines.append(
+                f"{family}_bucket"
+                f"{_render_labels(inst.labels, [inf_label])} {inst.count}"
+            )
+            lines.append(
+                f"{family}_sum{_render_labels(inst.labels)} {_fmt(inst.total)}"
+            )
+            lines.append(
+                f"{family}_count{_render_labels(inst.labels)} {inst.count}"
+            )
+        else:  # pragma: no cover - registry only holds the three kinds
+            continue
+        entry = families.get(family)
+        if entry is None:
+            families[family] = (kind, lines)
+        else:
+            entry[1].extend(lines)
+
+    out = []
+    for family, (kind, lines) in families.items():
+        out.append(f"# TYPE {family} {kind}")
+        out.extend(lines)
+    return "\n".join(out) + "\n" if out else "\n"
+
+
+def span_forest(events, max_roots: int = None) -> list:
+    """Reconstruct a span tree (forest) from span events.
+
+    ``events`` is any iterable of event dicts; non-span events are
+    ignored. A span whose parent is absent from the window (evicted from
+    the ring, or a true root) becomes a root. Children are ordered by
+    start timestamp. Returns a list of nested dicts ready for JSON.
+    """
+    spans = {}
+    order = []
+    for ev in events:
+        if ev.get("ev") != "span" or ev.get("id") is None:
+            continue
+        node = {
+            "id": ev["id"],
+            "name": ev.get("name"),
+            "parent": ev.get("parent"),
+            "trace": ev.get("trace"),
+            "ts": ev.get("ts"),
+            "dur": ev.get("dur"),
+            "status": ev.get("status"),
+            "attrs": ev.get("attrs") or {},
+            "children": [],
+        }
+        spans[node["id"]] = node
+        order.append(node)
+    roots = []
+    for node in order:
+        parent = spans.get(node["parent"])
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    for node in order:
+        node["children"].sort(key=lambda c: (c["ts"] is None, c["ts"]))
+    if max_roots is not None:
+        roots = roots[-max_roots:]
+    return roots
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes /metrics, /healthz, /spans; everything else is 404."""
+
+    server_version = "repro-telemetry/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args) -> None:  # silence per-request stderr spam
+        pass
+
+    def _respond(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        telemetry = self.server.telemetry
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = render_prometheus(
+                    telemetry.registry, namespace=telemetry.namespace
+                ).encode("utf-8")
+                self._respond(
+                    200, "text/plain; version=0.0.4; charset=utf-8", body
+                )
+            elif path == "/healthz":
+                body = json.dumps(telemetry.health()).encode("utf-8")
+                self._respond(200, "application/json", body)
+            elif path == "/spans":
+                body = json.dumps(
+                    {
+                        "trace": telemetry.trace_id,
+                        "spans": span_forest(telemetry.ring.events()),
+                    }
+                ).encode("utf-8")
+                self._respond(200, "application/json", body)
+            else:
+                self._respond(
+                    404, "text/plain; charset=utf-8",
+                    b"not found; try /metrics, /healthz, or /spans\n",
+                )
+        except BrokenPipeError:  # scraper hung up mid-response
+            pass
+
+
+class TelemetryServer:
+    """Serve a tracer's metrics and recent spans over HTTP.
+
+    Parameters
+    ----------
+    tracer:
+        The :class:`~repro.obs.tracer.Tracer` to expose. The server tees
+        the tracer's sink into a bounded :class:`SpanRingSink` (a tracer
+        whose sink is a ``NullSink`` is switched to the ring and
+        enabled, so ``--telemetry-port`` works without ``--trace``).
+        Must not be the shared ``NULL_TRACER``.
+    host, port:
+        Bind address. ``port=0`` (default) picks an ephemeral port,
+        published as :attr:`port` after :meth:`start`.
+    namespace:
+        Metric-name prefix for the exposition (default ``repro``).
+    span_buffer:
+        Ring capacity for ``/spans``.
+
+    Usage::
+
+        tracer = Tracer(JsonlSink("run.jsonl"))
+        with TelemetryServer(tracer, port=9100) as server:
+            runner = ParallelRunner(params, tracer=tracer, ...)
+            runner.run_streams(streams)   # scrape while this runs
+    """
+
+    def __init__(self, tracer, host: str = "127.0.0.1", port: int = 0,
+                 namespace: str = "repro", span_buffer: int = 1024):
+        from .tracer import NULL_TRACER
+
+        if tracer is NULL_TRACER:
+            raise ConfigurationError(
+                "TelemetryServer cannot attach to the shared NULL_TRACER; "
+                "construct a dedicated Tracer (any sink) to expose"
+            )
+        self.tracer = tracer
+        self.registry = tracer.metrics
+        self.namespace = namespace
+        self.ring = SpanRingSink(span_buffer)
+        if isinstance(tracer.sink, NullSink):
+            tracer.sink = self.ring
+        else:
+            tracer.sink = TeeSink(tracer.sink, self.ring)
+        if not tracer.enabled:
+            tracer.enabled = True
+        if tracer.trace_id is None:
+            from .tracer import new_trace_id
+
+            tracer.trace_id = new_trace_id()
+        self.host = host
+        self.port = int(port)
+        self._httpd = None
+        self._thread = None
+        self._started_at = None
+
+    @property
+    def trace_id(self):
+        return self.tracer.trace_id
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def health(self) -> dict:
+        import os
+
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - (self._started_at or time.time()), 3),
+            "pid": os.getpid(),
+            "trace": self.trace_id,
+            "events_buffered": len(self.ring),
+            "metrics": len(self.registry),
+        }
+
+    def start(self) -> "TelemetryServer":
+        """Bind and serve from a daemon thread; returns self."""
+        if self._httpd is not None:
+            return self
+        self._httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.telemetry = self
+        self.port = self._httpd.server_address[1]
+        self._started_at = time.time()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"telemetry:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -9,6 +9,13 @@ tracer's sink as ``counter`` / ``gauge`` / ``hist`` events.
 Instruments accept ints and floats (hardware cycle counts are fractional
 in the analytical models), and a histogram's buckets are fixed at
 creation — observation is O(#buckets) with no allocation.
+
+Instruments may carry **labels** (a small dict of str -> str), giving one
+metric *family* several independent series — e.g.
+``parallel.transport_fallbacks{requested="shm"}`` — which is what the
+Prometheus exposition in :mod:`repro.obs.export` renders as labeled
+samples. The same family name must keep one instrument kind across all
+label sets.
 """
 
 from __future__ import annotations
@@ -17,17 +24,25 @@ import bisect
 
 from ..errors import ConfigurationError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "labels_key"]
+
+
+def labels_key(labels) -> tuple:
+    """Canonical hashable form of a label dict (sorted key/value pairs)."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
 class Counter:
     """Monotonically non-decreasing accumulator."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels=None):
         self.name = name
         self.value = 0
+        self.labels = dict(labels) if labels else None
 
     def inc(self, amount=1) -> None:
         if amount < 0:
@@ -37,23 +52,30 @@ class Counter:
         self.value += amount
 
     def as_event(self) -> dict:
-        return {"ev": "counter", "name": self.name, "value": self.value}
+        event = {"ev": "counter", "name": self.name, "value": self.value}
+        if self.labels:
+            event["labels"] = dict(self.labels)
+        return event
 
 
 class Gauge:
     """Last-write-wins value (e.g. buffer bytes, residual movement)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels=None):
         self.name = name
         self.value = None
+        self.labels = dict(labels) if labels else None
 
     def set(self, value) -> None:
         self.value = value
 
     def as_event(self) -> dict:
-        return {"ev": "gauge", "name": self.name, "value": self.value}
+        event = {"ev": "gauge", "name": self.name, "value": self.value}
+        if self.labels:
+            event["labels"] = dict(self.labels)
+        return event
 
 
 class Histogram:
@@ -64,9 +86,9 @@ class Histogram:
     bucket. ``counts`` has ``len(buckets) + 1`` entries.
     """
 
-    __slots__ = ("name", "buckets", "counts", "total", "count")
+    __slots__ = ("name", "buckets", "counts", "total", "count", "labels")
 
-    def __init__(self, name: str, buckets):
+    def __init__(self, name: str, buckets, labels=None):
         bounds = [float(b) for b in buckets]
         if not bounds or any(nxt <= prev for nxt, prev in zip(bounds[1:], bounds)):
             raise ConfigurationError(
@@ -78,6 +100,7 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)
         self.total = 0.0
         self.count = 0
+        self.labels = dict(labels) if labels else None
 
     def observe(self, value) -> None:
         self.counts[bisect.bisect_left(self.buckets, value)] += 1
@@ -89,7 +112,7 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def as_event(self) -> dict:
-        return {
+        event = {
             "ev": "hist",
             "name": self.name,
             "count": self.count,
@@ -97,56 +120,100 @@ class Histogram:
             "buckets": list(self.buckets),
             "counts": list(self.counts),
         }
+        if self.labels:
+            event["labels"] = dict(self.labels)
+        return event
+
+    def merge(self, event: dict) -> None:
+        """Fold another histogram's snapshot event into this one.
+
+        Used when a parent process aggregates worker-side histograms;
+        the bucket layouts must match (same instrument, same code).
+        """
+        if [float(b) for b in event["buckets"]] != list(self.buckets):
+            raise ConfigurationError(
+                f"histogram {self.name!r}: cannot merge snapshot with "
+                f"buckets {event['buckets']} into {list(self.buckets)}"
+            )
+        self.count += int(event["count"])
+        self.total += float(event["sum"])
+        self.counts = [
+            a + int(b) for a, b in zip(self.counts, event["counts"])
+        ]
 
 
 class MetricsRegistry:
     """Get-or-create registry of named instruments.
 
     Names are free-form dotted strings (``engine.pixels_assigned``,
-    ``cyclesim.fsm.fetch_cycles``). Re-requesting a name returns the same
-    instrument; requesting it as a different kind raises.
+    ``cyclesim.fsm.fetch_cycles``). Re-requesting a name (with the same
+    labels) returns the same instrument; requesting a family name as a
+    different kind raises — labels never change an instrument's kind.
     """
 
     def __init__(self):
-        self._instruments = {}
+        self._instruments = {}  # (name, labels_key) -> instrument
+        self._kinds = {}  # family name -> instrument class
 
-    def _get(self, name: str, kind, factory):
-        inst = self._instruments.get(name)
-        if inst is None:
-            inst = factory()
-            self._instruments[name] = inst
-        elif not isinstance(inst, kind):
+    def _get(self, name: str, kind, factory, labels=None):
+        registered = self._kinds.get(name)
+        if registered is not None and registered is not kind:
             raise ConfigurationError(
                 f"metric {name!r} already registered as "
-                f"{type(inst).__name__}, requested {kind.__name__}"
+                f"{registered.__name__}, requested {kind.__name__}"
             )
+        key = (name, labels_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = factory()
+            self._instruments[key] = inst
+            self._kinds[name] = kind
         return inst
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter, lambda: Counter(name))
+    def counter(self, name: str, labels=None) -> Counter:
+        return self._get(
+            name, Counter, lambda: Counter(name, labels), labels
+        )
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge, lambda: Gauge(name))
+    def gauge(self, name: str, labels=None) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name, labels), labels)
 
-    def histogram(self, name: str, buckets) -> Histogram:
-        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+    def histogram(self, name: str, buckets, labels=None) -> Histogram:
+        return self._get(
+            name, Histogram, lambda: Histogram(name, buckets, labels), labels
+        )
 
     def __len__(self) -> int:
         return len(self._instruments)
 
     def __iter__(self):
-        return iter(self._instruments.values())
+        return iter(list(self._instruments.values()))
+
+    @staticmethod
+    def _series_key(inst) -> str:
+        if not inst.labels:
+            return inst.name
+        rendered = ",".join(
+            f'{k}="{v}"' for k, v in sorted(inst.labels.items())
+        )
+        return f"{inst.name}{{{rendered}}}"
 
     def snapshot(self) -> dict:
-        """Plain-dict view: ``{counters: {}, gauges: {}, histograms: {}}``."""
+        """Plain-dict view: ``{counters: {}, gauges: {}, histograms: {}}``.
+
+        Labeled series appear under a rendered key
+        (``name{label="value"}``); unlabeled instruments keep the bare
+        name, so existing consumers see no change.
+        """
         snap = {"counters": {}, "gauges": {}, "histograms": {}}
         for inst in self:
+            key = self._series_key(inst)
             if isinstance(inst, Counter):
-                snap["counters"][inst.name] = inst.value
+                snap["counters"][key] = inst.value
             elif isinstance(inst, Gauge):
-                snap["gauges"][inst.name] = inst.value
+                snap["gauges"][key] = inst.value
             else:
-                snap["histograms"][inst.name] = {
+                snap["histograms"][key] = {
                     "count": inst.count,
                     "sum": inst.total,
                     "mean": inst.mean,

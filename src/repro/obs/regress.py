@@ -1,0 +1,293 @@
+"""Perf-regression sentinel over the committed ``BENCH_*.json`` artifacts.
+
+The repo commits benchmark trajectories at the root (``BENCH_e2e.json``
+today; ``BENCH_*.json`` as the suite grows). This module turns them into
+a CI gate: parse the committed **baseline**, parse a **current** run (a
+freshly regenerated artifact), flatten both into comparable scalar
+metrics, and fail loudly when a metric moved the *wrong way* past a
+tolerance band. Wired as the ``repro regress`` CLI subcommand and a CI
+step (see ``docs/observability.md``).
+
+Metric direction is inferred from the name: throughput-ish metrics
+(``fps``, ``throughput``, ``speedup``, ``ratio`` named gains) must not
+drop; time-ish metrics (``elapsed_s``, ``*_seconds``, ``*_ms``) must not
+grow. Names with no recognizable direction are reported as ``ignored``
+rather than silently gated — no hidden coverage.
+
+Artifacts are versioned: schema v2 files carry ``"schema"`` and
+``"trace"`` fields (written by ``benchmarks/conftest.py`` and
+``bench_e2e_video.py`` since this PR); files without a schema field are
+treated as v1 and parsed identically — the sentinel reads old and new
+history.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "MetricDelta",
+    "RegressionReport",
+    "flatten_bench_metrics",
+    "load_bench_file",
+    "metric_direction",
+    "compare_metrics",
+    "check_regressions",
+]
+
+#: Version stamped into freshly written bench artifacts.
+BENCH_SCHEMA_VERSION = 2
+
+#: Default relative tolerance band: a metric may move up to this
+#: fraction the wrong way before the sentinel flags it. Benchmarks on
+#: shared CI runners are noisy; 25% catches real regressions (a phase
+#: going quadratic, a transport falling back) without paging on jitter.
+DEFAULT_TOLERANCE = 0.25
+
+_HIGHER_BETTER = ("fps", "throughput", "speedup", "over_pickle", "recall")
+_LOWER_BETTER = ("elapsed_s", "_seconds", "_ms", "latency", "overhead")
+
+
+def metric_direction(name: str) -> int:
+    """+1 when higher is better, -1 when lower is better, 0 unknown.
+
+    Matched on the final path component of the flattened metric name so
+    ``.../phase_seconds/connectivity`` classifies by ``phase_seconds``.
+    """
+    parts = name.lower().split("/")
+    for component in reversed(parts):
+        for marker in _HIGHER_BETTER:
+            if marker in component:
+                return +1
+        for marker in _LOWER_BETTER:
+            if marker in component:
+                return -1
+    return 0
+
+
+def flatten_bench_metrics(payload: dict, prefix: str = None) -> dict:
+    """Flatten a bench artifact into ``{metric_path: float}``.
+
+    Understands the committed shape — a ``rows`` list whose entries are
+    keyed by their identifying string fields (``resolution``, ``config``
+    ...) — and generic nested dicts. Booleans, strings, and ``None`` are
+    skipped (they are identity, not measurement).
+    """
+    bench = prefix if prefix is not None else str(
+        payload.get("bench", "bench")
+    )
+    out = {}
+
+    def walk(node, path):
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(value, f"{path}/{key}")
+        elif isinstance(node, list):
+            for i, value in enumerate(node):
+                walk(value, f"{path}[{i}]")
+        elif isinstance(node, bool) or node is None or isinstance(node, str):
+            return
+        elif isinstance(node, (int, float)):
+            out[path] = float(node)
+
+    for key, value in payload.items():
+        if key in ("schema", "trace", "ts", "cores", "platform", "python",
+                   "bench", "scale", "params", "gate", "shm_available"):
+            continue  # run identity / environment, not perf metrics
+        if key == "rows" and isinstance(value, list):
+            for row in value:
+                if not isinstance(row, dict):
+                    continue
+                ident = "/".join(
+                    str(row[k])
+                    for k in ("resolution", "config", "name", "label")
+                    if isinstance(row.get(k), str)
+                )
+                base = f"{bench}/{ident}" if ident else f"{bench}/row"
+                for rkey, rvalue in row.items():
+                    if isinstance(rvalue, (dict, list)):
+                        walk(rvalue, f"{base}/{rkey}")
+                    elif isinstance(rvalue, bool) or isinstance(rvalue, str) \
+                            or rvalue is None:
+                        continue
+                    elif isinstance(rvalue, (int, float)):
+                        # Row geometry is identity, not a measurement.
+                        if rkey in ("width", "height", "workers", "frames"):
+                            continue
+                        out[f"{base}/{rkey}"] = float(rvalue)
+        else:
+            walk(value, f"{bench}/{key}")
+    return out
+
+
+def load_bench_file(path) -> dict:
+    """Parse one ``BENCH_*.json`` artifact; loud on malformed input."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read bench artifact {path}: {exc}")
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"bench artifact {path} must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    return payload
+
+
+@dataclass
+class MetricDelta:
+    """One metric compared across baseline and current."""
+
+    name: str
+    baseline: float
+    current: float
+    direction: int  # +1 higher-better, -1 lower-better, 0 unknown
+    ratio: float  # current / baseline (inf when baseline == 0)
+    regressed: bool
+
+    @property
+    def change_pct(self) -> float:
+        return (self.ratio - 1.0) * 100.0
+
+
+@dataclass
+class RegressionReport:
+    """Everything ``repro regress`` computed, machine-readable."""
+
+    baseline_files: list = field(default_factory=list)
+    current_files: list = field(default_factory=list)
+    tolerance: float = DEFAULT_TOLERANCE
+    deltas: list = field(default_factory=list)
+    ignored: list = field(default_factory=list)  # unknown-direction names
+    missing: list = field(default_factory=list)  # in baseline, not current
+    added: list = field(default_factory=list)  # in current, not baseline
+
+    @property
+    def regressions(self) -> list:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": BENCH_SCHEMA_VERSION,
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "baseline_files": [str(p) for p in self.baseline_files],
+            "current_files": [str(p) for p in self.current_files],
+            "n_compared": len(self.deltas),
+            "regressions": [
+                {
+                    "metric": d.name,
+                    "baseline": d.baseline,
+                    "current": d.current,
+                    "change_pct": round(d.change_pct, 2),
+                    "direction": "higher-better" if d.direction > 0
+                    else "lower-better",
+                }
+                for d in self.regressions
+            ],
+            "ignored": sorted(self.ignored),
+            "missing": sorted(self.missing),
+            "added": sorted(self.added),
+        }
+
+    def format_text(self) -> str:
+        lines = [
+            f"perf regression sentinel — tolerance ±{self.tolerance:.0%}",
+            f"baseline: {', '.join(str(p) for p in self.baseline_files) or '-'}",
+            f"current : {', '.join(str(p) for p in self.current_files) or '-'}",
+            f"compared {len(self.deltas)} metric(s), "
+            f"{len(self.ignored)} ignored (unknown direction), "
+            f"{len(self.missing)} missing, {len(self.added)} new",
+        ]
+        for d in self.regressions:
+            arrow = "↓" if d.direction > 0 else "↑"
+            lines.append(
+                f"  REGRESSION {d.name}: {d.baseline:g} -> {d.current:g} "
+                f"({arrow} {abs(d.change_pct):.1f}%, allowed "
+                f"{self.tolerance:.0%})"
+            )
+        if self.missing:
+            lines.append(
+                "  note: baseline metrics absent from the current run: "
+                + ", ".join(sorted(self.missing)[:5])
+                + ("..." if len(self.missing) > 5 else "")
+            )
+        lines.append("verdict: " + ("OK" if self.ok else
+                                    f"{len(self.regressions)} regression(s)"))
+        return "\n".join(lines)
+
+
+def compare_metrics(baseline: dict, current: dict,
+                    tolerance: float = DEFAULT_TOLERANCE) -> RegressionReport:
+    """Compare two flattened metric dicts under a tolerance band.
+
+    A higher-better metric regresses when
+    ``current < baseline * (1 - tolerance)``; a lower-better one when
+    ``current > baseline * (1 + tolerance)``. Unknown-direction metrics
+    are listed, never gated.
+    """
+    if tolerance < 0:
+        raise ConfigurationError(
+            f"tolerance must be >= 0, got {tolerance}"
+        )
+    report = RegressionReport(tolerance=tolerance)
+    for name in sorted(baseline):
+        if name not in current:
+            report.missing.append(name)
+            continue
+        base, cur = baseline[name], current[name]
+        direction = metric_direction(name)
+        if direction == 0:
+            report.ignored.append(name)
+            continue
+        ratio = cur / base if base else float("inf")
+        if direction > 0:
+            regressed = cur < base * (1.0 - tolerance)
+        else:
+            regressed = cur > base * (1.0 + tolerance)
+        report.deltas.append(
+            MetricDelta(
+                name=name, baseline=base, current=cur,
+                direction=direction, ratio=ratio, regressed=regressed,
+            )
+        )
+    report.added = [name for name in current if name not in baseline]
+    return report
+
+
+def check_regressions(baseline_paths, current_paths=None,
+                      tolerance: float = DEFAULT_TOLERANCE) -> RegressionReport:
+    """Run the sentinel over artifact files.
+
+    ``baseline_paths`` are the committed ``BENCH_*.json`` files. With no
+    ``current_paths``, the baseline is validated against itself — a
+    parse check of the committed history that trivially passes, which is
+    the CI default until a fresh run is supplied. Artifacts are matched
+    by their ``bench`` field; a current file whose bench has no baseline
+    contributes only ``added`` metrics.
+    """
+    baseline_paths = [Path(p) for p in baseline_paths]
+    if not baseline_paths:
+        raise ConfigurationError(
+            "no baseline artifacts: expected at least one BENCH_*.json"
+        )
+    current_paths = [Path(p) for p in (current_paths or baseline_paths)]
+
+    baseline, current = {}, {}
+    for target, paths in ((baseline, baseline_paths), (current, current_paths)):
+        for path in paths:
+            target.update(flatten_bench_metrics(load_bench_file(path)))
+    report = compare_metrics(baseline, current, tolerance=tolerance)
+    report.baseline_files = baseline_paths
+    report.current_files = current_paths
+    return report

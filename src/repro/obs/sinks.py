@@ -6,7 +6,7 @@ dumb — they receive finished events and persist them; all buffering and
 formatting decisions live here so the :class:`~repro.obs.tracer.Tracer`
 stays allocation-free on the disabled path.
 
-Three implementations:
+Implementations:
 
 * :class:`NullSink` — discards everything; the default, so instrumented
   code pays near-zero cost when observability is off.
@@ -14,14 +14,27 @@ Three implementations:
   consumers.
 * :class:`JsonlSink` — one compact JSON object per line, append-friendly
   and greppable; the on-disk run-telemetry format.
+* :class:`SpanRingSink` — a bounded ring of recent events; what the
+  :class:`~repro.obs.export.TelemetryServer` serves from ``/spans``.
+* :class:`TeeSink` — fans one event stream out to several sinks (e.g.
+  JSONL on disk *and* the telemetry server's ring).
 """
 
 from __future__ import annotations
 
 import json
+from collections import deque
 from pathlib import Path
 
-__all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink", "read_jsonl"]
+__all__ = [
+    "Sink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "SpanRingSink",
+    "TeeSink",
+    "read_jsonl",
+]
 
 
 class Sink:
@@ -70,29 +83,113 @@ class MemorySink(Sink):
         return [e for e in self.events if e.get("ev") == ev]
 
 
+class SpanRingSink(Sink):
+    """Keeps the newest ``maxlen`` events in a ring buffer.
+
+    Backs the telemetry server's ``/spans`` endpoint: a long batch run
+    stays scrapeable without unbounded memory. ``deque.append`` is
+    thread-safe under the GIL, so the serving thread can snapshot
+    (:meth:`events`) while the run emits.
+    """
+
+    def __init__(self, maxlen: int = 1024):
+        self._ring = deque(maxlen=int(maxlen))
+        self.n_events = 0
+
+    def emit(self, event: dict) -> None:
+        self._ring.append(event)
+        self.n_events += 1
+
+    def events(self) -> list:
+        """A consistent snapshot of the buffered events (oldest first)."""
+        return list(self._ring)
+
+    def by_type(self, ev: str) -> list:
+        return [e for e in self.events() if e.get("ev") == ev]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class TeeSink(Sink):
+    """Replicates every event to each wrapped sink, in order.
+
+    ``flush``/``close`` fan out too; a failing downstream sink does not
+    stop the others from closing (the first error propagates after all
+    sinks were attempted).
+    """
+
+    def __init__(self, *sinks):
+        self.sinks = [s for s in sinks if s is not None]
+
+    def emit(self, event: dict) -> None:
+        first_error = None
+        for sink in self.sinks:
+            try:
+                sink.emit(event)
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    def _fan_out(self, method: str) -> None:
+        first_error = None
+        for sink in self.sinks:
+            try:
+                getattr(sink, method)()
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    def flush(self) -> None:
+        self._fan_out("flush")
+
+    def close(self) -> None:
+        self._fan_out("close")
+
+
 class JsonlSink(Sink):
     """Writes one compact JSON object per line to ``path``.
 
-    The file is opened lazily on the first event and truncated (a sink
-    represents one run's telemetry; use distinct paths per run). Events
-    must be JSON-serializable; numpy scalars are coerced via ``float``.
+    The file is opened lazily on the first event. By default it is
+    truncated (a sink represents one run's telemetry; use distinct paths
+    per run); pass ``append=True`` to add to an existing file — in
+    append mode each event is a single ``write()`` of one line, so
+    concurrent writers (multiple processes sharing one telemetry file)
+    interleave whole lines rather than corrupting each other, per POSIX
+    ``O_APPEND`` semantics.
+
+    Events should be JSON-serializable; numpy scalars are coerced via
+    ``.item()`` and anything else non-serializable is degraded to its
+    ``repr`` — mid-run telemetry must never kill the run it is
+    observing.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, append: bool = False):
         self.path = Path(path)
+        self.append = bool(append)
         self._fh = None
         self.n_events = 0
 
     def _coerce(self, obj):
-        # numpy ints/floats/bools and other scalar-likes -> builtins.
+        # numpy ints/floats/bools and other scalar-likes -> builtins;
+        # everything else degrades to repr instead of raising.
         if hasattr(obj, "item"):
-            return obj.item()
-        raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+            try:
+                return obj.item()
+            except Exception:
+                pass
+        return repr(obj)
 
     def emit(self, event: dict) -> None:
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("w", encoding="utf-8")
+            self._fh = self.path.open(
+                "a" if self.append else "w", encoding="utf-8"
+            )
         line = json.dumps(event, separators=(",", ":"), default=self._coerce)
         self._fh.write(line + "\n")
         self.n_events += 1

@@ -54,9 +54,26 @@ class TraceSummary:
     unknown_events: int = 0
 
 
+def _series_key(ev) -> tuple:
+    """(name, frozen labels) — labeled metric events are independent
+    series that must not clobber each other in the summary."""
+    labels = ev.get("labels") or {}
+    return (
+        ev.get("name", "?"),
+        tuple(sorted((str(k), str(v)) for k, v in labels.items())),
+    )
+
+
 def summarize_events(events) -> TraceSummary:
-    """Aggregate a list of event dicts (see :func:`read_jsonl`)."""
+    """Aggregate a list of event dicts (see :func:`read_jsonl`).
+
+    Counter values are summed across label sets of the same family
+    (``counters["resilience.retries"]`` stays the total even when the
+    emitter split it by ``error_type``); per-series last values win
+    within one label set. Gauges keep the family's last write.
+    """
     summary = TraceSummary(n_events=len(events))
+    counter_series = {}
     for ev in events:
         kind = ev.get("ev")
         if kind == "span":
@@ -66,7 +83,7 @@ def summarize_events(events) -> TraceSummary:
                 stats = summary.spans[name] = SpanStats(name)
             stats.add(ev.get("dur"), ev.get("status", "ok"))
         elif kind == "counter":
-            summary.counters[ev.get("name", "?")] = ev.get("value")
+            counter_series[_series_key(ev)] = ev.get("value")
         elif kind == "gauge":
             summary.gauges[ev.get("name", "?")] = ev.get("value")
         elif kind == "hist":
@@ -83,6 +100,10 @@ def summarize_events(events) -> TraceSummary:
             pass  # point events carry no aggregate
         else:
             summary.unknown_events += 1
+    for (name, _labels), value in counter_series.items():
+        if value is None:
+            continue
+        summary.counters[name] = summary.counters.get(name, 0) + value
     return summary
 
 

@@ -11,6 +11,15 @@ processes) and a monotonic duration (``time.perf_counter``). A span that
 exits via an exception is emitted with ``status="error"`` and the
 exception type in its attributes, then the exception propagates.
 
+Every enabled tracer belongs to a **trace**: a 16-hex-char ``trace_id``
+stamped on each emitted span/event. Worker processes construct their
+tracer with the parent's ``trace_id``, a ``span_prefix`` that makes
+their locally-counted span ids globally unique (``s0f3a1.00000002``),
+and a ``root_parent`` pointing at the parent-side span their root spans
+hang from — which is how a :class:`repro.parallel.ParallelRunner` run
+stitches per-worker span trees into one trace (see
+``docs/observability.md``).
+
 The module-level :data:`NULL_TRACER` is shared by every code path that
 was given no tracer: its ``span()`` returns a reusable no-op context
 manager and its counter/gauge helpers return immediately, so the hot
@@ -20,23 +29,31 @@ paths stay within the <5% overhead budget when observability is off.
 from __future__ import annotations
 
 import itertools
+import os
 import time
 from contextlib import contextmanager
 
 from .metrics import MetricsRegistry
 from .sinks import NullSink
 
-__all__ = ["Span", "Tracer", "NULL_TRACER", "NULL_SPAN"]
+__all__ = ["Span", "Tracer", "NULL_TRACER", "NULL_SPAN", "new_trace_id"]
 
-#: Event-schema version stamped into the ``meta`` event.
-SCHEMA_VERSION = 1
+#: Event-schema version stamped into the ``meta`` event. v2 adds
+#: ``trace`` (trace id) on meta/span/event records and optional
+#: ``labels`` on counter/gauge/hist records; v1 files remain readable.
+SCHEMA_VERSION = 2
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (64 random bits)."""
+    return os.urandom(8).hex()
 
 
 class Span:
     """One timed region. Mutate attributes via :meth:`set` while open."""
 
     __slots__ = ("name", "span_id", "parent_id", "start_wall", "start_mono",
-                 "duration", "status", "attrs")
+                 "duration", "status", "attrs", "profile")
 
     def __init__(self, name, span_id, parent_id, attrs):
         self.name = name
@@ -47,6 +64,7 @@ class Span:
         self.duration = None
         self.status = "open"
         self.attrs = attrs
+        self.profile = None  # resource snapshot when profiling is on
 
     def set(self, **attrs) -> "Span":
         """Attach key/value attributes; chainable."""
@@ -73,6 +91,7 @@ class _NullSpan:
     name = None
     span_id = None
     parent_id = None
+    duration = None
     status = "disabled"
 
     def set(self, **attrs) -> "_NullSpan":
@@ -106,6 +125,23 @@ class Tracer:
     enabled:
         Force-enable/disable; by default the tracer is enabled exactly
         when the sink is not a ``NullSink``.
+    trace_id:
+        The trace this tracer emits into. Auto-generated for enabled
+        tracers; pass the parent's id to join an existing trace from a
+        worker process.
+    span_prefix:
+        Prepended to every locally-generated span id. Workers use
+        ``"s<stream>f<frame>a<attempt>."`` so ids from independent
+        processes (each counting from 1) never collide inside one trace.
+    root_parent:
+        Parent span id assigned to root spans (spans opened with an
+        empty stack). ``None`` (the default) leaves roots parentless;
+        workers point it at the parent-side ``frame`` span.
+    profile:
+        Enable per-span resource profiling (CPU time, peak RSS, GC
+        collections recorded as span attributes — see
+        :mod:`repro.obs.profile`). Also switchable later via
+        :meth:`enable_profiling`.
 
     Use as a context manager to guarantee the metric snapshot is flushed
     and the sink closed::
@@ -114,15 +150,24 @@ class Tracer:
             result = sslic(image, tracer=tracer)
     """
 
-    def __init__(self, sink=None, enabled=None):
+    def __init__(self, sink=None, enabled=None, trace_id=None,
+                 span_prefix: str = "", root_parent=None, profile=False):
         self.sink = sink if sink is not None else NullSink()
         self.enabled = (
             enabled if enabled is not None else not isinstance(self.sink, NullSink)
         )
+        self.trace_id = trace_id if trace_id is not None else (
+            new_trace_id() if self.enabled else None
+        )
+        self.span_prefix = span_prefix
+        self.root_parent = root_parent
         self.metrics = MetricsRegistry()
         self._stack = []
         self._ids = itertools.count(1)
         self._emitted_meta = False
+        self.profiler = None
+        if profile:
+            self.enable_profiling()
 
     # ------------------------------------------------------------------
     # Spans
@@ -138,10 +183,18 @@ class Tracer:
         if not self._emitted_meta:
             self._emitted_meta = True
             self.sink.emit(
-                {"ev": "meta", "schema": SCHEMA_VERSION, "ts": time.time()}
+                {"ev": "meta", "schema": SCHEMA_VERSION,
+                 "trace": self.trace_id, "ts": time.time()}
             )
-        parent = self._stack[-1].span_id if self._stack else None
-        span = Span(name, f"{next(self._ids):08x}", parent, dict(attrs))
+        parent = (
+            self._stack[-1].span_id if self._stack else self.root_parent
+        )
+        span = Span(
+            name, f"{self.span_prefix}{next(self._ids):08x}", parent,
+            dict(attrs),
+        )
+        if self.profiler is not None:
+            span.profile = self.profiler.snapshot()
         self._stack.append(span)
         return span
 
@@ -151,11 +204,17 @@ class Tracer:
             return
         span.duration = time.perf_counter() - span.start_mono
         span.status = status
+        if self.profiler is not None and span.profile is not None:
+            span.attrs.update(self.profiler.delta(span.profile))
+            span.profile = None
         if self._stack and self._stack[-1] is span:
             self._stack.pop()
         elif span in self._stack:  # tolerate out-of-order closes
             self._stack.remove(span)
-        self.sink.emit(span.as_event())
+        event = span.as_event()
+        if self.trace_id is not None:
+            event["trace"] = self.trace_id
+        self.sink.emit(event)
 
     def span(self, name: str, **attrs):
         """Context manager for a span; tags ``status="error"`` on raise."""
@@ -179,10 +238,12 @@ class Tracer:
         """Emit an instantaneous point event (no duration)."""
         if not self.enabled:
             return
-        parent = self._stack[-1].span_id if self._stack else None
+        parent = (
+            self._stack[-1].span_id if self._stack else self.root_parent
+        )
         self.sink.emit(
             {"ev": "event", "name": name, "parent": parent,
-             "ts": time.time(), "attrs": attrs}
+             "trace": self.trace_id, "ts": time.time(), "attrs": attrs}
         )
 
     @property
@@ -190,19 +251,36 @@ class Tracer:
         return self._stack[-1] if self._stack else None
 
     # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    def enable_profiling(self) -> "Tracer":
+        """Attach a :class:`repro.obs.profile.ResourceProfiler`.
+
+        Subsequent spans carry ``cpu_user_s`` / ``cpu_sys_s`` /
+        ``rss_peak_kb`` / ``gc_collections`` attributes. Opt-in because
+        the per-span sampling cost, while small, is not zero (budgeted
+        at <= 5% wall time — gated in ``benchmarks/bench_e2e_video.py``).
+        """
+        if self.enabled and self.profiler is None:
+            from .profile import ResourceProfiler
+
+            self.profiler = ResourceProfiler()
+        return self
+
+    # ------------------------------------------------------------------
     # Metrics front-end (no-ops when disabled)
     # ------------------------------------------------------------------
-    def count(self, name: str, amount=1) -> None:
+    def count(self, name: str, amount=1, labels=None) -> None:
         if self.enabled:
-            self.metrics.counter(name).inc(amount)
+            self.metrics.counter(name, labels=labels).inc(amount)
 
-    def gauge(self, name: str, value) -> None:
+    def gauge(self, name: str, value, labels=None) -> None:
         if self.enabled:
-            self.metrics.gauge(name).set(value)
+            self.metrics.gauge(name, labels=labels).set(value)
 
-    def observe(self, name: str, value, buckets) -> None:
+    def observe(self, name: str, value, buckets, labels=None) -> None:
         if self.enabled:
-            self.metrics.histogram(name, buckets).observe(value)
+            self.metrics.histogram(name, buckets, labels=labels).observe(value)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -32,6 +32,16 @@ class FrameTask:
     :class:`repro.resilience.FaultSpec` the worker-side injection hook
     applies before running (chaos testing — ``None`` in production).
 
+    ``trace_id`` / ``parent_span_id`` carry the parent's trace context
+    across the process boundary (both transports ship them — they ride
+    the pickled task, and the shm transport additionally stamps the
+    trace tag into the slab header). The worker's collecting tracer
+    joins ``trace_id``, prefixes its span ids with
+    ``s<stream>f<frame>a<attempt>.`` (attempt-tagged, so watchdog
+    resubmissions and retries never collide), and parents its root
+    spans at ``parent_span_id`` — the parent-side ``frame`` span — so
+    the merged trace is one stitched tree, not a pile of orphans.
+
     Under the zero-copy transport (``transport="shm"``), ``image`` and
     ``warm_labels`` are ``None`` and the ``shm_*`` fields carry
     :class:`~repro.parallel.shm.SlabRef` pointers instead: the worker
@@ -48,6 +58,8 @@ class FrameTask:
     collect_trace: bool = False
     attempt: int = 0
     fault: object = None
+    trace_id: str = None
+    parent_span_id: str = None
     shm_image: object = None
     shm_warm_labels: object = None
     shm_result: object = None

@@ -330,7 +330,10 @@ class ParallelRunner:
                 reason = str(exc)
         else:
             reason = "shared memory unavailable (no usable /dev/shm)"
-        self.tracer.count("parallel.transport_fallbacks")
+        self.tracer.count(
+            "parallel.transport_fallbacks",
+            labels={"requested": self.transport, "fallback": "pickle"},
+        )
         self.tracer.event(
             "transport_fallback",
             requested=self.transport,
@@ -389,10 +392,23 @@ class ParallelRunner:
     # ------------------------------------------------------------------
     # Scheduler
     # ------------------------------------------------------------------
-    def _make_task(self, state: _StreamState, image, attempt: int = 0):
+    @staticmethod
+    def _frame_span_id(batch_span, stream_id: int, frame_index: int) -> str:
+        """Stable parent-trace id of one frame's ``frame`` span.
+
+        Scoped under the batch span's id so several batches through one
+        tracer never collide; stable across attempts (the *worker* span
+        ids carry the attempt tag, the frame span is the final record).
+        """
+        batch_id = getattr(batch_span, "span_id", None) or "b"
+        return f"{batch_id}.s{stream_id}f{frame_index}"
+
+    def _make_task(self, state: _StreamState, image, batch_span,
+                   attempt: int = 0):
         """Plan the frame against the stream's warm state; returns
         ``(FrameTask, FramePlan)``."""
         plan = state.segmenter.plan(np.asarray(image).shape)
+        tracer = self.tracer
         return FrameTask(
             stream_id=state.stream_id,
             frame_index=state.cursor,
@@ -402,6 +418,12 @@ class ParallelRunner:
             warm_labels=plan.warm_labels,
             collect_trace=self.collect_worker_traces,
             attempt=attempt,
+            trace_id=tracer.trace_id if tracer.enabled else None,
+            parent_span_id=(
+                self._frame_span_id(batch_span, state.stream_id, state.cursor)
+                if tracer.enabled
+                else None
+            ),
         ), plan
 
     def _validate_frame(self, image):
@@ -489,7 +511,10 @@ class ParallelRunner:
                 record = transport.finalize(task, record)
             if will_retry:
                 retries_used += 1
-                self.tracer.count("resilience.retries")
+                self.tracer.count(
+                    "resilience.retries",
+                    labels={"error_type": record.error_type or "unknown"},
+                )
                 next_attempt = task.attempt + 1
                 next_task = replace(
                     task,
@@ -518,7 +543,10 @@ class ParallelRunner:
                 and task.attempt >= policy.retries
             ):
                 record.quarantined = True
-                self.tracer.count("resilience.quarantined")
+                self.tracer.count(
+                    "resilience.quarantined",
+                    labels={"error_type": record.error_type or "unknown"},
+                )
             collect(state, plan, record)
 
         def failed_plan_record(state, exc):
@@ -609,7 +637,13 @@ class ParallelRunner:
                     # demotion.
                     transport_active = False
                     transport_fell_back = True
-                    self.tracer.count("parallel.transport_fallbacks")
+                    self.tracer.count(
+                        "parallel.transport_fallbacks",
+                        labels={
+                            "requested": self.transport,
+                            "fallback": "pickle",
+                        },
+                    )
                     self.tracer.event(
                         "transport_fallback",
                         requested=self.transport,
@@ -677,7 +711,7 @@ class ParallelRunner:
                             progressed = True
                             continue
                         try:
-                            task, plan = self._make_task(state, image)
+                            task, plan = self._make_task(state, image, batch_span)
                         except StreamError as exc:
                             collect(state, None, failed_plan_record(state, exc))
                             progressed = True
@@ -795,11 +829,21 @@ class ParallelRunner:
     # Telemetry
     # ------------------------------------------------------------------
     def _emit_frame_telemetry(self, record: FrameRecord, batch_span) -> None:
-        """One ``frame`` span per record + remapped worker span trees."""
+        """One ``frame`` span per record + the worker's stitched span tree.
+
+        The frame span's id is the ``parent_span_id`` the task shipped
+        to the worker, so worker span events — already carrying the
+        parent's ``trace`` id, globally-unique attempt-tagged ids, and
+        resolvable parents — merge into the trace **verbatim**. Span
+        events without a ``trace`` field (pre-v2 producers) fall back to
+        the old prefix remapping so mixed-version traces stay readable.
+        """
         tracer = self.tracer
         if not tracer.enabled:
             return
-        frame_id = f"s{record.stream_id}f{record.frame_index}"
+        frame_id = self._frame_span_id(
+            batch_span, record.stream_id, record.frame_index
+        )
         parent_id = getattr(batch_span, "span_id", None)
         tracer.sink.emit(
             {
@@ -807,6 +851,7 @@ class ParallelRunner:
                 "name": "frame",
                 "id": frame_id,
                 "parent": parent_id,
+                "trace": tracer.trace_id,
                 "ts": time.time() - record.elapsed_s,
                 "dur": record.elapsed_s,
                 "status": "ok" if record.ok else "error",
@@ -841,19 +886,39 @@ class ParallelRunner:
         for event in record.trace_events:
             kind = event.get("ev")
             if kind == "span":
-                remapped = dict(event)
-                remapped["id"] = f"{frame_id}:{event['id']}"
-                remapped["parent"] = (
-                    f"{frame_id}:{event['parent']}"
-                    if event.get("parent")
-                    else frame_id
-                )
-                tracer.sink.emit(remapped)
+                if event.get("trace"):
+                    # Stitched path: ids/parents/trace already final.
+                    tracer.sink.emit(event)
+                else:  # legacy producer — remap under the frame span
+                    remapped = dict(event)
+                    remapped["id"] = f"{frame_id}:{event['id']}"
+                    remapped["parent"] = (
+                        f"{frame_id}:{event['parent']}"
+                        if event.get("parent")
+                        else frame_id
+                    )
+                    tracer.sink.emit(remapped)
             elif kind == "counter":
                 # Accumulate through the parent registry so per-frame
                 # snapshots sum instead of clobbering each other.
-                tracer.count(f"worker.{event['name']}", event.get("value", 0))
+                tracer.count(
+                    f"worker.{event['name']}",
+                    event.get("value", 0),
+                    labels=event.get("labels"),
+                )
             elif kind == "gauge":
-                tracer.gauge(f"worker.{event['name']}", event.get("value"))
-            # meta / hist / point events from workers are dropped: the
-            # parent emits its own meta, and no worker path uses those.
+                tracer.gauge(
+                    f"worker.{event['name']}",
+                    event.get("value"),
+                    labels=event.get("labels"),
+                )
+            elif kind == "hist":
+                # Worker histograms arrive as full snapshots; fold them
+                # into the parent-side instrument bucket by bucket.
+                tracer.metrics.histogram(
+                    f"worker.{event['name']}",
+                    event["buckets"],
+                    labels=event.get("labels"),
+                ).merge(event)
+            # meta / point events from workers are dropped: the parent
+            # emits its own meta.

@@ -69,12 +69,19 @@ __all__ = [
     "decode_task",
     "publish_result",
     "detach_all",
+    "slab_trace_id",
 ]
 
 #: Payload offset inside every slab. The first 8 bytes hold the
-#: little-endian uint64 generation tag; the rest of the header is
-#: reserved padding so payloads start cache-line aligned.
+#: little-endian uint64 generation tag; bytes 8..16 hold the trace tag
+#: (the owning run's 16-hex-char trace id as raw bytes, zero when the
+#: run is untraced) so a slab on disk/in a core dump is attributable to
+#: the trace that produced it; the rest of the header is reserved
+#: padding so payloads start cache-line aligned.
 HEADER_BYTES = 64
+
+#: Byte offset of the trace tag inside the slab header.
+TRACE_TAG_OFFSET = 8
 
 #: Slab capacities are rounded up to this granularity so frames of
 #: slightly different byte sizes can still reuse each other's slabs.
@@ -114,6 +121,11 @@ class Slab:
         """Bump the generation and write it into the slab header."""
         self.generation += 1
         struct.pack_into("<Q", self.shm.buf, 0, self.generation)
+
+    def stamp_trace(self, trace_id) -> None:
+        """Record the owning trace id (16 hex chars) in the header."""
+        raw = bytes.fromhex(trace_id)[:8] if trace_id else b"\x00" * 8
+        struct.pack_into("8s", self.shm.buf, TRACE_TAG_OFFSET, raw)
 
     def view(self, ref: SlabRef, writeable: bool = True):
         arr = np.ndarray(
@@ -254,6 +266,16 @@ def detach_all() -> None:
     _ATTACHED.clear()
 
 
+def slab_trace_id(name: str):
+    """Read a slab's trace tag (worker side); hex string or ``None``.
+
+    Zero bytes (an untraced run, or a pre-tag slab) read as ``None``.
+    """
+    shm = _attach(name)
+    raw = bytes(shm.buf[TRACE_TAG_OFFSET:TRACE_TAG_OFFSET + 8])
+    return raw.hex() if raw != b"\x00" * 8 else None
+
+
 def ref_to_array(ref: SlabRef, writeable: bool = False):
     """Attach ``ref``'s slab and return a payload view, verifying the
     generation tag — a mismatch means the slab was recycled for another
@@ -356,6 +378,7 @@ class ShmTransport:
             offsets.append(total)
             total += _align(arr.nbytes)
         in_slab = self.pool.acquire(total)
+        in_slab.stamp_trace(task.trace_id)
         try:
             refs = []
             for arr, off in zip(arrays, offsets):
@@ -370,6 +393,7 @@ class ShmTransport:
                 refs.append(ref)
             h, w = image.shape[:2]
             out_slab = self.pool.acquire(h * w * np.dtype(np.int32).itemsize)
+            out_slab.stamp_trace(task.trace_id)
         except Exception:
             self.pool.release(in_slab)
             raise

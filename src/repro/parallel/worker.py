@@ -44,10 +44,22 @@ __all__ = ["run_frame"]
 CRASH_ENV = "REPRO_PARALLEL_CRASH_FRAME"
 
 
-def _collecting_tracer():
+def _collecting_tracer(task):
+    """An in-memory tracer that joins the parent's trace.
+
+    Span ids get the ``s<stream>f<frame>a<attempt>.`` prefix (globally
+    unique inside the trace, attempt-tagged so retried executions stay
+    distinguishable) and root spans hang from the parent-side ``frame``
+    span, so the parent can merge the events verbatim — no remapping.
+    """
     from ..obs import MemorySink, Tracer
 
-    return Tracer(MemorySink())
+    return Tracer(
+        MemorySink(),
+        trace_id=task.trace_id,
+        span_prefix=f"s{task.stream_id}f{task.frame_index}a{task.attempt}.",
+        root_parent=task.parent_span_id,
+    )
 
 
 def run_frame(task: FrameTask, in_worker: bool = True) -> FrameRecord:
@@ -62,7 +74,7 @@ def run_frame(task: FrameTask, in_worker: bool = True) -> FrameRecord:
 
     from ..kernels.supervisor import supervised_resolve
 
-    tracer = _collecting_tracer() if task.collect_trace else None
+    tracer = _collecting_tracer(task) if task.collect_trace else None
     start = time.perf_counter()
     try:
         if task.shm_result is not None or task.shm_image is not None:

@@ -223,6 +223,45 @@ class TestJsonlRoundTrip:
         counters = [e for e in events if e["ev"] == "counter"]
         assert counters == [{"ev": "counter", "name": "hits", "value": 2}]
 
+    def test_context_exit_flushes_and_closes(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"ev": "meta"})
+        assert sink._fh is None  # handle released
+        assert read_jsonl(path) == [{"ev": "meta"}]
+        sink.close()  # idempotent
+
+    def test_default_mode_truncates_append_mode_does_not(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"run": 1})
+        with JsonlSink(path) as sink:
+            sink.emit({"run": 2})
+        assert read_jsonl(path) == [{"run": 2}]
+        with JsonlSink(path, append=True) as sink:
+            sink.emit({"run": 3})
+        assert read_jsonl(path) == [{"run": 2}, {"run": 3}]
+
+    def test_non_serializable_attr_degrades_to_repr(self, tmp_path):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque thing>"
+
+        path = tmp_path / "r.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"ev": "span", "attrs": {"obj": Opaque()}})
+        (ev,) = read_jsonl(path)
+        assert ev["attrs"]["obj"] == "<opaque thing>"
+
+    def test_numpy_array_attr_does_not_kill_the_run(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        path = tmp_path / "arr.jsonl"
+        with JsonlSink(path) as sink:
+            # multi-element .item() raises; the sink must fall back to repr
+            sink.emit({"ev": "span", "attrs": {"arr": np.zeros(3)}})
+        (ev,) = read_jsonl(path)
+        assert "0." in ev["attrs"]["arr"]  # repr of the array
+
 
 class TestManifest:
     def test_schema_fields(self, tmp_path):

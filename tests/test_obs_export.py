@@ -1,0 +1,283 @@
+"""Tests for repro.obs.export: Prometheus exposition + TelemetryServer."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    MemorySink,
+    MetricsRegistry,
+    SpanRingSink,
+    TeeSink,
+    TelemetryServer,
+    Tracer,
+    render_prometheus,
+    span_forest,
+)
+from repro.obs.export import (
+    escape_label_value,
+    sanitize_label_name,
+    sanitize_metric_name,
+)
+from repro.obs.sinks import NullSink
+from repro.obs.tracer import NULL_TRACER
+
+
+class TestSanitization:
+    def test_valid_names_are_identity(self):
+        assert sanitize_metric_name("repro_engine_sweeps") == "repro_engine_sweeps"
+        assert sanitize_metric_name("a:b_c9") == "a:b_c9"
+
+    def test_dots_and_dashes_become_underscores(self):
+        assert sanitize_metric_name("engine.sweep-rate") == "engine_sweep_rate"
+
+    def test_leading_digit_gets_prefix(self):
+        assert sanitize_metric_name("1080p.fps") == "_1080p_fps"
+
+    def test_empty_name(self):
+        assert sanitize_metric_name("") == "_"
+
+    def test_idempotent(self):
+        once = sanitize_metric_name("a b.c/d")
+        assert sanitize_metric_name(once) == once
+
+    def test_label_name_strips_colon_and_reserved_prefix(self):
+        assert sanitize_label_name("a:b") == "a_b"
+        assert sanitize_label_name("__name__") == "_name__"
+
+    def test_label_value_escaping(self):
+        assert escape_label_value('say "hi"\n') == r"say \"hi\"\n"
+        assert escape_label_value("back\\slash") == r"back\\slash"
+
+
+class TestRenderPrometheus:
+    def test_golden_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("engine.sweeps").inc(3)
+        reg.gauge("parallel.workers").set(4)
+        h = reg.histogram("engine.sweep_seconds", (0.01, 0.1))
+        h.observe(0.005)
+        h.observe(0.05)
+        h.observe(5.0)
+        text = render_prometheus(reg, namespace="repro")
+        assert text == (
+            "# TYPE repro_engine_sweeps_total counter\n"
+            "repro_engine_sweeps_total 3\n"
+            "# TYPE repro_parallel_workers gauge\n"
+            "repro_parallel_workers 4\n"
+            "# TYPE repro_engine_sweep_seconds histogram\n"
+            'repro_engine_sweep_seconds_bucket{le="0.01"} 1\n'
+            'repro_engine_sweep_seconds_bucket{le="0.1"} 2\n'
+            'repro_engine_sweep_seconds_bucket{le="+Inf"} 3\n'
+            "repro_engine_sweep_seconds_sum 5.055\n"
+            "repro_engine_sweep_seconds_count 3\n"
+        )
+
+    def test_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", (1.0, 2.0, 3.0))
+        for v in (0.5, 1.5, 1.6, 2.5):
+            h.observe(v)
+        lines = render_prometheus(reg, namespace="").splitlines()
+        buckets = [ln for ln in lines if "_bucket" in ln]
+        assert [ln.rsplit(" ", 1)[1] for ln in buckets] == ["1", "3", "4", "4"]
+
+    def test_labeled_series_share_one_type_line(self):
+        reg = MetricsRegistry()
+        reg.counter("fallbacks", labels={"requested": "shm"}).inc()
+        reg.counter("fallbacks", labels={"requested": "auto"}).inc(2)
+        text = render_prometheus(reg, namespace="repro")
+        assert text.count("# TYPE repro_fallbacks_total counter") == 1
+        assert 'repro_fallbacks_total{requested="shm"} 1' in text
+        assert 'repro_fallbacks_total{requested="auto"} 2' in text
+
+    def test_label_values_escaped_in_output(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels={"err": 'boom "x"\n'}).inc()
+        text = render_prometheus(reg, namespace="")
+        assert r'c_total{err="boom \"x\"\n"} 1' in text
+
+    def test_sanitized_collision_gets_stable_suffix(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc(1)
+        reg.counter("a_b").inc(2)
+        text = render_prometheus(reg, namespace="")
+        assert "a_b_total 1" in text
+        assert "a_b_2_total 2" in text
+
+    def test_unset_gauge_skipped(self):
+        reg = MetricsRegistry()
+        reg.gauge("never.written")
+        reg.counter("c").inc()
+        text = render_prometheus(reg, namespace="")
+        assert "never" not in text
+
+    def test_empty_registry(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+    def test_parses_under_prometheus_text_rules(self):
+        # Every non-comment line must be <name>{labels} <value> with
+        # name/label grammar from the spec.
+        import re
+
+        name_re = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+        reg = MetricsRegistry()
+        reg.counter("weird name.1", labels={"0bad key": 'v"al'}).inc()
+        reg.histogram("engine.sweep_seconds", (0.5,)).observe(1.0)
+        reg.gauge("g").set(float("nan"))
+        for line in render_prometheus(reg).splitlines():
+            if line.startswith("#") or not line:
+                continue
+            sample, _, value = line.rpartition(" ")
+            name = sample.split("{", 1)[0]
+            assert name_re.match(name), line
+            assert value in ("NaN", "+Inf", "-Inf") or float(value) == pytest.approx(
+                float(value)
+            )
+
+
+class TestSinks:
+    def test_tee_fans_out(self):
+        a, b = MemorySink(), MemorySink()
+        tee = TeeSink(a, b)
+        tee.emit({"ev": "span", "id": "1"})
+        assert a.events == b.events == [{"ev": "span", "id": "1"}]
+
+    def test_tee_raises_after_attempting_all(self):
+        class Boom:
+            closed = False
+
+            def emit(self, e):
+                raise OSError("disk full")
+
+            def flush(self):
+                pass
+
+            def close(self):
+                self.closed = True
+
+        boom, mem = Boom(), MemorySink()
+        tee = TeeSink(boom, mem)
+        with pytest.raises(OSError):
+            tee.emit({"ev": "x"})
+        assert mem.events == [{"ev": "x"}]  # second sink still got it
+        tee.close()
+        assert boom.closed
+
+    def test_ring_bounded(self):
+        ring = SpanRingSink(maxlen=3)
+        for i in range(10):
+            ring.emit({"ev": "span", "id": i})
+        assert [e["id"] for e in ring.events()] == [7, 8, 9]
+        assert len(ring) == 3
+
+
+class TestSpanForest:
+    def test_nesting_and_orphans(self):
+        events = [
+            {"ev": "span", "id": "a", "parent": None, "ts": 1.0},
+            {"ev": "span", "id": "b", "parent": "a", "ts": 2.0},
+            {"ev": "span", "id": "c", "parent": "b", "ts": 3.0},
+            {"ev": "span", "id": "z", "parent": "gone", "ts": 4.0},
+            {"ev": "counter", "name": "n", "value": 1},
+        ]
+        roots = span_forest(events)
+        assert [r["id"] for r in roots] == ["a", "z"]
+        assert roots[0]["children"][0]["id"] == "b"
+        assert roots[0]["children"][0]["children"][0]["id"] == "c"
+
+    def test_max_roots_keeps_most_recent(self):
+        events = [
+            {"ev": "span", "id": str(i), "parent": None, "ts": float(i)}
+            for i in range(5)
+        ]
+        assert [r["id"] for r in span_forest(events, max_roots=2)] == ["3", "4"]
+
+
+class TestTelemetryServer:
+    def test_rejects_null_tracer(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryServer(NULL_TRACER)
+
+    def test_enables_disabled_tracer_and_assigns_trace(self):
+        tracer = Tracer()  # NullSink -> disabled, no trace id
+        server = TelemetryServer(tracer)
+        assert tracer.enabled
+        assert tracer.trace_id is not None
+        assert tracer.sink is server.ring
+
+    def test_tees_existing_sink(self):
+        mem = MemorySink()
+        tracer = Tracer(mem)
+        server = TelemetryServer(tracer)
+        with tracer.span("s"):
+            pass
+        assert any(e["ev"] == "span" for e in mem.events)
+        assert any(e["ev"] == "span" for e in server.ring.events())
+
+    def test_http_scrape_roundtrip(self):
+        tracer = Tracer(MemorySink())
+        with TelemetryServer(tracer, port=0) as server:
+            with tracer.span("work", stage="demo"):
+                tracer.count("demo.frames", 7)
+                tracer.gauge("demo.level", 0.5)
+                tracer.observe("demo.seconds", 0.02, buckets=(0.01, 0.1))
+            assert server.port != 0  # ephemeral port published
+
+            def get(path):
+                req = urllib.request.urlopen(server.url + path, timeout=5)
+                return req.status, req.headers.get("Content-Type"), req.read()
+
+            status, ctype, body = get("/metrics")
+            assert status == 200
+            assert ctype.startswith("text/plain") and "0.0.4" in ctype
+            text = body.decode()
+            assert "repro_demo_frames_total 7" in text
+            assert "repro_demo_level 0.5" in text
+            assert 'repro_demo_seconds_bucket{le="+Inf"} 1' in text
+            assert text.endswith("\n")
+
+            status, ctype, body = get("/healthz")
+            health = json.loads(body)
+            assert status == 200 and health["status"] == "ok"
+            assert health["trace"] == tracer.trace_id
+
+            status, ctype, body = get("/spans")
+            payload = json.loads(body)
+            assert payload["trace"] == tracer.trace_id
+            names = [root["name"] for root in payload["spans"]]
+            assert "work" in names
+
+            with pytest.raises(urllib.error.HTTPError) as err:
+                get("/nope")
+            assert err.value.code == 404
+        server.close()  # idempotent
+
+    def test_scrape_during_mutation(self):
+        # A scrape racing metric updates must never error.
+        import threading
+
+        tracer = Tracer(MemorySink())
+        stop = threading.Event()
+
+        def mutate():
+            i = 0
+            while not stop.is_set():
+                tracer.count("race.counter")
+                tracer.observe("race.seconds", i % 5 / 10.0, buckets=(0.1, 0.3))
+                i += 1
+
+        with TelemetryServer(tracer) as server:
+            thread = threading.Thread(target=mutate, daemon=True)
+            thread.start()
+            try:
+                for _ in range(10):
+                    body = urllib.request.urlopen(
+                        server.url + "/metrics", timeout=5
+                    ).read()
+                    assert b"race_counter_total" in body
+            finally:
+                stop.set()
+                thread.join(timeout=5)

@@ -1,0 +1,85 @@
+"""Tests for repro.obs.profile: per-span resource sampling."""
+
+import gc
+
+from repro.obs import MemorySink, ResourceProfiler, Tracer
+
+PROFILE_KEYS = {"cpu_user_s", "cpu_sys_s", "rss_peak_kb", "gc_collections"}
+
+
+class TestResourceProfiler:
+    def test_delta_shape_and_sanity(self):
+        prof = ResourceProfiler()
+        snap = prof.snapshot()
+        attrs = prof.delta(snap)
+        assert set(attrs) == PROFILE_KEYS
+        assert attrs["cpu_user_s"] >= 0.0
+        assert attrs["cpu_sys_s"] >= 0.0
+        assert attrs["rss_peak_kb"] > 0  # POSIX: a live process has RSS
+        assert attrs["gc_collections"] >= 0
+        assert prof.samples == 1
+
+    def test_counts_gc_collections_inside_window(self):
+        prof = ResourceProfiler()
+        snap = prof.snapshot()
+        gc.collect()
+        gc.collect()
+        assert prof.delta(snap)["gc_collections"] >= 2
+
+    def test_cpu_attribution(self):
+        import time
+
+        prof = ResourceProfiler()
+        snap = prof.snapshot()
+        # burn enough CPU to cross several OS clock ticks (~10 ms each)
+        deadline = time.perf_counter() + 0.1
+        acc = 0
+        while time.perf_counter() < deadline:
+            acc += sum(range(1000))
+        assert prof.delta(snap)["cpu_user_s"] > 0.0
+
+
+class TestTracerProfiling:
+    def test_spans_carry_profile_attrs_when_enabled(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, profile=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        spans = sink.by_type("span")
+        assert len(spans) == 2
+        for ev in spans:
+            assert PROFILE_KEYS <= set(ev["attrs"]), ev
+
+    def test_disabled_by_default(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("s"):
+            pass
+        (ev,) = sink.by_type("span")
+        assert not (PROFILE_KEYS & set(ev["attrs"]))
+
+    def test_enable_profiling_is_lazy_and_chainable(self):
+        tracer = Tracer(MemorySink())
+        assert tracer.profiler is None
+        assert tracer.enable_profiling() is tracer
+        assert tracer.profiler is not None
+        with tracer.span("s"):
+            pass
+        (ev,) = tracer.sink.by_type("span")
+        assert PROFILE_KEYS <= set(ev["attrs"])
+
+    def test_enable_on_disabled_tracer_is_noop(self):
+        tracer = Tracer()  # NullSink -> disabled
+        tracer.enable_profiling()
+        assert tracer.profiler is None
+
+    def test_profile_attrs_do_not_clobber_user_attrs(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, profile=True)
+        with tracer.span("s", stage="demo") as span:
+            span.set(frames=3)
+        (ev,) = sink.by_type("span")
+        assert ev["attrs"]["stage"] == "demo"
+        assert ev["attrs"]["frames"] == 3
+        assert "cpu_user_s" in ev["attrs"]

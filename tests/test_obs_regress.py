@@ -1,0 +1,215 @@
+"""Tests for repro.obs.regress and the ``repro regress`` CLI gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.obs import check_regressions, compare_metrics, flatten_bench_metrics
+from repro.obs.regress import load_bench_file, metric_direction
+
+
+def bench_payload(fps=3.0, elapsed=2.0):
+    return {
+        "bench": "bench_demo",
+        "schema": 2,
+        "trace": "deadbeefdeadbeef",
+        "cores": 8,
+        "platform": "Linux",
+        "python": "3.11.7",
+        "rows": [
+            {
+                "resolution": "vga",
+                "config": "serial",
+                "width": 640,
+                "height": 480,
+                "frames": 4,
+                "fps": fps,
+                "elapsed_s": elapsed,
+                "ok": True,
+            }
+        ],
+        "profiling": {"overhead_pct": 1.5},
+    }
+
+
+class TestDirection:
+    @pytest.mark.parametrize(
+        "name,expect",
+        [
+            ("bench/vga/serial/fps", +1),
+            ("bench/vga/throughput_fps", +1),
+            ("bench/shm-4w/speedup_over_pickle", +1),
+            ("bench/boundary_recall", +1),
+            ("bench/vga/serial/elapsed_s", -1),
+            ("bench/phase_seconds/connectivity", -1),
+            ("bench/latency_ms", -1),
+            ("bench/profiling/overhead_pct", -1),
+            ("bench/vga/serial/iterations", 0),
+        ],
+    )
+    def test_inference(self, name, expect):
+        assert metric_direction(name) == expect
+
+    def test_matched_on_last_recognizable_component(self):
+        # "fps" appears mid-path; the leaf "elapsed_s" wins.
+        assert metric_direction("bench/fps_sweep/elapsed_s") == -1
+
+
+class TestFlatten:
+    def test_rows_keyed_by_identity_fields(self):
+        flat = flatten_bench_metrics(bench_payload())
+        assert flat["bench_demo/vga/serial/fps"] == 3.0
+        assert flat["bench_demo/vga/serial/elapsed_s"] == 2.0
+        assert flat["bench_demo/profiling/overhead_pct"] == 1.5
+
+    def test_identity_and_geometry_skipped(self):
+        flat = flatten_bench_metrics(bench_payload())
+        joined = " ".join(flat)
+        for absent in ("schema", "trace", "width", "height", "frames", "/ok"):
+            assert absent not in joined
+
+    def test_schema_v1_files_parse_identically(self):
+        v1 = bench_payload()
+        del v1["schema"], v1["trace"]
+        assert flatten_bench_metrics(v1) == flatten_bench_metrics(bench_payload())
+
+
+class TestCompare:
+    def test_within_tolerance_ok(self):
+        base = flatten_bench_metrics(bench_payload(fps=3.0))
+        cur = flatten_bench_metrics(bench_payload(fps=2.5))
+        report = compare_metrics(base, cur, tolerance=0.25)
+        assert report.ok
+
+    def test_fps_drop_regresses(self):
+        base = flatten_bench_metrics(bench_payload(fps=3.0))
+        cur = flatten_bench_metrics(bench_payload(fps=1.0))
+        report = compare_metrics(base, cur, tolerance=0.25)
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.name.endswith("/fps")
+        assert delta.direction == +1
+
+    def test_elapsed_growth_regresses_but_drop_does_not(self):
+        base = flatten_bench_metrics(bench_payload(elapsed=2.0))
+        assert compare_metrics(
+            base, flatten_bench_metrics(bench_payload(elapsed=10.0))
+        ).regressions
+        assert compare_metrics(
+            base, flatten_bench_metrics(bench_payload(elapsed=0.5))
+        ).ok
+
+    def test_fps_improvement_is_not_a_regression(self):
+        base = flatten_bench_metrics(bench_payload(fps=3.0))
+        cur = flatten_bench_metrics(bench_payload(fps=30.0))
+        assert compare_metrics(base, cur).ok
+
+    def test_unknown_direction_ignored_not_gated(self):
+        report = compare_metrics({"b/iterations": 10.0}, {"b/iterations": 99.0})
+        assert report.ok
+        assert report.ignored == ["b/iterations"]
+
+    def test_missing_and_added_tracked(self):
+        report = compare_metrics({"b/fps": 1.0}, {"b/new_fps": 1.0})
+        assert report.missing == ["b/fps"]
+        assert report.added == ["b/new_fps"]
+        assert report.ok  # absence is reported, not gated
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_metrics({}, {}, tolerance=-0.1)
+
+
+class TestCheckRegressions:
+    def test_baseline_against_itself_passes(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps(bench_payload()))
+        report = check_regressions([path])
+        assert report.ok and report.deltas
+
+    def test_detects_file_level_regression(self, tmp_path):
+        base = tmp_path / "BENCH_base.json"
+        cur = tmp_path / "BENCH_cur.json"
+        base.write_text(json.dumps(bench_payload(fps=4.0)))
+        cur.write_text(json.dumps(bench_payload(fps=1.0)))
+        report = check_regressions([base], [cur])
+        assert not report.ok
+
+    def test_malformed_artifact_is_loud(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            check_regressions([bad])
+
+    def test_non_object_artifact_is_loud(self, tmp_path):
+        bad = tmp_path / "BENCH_list.json"
+        bad.write_text("[1, 2]")
+        with pytest.raises(ConfigurationError):
+            check_regressions([bad])
+
+    def test_report_round_trips_to_json(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps(bench_payload()))
+        blob = json.dumps(check_regressions([path]).as_dict())
+        parsed = json.loads(blob)
+        assert parsed["ok"] is True
+        assert parsed["n_compared"] > 0
+
+    def test_load_bench_file_reads_committed_history(self):
+        # The repo's own committed artifact must stay parseable.
+        payload = load_bench_file("BENCH_e2e.json")
+        assert flatten_bench_metrics(payload)
+
+
+class TestRegressCli:
+    def test_self_comparison_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps(bench_payload()))
+        rc = main(["regress", "--baseline", str(path)])
+        assert rc == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_injected_regression_exits_one(self, tmp_path, capsys):
+        base = tmp_path / "BENCH_base.json"
+        cur = tmp_path / "BENCH_cur.json"
+        base.write_text(json.dumps(bench_payload(fps=4.0)))
+        cur.write_text(json.dumps(bench_payload(fps=1.0)))
+        rc = main(
+            ["regress", "--baseline", str(base), "--current", str(cur)]
+        )
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_tolerance_flag_loosens_the_gate(self, tmp_path):
+        base = tmp_path / "BENCH_base.json"
+        cur = tmp_path / "BENCH_cur.json"
+        base.write_text(json.dumps(bench_payload(fps=4.0)))
+        cur.write_text(json.dumps(bench_payload(fps=1.0)))
+        rc = main(
+            ["regress", "--baseline", str(base), "--current", str(cur),
+             "--tolerance", "0.9"]
+        )
+        assert rc == 0
+
+    def test_no_matching_baseline_exits_two(self, tmp_path, capsys):
+        rc = main(["regress", "--baseline", str(tmp_path / "nope_*.json")])
+        assert rc == 2
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_malformed_artifact_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{broken")
+        rc = main(["regress", "--baseline", str(bad)])
+        assert rc == 2
+
+    def test_writes_json_report(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        out = tmp_path / "report.json"
+        path.write_text(json.dumps(bench_payload()))
+        rc = main(
+            ["regress", "--baseline", str(path), "--report", str(out)]
+        )
+        assert rc == 0
+        assert json.loads(out.read_text())["ok"] is True
