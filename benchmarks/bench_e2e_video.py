@@ -16,6 +16,14 @@ cost to dominate — only asserts when the machine exposes >= 4 cores;
 below that the pool is time-sliced on too few cores for transport to be
 the bottleneck and the numbers are recorded without the assertion.
 
+Since the native-mt PR a fourth configuration rides along:
+``native-mt-1p`` — one process, the threaded C backend fanning each
+frame over 4 in-process threads ("one process per stream, threads per
+frame"). Its gate: at 1080p on >= 4 cores it must beat both the serial
+native run *and* the 4-worker shm pool, because it parallelizes the
+same arithmetic with zero transport cost. On smaller machines the rows
+are recorded and the gate reports skipped, like the shm gate.
+
 A second budget rides along since the telemetry PR: per-span resource
 profiling (``--profile-spans``) must cost **<= 5% wall time** on a
 traced VGA serial run. Both the profiled and unprofiled configurations
@@ -33,6 +41,7 @@ from pathlib import Path
 import pytest
 
 from repro.core import SlicParams
+from repro.kernels import available_backends
 from repro.obs import MemorySink, Tracer
 from repro.obs.regress import BENCH_SCHEMA_VERSION
 from repro.parallel import ParallelRunner, shm_available, synthetic_streams
@@ -56,10 +65,13 @@ RESOLUTIONS = {
 }
 
 CONFIGS = (
-    # (label, n_workers, transport)
-    ("serial", 1, "pickle"),
-    ("pickle-4w", GATE_WORKERS, "pickle"),
-    ("shm-4w", GATE_WORKERS, "shm"),
+    # (label, n_workers, transport, kernel_backend, n_threads)
+    ("serial", 1, "pickle", None, None),
+    ("pickle-4w", GATE_WORKERS, "pickle", None, None),
+    ("shm-4w", GATE_WORKERS, "shm", None, None),
+    # One process, threads per frame: the in-process threaded backend
+    # against the process pools it is meant to beat.
+    ("native-mt-1p", 1, "pickle", "native-mt", GATE_WORKERS),
 )
 
 
@@ -133,13 +145,22 @@ def test_e2e_video_throughput(emit, bench_scale, bench_trace_id):
     )
 
     cores = _available_cores()
+    backends = available_backends()
     rows = []
     for res_name, (height, width) in RESOLUTIONS.items():
         n_streams, n_frames = shape[res_name]
         total_frames = n_streams * n_frames
-        for label, workers, transport in CONFIGS:
+        for label, workers, transport, backend, n_threads in CONFIGS:
+            if backend is not None and backend not in backends:
+                continue  # no C compiler: record nothing, gate skips
+            cfg_params = params
+            if backend is not None:
+                cfg_params = params.with_(kernel_backend=backend)
             runner = ParallelRunner(
-                params, n_workers=workers, transport=transport
+                cfg_params,
+                n_workers=workers,
+                transport=transport,
+                n_threads=n_threads,
             )
             streams = synthetic_streams(
                 n_streams, n_frames, height=height, width=width, seed=7
@@ -158,6 +179,8 @@ def test_e2e_video_throughput(emit, bench_scale, bench_trace_id):
                     "workers": workers,
                     "transport_requested": transport,
                     "transport_used": result.transport,
+                    "kernel_backend": backend,
+                    "n_threads": n_threads,
                     "frames": total_frames,
                     "elapsed_s": round(elapsed, 4),
                     "fps": round(total_frames / elapsed, 4),
@@ -179,6 +202,29 @@ def test_e2e_video_throughput(emit, bench_scale, bench_trace_id):
             f"skipped: {cores} core(s) < {GATE_WORKERS}; transport cost "
             f"is not the bottleneck on a time-sliced pool"
         )
+
+    # --- native-mt gate: one threaded process beats the process pool ---
+    serial_row = by_key[(GATE_RESOLUTION, "serial")]
+    mt_row = by_key.get((GATE_RESOLUTION, "native-mt-1p"))
+    mt_over_serial = mt_over_shm = None
+    mt_gate_eligible = False
+    if mt_row is None:
+        mt_gate = "skipped: native-mt backend unavailable (no C compiler)"
+    else:
+        mt_over_serial = round(mt_row["fps"] / serial_row["fps"], 3)
+        mt_over_shm = round(mt_row["fps"] / shm_row["fps"], 3)
+        mt_gate_eligible = cores >= GATE_WORKERS
+        if mt_gate_eligible:
+            mt_gate = (
+                "pass"
+                if mt_over_serial >= 1.0 and mt_over_shm >= 1.0
+                else "fail"
+            )
+        else:
+            mt_gate = (
+                f"skipped: {cores} core(s) < {GATE_WORKERS}; in-process "
+                f"threads are time-sliced like the pool"
+            )
 
     profiling = _profiling_overhead(params, bench_scale)
 
@@ -203,6 +249,16 @@ def test_e2e_video_throughput(emit, bench_scale, bench_trace_id):
             ),
             "shm_over_pickle": shm_speedup,
             "result": gate,
+            "native_mt": {
+                "rule": (
+                    f"single-process native-mt ({GATE_WORKERS} threads) "
+                    f">= serial and >= {GATE_WORKERS}-worker shm at "
+                    f"{GATE_RESOLUTION}"
+                ),
+                "mt_over_serial": mt_over_serial,
+                "mt_over_shm": mt_over_shm,
+                "result": mt_gate,
+            },
         },
         "profiling": profiling,
         "rows": rows,
@@ -228,6 +284,14 @@ def test_e2e_video_throughput(emit, bench_scale, bench_trace_id):
         f"shm over pickle at {GATE_RESOLUTION} ({GATE_WORKERS} workers): "
         f"{shm_speedup:.2f}x — gate {gate}"
     )
+    if mt_row is not None:
+        lines.append(
+            f"native-mt-1p at {GATE_RESOLUTION} ({GATE_WORKERS} threads): "
+            f"{mt_over_serial:.2f}x over serial, {mt_over_shm:.2f}x over "
+            f"shm-{GATE_WORKERS}w — gate {mt_gate}"
+        )
+    else:
+        lines.append(f"native-mt-1p — gate {mt_gate}")
     lines.append(
         f"per-span profiling overhead ({profiling['workload']}): "
         f"{profiling['overhead_pct']:.1f}% "
@@ -241,6 +305,13 @@ def test_e2e_video_throughput(emit, bench_scale, bench_trace_id):
             f"shm transport only {shm_speedup:.2f}x over pickle at "
             f"{GATE_RESOLUTION} with {GATE_WORKERS} workers on {cores} "
             f"cores (floor {SPEEDUP_FLOOR}x)"
+        )
+    if mt_gate_eligible:
+        assert mt_over_serial >= 1.0 and mt_over_shm >= 1.0, (
+            f"single-process native-mt at {GATE_RESOLUTION} is "
+            f"{mt_over_serial:.2f}x over serial and {mt_over_shm:.2f}x over "
+            f"the {GATE_WORKERS}-worker shm pool on {cores} cores — it must "
+            f"beat both (same arithmetic, zero transport cost)"
         )
     assert profiling["overhead_pct"] <= profiling["budget_pct"], (
         f"per-span profiling cost {profiling['overhead_pct']:.1f}% wall "

@@ -12,8 +12,15 @@ operating point scaled to one sweep):
    needs the native (C) backend; when no compiler is present the gate is
    reported as skipped rather than failed, because the pure-numpy
    fallback intentionally trades speed for portability.
+3. **Threading** — on a machine with >= 4 cores, ``native-mt`` must
+   beat serial ``native`` on the CPA sweep. On smaller machines the
+   numbers are still recorded (with the thread count used) but the
+   gate is reported as skipped — a 1-core container cannot exhibit the
+   parallel speedup.
 """
 
+import contextlib
+import os
 import time
 
 import numpy as np
@@ -35,6 +42,17 @@ H, W, K = 480, 640, 300
 
 CPA_SPEEDUP_GATE = 3.0
 PPA_SPEEDUP_GATE = 1.3
+#: native-mt must beat serial native on CPA by this factor when the
+#: machine actually has cores to fan out over.
+MT_CPA_GATE = 1.3
+MT_GATE_CORES = 4
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover — non-Linux
+        return os.cpu_count() or 1
 
 
 @pytest.fixture(scope="module")
@@ -66,6 +84,18 @@ def test_kernel_backends(setup, emit, bench_scale):
     repeats = 5 if bench_scale == "full" else 3
     backends = available_backends()
     optimized = [b for b in backends if b != "reference"]
+    cores = _cores()
+
+    # Pin the native-mt ambient thread count for the whole bench: up to
+    # 4 threads when the cores exist, 2 on smaller machines so the pool
+    # and stitch paths still execute (identity is checked regardless).
+    mt_threads = min(cores, 4) if cores > 1 else 2
+    if "native-mt" in backends:
+        from repro.kernels.native_mt import thread_context
+
+        pin = thread_context(mt_threads)
+    else:
+        pin = contextlib.nullcontext()
 
     def cpa_run(backend):
         dist = np.full((H, W), np.inf)
@@ -78,26 +108,29 @@ def test_kernel_backends(setup, emit, bench_scale):
         idx = np.arange(pixels.n_pixels)
         return get_backend(backend).ppa_assign(pixels, idx, cands, centers, weight)
 
-    # --- bit-identity across every available backend -------------------
-    ref_cpa = cpa_run("reference")
-    ref_ppa = ppa_run("reference")
-    ref_cc = get_backend("reference").connected_components(
-        ref_ppa.reshape(H, W)
-    )
-    for b in optimized:
-        got_l, got_d, got_n = cpa_run(b)
-        assert np.array_equal(got_l, ref_cpa[0]), f"{b}: CPA labels differ"
-        assert np.array_equal(got_d, ref_cpa[1]), f"{b}: CPA dist differs"
-        assert got_n == ref_cpa[2], f"{b}: CPA touched count differs"
-        assert np.array_equal(ppa_run(b), ref_ppa), f"{b}: PPA labels differ"
-        got_c, got_k = get_backend(b).connected_components(ref_ppa.reshape(H, W))
-        assert got_k == ref_cc[1] and np.array_equal(got_c, ref_cc[0]), (
-            f"{b}: components differ"
+    with pin:
+        # --- bit-identity across every available backend ---------------
+        ref_cpa = cpa_run("reference")
+        ref_ppa = ppa_run("reference")
+        ref_cc = get_backend("reference").connected_components(
+            ref_ppa.reshape(H, W)
         )
+        for b in optimized:
+            got_l, got_d, got_n = cpa_run(b)
+            assert np.array_equal(got_l, ref_cpa[0]), f"{b}: CPA labels differ"
+            assert np.array_equal(got_d, ref_cpa[1]), f"{b}: CPA dist differs"
+            assert got_n == ref_cpa[2], f"{b}: CPA touched count differs"
+            assert np.array_equal(ppa_run(b), ref_ppa), f"{b}: PPA labels differ"
+            got_c, got_k = get_backend(b).connected_components(
+                ref_ppa.reshape(H, W)
+            )
+            assert got_k == ref_cc[1] and np.array_equal(got_c, ref_cc[0]), (
+                f"{b}: components differ"
+            )
 
-    # --- timings -------------------------------------------------------
-    cpa_t = {b: _best_of(lambda b=b: cpa_run(b), repeats) for b in backends}
-    ppa_t = {b: _best_of(lambda b=b: ppa_run(b), repeats) for b in backends}
+        # --- timings ---------------------------------------------------
+        cpa_t = {b: _best_of(lambda b=b: cpa_run(b), repeats) for b in backends}
+        ppa_t = {b: _best_of(lambda b=b: ppa_run(b), repeats) for b in backends}
 
     rows, records = [], []
     header = f"{'backend':<12}{'CPA ms':>10}{'x':>7}{'PPA ms':>10}{'x':>7}"
@@ -110,16 +143,17 @@ def test_kernel_backends(setup, emit, bench_scale):
             f"{b:<12}{cpa_t[b] * 1e3:>10.2f}{cx:>7.2f}"
             f"{ppa_t[b] * 1e3:>10.2f}{px:>7.2f}"
         )
-        records.append(
-            {
-                "backend": b,
-                "cpa_ms": cpa_t[b] * 1e3,
-                "cpa_speedup": cx,
-                "ppa_ms": ppa_t[b] * 1e3,
-                "ppa_speedup": px,
-                "bit_identical": True,
-            }
-        )
+        record = {
+            "backend": b,
+            "cpa_ms": cpa_t[b] * 1e3,
+            "cpa_speedup": cx,
+            "ppa_ms": ppa_t[b] * 1e3,
+            "ppa_speedup": px,
+            "bit_identical": True,
+        }
+        if b == "native-mt":
+            record["n_threads"] = mt_threads
+        records.append(record)
 
     best_cpa = max(cpa_t["reference"] / cpa_t[b] for b in optimized)
     best_ppa = max(ppa_t["reference"] / ppa_t[b] for b in optimized)
@@ -130,6 +164,31 @@ def test_kernel_backends(setup, emit, bench_scale):
     )
     if "native" not in backends:
         rows.append("native backend unavailable (no C compiler): CPA gate skipped")
+
+    # --- threading gate: native-mt over serial native ------------------
+    mt_gain = None
+    mt_gate_eligible = False
+    if "native-mt" in backends and "native" in backends:
+        mt_gain = cpa_t["native"] / cpa_t["native-mt"]
+        mt_gate_eligible = cores >= MT_GATE_CORES
+        rows.append(
+            f"native-mt CPA gain over serial native: {mt_gain:.2f}x "
+            f"at {mt_threads} threads (gate {MT_CPA_GATE}x)"
+        )
+        if not mt_gate_eligible:
+            rows.append(
+                f"{cores} core(s) < {MT_GATE_CORES}: native-mt speedup "
+                f"gate skipped (numbers recorded only)"
+            )
+        records.append(
+            {
+                "backend": "native-mt-gate",
+                "gain_over_native": mt_gain,
+                "n_threads": mt_threads,
+                "cores": cores,
+                "eligible": mt_gate_eligible,
+            }
+        )
     emit("kernels", "\n".join(rows), records=records)
 
     assert best_ppa >= PPA_SPEEDUP_GATE, (
@@ -138,4 +197,9 @@ def test_kernel_backends(setup, emit, bench_scale):
     if "native" in backends:
         assert best_cpa >= CPA_SPEEDUP_GATE, (
             f"CPA speedup {best_cpa:.2f}x below the {CPA_SPEEDUP_GATE}x gate"
+        )
+    if mt_gate_eligible:
+        assert mt_gain >= MT_CPA_GATE, (
+            f"native-mt CPA gain {mt_gain:.2f}x over serial native is below "
+            f"the {MT_CPA_GATE}x gate on a {cores}-core machine"
         )

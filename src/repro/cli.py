@@ -125,6 +125,7 @@ def _cmd_segment(args) -> int:
         compactness=args.compactness,
         max_iterations=args.iterations,
         kernel_backend=args.kernel_backend,
+        n_threads=args.kernel_threads,
     )
     if args.algorithm == "sslic":
         kwargs["subsample_ratio"] = args.ratio
@@ -203,6 +204,7 @@ def _cmd_batch(args) -> int:
         subsample_ratio=args.ratio,
         convergence_threshold=args.threshold,
         kernel_backend=args.kernel_backend,
+        n_threads=args.kernel_threads,
     )
     manifest = RunManifest.start(
         "batch",
@@ -505,9 +507,13 @@ def build_parser() -> argparse.ArgumentParser:
     seg.add_argument("--compactness", type=float, default=10.0)
     seg.add_argument("--iterations", type=int, default=10)
     seg.add_argument("--kernel-backend", default=None,
-                     choices=("auto", "reference", "vectorized", "native"),
+                     choices=("auto", "reference", "vectorized", "native",
+                              "native-mt"),
                      help="kernel backend for the hot loops (default: "
                           "$REPRO_KERNEL_BACKEND, then auto)")
+    seg.add_argument("--kernel-threads", type=int, default=None,
+                     help="kernel threads per frame for native-mt "
+                          "(default: $REPRO_KERNEL_THREADS, then cores)")
     seg.add_argument("--ratio", type=float, default=0.5,
                      help="S-SLIC subsample ratio (1/n)")
     seg.add_argument("--out", help="boundary-overlay PPM output path")
@@ -538,9 +544,13 @@ def build_parser() -> argparse.ArgumentParser:
     bat.add_argument("--compactness", type=float, default=10.0)
     bat.add_argument("--iterations", type=int, default=10)
     bat.add_argument("--kernel-backend", default=None,
-                     choices=("auto", "reference", "vectorized", "native"),
+                     choices=("auto", "reference", "vectorized", "native",
+                              "native-mt"),
                      help="kernel backend for the hot loops (default: "
                           "$REPRO_KERNEL_BACKEND, then auto)")
+    bat.add_argument("--kernel-threads", type=int, default=None,
+                     help="kernel threads per frame for native-mt "
+                          "(default: $REPRO_KERNEL_THREADS, then cores)")
     bat.add_argument("--ratio", type=float, default=0.5,
                      help="S-SLIC subsample ratio (1/n)")
     bat.add_argument("--threshold", type=float, default=0.25,

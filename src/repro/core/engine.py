@@ -115,7 +115,21 @@ def run_segmentation(
     tracer = tracer if tracer is not None else NULL_TRACER
     timer = PhaseTimer(tracer=tracer)
     kernel_name = resolve_name(params.kernel_backend)
-    with tracer.span(
+    if kernel_name == "native-mt":
+        # Pin the ambient kernel thread count for the whole run: every
+        # name-string dispatch site (color conversion, connectivity,
+        # metrics) resolves through it, and it is context-local, so
+        # concurrent engines in one process keep their own settings.
+        from ..kernels.native_mt import resolve_threads, thread_context
+
+        n_threads = resolve_threads(params.n_threads)
+        thread_ctx = thread_context(n_threads)
+    else:
+        import contextlib
+
+        n_threads = None
+        thread_ctx = contextlib.nullcontext()
+    with thread_ctx, tracer.span(
         "segmentation",
         architecture=params.architecture,
         n_superpixels=params.n_superpixels,
@@ -123,6 +137,7 @@ def run_segmentation(
         height=image.shape[0],
         width=image.shape[1],
         kernel_backend=kernel_name,
+        n_threads=n_threads,
     ) as root:
         result = _run_instrumented(
             image, params, warm_centers, warm_labels, tracer, timer,

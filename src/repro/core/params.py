@@ -99,9 +99,14 @@ class SlicParams:
     kernel_backend:
         Which :mod:`repro.kernels` backend runs the assignment and
         connectivity hot loops: ``"reference"``, ``"vectorized"``,
-        ``"native"``, or ``"auto"``. ``None`` (default) defers to the
-        ``REPRO_KERNEL_BACKEND`` environment variable, then ``auto``.
-        All backends produce bit-identical labels.
+        ``"native"``, ``"native-mt"``, or ``"auto"``. ``None`` (default)
+        defers to the ``REPRO_KERNEL_BACKEND`` environment variable,
+        then ``auto``. All backends produce bit-identical labels.
+    n_threads:
+        Kernel threads per frame for the ``native-mt`` backend (other
+        backends ignore it). ``None`` defers to ``REPRO_KERNEL_THREADS``,
+        then the visible core count. Results are bit-identical at any
+        thread count, so this only affects speed.
     """
 
     n_superpixels: int = 100
@@ -120,6 +125,7 @@ class SlicParams:
     datapath: object = None
     seed: int = 0
     kernel_backend: str = None
+    n_threads: int = None
 
     def __post_init__(self) -> None:
         if self.n_superpixels < 1:
@@ -170,6 +176,10 @@ class SlicParams:
 
             object.__setattr__(
                 self, "kernel_backend", validate_name(self.kernel_backend)
+            )
+        if self.n_threads is not None and self.n_threads < 1:
+            raise ConfigurationError(
+                f"n_threads must be >= 1, got {self.n_threads}"
             )
 
     @property

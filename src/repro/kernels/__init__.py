@@ -3,13 +3,15 @@
 The engine's inner loops — the CPA window scan, the PPA 9-candidate
 evaluation, connected-component labeling, the fixed-point RGB->Lab
 conversion, the small-component merge walk, and the BR/USE metric
-histograms/distance transform — are implemented three times behind one
+histograms/distance transform — are implemented four times behind one
 contract:
 
 * ``reference`` — the readable loops in :mod:`repro.core` (semantics
   ground truth);
 * ``vectorized`` — batched pure numpy;
-* ``native`` — C loops compiled on demand via ctypes.
+* ``native`` — C loops compiled on demand via ctypes;
+* ``native-mt`` — the same C loops fanned out over an in-process
+  pthread pool (``SlicParams(n_threads=...)``, ``REPRO_KERNEL_THREADS``).
 
 All backends return bit-identical labels; pick one with
 ``SlicParams(kernel_backend=...)``, the ``--kernel-backend`` CLI flag, or
@@ -17,8 +19,8 @@ the ``REPRO_KERNEL_BACKEND`` environment variable. See ``docs/kernels.md``.
 
 Backends are *supervised*: before a process trusts one it must pass a
 known-answer self-test, and failures demote down the chain
-native -> vectorized -> reference (see :mod:`repro.kernels.supervisor`
-and ``docs/resilience.md``).
+native-mt -> native -> vectorized -> reference (see
+:mod:`repro.kernels.supervisor` and ``docs/resilience.md``).
 """
 
 from .dispatch import (

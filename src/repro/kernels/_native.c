@@ -5,7 +5,8 @@
  *
  * Compiled on demand by repro.kernels.native with
  *
- *     cc -O3 -fPIC -shared -ffp-contract=off  (no -ffast-math, no -march)
+ *     cc -O3 -fPIC -shared -ffp-contract=off -pthread
+ *     (no -ffast-math, no -march)
  *
  * so every float64 operation rounds exactly like the numpy reference:
  * contraction into FMA is disabled and the summation orders below mirror
@@ -16,19 +17,174 @@
  * Integer (FixedDatapath) variants take the code-domain image/centers and
  * replicate the shift/saturate pipeline of FixedDatapath.pairwise_d2 and
  * the fixed branch of assign_cpa.
+ *
+ * Every data-parallel kernel also exists as a `_mt` variant taking an
+ * `n_threads` argument (the `native-mt` backend). Parallelism is by
+ * *ownership partitioning*: each thread owns a contiguous slice of the
+ * output (row bands for CPA, index ranges for PPA / lab_codes, a private
+ * histogram for contingency) and visits its slice in exactly the serial
+ * order, so every output element is written by exactly one thread with
+ * the serial operation order — no boundary ties can ever arise and the
+ * results stay bit-identical to the serial loops at any thread count.
+ * The only cross-tile combine (the contingency histogram stitch) runs
+ * sequentially in ascending tile id.
  */
 
 #include <math.h>
+#include <pthread.h>
 #include <stdint.h>
+
+/* ------------------------------------------------------------------ */
+/* A tiny persistent pthread pool. mt_run(fn, ctx, n) runs              */
+/* fn(ctx, tid, width) on `width` participants: the calling thread is   */
+/* tid 0, parked workers are tids 1..width-1. A dispatch mutex          */
+/* serializes concurrent callers (two engines in one process simply     */
+/* take turns), workers park on a condvar keyed by a job sequence       */
+/* number, and pthread_atfork handlers keep fork()d children (the       */
+/* multiprocessing pool) consistent: the child reinitializes the        */
+/* primitives and respawns lazily. If pthread_create fails the job      */
+/* degrades gracefully — fn sees the width that actually exists.        */
+/* ------------------------------------------------------------------ */
+
+#define MT_MAX_THREADS 64
+
+typedef void (*mt_fn)(void *ctx, int64_t tid, int64_t width);
+
+static pthread_mutex_t mt_dispatch = PTHREAD_MUTEX_INITIALIZER;
+static pthread_mutex_t mt_lock = PTHREAD_MUTEX_INITIALIZER;
+static pthread_cond_t mt_go = PTHREAD_COND_INITIALIZER;
+static pthread_cond_t mt_done = PTHREAD_COND_INITIALIZER;
+static int64_t mt_spawned = 0;   /* live workers (excluding the caller) */
+static int64_t mt_ready = 0;     /* workers parked and seq-synchronized */
+static uint64_t mt_job_seq = 0;
+static mt_fn mt_job_fn = 0;
+static void *mt_job_ctx = 0;
+static int64_t mt_job_width = 0;
+static int64_t mt_remaining = 0;
+
+static void *mt_worker(void *arg)
+{
+    int64_t tid = (int64_t)(intptr_t)arg;
+    pthread_mutex_lock(&mt_lock);
+    uint64_t seen = mt_job_seq;  /* spawned pre-job, under mt_dispatch */
+    mt_ready++;
+    pthread_cond_broadcast(&mt_done);
+    for (;;) {
+        while (mt_job_seq == seen)
+            pthread_cond_wait(&mt_go, &mt_lock);
+        seen = mt_job_seq;
+        if (tid < mt_job_width) {
+            mt_fn fn = mt_job_fn;
+            void *ctx = mt_job_ctx;
+            int64_t width = mt_job_width;
+            pthread_mutex_unlock(&mt_lock);
+            fn(ctx, tid, width);
+            pthread_mutex_lock(&mt_lock);
+            if (--mt_remaining == 0)
+                pthread_cond_broadcast(&mt_done);
+        }
+    }
+    return 0;
+}
+
+static void mt_atfork_prepare(void)
+{
+    /* Block forks out of mid-job states: wait for any running job. */
+    pthread_mutex_lock(&mt_dispatch);
+    pthread_mutex_lock(&mt_lock);
+}
+
+static void mt_atfork_parent(void)
+{
+    pthread_mutex_unlock(&mt_lock);
+    pthread_mutex_unlock(&mt_dispatch);
+}
+
+static void mt_atfork_child(void)
+{
+    /* Worker threads do not survive fork(); start from a clean pool. */
+    pthread_mutex_init(&mt_dispatch, 0);
+    pthread_mutex_init(&mt_lock, 0);
+    pthread_cond_init(&mt_go, 0);
+    pthread_cond_init(&mt_done, 0);
+    mt_spawned = 0;
+    mt_ready = 0;
+    mt_job_seq = 0;
+    mt_remaining = 0;
+}
+
+__attribute__((constructor)) static void mt_init(void)
+{
+    pthread_atfork(mt_atfork_prepare, mt_atfork_parent, mt_atfork_child);
+}
+
+static void mt_run(mt_fn fn, void *ctx, int64_t n_threads)
+{
+    if (n_threads > MT_MAX_THREADS) n_threads = MT_MAX_THREADS;
+    if (n_threads < 1) n_threads = 1;
+    pthread_mutex_lock(&mt_dispatch);
+    while (mt_spawned + 1 < n_threads) {
+        pthread_t th;
+        pthread_attr_t attr;
+        pthread_attr_init(&attr);
+        pthread_attr_setdetachstate(&attr, PTHREAD_CREATE_DETACHED);
+        int rc = pthread_create(
+            &th, &attr, mt_worker, (void *)(intptr_t)(mt_spawned + 1));
+        pthread_attr_destroy(&attr);
+        if (rc != 0) break;  /* degrade: run with the workers we have */
+        mt_spawned++;
+    }
+    pthread_mutex_lock(&mt_lock);
+    while (mt_ready < mt_spawned)  /* new workers must capture job_seq */
+        pthread_cond_wait(&mt_done, &mt_lock);
+    int64_t width =
+        mt_spawned + 1 < n_threads ? mt_spawned + 1 : n_threads;
+    if (width <= 1) {
+        pthread_mutex_unlock(&mt_lock);
+        fn(ctx, 0, 1);
+        pthread_mutex_unlock(&mt_dispatch);
+        return;
+    }
+    mt_job_fn = fn;
+    mt_job_ctx = ctx;
+    mt_job_width = width;
+    mt_remaining = width - 1;
+    mt_job_seq++;
+    pthread_cond_broadcast(&mt_go);
+    pthread_mutex_unlock(&mt_lock);
+    fn(ctx, 0, width);
+    pthread_mutex_lock(&mt_lock);
+    while (mt_remaining > 0)
+        pthread_cond_wait(&mt_done, &mt_lock);
+    pthread_mutex_unlock(&mt_lock);
+    pthread_mutex_unlock(&mt_dispatch);
+}
+
+/* Contiguous [lo, hi) share for participant `tid` of `width`. */
+static int64_t mt_slice_lo(int64_t n, int64_t tid, int64_t width)
+{
+    return n * tid / width;
+}
+
+static int64_t mt_slice_hi(int64_t n, int64_t tid, int64_t width)
+{
+    return n * (tid + 1) / width;
+}
 
 /* ------------------------------------------------------------------ */
 /* CPA: for each listed center, scan the clipped (2*half+1)^2 window,
  * keeping running minima in the image-sized dist/labels buffers.
  * `touched` is an h*w byte mask marking every pixel scanned at least
- * once (the deduplicated pixels_assigned telemetry counter).           */
+ * once (the deduplicated pixels_assigned telemetry counter).
+ *
+ * The row-bounded helpers restrict every window to [row0, row1): the
+ * _mt variants give each thread a row band, so each pixel is updated by
+ * exactly one thread, which visits centers in the same ks order as the
+ * serial scan — per-pixel update order, and therefore the strict-<
+ * running-minimum result, is identical.                                */
 /* ------------------------------------------------------------------ */
 
-void cpa_assign_f64(
+static void cpa_f64_rows(
     const double *lab,        /* h*w*3, row-major Lab image             */
     const double *centers,    /* k*5 rows [L, a, b, x, y]               */
     const int64_t *ks,        /* center indices to scan, in order       */
@@ -36,10 +192,12 @@ void cpa_assign_f64(
     double weight,            /* m^2 / S^2                              */
     int64_t half,             /* window half-extent, ceil(S)            */
     int64_t h, int64_t w,
+    int64_t row0, int64_t row1,
     double *dist,             /* h*w running minimum distances          */
     int32_t *labels,          /* h*w running argmin labels              */
     uint8_t *touched)         /* h*w scanned-pixel mask                 */
 {
+    (void)h;
     for (int64_t i = 0; i < n_ks; i++) {
         int64_t k = ks[i];
         const double *c = centers + 5 * k;
@@ -48,8 +206,8 @@ void cpa_assign_f64(
         int64_t fy = (int64_t)floor(cy);
         int64_t x0 = fx - half < 0 ? 0 : fx - half;
         int64_t x1 = fx + half + 1 > w ? w : fx + half + 1;
-        int64_t y0 = fy - half < 0 ? 0 : fy - half;
-        int64_t y1 = fy + half + 1 > h ? h : fy + half + 1;
+        int64_t y0 = fy - half < row0 ? row0 : fy - half;
+        int64_t y1 = fy + half + 1 > row1 ? row1 : fy + half + 1;
         for (int64_t y = y0; y < y1; y++) {
             double dy = (double)y - cy;
             double dy2 = dy * dy;
@@ -74,7 +232,47 @@ void cpa_assign_f64(
     }
 }
 
-void cpa_assign_fixed(
+void cpa_assign_f64(
+    const double *lab, const double *centers, const int64_t *ks,
+    int64_t n_ks, double weight, int64_t half, int64_t h, int64_t w,
+    double *dist, int32_t *labels, uint8_t *touched)
+{
+    cpa_f64_rows(lab, centers, ks, n_ks, weight, half, h, w, 0, h,
+                 dist, labels, touched);
+}
+
+typedef struct {
+    const double *lab;
+    const double *centers;
+    const int64_t *ks;
+    int64_t n_ks;
+    double weight;
+    int64_t half, h, w;
+    double *dist;
+    int32_t *labels;
+    uint8_t *touched;
+} cpa_f64_ctx;
+
+static void cpa_f64_band(void *vctx, int64_t tid, int64_t width)
+{
+    cpa_f64_ctx *c = (cpa_f64_ctx *)vctx;
+    cpa_f64_rows(c->lab, c->centers, c->ks, c->n_ks, c->weight, c->half,
+                 c->h, c->w, mt_slice_lo(c->h, tid, width),
+                 mt_slice_hi(c->h, tid, width), c->dist, c->labels,
+                 c->touched);
+}
+
+void cpa_assign_f64_mt(
+    const double *lab, const double *centers, const int64_t *ks,
+    int64_t n_ks, double weight, int64_t half, int64_t h, int64_t w,
+    double *dist, int32_t *labels, uint8_t *touched, int64_t n_threads)
+{
+    cpa_f64_ctx ctx = {lab, centers, ks, n_ks, weight, half, h, w,
+                       dist, labels, touched};
+    mt_run(cpa_f64_band, &ctx, n_threads < h ? n_threads : h);
+}
+
+static void cpa_fixed_rows(
     const int64_t *codes,     /* h*w*3 Lab channel codes                */
     const int64_t *c_codes,   /* k*5 encoded centers (codes + raw xy)   */
     const double *centers,    /* k*5 float centers (window placement)   */
@@ -88,10 +286,12 @@ void cpa_assign_fixed(
     int64_t dmax,             /* distance_max_code                      */
     int64_t half,
     int64_t h, int64_t w,
+    int64_t row0, int64_t row1,
     double *dist,             /* float64 running minima (engine buffer) */
     int32_t *labels,
     uint8_t *touched)
 {
+    (void)h;
     for (int64_t i = 0; i < n_ks; i++) {
         int64_t k = ks[i];
         const int64_t *cc = c_codes + 5 * k;
@@ -102,8 +302,8 @@ void cpa_assign_fixed(
         int64_t fy = (int64_t)floor(cy);
         int64_t x0 = fx - half < 0 ? 0 : fx - half;
         int64_t x1 = fx + half + 1 > w ? w : fx + half + 1;
-        int64_t y0 = fy - half < 0 ? 0 : fy - half;
-        int64_t y1 = fy + half + 1 > h ? h : fy + half + 1;
+        int64_t y0 = fy - half < row0 ? row0 : fy - half;
+        int64_t y1 = fy + half + 1 > row1 ? row1 : fy + half + 1;
         for (int64_t y = y0; y < y1; y++) {
             int64_t dyv = (y << sf) - cyr;
             int64_t dy2 = dyv * dyv;
@@ -134,25 +334,77 @@ void cpa_assign_fixed(
     }
 }
 
+void cpa_assign_fixed(
+    const int64_t *codes, const int64_t *c_codes, const double *centers,
+    const int64_t *ks, int64_t n_ks, int64_t weight_raw, int64_t wfrac,
+    int64_t sf, int64_t quantize, int64_t dshift, int64_t dmax,
+    int64_t half, int64_t h, int64_t w,
+    double *dist, int32_t *labels, uint8_t *touched)
+{
+    cpa_fixed_rows(codes, c_codes, centers, ks, n_ks, weight_raw, wfrac,
+                   sf, quantize, dshift, dmax, half, h, w, 0, h,
+                   dist, labels, touched);
+}
+
+typedef struct {
+    const int64_t *codes;
+    const int64_t *c_codes;
+    const double *centers;
+    const int64_t *ks;
+    int64_t n_ks;
+    int64_t weight_raw, wfrac, sf, quantize, dshift, dmax, half, h, w;
+    double *dist;
+    int32_t *labels;
+    uint8_t *touched;
+} cpa_fixed_ctx;
+
+static void cpa_fixed_band(void *vctx, int64_t tid, int64_t width)
+{
+    cpa_fixed_ctx *c = (cpa_fixed_ctx *)vctx;
+    cpa_fixed_rows(c->codes, c->c_codes, c->centers, c->ks, c->n_ks,
+                   c->weight_raw, c->wfrac, c->sf, c->quantize, c->dshift,
+                   c->dmax, c->half, c->h, c->w,
+                   mt_slice_lo(c->h, tid, width),
+                   mt_slice_hi(c->h, tid, width),
+                   c->dist, c->labels, c->touched);
+}
+
+void cpa_assign_fixed_mt(
+    const int64_t *codes, const int64_t *c_codes, const double *centers,
+    const int64_t *ks, int64_t n_ks, int64_t weight_raw, int64_t wfrac,
+    int64_t sf, int64_t quantize, int64_t dshift, int64_t dmax,
+    int64_t half, int64_t h, int64_t w,
+    double *dist, int32_t *labels, uint8_t *touched, int64_t n_threads)
+{
+    cpa_fixed_ctx ctx = {codes, c_codes, centers, ks, n_ks, weight_raw,
+                         wfrac, sf, quantize, dshift, dmax, half, h, w,
+                         dist, labels, touched};
+    mt_run(cpa_fixed_band, &ctx, n_threads < h ? n_threads : h);
+}
+
 /* ------------------------------------------------------------------ */
 /* PPA: 9-candidate argmin per subset pixel, fully fused — no (M, 9, 3)
  * temporaries, one running minimum per pixel. Ties resolve to the
- * lowest candidate slot via the strict <, like the hardware 9:1 tree. */
+ * lowest candidate slot via the strict <, like the hardware 9:1 tree.
+ *
+ * Each subset pixel is independent, so the _mt variants split the
+ * subset into contiguous [j0, j1) ranges — single-writer per output
+ * element, serial evaluation order within each element.                */
 /* ------------------------------------------------------------------ */
 
-void ppa_assign_f64(
+static void ppa_f64_range(
     const double *lab_flat,   /* n*3 flat Lab                           */
     const int64_t *xs,        /* n flat pixel x                         */
     const int64_t *ys,        /* n flat pixel y                         */
     const int64_t *tiles,     /* n tile index per pixel                 */
     const int64_t *subset,    /* m flat indices to assign               */
-    int64_t m,
+    int64_t j0, int64_t j1,
     const int32_t *cands,     /* t*9 candidate clusters per tile        */
     const double *centers,    /* k*5                                    */
     double weight,
     int32_t *out)             /* m chosen clusters                      */
 {
-    for (int64_t j = 0; j < m; j++) {
+    for (int64_t j = j0; j < j1; j++) {
         int64_t i = subset[j];
         const int32_t *cnd = cands + 9 * tiles[i];
         const double *px = lab_flat + 3 * i;
@@ -178,6 +430,46 @@ void ppa_assign_f64(
     }
 }
 
+void ppa_assign_f64(
+    const double *lab_flat, const int64_t *xs, const int64_t *ys,
+    const int64_t *tiles, const int64_t *subset, int64_t m,
+    const int32_t *cands, const double *centers, double weight,
+    int32_t *out)
+{
+    ppa_f64_range(lab_flat, xs, ys, tiles, subset, 0, m, cands, centers,
+                  weight, out);
+}
+
+typedef struct {
+    const double *lab_flat;
+    const int64_t *xs, *ys, *tiles, *subset;
+    int64_t m;
+    const int32_t *cands;
+    const double *centers;
+    double weight;
+    int32_t *out;
+} ppa_f64_ctx;
+
+static void ppa_f64_chunk(void *vctx, int64_t tid, int64_t width)
+{
+    ppa_f64_ctx *c = (ppa_f64_ctx *)vctx;
+    ppa_f64_range(c->lab_flat, c->xs, c->ys, c->tiles, c->subset,
+                  mt_slice_lo(c->m, tid, width),
+                  mt_slice_hi(c->m, tid, width),
+                  c->cands, c->centers, c->weight, c->out);
+}
+
+void ppa_assign_f64_mt(
+    const double *lab_flat, const int64_t *xs, const int64_t *ys,
+    const int64_t *tiles, const int64_t *subset, int64_t m,
+    const int32_t *cands, const double *centers, double weight,
+    int32_t *out, int64_t n_threads)
+{
+    ppa_f64_ctx ctx = {lab_flat, xs, ys, tiles, subset, m, cands,
+                       centers, weight, out};
+    mt_run(ppa_f64_chunk, &ctx, n_threads < m ? n_threads : m);
+}
+
 /* ------------------------------------------------------------------ */
 /* Fixed-point RGB -> Lab channel codes: gamma LUT, folded 3x3 integer
  * matrix, piecewise-linear cube root, scale-and-offset encode — one
@@ -198,9 +490,9 @@ static int64_t scale_round_i64(int64_t raw, int64_t scale_raw,
     return wide >= 0 ? (wide + half) >> shift : -((-wide + half) >> shift);
 }
 
-void lab_codes_u8(
+static void lab_codes_u8_range(
     const uint8_t *rgb,        /* n*3 flat RGB                          */
-    int64_t n,                 /* pixel count                           */
+    int64_t i0, int64_t i1,    /* pixel range                           */
     const int64_t *gamma_lut,  /* 256 entries, gamma_frac fraction bits */
     const int64_t *matrix_raw, /* 3*3 row-major folded matrix           */
     int64_t mat_shift,         /* (gamma_frac + mat_frac) - in_frac     */
@@ -225,7 +517,7 @@ void lab_codes_u8(
     int64_t one = (int64_t)1 << f_frac;
     int64_t s_shift = f_frac + 14;
     int64_t s_half = (int64_t)1 << (s_shift - 1);
-    for (int64_t i = 0; i < n; i++) {
+    for (int64_t i = i0; i < i1; i++) {
         const uint8_t *px = rgb + 3 * i;
         int64_t lin0 = gamma_lut[px[0]];
         int64_t lin1 = gamma_lut[px[1]];
@@ -261,6 +553,71 @@ void lab_codes_u8(
         out[1] = ca < 0 ? 0 : (ca > code_max ? code_max : ca);
         out[2] = cb < 0 ? 0 : (cb > code_max ? code_max : cb);
     }
+}
+
+void lab_codes_u8(
+    const uint8_t *rgb, int64_t n, const int64_t *gamma_lut,
+    const int64_t *matrix_raw, int64_t mat_shift,
+    int64_t in_raw_min, int64_t in_raw_max, const int64_t *breaks_raw,
+    int64_t n_seg, const int64_t *slopes_raw,
+    const int64_t *intercepts_raw, int64_t in_frac, int64_t out_shift,
+    int64_t out_raw_min, int64_t out_raw_max, int64_t f_frac,
+    int64_t l_scale_raw, int64_t ab_scale_raw, int64_t ab_offset,
+    int64_t code_max, int64_t *codes)
+{
+    lab_codes_u8_range(rgb, 0, n, gamma_lut, matrix_raw, mat_shift,
+                       in_raw_min, in_raw_max, breaks_raw, n_seg,
+                       slopes_raw, intercepts_raw, in_frac, out_shift,
+                       out_raw_min, out_raw_max, f_frac, l_scale_raw,
+                       ab_scale_raw, ab_offset, code_max, codes);
+}
+
+typedef struct {
+    const uint8_t *rgb;
+    int64_t n;
+    const int64_t *gamma_lut;
+    const int64_t *matrix_raw;
+    int64_t mat_shift;
+    int64_t in_raw_min, in_raw_max;
+    const int64_t *breaks_raw;
+    int64_t n_seg;
+    const int64_t *slopes_raw;
+    const int64_t *intercepts_raw;
+    int64_t in_frac, out_shift;
+    int64_t out_raw_min, out_raw_max, f_frac;
+    int64_t l_scale_raw, ab_scale_raw, ab_offset, code_max;
+    int64_t *codes;
+} lab_codes_ctx;
+
+static void lab_codes_chunk(void *vctx, int64_t tid, int64_t width)
+{
+    lab_codes_ctx *c = (lab_codes_ctx *)vctx;
+    lab_codes_u8_range(c->rgb, mt_slice_lo(c->n, tid, width),
+                       mt_slice_hi(c->n, tid, width), c->gamma_lut,
+                       c->matrix_raw, c->mat_shift, c->in_raw_min,
+                       c->in_raw_max, c->breaks_raw, c->n_seg,
+                       c->slopes_raw, c->intercepts_raw, c->in_frac,
+                       c->out_shift, c->out_raw_min, c->out_raw_max,
+                       c->f_frac, c->l_scale_raw, c->ab_scale_raw,
+                       c->ab_offset, c->code_max, c->codes);
+}
+
+void lab_codes_u8_mt(
+    const uint8_t *rgb, int64_t n, const int64_t *gamma_lut,
+    const int64_t *matrix_raw, int64_t mat_shift,
+    int64_t in_raw_min, int64_t in_raw_max, const int64_t *breaks_raw,
+    int64_t n_seg, const int64_t *slopes_raw,
+    const int64_t *intercepts_raw, int64_t in_frac, int64_t out_shift,
+    int64_t out_raw_min, int64_t out_raw_max, int64_t f_frac,
+    int64_t l_scale_raw, int64_t ab_scale_raw, int64_t ab_offset,
+    int64_t code_max, int64_t *codes, int64_t n_threads)
+{
+    lab_codes_ctx ctx = {rgb, n, gamma_lut, matrix_raw, mat_shift,
+                         in_raw_min, in_raw_max, breaks_raw, n_seg,
+                         slopes_raw, intercepts_raw, in_frac, out_shift,
+                         out_raw_min, out_raw_max, f_frac, l_scale_raw,
+                         ab_scale_raw, ab_offset, code_max, codes};
+    mt_run(lab_codes_chunk, &ctx, n_threads < n ? n_threads : n);
 }
 
 /* ------------------------------------------------------------------ */
@@ -338,6 +695,39 @@ void contingency_i64(
         table[a[i] * n_b + b[i]] += 1;
 }
 
+typedef struct {
+    const int64_t *a, *b;
+    int64_t n, n_b, n_cells;
+    int64_t *scratch;          /* n_threads private tables, zeroed      */
+} contingency_ctx;
+
+static void contingency_chunk(void *vctx, int64_t tid, int64_t width)
+{
+    contingency_ctx *c = (contingency_ctx *)vctx;
+    int64_t *table = c->scratch + tid * c->n_cells;
+    int64_t hi = mt_slice_hi(c->n, tid, width);
+    for (int64_t i = mt_slice_lo(c->n, tid, width); i < hi; i++)
+        table[c->a[i] * c->n_b + c->b[i]] += 1;
+}
+
+void contingency_i64_mt(
+    const int64_t *a, const int64_t *b, int64_t n, int64_t n_b,
+    int64_t n_threads,
+    int64_t *scratch,          /* n_threads * n_cells, zero-initialized */
+    int64_t n_cells,           /* n_a * n_b                             */
+    int64_t *table)            /* n_a * n_b, zero-initialized           */
+{
+    contingency_ctx ctx = {a, b, n, n_b, n_cells, scratch};
+    mt_run(contingency_chunk, &ctx, n_threads < n ? n_threads : n);
+    /* Deterministic stitch: private tables fold in ascending tile id.
+     * Slices beyond the width that actually ran stayed all-zero.       */
+    for (int64_t t = 0; t < n_threads; t++) {
+        const int64_t *part = scratch + t * n_cells;
+        for (int64_t i = 0; i < n_cells; i++)
+            table[i] += part[i];
+    }
+}
+
 void chamfer_i64(
     int64_t *dist,             /* h*w grid: 0 on mask, BIG elsewhere    */
     int64_t h, int64_t w)
@@ -374,13 +764,13 @@ void chamfer_i64(
     }
 }
 
-void ppa_assign_fixed(
+static void ppa_fixed_range(
     const int64_t *codes_flat, /* n*3 flat channel codes                */
     const int64_t *xs,
     const int64_t *ys,
     const int64_t *tiles,
     const int64_t *subset,
-    int64_t m,
+    int64_t j0, int64_t j1,
     const int32_t *cands,
     const int64_t *c_codes,    /* k*5 encoded centers                   */
     int64_t weight_raw,
@@ -391,7 +781,7 @@ void ppa_assign_fixed(
     int64_t dmax,
     int32_t *out)
 {
-    for (int64_t j = 0; j < m; j++) {
+    for (int64_t j = j0; j < j1; j++) {
         int64_t i = subset[j];
         const int32_t *cnd = cands + 9 * tiles[i];
         const int64_t *px = codes_flat + 3 * i;
@@ -420,4 +810,49 @@ void ppa_assign_fixed(
         }
         out[j] = bk;
     }
+}
+
+void ppa_assign_fixed(
+    const int64_t *codes_flat, const int64_t *xs, const int64_t *ys,
+    const int64_t *tiles, const int64_t *subset, int64_t m,
+    const int32_t *cands, const int64_t *c_codes, int64_t weight_raw,
+    int64_t wfrac, int64_t sf, int64_t quantize, int64_t dshift,
+    int64_t dmax, int32_t *out)
+{
+    ppa_fixed_range(codes_flat, xs, ys, tiles, subset, 0, m, cands,
+                    c_codes, weight_raw, wfrac, sf, quantize, dshift,
+                    dmax, out);
+}
+
+typedef struct {
+    const int64_t *codes_flat;
+    const int64_t *xs, *ys, *tiles, *subset;
+    int64_t m;
+    const int32_t *cands;
+    const int64_t *c_codes;
+    int64_t weight_raw, wfrac, sf, quantize, dshift, dmax;
+    int32_t *out;
+} ppa_fixed_ctx;
+
+static void ppa_fixed_chunk(void *vctx, int64_t tid, int64_t width)
+{
+    ppa_fixed_ctx *c = (ppa_fixed_ctx *)vctx;
+    ppa_fixed_range(c->codes_flat, c->xs, c->ys, c->tiles, c->subset,
+                    mt_slice_lo(c->m, tid, width),
+                    mt_slice_hi(c->m, tid, width),
+                    c->cands, c->c_codes, c->weight_raw, c->wfrac,
+                    c->sf, c->quantize, c->dshift, c->dmax, c->out);
+}
+
+void ppa_assign_fixed_mt(
+    const int64_t *codes_flat, const int64_t *xs, const int64_t *ys,
+    const int64_t *tiles, const int64_t *subset, int64_t m,
+    const int32_t *cands, const int64_t *c_codes, int64_t weight_raw,
+    int64_t wfrac, int64_t sf, int64_t quantize, int64_t dshift,
+    int64_t dmax, int32_t *out, int64_t n_threads)
+{
+    ppa_fixed_ctx ctx = {codes_flat, xs, ys, tiles, subset, m, cands,
+                         c_codes, weight_raw, wfrac, sf, quantize,
+                         dshift, dmax, out};
+    mt_run(ppa_fixed_chunk, &ctx, n_threads < m ? n_threads : m);
 }

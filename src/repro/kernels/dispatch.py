@@ -1,19 +1,23 @@
 """Backend selection for the kernel layer.
 
-Three backends implement the same kernel contract (``cpa_assign``,
+Four backends implement the same kernel contract (``cpa_assign``,
 ``ppa_assign``, ``connected_components``, ``lab_codes``,
 ``merge_small``, ``contingency_table``, ``chamfer_distance``; see
 ``docs/kernels.md``):
 
 * ``reference`` — the original loops in :mod:`repro.core`;
 * ``vectorized`` — batched pure numpy, always available;
-* ``native`` — compiled C hot loops, available when a C compiler is.
+* ``native`` — compiled C hot loops, available when a C compiler is;
+* ``native-mt`` — the same C hot loops fanned out over an in-process
+  pthread pool (same compiled library as ``native``).
 
 Selection order: an explicit name (``SlicParams.kernel_backend`` or a
 ``backend=`` argument) wins; otherwise the ``REPRO_KERNEL_BACKEND``
-environment variable; otherwise ``auto``, which picks ``native`` when it
-can compile and ``vectorized`` when it can't. All backends produce
-bit-identical labels, so selection only affects speed.
+environment variable; otherwise ``auto``, which picks ``native-mt``
+when the C library compiles and more than one core is visible,
+``native`` with a single core, and ``vectorized`` when there is no
+compiler. All backends produce bit-identical labels, so selection only
+affects speed.
 """
 
 from __future__ import annotations
@@ -34,7 +38,14 @@ __all__ = [
 ENV_VAR = "REPRO_KERNEL_BACKEND"
 
 #: Accepted backend names (``auto`` resolves to a concrete one).
-BACKEND_NAMES = ("auto", "reference", "vectorized", "native")
+BACKEND_NAMES = ("auto", "reference", "vectorized", "native", "native-mt")
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 
 def _module(name: str):
@@ -42,6 +53,8 @@ def _module(name: str):
         from . import reference as mod
     elif name == "vectorized":
         from . import vectorized as mod
+    elif name == "native-mt":
+        from . import native_mt as mod
     else:
         from . import native as mod
     return mod
@@ -62,8 +75,10 @@ def resolve_name(name: str = None) -> str:
     """Resolve a requested backend name to a concrete backend name.
 
     ``None`` falls back to ``$REPRO_KERNEL_BACKEND``, then ``auto``.
-    ``auto`` probes the native backend (compiling it on first use) and
-    falls back to ``vectorized``. An explicitly requested ``native`` that
+    ``auto`` probes the native library (compiling it on first use) and
+    prefers ``native-mt`` when more than one core is available, serial
+    ``native`` otherwise, falling back to ``vectorized`` without a
+    compiler. An explicitly requested ``native``/``native-mt`` that
     cannot load raises :class:`ConfigurationError` instead of silently
     degrading.
     """
@@ -73,8 +88,10 @@ def resolve_name(name: str = None) -> str:
     if name == "auto":
         from . import native
 
-        return "native" if native.is_available() else "vectorized"
-    if name == "native":
+        if not native.is_available():
+            return "vectorized"
+        return "native-mt" if _cores() > 1 else "native"
+    if name in ("native", "native-mt"):
         from . import native
 
         native.load()  # raises ConfigurationError with the compile detail
@@ -92,5 +109,5 @@ def available_backends() -> tuple:
     from . import native
 
     if native.is_available():
-        names.append("native")
+        names += ["native", "native-mt"]
     return tuple(names)

@@ -48,7 +48,7 @@ __all__ = [
 ]
 
 _SRC = Path(__file__).with_name("_native.c")
-_CFLAGS = ("-O3", "-fPIC", "-shared", "-ffp-contract=off")
+_CFLAGS = ("-O3", "-fPIC", "-shared", "-ffp-contract=off", "-pthread")
 
 #: Memoized load state: None = unprobed, False = unavailable, else the
 #: loaded ctypes library.
@@ -176,6 +176,21 @@ def _declare(lib) -> None:
     lib.contingency_i64.argtypes = [i64, i64, ll, ll, i64]
     lib.chamfer_i64.restype = None
     lib.chamfer_i64.argtypes = [i64, ll, ll]
+
+    # Threaded (native-mt) entry points: the serial signatures plus a
+    # trailing n_threads. Same buffers, same results — see _native.c.
+    lib.cpa_assign_f64_mt.restype = None
+    lib.cpa_assign_f64_mt.argtypes = [*lib.cpa_assign_f64.argtypes, ll]
+    lib.cpa_assign_fixed_mt.restype = None
+    lib.cpa_assign_fixed_mt.argtypes = [*lib.cpa_assign_fixed.argtypes, ll]
+    lib.ppa_assign_f64_mt.restype = None
+    lib.ppa_assign_f64_mt.argtypes = [*lib.ppa_assign_f64.argtypes, ll]
+    lib.ppa_assign_fixed_mt.restype = None
+    lib.ppa_assign_fixed_mt.argtypes = [*lib.ppa_assign_fixed.argtypes, ll]
+    lib.lab_codes_u8_mt.restype = None
+    lib.lab_codes_u8_mt.argtypes = [*lib.lab_codes_u8.argtypes, ll]
+    lib.contingency_i64_mt.restype = None
+    lib.contingency_i64_mt.argtypes = [i64, i64, ll, ll, ll, i64, ll, i64]
 
 
 def load():

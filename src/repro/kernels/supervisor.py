@@ -7,7 +7,7 @@ tiny **known-answer self-test** — a fixed CPA window scan whose output
 is compared against the reference loops. A backend that fails to load
 *or* fails the self-test is **demoted** down the chain
 
-    native -> vectorized -> reference
+    native-mt -> native -> vectorized -> reference
 
 and the demotion is recorded (tracer counter ``kernels.demotions``, an
 event naming both backends, and the frame's
@@ -25,6 +25,7 @@ drives the demotion chain deterministically.
 from __future__ import annotations
 
 import os
+import threading
 
 import numpy as np
 
@@ -41,14 +42,18 @@ __all__ = [
 ]
 
 #: Demotion order: each name falls back to the next on failure.
-DEMOTION_CHAIN = ("native", "vectorized", "reference")
+DEMOTION_CHAIN = ("native-mt", "native", "vectorized", "reference")
 
 #: Env var forcing self-test failures (comma-separated backend names) —
 #: the fault-injection hook for the supervisor.
 FAULT_ENV = "REPRO_FAULT_KERNEL_BACKENDS"
 
-#: Per-process memo: (requested, forced) -> SupervisedBackend.
+#: Per-process memo: (requested, forced) -> SupervisedBackend. The lock
+#: makes first dispatch race-free: concurrent engines resolving the same
+#: backend run the self-test once and share one verdict (and demotion
+#: telemetry is emitted once, not per caller).
 _memo = {}
+_memo_lock = threading.Lock()
 
 
 class SupervisedBackend:
@@ -95,23 +100,50 @@ def self_test(name: str) -> None:
     compares against the reference loops, raising
     :class:`ConfigurationError` with the mismatch detail on any
     difference. Cheap (a 6 x 9 image and a handful of components) —
-    intended to run once per process.
+    intended to run once per process. The ``native-mt`` vector runs the
+    whole battery pinned to 2 threads (so the pool and the stitch are
+    genuinely exercised) plus an odd 3-thread CPA pass that would catch
+    remainder-band partition bugs.
     """
+    import contextlib
+
     from . import reference
     from .dispatch import _module
 
-    backend = _module(validate_name(name))
+    name = validate_name(name)
+    backend = _module(name)
     lab, centers, weight, grid_s = _known_answer_inputs()
     h, w = lab.shape[:2]
 
-    def run(mod):
+    def pinned():
+        if name == "native-mt":
+            from . import native_mt
+
+            return native_mt.thread_context(2)
+        return contextlib.nullcontext()
+
+    def run(mod, **kwargs):
         dist = np.full((h, w), np.inf)
         labels = np.full((h, w), -1, dtype=np.int32)
-        touched = mod.cpa_assign(lab, centers, weight, grid_s, dist, labels)
+        touched = mod.cpa_assign(
+            lab, centers, weight, grid_s, dist, labels, **kwargs
+        )
         return touched, dist, labels
 
-    got_touched, got_dist, got_labels = run(backend)
+    with pinned():
+        got_touched, got_dist, got_labels = run(backend)
     want_touched, want_dist, want_labels = run(reference)
+    if name == "native-mt":
+        odd = run(backend, n_threads=3)
+        if not (
+            odd[0] == want_touched
+            and np.array_equal(odd[2], want_labels)
+            and np.array_equal(odd[1], want_dist)
+        ):
+            raise ConfigurationError(
+                "kernel backend 'native-mt' failed its known-answer "
+                "self-test at 3 threads (remainder-band partition bug?)"
+            )
     if (
         got_touched != want_touched
         or not np.array_equal(got_labels, want_labels)
@@ -138,7 +170,12 @@ def self_test(name: str) -> None:
         np.uint8
     ).reshape(4, 5, 3)
     conv = HwColorConverter()
-    check("lab_codes", backend.lab_codes(conv, rgb), reference.lab_codes(conv, rgb))
+    with pinned():
+        check(
+            "lab_codes",
+            backend.lab_codes(conv, rgb),
+            reference.lab_codes(conv, rgb),
+        )
 
     # Merge walk: 4 components, CSR adjacency with a weight tie (1<->3).
     sizes = np.array([2, 9, 1, 8], dtype=np.int64)
@@ -153,11 +190,12 @@ def self_test(name: str) -> None:
     # Metrics: joint histogram and chamfer transform on tiny maps.
     a_flat = np.array([0, 0, 1, 2, 1, 0], dtype=np.int64)
     b_flat = np.array([1, 0, 1, 1, 0, 1], dtype=np.int64)
-    check(
-        "contingency_table",
-        backend.contingency_table(a_flat, b_flat, 3, 2),
-        reference.contingency_table(a_flat, b_flat, 3, 2),
-    )
+    with pinned():
+        check(
+            "contingency_table",
+            backend.contingency_table(a_flat, b_flat, 3, 2),
+            reference.contingency_table(a_flat, b_flat, 3, 2),
+        )
     mask = np.zeros((5, 7), dtype=bool)
     mask[1, 2] = mask[4, 6] = True
     check(
@@ -193,12 +231,25 @@ def supervised_resolve(
     if cached is not None:
         return cached
 
+    with _memo_lock:
+        cached = _memo.get(key)  # lost the race: share the verdict
+        if cached is not None:
+            return cached
+        return _resolve_uncached(name, forced, key, tracer)
+
+
+def _resolve_uncached(name, forced, key, tracer) -> SupervisedBackend:
     try:
         start = resolve_name(name)
     except ConfigurationError:
         # An explicitly requested backend that cannot load: supervision
-        # demotes instead of failing the frame.
-        start = "vectorized" if name == "native" else "reference"
+        # demotes to its successor in the chain instead of failing the
+        # frame (an unknown name starts all the way down at reference).
+        if name in DEMOTION_CHAIN:
+            successor = DEMOTION_CHAIN.index(name) + 1
+            start = DEMOTION_CHAIN[min(successor, len(DEMOTION_CHAIN) - 1)]
+        else:
+            start = "reference"
         demoted_from = name
     else:
         demoted_from = None

@@ -96,6 +96,10 @@ class FrameRecord:
     kernel_backend:
         Concrete kernel backend name the worker ran with (``None`` for
         frames that failed before backend resolution).
+    n_threads:
+        Effective kernel threads the frame ran with when
+        ``kernel_backend`` is ``"native-mt"`` ("one process per stream,
+        threads per frame"); ``None`` for the serial backends.
     attempts:
         How many executions this frame consumed (> 1 means the retry
         policy recovered — or exhausted itself on — transient failures).
@@ -129,6 +133,7 @@ class FrameRecord:
     worker_pid: int = 0
     trace_events: list = field(default_factory=list)
     kernel_backend: str = None
+    n_threads: int = None
     attempts: int = 1
     quarantined: bool = False
     demoted_from: str = None

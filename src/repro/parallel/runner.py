@@ -140,6 +140,15 @@ class ParallelRunner:
         shared memory is unavailable or slab allocation fails;
         ``"auto"`` picks shm when available. Serial runs
         (``n_workers=1``) always use in-process arrays — no transport.
+    n_threads:
+        Kernel threads per frame for the ``native-mt`` backend — the
+        "one process per stream, threads per frame" sweet spot: a
+        single process (or one per stream) fans each frame out over
+        in-process threads with zero serialization, instead of paying
+        process-pool transport per frame. Merged into ``params``
+        (``SlicParams.n_threads``); recorded per frame on
+        ``FrameRecord.n_threads`` and in frame-span telemetry. Ignored
+        by the serial backends.
     """
 
     def __init__(
@@ -157,6 +166,7 @@ class ParallelRunner:
         checkpoint=None,
         faults=None,
         transport: str = "pickle",
+        n_threads: int = None,
     ):
         if params is not None and not isinstance(params, SlicParams):
             raise ConfigurationError(
@@ -195,6 +205,8 @@ class ParallelRunner:
         self.params = self.params.with_(
             kernel_backend=resolve_name(self.params.kernel_backend)
         )
+        if n_threads is not None:
+            self.params = self.params.with_(n_threads=int(n_threads))
         self.n_workers = int(n_workers)
         self.max_pending = (
             int(max_pending) if max_pending is not None else 2 * self.n_workers
@@ -864,6 +876,11 @@ class ParallelRunner:
                     **(
                         {"transport": record.transport}
                         if record.transport
+                        else {}
+                    ),
+                    **(
+                        {"n_threads": record.n_threads}
+                        if record.n_threads is not None
                         else {}
                     ),
                     **(

@@ -17,8 +17,9 @@ Two resilience hooks live here:
   would end the experiment rather than exercise recovery.
 * **backend supervision** — the kernel backend is resolved through the
   supervisor (first-dispatch known-answer self-test, memoized per
-  process); a failing backend is demoted native -> vectorized ->
-  reference and the demotion is recorded on the ``FrameRecord``.
+  process); a failing backend is demoted native-mt -> native ->
+  vectorized -> reference and the demotion is recorded on the
+  ``FrameRecord``.
 
 Workers are deliberately stateless: a frame's output is a pure function
 of ``(image, params, warm_centers, warm_labels)``, which is what makes
@@ -107,6 +108,11 @@ def run_frame(task: FrameTask, in_worker: bool = True) -> FrameRecord:
         params = task.params
         if backend.name != params.kernel_backend:
             params = params.with_(kernel_backend=backend.name)
+        n_threads = None
+        if backend.name == "native-mt":
+            from ..kernels.native_mt import resolve_threads
+
+            n_threads = resolve_threads(params.n_threads)
         result = run_segmentation(
             image,
             params,
@@ -143,6 +149,7 @@ def run_frame(task: FrameTask, in_worker: bool = True) -> FrameRecord:
         worker_pid=os.getpid(),
         trace_events=events,
         kernel_backend=backend.name,
+        n_threads=n_threads,
         attempts=task.attempt + 1,
         demoted_from=backend.demoted_from,
     )

@@ -82,6 +82,7 @@ def record_to_json(record) -> dict:
         "elapsed_s": record.elapsed_s,
         "worker_pid": record.worker_pid,
         "kernel_backend": record.kernel_backend,
+        "n_threads": record.n_threads,
         "attempts": record.attempts,
         "quarantined": record.quarantined,
         "demoted_from": record.demoted_from,
@@ -132,6 +133,7 @@ def record_from_json(payload: dict, params=None):
         elapsed_s=payload.get("elapsed_s", 0.0),
         worker_pid=payload.get("worker_pid", 0),
         kernel_backend=payload.get("kernel_backend"),
+        n_threads=payload.get("n_threads"),
         attempts=payload.get("attempts", 1),
         quarantined=payload.get("quarantined", False),
         demoted_from=payload.get("demoted_from"),

@@ -39,8 +39,35 @@ from repro.core import (
 from repro.core.assignment import PixelArrays, assign_cpa, assign_ppa
 from repro.core.subsampling import make_schedule
 from repro.data import SceneConfig, generate_scene
+from repro.kernels import available_backends
 
 H, W = 48, 64
+
+
+@pytest.fixture(scope="module", params=["core", "native-mt"])
+def kernel_impl(request):
+    """The ``(ppa, cpa)`` implementation pair under differential test.
+
+    ``core`` is the in-tree vectorized path the suite was written
+    against; ``native-mt`` routes the same calls through the threaded C
+    backend at 3 threads (an odd count, so remainder tiles are always in
+    play), proving the threaded path against the naive references
+    without duplicating test bodies. Module-scoped so hypothesis reuses
+    it across examples.
+    """
+    if request.param == "core":
+        return assign_ppa, assign_cpa
+    if "native-mt" not in available_backends():
+        pytest.skip("backend 'native-mt' unavailable")
+    from repro.kernels import native_mt
+
+    def ppa(*args, **kwargs):
+        return native_mt.ppa_assign(*args, n_threads=3, **kwargs)
+
+    def cpa(*args, **kwargs):
+        return native_mt.cpa_assign(*args, n_threads=3, **kwargs)
+
+    return ppa, cpa
 
 
 def _setup(seed, k, m):
@@ -113,31 +140,35 @@ class TestPpaVsNaive:
         m=st.floats(1.0, 40.0),
         n_subsets=st.sampled_from([1, 2, 4]),
     )
-    def test_identical_assignments_float64(self, seed, k, m, n_subsets):
+    def test_identical_assignments_float64(
+        self, kernel_impl, seed, k, m, n_subsets
+    ):
+        ppa_fn, _ = kernel_impl
         lab, centers, tiles, cands, s, weight = _setup(seed, k, m)
         pixels = PixelArrays(lab, tiles)
         schedule = make_schedule((H, W), 1.0 / n_subsets, "strided", seed)
         for sub in range(n_subsets):
             idx = schedule.subset(sub)
-            got = assign_ppa(pixels, idx, cands, centers, weight)
+            got = ppa_fn(pixels, idx, cands, centers, weight)
             want = naive_ppa(lab, tiles, cands, centers, weight, idx)
             assert np.array_equal(got, want)
 
     @settings(max_examples=8, deadline=None)
     @given(seed=st.integers(0, 10_000), k=st.integers(8, 48))
-    def test_identical_after_center_update(self, seed, k):
+    def test_identical_after_center_update(self, kernel_impl, seed, k):
         """Still exact once centers have moved off the initial grid."""
+        ppa_fn, _ = kernel_impl
         lab, centers, tiles, cands, s, weight = _setup(seed, k, 10.0)
         pixels = PixelArrays(lab, tiles)
         idx = np.arange(pixels.n_pixels)
-        first = assign_ppa(pixels, idx, cands, centers, weight)
+        first = ppa_fn(pixels, idx, cands, centers, weight)
         # one crude center update: mean of assigned pixels
         moved = centers.copy()
         for c in range(len(centers)):
             mask = first == c
             if mask.any():
                 moved[c] = pixels.values5(idx[mask]).mean(axis=0)
-        got = assign_ppa(pixels, idx, cands, moved, weight)
+        got = ppa_fn(pixels, idx, cands, moved, weight)
         want = naive_ppa(lab, tiles, cands, moved, weight, idx)
         assert np.array_equal(got, want)
 
@@ -150,13 +181,16 @@ class TestCpaVsNaive:
         m=st.floats(1.0, 40.0),
         n_subsets=st.sampled_from([1, 2, 4]),
     )
-    def test_identical_assignments_float64(self, seed, k, m, n_subsets):
+    def test_identical_assignments_float64(
+        self, kernel_impl, seed, k, m, n_subsets
+    ):
+        _, cpa_fn = kernel_impl
         lab, centers, tiles, cands, s, weight = _setup(seed, k, m)
         # center subsets: the CPA flavour of S-SLIC scans K/n centers.
         subset = np.arange(len(centers))[::n_subsets]
         dist = np.full((H, W), np.inf)
         labels = np.full((H, W), -1, dtype=np.int32)
-        assign_cpa(lab, centers, weight, s, dist, labels, cluster_indices=subset)
+        cpa_fn(lab, centers, weight, s, dist, labels, cluster_indices=subset)
         want_labels, want_dist = naive_cpa(lab, centers, weight, s, subset)
         finite = np.isfinite(want_dist)
         assert np.array_equal(finite, np.isfinite(dist))
@@ -171,17 +205,18 @@ class TestPpaVsCpa:
         k=st.integers(8, 48),
         m=st.floats(1.0, 40.0),
     )
-    def test_agree_where_both_see_the_winner(self, seed, k, m):
+    def test_agree_where_both_see_the_winner(self, kernel_impl, seed, k, m):
         """Float64 PPA and CPA are the same argmin over different
         candidate enumerations; restricted to pixels where each order's
         winner is inside the other's candidate set, they must match."""
+        ppa_fn, cpa_fn = kernel_impl
         lab, centers, tiles, cands, s, weight = _setup(seed, k, m)
         pixels = PixelArrays(lab, tiles)
         idx = np.arange(pixels.n_pixels)
-        ppa = assign_ppa(pixels, idx, cands, centers, weight).reshape(H, W)
+        ppa = ppa_fn(pixels, idx, cands, centers, weight).reshape(H, W)
         dist = np.full((H, W), np.inf)
         cpa = np.full((H, W), -1, dtype=np.int32)
-        assign_cpa(lab, centers, weight, s, dist, cpa, cluster_indices=None)
+        cpa_fn(lab, centers, weight, s, dist, cpa, cluster_indices=None)
 
         half = int(np.ceil(s))  # the paper's 2S x 2S window
         yy, xx = np.mgrid[0:H, 0:W]
@@ -239,7 +274,10 @@ class TestQuantizedTolerance:
     @pytest.mark.parametrize(
         "seed,k,m", [(0, 12, 5.0), (3, 24, 10.0), (5, 40, 25.0), (7, 16, 40.0)]
     )
-    def test_assignment_agreement_floor(self, quantize_distance, seed, k, m):
+    def test_assignment_agreement_floor(
+        self, kernel_impl, quantize_distance, seed, k, m
+    ):
+        ppa_fn, _ = kernel_impl
         image = generate_scene(SceneConfig(height=H, width=W), seed=seed).image
         lab = rgb_to_lab(image)
         centers = initial_centers(lab, k)
@@ -250,10 +288,10 @@ class TestQuantizedTolerance:
         weight = spatial_weight(m, s)
         ref_pixels = PixelArrays(lab, tiles)
         idx = np.arange(ref_pixels.n_pixels)
-        ref = assign_ppa(ref_pixels, idx, cands, centers, weight)
+        ref = ppa_fn(ref_pixels, idx, cands, centers, weight)
         dp = FixedDatapath(bits=8, quantize_distance=quantize_distance)
         q_pixels = PixelArrays(lab, tiles, datapath=dp)
-        got = assign_ppa(
+        got = ppa_fn(
             q_pixels, idx, cands, centers, weight, compactness=m, grid_s=s
         )
         agreement = (ref == got).mean()

@@ -25,9 +25,22 @@ import numpy as np
 import pytest
 
 from repro.core import FixedDatapath, SlicParams, run_segmentation
+from repro.kernels import available_backends
 from repro.metrics import boundary_recall, undersegmentation_error
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Backend axis: every golden case must hash identically under the
+#: default backend and the threaded one — one fixture file per case,
+#: because the backends are bit-identical by contract.
+BACKEND_AXIS = [None, "native-mt"]
+
+
+@pytest.fixture(params=BACKEND_AXIS, ids=["default", "native-mt"])
+def kernel_backend(request):
+    if request.param is not None and request.param not in available_backends():
+        pytest.skip(f"backend {request.param!r} unavailable")
+    return request.param
 
 CASES = {
     "small_ppa_half": dict(
@@ -67,8 +80,11 @@ def _labels_sha256(labels: np.ndarray) -> str:
     return hashlib.sha256(canonical.tobytes()).hexdigest()
 
 
-def _measure(case: dict, scene) -> dict:
-    result = run_segmentation(scene.image, case["params"])
+def _measure(case: dict, scene, kernel_backend=None) -> dict:
+    params = case["params"]
+    if kernel_backend is not None:
+        params = params.with_(kernel_backend=kernel_backend)
+    result = run_segmentation(scene.image, params)
     return {
         "labels_sha256": _labels_sha256(result.labels),
         "shape": list(result.labels.shape),
@@ -86,13 +102,13 @@ def _measure(case: dict, scene) -> dict:
 
 
 @pytest.mark.parametrize("name", sorted(CASES))
-def test_golden(name, small_scene, hard_scene, update_golden):
+def test_golden(name, kernel_backend, small_scene, hard_scene, update_golden):
     case = CASES[name]
     scene = {"small": small_scene, "hard": hard_scene}[case["scene"]]
-    got = _measure(case, scene)
+    got = _measure(case, scene, kernel_backend)
     path = GOLDEN_DIR / f"{name}.json"
 
-    if update_golden:
+    if update_golden and kernel_backend is None:
         GOLDEN_DIR.mkdir(exist_ok=True)
         path.write_text(json.dumps(got, indent=2) + "\n")
 

@@ -25,6 +25,42 @@ def _fresh_supervision():
     reset_supervision()
 
 
+def _require(*names):
+    missing = [n for n in names if n not in available_backends()]
+    if missing:
+        pytest.skip(f"backend(s) unavailable: {', '.join(missing)}")
+
+
+def _successor(name):
+    """First chain entry after ``name`` that is available to demote to."""
+    for cand in DEMOTION_CHAIN[DEMOTION_CHAIN.index(name) + 1:]:
+        if cand in available_backends():
+            return cand
+    return "reference"
+
+
+def _demotion_cases():
+    """Demotion table derived from DEMOTION_CHAIN itself, so adding a
+    backend to the chain extends coverage without editing this file.
+
+    Each row: (requested, forced_failures, survivor, demoted_from).
+    ``survivor=None`` means "the first available successor" (resolved at
+    run time, since native backends need a C compiler).
+    """
+    cases = []
+    for i, name in enumerate(DEMOTION_CHAIN[:-1]):
+        cases.append(
+            pytest.param(name, {name}, None, name, id=f"{name}-one-step")
+        )
+        cascade = set(DEMOTION_CHAIN[i:-1])
+        cases.append(
+            pytest.param(
+                name, cascade, "reference", name, id=f"{name}-to-reference"
+            )
+        )
+    return cases
+
+
 class TestSelfTest:
     def test_every_available_backend_passes(self):
         for name in available_backends():
@@ -34,28 +70,40 @@ class TestSelfTest:
         with pytest.raises(ConfigurationError):
             self_test("fpga")
 
+    def test_native_mt_vector_at_extreme_thread_counts(self):
+        """The native-mt known-answer vector must hold at both the
+        serial clamp and the MAX_THREADS pool width."""
+        _require("native-mt")
+        from repro.kernels.native_mt import MAX_THREADS, thread_context
+
+        for nt in (1, MAX_THREADS):
+            with thread_context(nt):
+                self_test("native-mt")
+            reset_supervision()
+
 
 class TestSupervisedResolve:
-    def test_healthy_backend_is_not_demoted(self):
-        verdict = supervised_resolve("vectorized")
-        assert verdict.name == "vectorized"
+    @pytest.mark.parametrize("name", DEMOTION_CHAIN)
+    def test_healthy_backend_is_not_demoted(self, name):
+        _require(name)
+        verdict = supervised_resolve(name)
+        assert verdict.name == name
         assert not verdict.demoted
         assert verdict.demoted_from is None
 
-    def test_forced_failure_demotes_down_the_chain(self):
-        verdict = supervised_resolve(
-            "vectorized", forced_failures={"vectorized"}
-        )
-        assert verdict.name == "reference"
-        assert verdict.demoted_from == "vectorized"
+    @pytest.mark.parametrize(
+        "requested,forced,survivor,demoted_from", _demotion_cases()
+    )
+    def test_demotion_chain_table(
+        self, requested, forced, survivor, demoted_from
+    ):
+        _require(requested)
+        if survivor is None:
+            survivor = _successor(requested)
+        verdict = supervised_resolve(requested, forced_failures=forced)
+        assert verdict.name == survivor
+        assert verdict.demoted_from == demoted_from
         assert verdict.demoted
-
-    def test_chain_walks_all_the_way_to_reference(self):
-        verdict = supervised_resolve(
-            "native", forced_failures={"native", "vectorized"}
-        )
-        assert verdict.name == "reference"
-        assert verdict.demoted_from == "native"
 
     def test_reference_failure_is_fatal(self):
         with pytest.raises(ConfigurationError, match="every kernel backend"):
@@ -93,34 +141,40 @@ class TestSupervisedResolve:
 
 
 class TestSupervisionInRunner:
-    PARAMS = SlicParams(
-        n_superpixels=40,
-        max_iterations=4,
-        subsample_ratio=0.5,
-        convergence_threshold=0.3,
-        kernel_backend="vectorized",
-    )
+    @staticmethod
+    def _params(backend):
+        return SlicParams(
+            n_superpixels=40,
+            max_iterations=4,
+            subsample_ratio=0.5,
+            convergence_threshold=0.3,
+            kernel_backend=backend,
+        )
 
-    def test_kernel_fail_fault_records_demotion(self):
+    @pytest.mark.parametrize("requested", DEMOTION_CHAIN[:-1])
+    def test_kernel_fail_fault_records_demotion(self, requested):
+        _require(requested)
         frames = synthetic_batch(2, height=50, width=70, seed=2)
         res = ParallelRunner(
-            self.PARAMS, faults=FaultPlan.parse("kernel_fail@0:0")
+            self._params(requested), faults=FaultPlan.parse("kernel_fail@0:0")
         ).run_batch(frames)
         rec = res.records[0]
         assert rec.ok
-        assert rec.kernel_backend == "reference"
-        assert rec.demoted_from == "vectorized"
+        assert rec.kernel_backend == _successor(requested)
+        assert rec.demoted_from == requested
         # The un-faulted frame used the healthy requested backend.
-        assert res.records[1].kernel_backend == "vectorized"
+        assert res.records[1].kernel_backend == requested
         assert res.records[1].demoted_from is None
 
-    def test_demoted_output_is_bit_identical(self):
+    @pytest.mark.parametrize("requested", ["vectorized", "native-mt"])
+    def test_demoted_output_is_bit_identical(self, requested):
         # Demotion changes the implementation, never the answer.
+        _require(requested)
         frames = synthetic_batch(1, height=50, width=70, seed=3)
         demoted = ParallelRunner(
-            self.PARAMS, faults=FaultPlan.parse("kernel_fail@0:0")
+            self._params(requested), faults=FaultPlan.parse("kernel_fail@0:0")
         ).run_batch(frames)
-        clean = ParallelRunner(self.PARAMS).run_batch(frames)
+        clean = ParallelRunner(self._params(requested)).run_batch(frames)
         assert np.array_equal(
             demoted.records[0].result.labels, clean.records[0].result.labels
         )

@@ -36,7 +36,9 @@ from repro.kernels import native as native_mod
 H, W = 48, 64
 
 OPTIMIZED = [
-    name for name in ("vectorized", "native") if name in available_backends()
+    name
+    for name in ("vectorized", "native", "native-mt")
+    if name in available_backends()
 ]
 
 
@@ -78,7 +80,7 @@ class TestDispatch:
         assert resolve_name("vectorized") == "vectorized"
 
     def test_resolve_name_auto_is_concrete(self):
-        assert resolve_name("auto") in ("native", "vectorized")
+        assert resolve_name("auto") in ("native-mt", "native", "vectorized")
 
     def test_env_var_drives_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_KERNEL_BACKEND", "reference")
