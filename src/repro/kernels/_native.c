@@ -1,7 +1,8 @@
 /* Native kernels: the CPA window scan, the PPA 9-candidate evaluation,
- * the fixed-point RGB->Lab conversion, the small-component merge walk,
- * and the BR/USE metric inner loops (joint histogram, 3-4 chamfer) as
- * plain C loops.
+ * the fixed-point RGB->Lab conversion, the two-pass union-find
+ * connected-components pass, the small-component merge walk, and the
+ * BR/USE metric inner loops (joint histogram, 3-4 chamfer) as plain C
+ * loops.
  *
  * Compiled on demand by repro.kernels.native with
  *
@@ -26,8 +27,10 @@
  * order, so every output element is written by exactly one thread with
  * the serial operation order — no boundary ties can ever arise and the
  * results stay bit-identical to the serial loops at any thread count.
- * The only cross-tile combine (the contingency histogram stitch) runs
- * sequentially in ascending tile id.
+ * The only cross-tile combines (the contingency histogram stitch and
+ * the connected-components band seams + renumber) run sequentially, in
+ * ascending tile id; union-by-minimal-root makes the component roots
+ * independent of union order (see the CCL section).
  */
 
 #include <math.h>
@@ -674,6 +677,183 @@ void merge_small(
     }
     for (int64_t i = 0; i < n_comps; i++)
         final_root[i] = uf_find(parent, i);
+}
+
+/* ------------------------------------------------------------------ */
+/* Connected components: two-pass union-find over row runs.
+ *
+ * Pass 1 decomposes the label map into maximal horizontal runs (runs
+ * never cross a row boundary, matching _run_ids in core.connectivity);
+ * pass 2 unions vertically adjacent same-label runs *by minimal root*:
+ * the larger root is always attached under the smaller, so each
+ * component's final root is its minimal run id — its first appearance
+ * in raster order. An ascending renumber of the roots then reproduces
+ * the reference's canonical first-appearance component ids exactly.
+ *
+ * The _mt variant gives each thread a contiguous row band. Runs are
+ * counted per band, offset by a serial prefix sum (band-local run
+ * decomposition + offsets equals the global decomposition because runs
+ * break at row boundaries anyway), and intra-band unions touch only the
+ * band's own disjoint parent range — race-free by ownership. The
+ * cross-band seams and the final renumber run serially. Union-by-min
+ * makes every component's root independent of union order, so the
+ * result is bit-identical to the serial kernel at any thread count.    */
+/* ------------------------------------------------------------------ */
+
+/* Attach the larger of the two roots under the smaller. */
+static void uf_union_min(int64_t *parent, int64_t a, int64_t b)
+{
+    int64_t ra = uf_find(parent, a);
+    int64_t rb = uf_find(parent, b);
+    if (ra < rb)
+        parent[rb] = ra;
+    else if (rb < ra)
+        parent[ra] = rb;
+}
+
+/* Decompose rows [y0, y1) into runs. Run ids start at `base` and are
+ * written into comps (int32: the caller guarantees h*w < 2^31). When
+ * `parent` is non-null each new run is initialized to identity. Unions
+ * start at row max(y0, union_y0) so the mt variant can defer seams.
+ * Returns the number of runs emitted.                                  */
+static int64_t ccl_rows(
+    const int32_t *labels, int64_t w, int64_t y0, int64_t y1,
+    int64_t union_y0, int64_t base, int32_t *comps, int64_t *parent)
+{
+    int64_t next = base;
+    for (int64_t y = y0; y < y1; y++) {
+        const int32_t *row = labels + y * w;
+        int32_t *crow = comps + y * w;
+        for (int64_t x = 0; x < w; x++) {
+            if (x == 0 || row[x] != row[x - 1]) {
+                if (parent) parent[next] = next;
+                next++;
+            }
+            crow[x] = (int32_t)(next - 1);
+            if (parent && y > union_y0 && row[x] == labels[(y - 1) * w + x])
+                uf_union_min(parent, crow[x], comps[(y - 1) * w + x]);
+        }
+    }
+    return next - base;
+}
+
+/* Compress every run to its root, then renumber roots in ascending run
+ * id order — in place, valid because each root is the minimum of its
+ * component, so parent[root] is rewritten before any child reads it.   */
+static int64_t ccl_renumber(int64_t *parent, int64_t n_runs)
+{
+    for (int64_t r = 0; r < n_runs; r++)
+        parent[r] = uf_find(parent, r);
+    int64_t next = 0;
+    for (int64_t r = 0; r < n_runs; r++) {
+        int64_t root = parent[r];
+        parent[r] = (root == r) ? next++ : parent[root];
+    }
+    return next;
+}
+
+int64_t ccl_i32(
+    const int32_t *labels,     /* h*w label map                         */
+    int64_t h, int64_t w,
+    int32_t *comps,            /* h*w output component map              */
+    int64_t *parent)           /* h*w scratch (>= n_runs)               */
+{
+    int64_t n_runs = ccl_rows(labels, w, 0, h, 0, 0, comps, parent);
+    int64_t n_comps = ccl_renumber(parent, n_runs);
+    for (int64_t i = 0; i < h * w; i++)
+        comps[i] = (int32_t)parent[comps[i]];
+    return n_comps;
+}
+
+typedef struct {
+    const int32_t *labels;
+    int64_t h, w;
+    int32_t *comps;
+    int64_t *parent;
+    int64_t counts[MT_MAX_THREADS];   /* runs per band                  */
+    int64_t offsets[MT_MAX_THREADS];  /* band run-id bases              */
+    int64_t done;                     /* 0: count pass, 1: fill pass    */
+} ccl_ctx;
+
+static void ccl_band(void *vctx, int64_t tid, int64_t width)
+{
+    ccl_ctx *c = (ccl_ctx *)vctx;
+    int64_t y0 = mt_slice_lo(c->h, tid, width);
+    int64_t y1 = mt_slice_hi(c->h, tid, width);
+    if (!c->done)
+        c->counts[tid] = ccl_rows(c->labels, c->w, y0, y1, y0,
+                                  0, c->comps, 0);
+    else
+        ccl_rows(c->labels, c->w, y0, y1, y0,
+                 c->offsets[tid], c->comps, c->parent);
+}
+
+static void ccl_relabel_band(void *vctx, int64_t tid, int64_t width)
+{
+    ccl_ctx *c = (ccl_ctx *)vctx;
+    int64_t lo = mt_slice_lo(c->h * c->w, tid, width);
+    int64_t hi = mt_slice_hi(c->h * c->w, tid, width);
+    for (int64_t i = lo; i < hi; i++)
+        c->comps[i] = (int32_t)c->parent[c->comps[i]];
+}
+
+int64_t ccl_i32_mt(
+    const int32_t *labels, int64_t h, int64_t w,
+    int32_t *comps, int64_t *parent, int64_t n_threads)
+{
+    if (n_threads > h) n_threads = h;
+    if (n_threads > MT_MAX_THREADS) n_threads = MT_MAX_THREADS;
+    if (n_threads < 2)
+        return ccl_i32(labels, h, w, comps, parent);
+    ccl_ctx ctx;
+    ctx.labels = labels;
+    ctx.h = h;
+    ctx.w = w;
+    ctx.comps = comps;
+    ctx.parent = parent;
+    ctx.done = 0;
+    for (int64_t t = 0; t < MT_MAX_THREADS; t++)
+        ctx.counts[t] = ctx.offsets[t] = 0;
+    mt_run(ccl_band, &ctx, n_threads);            /* count runs/band    */
+    int64_t n_runs = 0;
+    for (int64_t t = 0; t < n_threads; t++) {
+        ctx.offsets[t] = n_runs;
+        n_runs += ctx.counts[t];
+    }
+    ctx.done = 1;
+    mt_run(ccl_band, &ctx, n_threads);            /* fill + band unions */
+    for (int64_t t = 1; t < n_threads; t++) {     /* serial seams       */
+        int64_t y = mt_slice_lo(h, t, n_threads);
+        if (y == 0 || y >= h) continue;
+        const int32_t *row = labels + y * w;
+        const int32_t *up = row - w;
+        for (int64_t x = 0; x < w; x++)
+            if (row[x] == up[x])
+                uf_union_min(parent, comps[y * w + x],
+                             comps[(y - 1) * w + x]);
+    }
+    int64_t n_comps = ccl_renumber(parent, n_runs);
+    mt_run(ccl_relabel_band, &ctx, n_threads);
+    return n_comps;
+}
+
+/* Resolve pre-decomposed runs against an explicit union pair list into
+ * canonical dense component ids (the incremental-connectivity path:
+ * Python rebuilds run structures only for dirty row bands and ships the
+ * vertical adjacencies here). parent[r] holds run r's dense id on
+ * return; the return value is the component count.                     */
+int64_t ccl_resolve(
+    const int64_t *pair_a,     /* n_pairs union endpoints               */
+    const int64_t *pair_b,
+    int64_t n_pairs,
+    int64_t n_runs,
+    int64_t *parent)           /* n_runs, overwritten                   */
+{
+    for (int64_t r = 0; r < n_runs; r++)
+        parent[r] = r;
+    for (int64_t i = 0; i < n_pairs; i++)
+        uf_union_min(parent, pair_a[i], pair_b[i]);
+    return ccl_renumber(parent, n_runs);
 }
 
 /* ------------------------------------------------------------------ */

@@ -71,7 +71,7 @@ def validate_name(name: str) -> str:
     return lowered
 
 
-def resolve_name(name: str = None) -> str:
+def resolve_name(name: str | None = None) -> str:
     """Resolve a requested backend name to a concrete backend name.
 
     ``None`` falls back to ``$REPRO_KERNEL_BACKEND``, then ``auto``.
@@ -98,7 +98,7 @@ def resolve_name(name: str = None) -> str:
     return name
 
 
-def get_backend(name: str = None):
+def get_backend(name: str | None = None):
     """Return the kernel module for ``name`` (resolved per above)."""
     return _module(resolve_name(name))
 

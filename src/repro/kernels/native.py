@@ -33,7 +33,7 @@ import numpy as np
 from ..core.distance import WEIGHT_FRAC_BITS
 from ..errors import ConfigurationError
 from ..metrics.boundaries import chamfer_finalize, chamfer_init
-from .vectorized import connected_components  # noqa: F401 — CC is numpy-bound
+from ..types import validate_label_map
 
 __all__ = [
     "is_available",
@@ -41,6 +41,7 @@ __all__ = [
     "cpa_assign",
     "ppa_assign",
     "connected_components",
+    "resolve_runs",
     "lab_codes",
     "merge_small",
     "contingency_table",
@@ -172,6 +173,10 @@ def _declare(lib) -> None:
     lib.merge_small.argtypes = [
         i64, i64, i64, i64, ll, i64, ll, ll, i64, i64, i64,
     ]
+    lib.ccl_i32.restype = ll
+    lib.ccl_i32.argtypes = [i32, ll, ll, i32, i64]
+    lib.ccl_resolve.restype = ll
+    lib.ccl_resolve.argtypes = [i64, i64, ll, ll, i64]
     lib.contingency_i64.restype = None
     lib.contingency_i64.argtypes = [i64, i64, ll, ll, i64]
     lib.chamfer_i64.restype = None
@@ -191,6 +196,8 @@ def _declare(lib) -> None:
     lib.lab_codes_u8_mt.argtypes = [*lib.lab_codes_u8.argtypes, ll]
     lib.contingency_i64_mt.restype = None
     lib.contingency_i64_mt.argtypes = [i64, i64, ll, ll, ll, i64, ll, i64]
+    lib.ccl_i32_mt.restype = ll
+    lib.ccl_i32_mt.argtypes = [*lib.ccl_i32.argtypes, ll]
 
 
 def load():
@@ -371,6 +378,50 @@ def lab_codes(converter, rgb):
         codes.reshape(-1),
     )
     return codes
+
+
+def connected_components(labels, _n_threads=None):
+    """Two-pass union-find CCL; see ``connected_components_reference``.
+
+    Component ids come out in canonical first-appearance order (the C
+    kernel unions by minimal root and renumbers roots ascending, which
+    is exactly the reference's ``comp_min`` ordering). Maps too large
+    for the int32 run-id scratch fall back to the vectorized backend.
+    """
+    labels = validate_label_map(labels)
+    h, w = labels.shape
+    if h * w >= 2**31:
+        from . import vectorized
+
+        return vectorized.connected_components(labels)
+    lib = load()
+    lab_c = np.ascontiguousarray(labels, dtype=np.int32)
+    comps = np.empty((h, w), dtype=np.int32)
+    parent = np.empty(h * w, dtype=np.int64)
+    if _n_threads is None:
+        n = lib.ccl_i32(lab_c.reshape(-1), h, w, comps.reshape(-1), parent)
+    else:
+        n = lib.ccl_i32_mt(
+            lab_c.reshape(-1), h, w, comps.reshape(-1), parent,
+            int(_n_threads),
+        )
+    return comps, int(n)
+
+
+def resolve_runs(pair_a, pair_b, n_runs):
+    """Union run-id pairs and renumber: ``dense_ids, n_comps``.
+
+    The incremental-connectivity helper: run decomposition happens in
+    numpy (only dirty row bands are rebuilt), the union-find resolve
+    happens here. Dense ids are in first-appearance (minimal run id)
+    order, identical to the full CCL kernels.
+    """
+    lib = load()
+    pair_a = np.ascontiguousarray(pair_a, dtype=np.int64)
+    pair_b = np.ascontiguousarray(pair_b, dtype=np.int64)
+    parent = np.empty(int(n_runs), dtype=np.int64)
+    n = lib.ccl_resolve(pair_a, pair_b, len(pair_a), int(n_runs), parent)
+    return parent, int(n)
 
 
 def merge_small(sizes, starts, ends, dst, border_len, min_size, order):

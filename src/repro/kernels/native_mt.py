@@ -13,11 +13,15 @@ Bit-identity at any thread count comes from *ownership partitioning*
 the output — row bands for CPA, index ranges for PPA and ``lab_codes``,
 a private histogram for ``contingency_table`` — and visits its slice in
 exactly the serial order. Every output element is written by exactly
-one thread, so no boundary ties can arise; the only cross-tile combine
-(the contingency stitch) folds private tables sequentially in ascending
-tile id. The inherently sequential kernels (``merge_small``'s greedy
-walk, the raster-ordered chamfer sweeps, the numpy-bound connected
-components) delegate to their serial implementations.
+one thread, so no boundary ties can arise; the cross-tile combines
+(the contingency stitch, the connected-components band seams and
+renumber) run sequentially. ``connected_components`` tiles row bands
+with per-band run decomposition and union-by-minimal-root, so component
+roots — and the canonical first-appearance renumbering — are
+independent of thread count (see the CCL section in ``_native.c``).
+The inherently sequential kernels (``merge_small``'s greedy walk, the
+raster-ordered chamfer sweeps) delegate to their serial
+implementations.
 
 Thread-count resolution, per call site, first match wins:
 
@@ -42,8 +46,8 @@ import os
 import numpy as np
 
 from ..core.distance import WEIGHT_FRAC_BITS
+from . import native
 from .native import chamfer_distance, is_available, load, merge_small  # noqa: F401
-from .vectorized import connected_components  # noqa: F401 — CC is numpy-bound
 
 __all__ = [
     "is_available",
@@ -255,6 +259,20 @@ def lab_codes(converter, rgb, n_threads=None):
         nt,
     )
     return codes
+
+
+def connected_components(labels, n_threads=None):
+    """Row-banded two-pass union-find CCL; see ``connected_components``.
+
+    Each thread decomposes its own row band into runs (offset by a
+    serial prefix sum) and unions within the band's disjoint parent
+    range; the band seams and the ascending renumber run serially.
+    Union-by-minimal-root makes the component roots independent of the
+    union order, so labels are bit-identical at any thread count.
+    """
+    return native.connected_components(
+        labels, _n_threads=resolve_threads(n_threads)
+    )
 
 
 def contingency_table(a_flat, b_flat, n_a, n_b, n_threads=None):

@@ -177,6 +177,26 @@ def self_test(name: str) -> None:
             reference.lab_codes(conv, rgb),
         )
 
+    # Connected components: nested ring + stray pixels + a label that
+    # recurs in disjoint pieces, so run unions chain across many rows
+    # and the canonical first-appearance renumbering is load-bearing.
+    ring = np.zeros((7, 8), dtype=np.int32)
+    ring[1:6, 1:7] = 1
+    ring[2:5, 2:6] = 0
+    ring[3, 3] = 2
+    ring[0, 7] = 2
+    ring[6, 0] = 1
+    want_comps, want_n = reference.connected_components(ring)
+    with pinned():
+        got_comps, got_n = backend.connected_components(ring)
+    check("connected_components", got_comps, want_comps)
+    check("connected_components.n", got_n, want_n)
+    if name == "native-mt":
+        # Odd thread count: band seams fall mid-ring.
+        odd_comps, odd_n = backend.connected_components(ring, n_threads=3)
+        check("connected_components@3t", odd_comps, want_comps)
+        check("connected_components.n@3t", odd_n, want_n)
+
     # Merge walk: 4 components, CSR adjacency with a weight tie (1<->3).
     sizes = np.array([2, 9, 1, 8], dtype=np.int64)
     starts = np.array([0, 2, 5, 7], dtype=np.int64)

@@ -35,7 +35,12 @@ import numpy as np
 
 from ..color.hw_convert import convert_codes_reference
 from ..core.assignment import _PPA_CHUNK, PixelArrays
-from ..core.connectivity import _resolve_roots, _run_ids, _UnionFind
+from ..core.connectivity import (
+    _min_propagate,
+    _resolve_roots,
+    _run_ids,
+    _UnionFind,
+)
 from ..core.distance import WEIGHT_FRAC_BITS, FixedDatapath
 from ..metrics.boundaries import (  # noqa: F401 — numpy-bound, reference is optimal
     chamfer_distance_reference as chamfer_distance,
@@ -288,17 +293,7 @@ def connected_components(labels: np.ndarray):
     if same_up.any():
         a = run_id[1:, :][same_up].astype(np.int64)
         b = run_id[:-1, :][same_up].astype(np.int64)
-        while True:
-            lo = np.minimum(parent[a], parent[b])
-            np.minimum.at(parent, a, lo)
-            np.minimum.at(parent, b, lo)
-            while True:  # pointer jumping to full compression
-                hop = parent[parent]
-                if np.array_equal(hop, parent):
-                    break
-                parent = hop
-            if np.array_equal(parent[a], parent[b]):
-                break
+        parent = _min_propagate(parent, a, b)
     # parent[i] is now each run's minimal component run id — the same
     # canonical representative the reference renumbers by.
     uniq, dense = np.unique(parent, return_inverse=True)

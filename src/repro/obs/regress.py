@@ -49,7 +49,8 @@ BENCH_SCHEMA_VERSION = 2
 #: going quadratic, a transport falling back) without paging on jitter.
 DEFAULT_TOLERANCE = 0.25
 
-_HIGHER_BETTER = ("fps", "throughput", "speedup", "over_pickle", "recall")
+_HIGHER_BETTER = ("fps", "throughput", "speedup", "over_pickle",
+                  "over_serial", "over_shm", "over_baseline", "recall")
 _LOWER_BETTER = ("elapsed_s", "_seconds", "_ms", "latency", "overhead")
 
 
@@ -77,6 +78,15 @@ def flatten_bench_metrics(payload: dict, prefix: str = None) -> dict:
     keyed by their identifying string fields (``resolution``, ``config``
     ...) — and generic nested dicts. Booleans, strings, and ``None`` are
     skipped (they are identity, not measurement).
+
+    ``gate`` blocks get special treatment: each block (and each nested
+    sub-block) carries a ``result`` string, and its numbers become
+    metrics only when that result is a real verdict (``pass``/``fail``).
+    A gate that recorded ``"skipped: ..."`` — e.g. the host had too few
+    cores to make the comparison meaningful — contributes *nothing*:
+    skipped gates are neutral, never a baseline a faster host could
+    "regress" against. ``cores``/``baseline_cores`` stamps inside gate
+    blocks are environment identity, not measurements.
     """
     bench = prefix if prefix is not None else str(
         payload.get("bench", "bench")
@@ -95,10 +105,33 @@ def flatten_bench_metrics(payload: dict, prefix: str = None) -> dict:
         elif isinstance(node, (int, float)):
             out[path] = float(node)
 
+    def walk_gate(node, path):
+        # Each gate level is its own verdict scope: numbers count only
+        # when this level's result is pass/fail. Skipped (or absent)
+        # verdicts are neutral — the numbers were recorded for the
+        # curious, not for the sentinel. Nested blocks carry their own
+        # result and are judged independently.
+        if not isinstance(node, dict):
+            return
+        result = node.get("result")
+        gated = isinstance(result, str) and (
+            result.startswith("pass") or result.startswith("fail")
+        )
+        for key, value in node.items():
+            if isinstance(value, dict):
+                walk_gate(value, f"{path}/{key}")
+            elif gated and isinstance(value, (int, float)) \
+                    and not isinstance(value, bool) \
+                    and key not in ("cores", "baseline_cores"):
+                out[f"{path}/{key}"] = float(value)
+
     for key, value in payload.items():
         if key in ("schema", "trace", "ts", "cores", "platform", "python",
-                   "bench", "scale", "params", "gate", "shm_available"):
+                   "bench", "scale", "params", "shm_available"):
             continue  # run identity / environment, not perf metrics
+        if key == "gate":
+            walk_gate(value, f"{bench}/gate")
+            continue
         if key == "rows" and isinstance(value, list):
             for row in value:
                 if not isinstance(row, dict):
@@ -275,6 +308,13 @@ def check_regressions(baseline_paths, current_paths=None,
     the CI default until a fresh run is supplied. Artifacts are matched
     by their ``bench`` field; a current file whose bench has no baseline
     contributes only ``added`` metrics.
+
+    When both sides of a bench stamp a ``cores`` count and the counts
+    differ, the sentinel **refuses the comparison** (exit 2 via the CLI)
+    instead of producing a verdict: a 1-core laptop "regressing" against
+    an 8-core CI baseline is hardware, not code, and silently passing
+    because the laptop happened to be fast enough would be just as
+    wrong.
     """
     baseline_paths = [Path(p) for p in baseline_paths]
     if not baseline_paths:
@@ -284,9 +324,24 @@ def check_regressions(baseline_paths, current_paths=None,
     current_paths = [Path(p) for p in (current_paths or baseline_paths)]
 
     baseline, current = {}, {}
-    for target, paths in ((baseline, baseline_paths), (current, current_paths)):
+    cores = ({}, {})  # per-side {bench: cores}
+    for side, paths in enumerate((baseline_paths, current_paths)):
+        target = (baseline, current)[side]
         for path in paths:
-            target.update(flatten_bench_metrics(load_bench_file(path)))
+            payload = load_bench_file(path)
+            target.update(flatten_bench_metrics(payload))
+            if isinstance(payload.get("cores"), int):
+                cores[side][str(payload.get("bench", "bench"))] = \
+                    payload["cores"]
+    for bench in sorted(set(cores[0]) & set(cores[1])):
+        if cores[0][bench] != cores[1][bench]:
+            raise ConfigurationError(
+                f"refusing cross-core-count comparison for bench "
+                f"{bench!r}: baseline ran on {cores[0][bench]} core(s), "
+                f"current on {cores[1][bench]} — perf ratios across "
+                f"different hosts are not comparable; regenerate the "
+                f"baseline on this host or compare like against like"
+            )
     report = compare_metrics(baseline, current, tolerance=tolerance)
     report.baseline_files = baseline_paths
     report.current_files = current_paths

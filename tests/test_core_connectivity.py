@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import connected_components, enforce_connectivity
+from repro.core.connectivity import ConnectivityState
 from repro.kernels import available_backends
 
 BACKENDS = available_backends()
@@ -181,3 +182,165 @@ class TestEdgeCases:
         comps_t, n_t = connected_components(col, backend=backend)
         assert n_t == 3
         assert np.array_equal(comps_t, comps.T)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestNoOpSemantics:
+    """Every early return must equal what the main path would produce.
+
+    Components are label-pure, so an identity merge relabels each pixel
+    with its own label: whenever nothing is below ``min_size`` the
+    output IS the input. The shortcuts (``min_size <= 1``, uniform map,
+    single component) exist for speed and must be observably
+    indistinguishable from the main path — same values, same
+    fresh-buffer ownership.
+    """
+
+    def test_min_size_leq_one_identity_fresh_buffer(self, backend):
+        rng = np.random.default_rng(11)
+        labels = rng.integers(0, 5, (9, 9)).astype(np.int32)
+        for min_size in (0, 1):
+            out = enforce_connectivity(labels, min_size, backend=backend)
+            assert np.array_equal(out, labels)
+            assert out is not labels
+            out[0, 0] = 99  # caller owns the buffer
+            assert labels[0, 0] != 99
+
+    def test_uniform_map_identity(self, backend):
+        labels = np.full((6, 7), 3, dtype=np.int32)
+        out = enforce_connectivity(labels, 4, backend=backend)
+        assert np.array_equal(out, labels)
+        assert out is not labels
+
+    def test_single_pixel_image(self, backend):
+        labels = np.array([[5]], dtype=np.int32)
+        out = enforce_connectivity(labels, 10, backend=backend)
+        assert np.array_equal(out, labels)
+        comps, n = connected_components(labels, backend=backend)
+        assert n == 1 and comps[0, 0] == 0
+
+    def test_single_row_merge_ties_to_lowest_component(self, backend):
+        # One-row maps exercise width-only runs (no vertical unions);
+        # the lone 1 borders components 0 and 2 equally — the tie must
+        # go to the lowest component id (0), matching the reference walk.
+        labels = np.array([[0, 0, 0, 1, 2, 2, 2, 2]], dtype=np.int32)
+        out = enforce_connectivity(labels, 3, backend=backend)
+        assert np.array_equal(
+            out, np.array([[0, 0, 0, 0, 2, 2, 2, 2]], dtype=np.int32)
+        )
+
+    def test_main_path_identity_merge_equals_input(self, backend):
+        # All components >= min_size: the main path's merge is an
+        # identity relabel, indistinguishable from the shortcuts.
+        labels = np.zeros((8, 8), dtype=np.int32)
+        labels[:, 4:] = 1
+        out = enforce_connectivity(labels, 4, backend=backend)
+        assert np.array_equal(out, labels)
+
+
+def _frames(h=64, w=48, patch=None):
+    """A base label map and a copy with a small patch of motion."""
+    rng = np.random.default_rng(21)
+    base = rng.integers(0, 6, (h, w)).astype(np.int32)
+    warm = base.copy()
+    if patch is not None:
+        y, x = patch
+        warm[y:y + 4, x:x + 4] = 5
+    return base, warm
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestConnectivityState:
+    """Incremental video connectivity: the state is a pure cache —
+    dropping it, evicting it, or feeding it any frame sequence never
+    changes the output, only ``tiles_resolved``."""
+
+    def test_warm_output_bit_identical_to_stateless(self, backend):
+        base, warm = _frames(patch=(30, 20))
+        state = ConnectivityState(band_rows=16)
+        cold = enforce_connectivity(base, 8, backend=backend, state=state)
+        hot = enforce_connectivity(warm, 8, backend=backend, state=state)
+        assert np.array_equal(
+            cold, enforce_connectivity(base, 8, backend=backend)
+        )
+        assert np.array_equal(
+            hot, enforce_connectivity(warm, 8, backend=backend)
+        )
+
+    def test_warm_frame_resolves_strictly_fewer_tiles(self, backend):
+        # The ISSUE's acceptance counter: a warm frame with small motion
+        # must re-resolve strictly fewer bands than the cold frame.
+        base, warm = _frames(patch=(30, 20))
+        state = ConnectivityState(band_rows=16)
+        enforce_connectivity(base, 8, backend=backend, state=state)
+        cold_tiles = state.tiles_resolved
+        assert cold_tiles == state.tiles_total  # cold = everything dirty
+        enforce_connectivity(warm, 8, backend=backend, state=state)
+        assert state.tiles_resolved < cold_tiles
+        assert state.tiles_resolved >= 1
+
+    def test_identical_frame_shortcut_zero_tiles(self, backend):
+        base, _ = _frames()
+        state = ConnectivityState(band_rows=16)
+        first = enforce_connectivity(base, 8, backend=backend, state=state)
+        second = enforce_connectivity(base, 8, backend=backend, state=state)
+        assert state.tiles_resolved == 0
+        assert np.array_equal(first, second)
+        assert first is not second  # still a caller-owned buffer
+
+    def test_min_size_change_invalidates_shortcut(self, backend):
+        # Same labels, different min_size: the cached output is for the
+        # old policy and must not be replayed.
+        base = np.zeros((32, 32), dtype=np.int32)
+        base[10:12, 10:12] = 1  # 4-px fragment
+        state = ConnectivityState(band_rows=16)
+        kept = enforce_connectivity(base, 2, backend=backend, state=state)
+        assert 1 in kept
+        merged = enforce_connectivity(base, 8, backend=backend, state=state)
+        assert 1 not in merged
+        assert np.array_equal(
+            merged, enforce_connectivity(base, 8, backend=backend)
+        )
+
+    def test_shape_change_resets_cleanly(self, backend):
+        big, _ = _frames(h=64, w=48)
+        small = big[:32, :24].copy()
+        state = ConnectivityState(band_rows=16)
+        enforce_connectivity(big, 8, backend=backend, state=state)
+        out = enforce_connectivity(small, 8, backend=backend, state=state)
+        assert state.tiles_resolved == state.tiles_total
+        assert np.array_equal(
+            out, enforce_connectivity(small, 8, backend=backend)
+        )
+
+    def test_min_size_leq_one_leaves_cache_consistent(self, backend):
+        base, warm = _frames(patch=(10, 10))
+        state = ConnectivityState(band_rows=16)
+        enforce_connectivity(base, 8, backend=backend, state=state)
+        # A min_size<=1 call is a pure no-op: counters zero, caches
+        # untouched, and the next real call still resolves correctly.
+        out = enforce_connectivity(warm, 1, backend=backend, state=state)
+        assert np.array_equal(out, warm)
+        assert state.tiles_resolved == 0
+        after = enforce_connectivity(warm, 8, backend=backend, state=state)
+        assert np.array_equal(
+            after, enforce_connectivity(warm, 8, backend=backend)
+        )
+
+    def test_long_sequence_matches_stateless(self, backend):
+        # Arbitrary mixed sequence (moving patch, repeats, big jumps):
+        # every stateful output equals the stateless one.
+        rng = np.random.default_rng(33)
+        state = ConnectivityState(band_rows=8)
+        frame = rng.integers(0, 5, (40, 32)).astype(np.int32)
+        for step in range(6):
+            if step % 3 == 2:
+                frame = rng.integers(0, 5, (40, 32)).astype(np.int32)
+            elif step % 3 == 1:
+                frame = frame.copy()
+                frame[12:18, 8:14] = step % 5
+            stateful = enforce_connectivity(
+                frame, 6, backend=backend, state=state
+            )
+            stateless = enforce_connectivity(frame, 6, backend=backend)
+            assert np.array_equal(stateful, stateless)

@@ -37,9 +37,11 @@ from repro.core import (
     tile_map,
 )
 from repro.core.assignment import PixelArrays, assign_cpa, assign_ppa
+from repro.core.connectivity import ConnectivityState, enforce_connectivity
 from repro.core.subsampling import make_schedule
 from repro.data import SceneConfig, generate_scene
-from repro.kernels import available_backends
+from repro.kernels import available_backends, get_backend
+from repro.kernels import reference as reference_kernels
 
 H, W = 48, 64
 
@@ -243,6 +245,142 @@ class TestPpaVsCpa:
                 da = _point_d2(lab, centers, weight, ppa[y, x], x, y)
                 db = _point_d2(lab, centers, weight, cpa[y, x], x, y)
                 assert da == pytest.approx(db, rel=0, abs=1e-9)
+
+
+def _random_labels(seed, h, w, k):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, k, (h, w)).astype(np.int32)
+
+
+class TestCclDifferential:
+    """The two-pass union-find CCL kernel vs the reference labeling.
+
+    Every backend — including the tiled native-mt variant at 1/2/4/7
+    threads, so band seams land everywhere — must reproduce the
+    reference's component map *bit for bit*: same dense ids, same
+    first-appearance (row-major) numbering.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        h=st.integers(1, 24),
+        w=st.integers(1, 24),
+        k=st.integers(1, 6),
+    )
+    def test_all_backends_bit_identical(self, seed, h, w, k):
+        labels = _random_labels(seed, h, w, k)
+        want, want_n = reference_kernels.connected_components(labels)
+        for name in available_backends():
+            got, got_n = get_backend(name).connected_components(labels)
+            assert got_n == want_n, name
+            assert np.array_equal(got, want), name
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        h=st.integers(1, 40),
+        w=st.integers(1, 24),
+        k=st.integers(1, 6),
+        n_threads=st.sampled_from([1, 2, 4, 7]),
+    )
+    def test_native_mt_identical_at_any_thread_count(
+        self, seed, h, w, k, n_threads
+    ):
+        if "native-mt" not in available_backends():
+            pytest.skip("backend 'native-mt' unavailable")
+        from repro.kernels import native_mt
+
+        labels = _random_labels(seed, h, w, k)
+        want, want_n = reference_kernels.connected_components(labels)
+        got, got_n = native_mt.connected_components(
+            labels, n_threads=n_threads
+        )
+        assert got_n == want_n
+        assert np.array_equal(got, want)
+
+
+@pytest.mark.parametrize("backend", available_backends())
+class TestMergeChainSemantics:
+    """Chain semantics of the small-component merge walk, per backend.
+
+    The walk processes components in ascending size order and re-reads
+    merged sizes, so absorptions *chain*: a small fragment can ride its
+    neighbor into a third region. These shapes lock the three rules the
+    hardware walk defines — chaining, equal-border tie to the lowest
+    component id, and isolated components surviving untouched.
+    """
+
+    def test_small_into_small_into_large_chains(self, backend):
+        # A 4-px corner fragment of label 1 whose *only* neighbor is the
+        # 12-px L of label 2; 1 merges into 2 (16 px, still < 20), and
+        # the combined piece must then ride into the large region — the
+        # walk re-reads merged sizes, so everything lands on label 0.
+        labels = np.zeros((6, 12), dtype=np.int32)
+        labels[0:2, 10:12] = 1
+        labels[0:4, 8:10] = 2
+        labels[2:4, 10:12] = 2
+        out = enforce_connectivity(labels, 20, backend=backend)
+        assert np.array_equal(out, np.zeros_like(labels))
+
+    def test_equal_border_tie_takes_lowest_component_id(self, backend):
+        # Only the center stripe (10 px) is small; it borders component
+        # 0 (left) and component 2 (right) with identical border length
+        # (5 px each), so the tie must resolve to the lower component
+        # id — the left region's label.
+        labels = np.zeros((5, 10), dtype=np.int32)
+        labels[:, 4:6] = 1
+        labels[:, 6:] = 2
+        out = enforce_connectivity(labels, 12, backend=backend)
+        want = labels.copy()
+        want[:, 4:6] = 0
+        assert np.array_equal(out, want)
+
+    def test_isolated_component_survives_any_min_size(self, backend):
+        # A component with no neighbors (the whole image) can never be
+        # merged, whatever min_size says.
+        labels = np.full((4, 6), 9, dtype=np.int32)
+        out = enforce_connectivity(labels, 10_000, backend=backend)
+        assert np.array_equal(out, labels)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        k=st.integers(2, 7),
+        min_size=st.integers(2, 40),
+    )
+    def test_enforce_matches_reference_backend(self, backend, seed, k, min_size):
+        labels = _random_labels(seed, 18, 22, k)
+        got = enforce_connectivity(labels, min_size, backend=backend)
+        want = enforce_connectivity(labels, min_size, backend="reference")
+        assert np.array_equal(got, want)
+
+
+class TestIncrementalConnectivityDifferential:
+    """The warm-started incremental path vs the stateless resolve."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        k=st.integers(2, 6),
+        min_size=st.integers(2, 24),
+        py=st.integers(0, 28),
+        px=st.integers(0, 18),
+    )
+    def test_patched_frame_sequence_bit_identical(
+        self, seed, k, min_size, py, px
+    ):
+        base = _random_labels(seed, 36, 24, k)
+        moved = base.copy()
+        moved[py:py + 5, px:px + 4] = (seed + 1) % k
+        for name in available_backends():
+            state = ConnectivityState(band_rows=8)
+            for frame in (base, moved, moved, base):
+                got = enforce_connectivity(
+                    frame, min_size, backend=name, state=state
+                )
+                want = enforce_connectivity(frame, min_size, backend=name)
+                assert np.array_equal(got, want), name
 
 
 def _point_d2(lab, centers, weight, k, x, y):

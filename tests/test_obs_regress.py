@@ -10,12 +10,13 @@ from repro.obs import check_regressions, compare_metrics, flatten_bench_metrics
 from repro.obs.regress import load_bench_file, metric_direction
 
 
-def bench_payload(fps=3.0, elapsed=2.0):
+def bench_payload(fps=3.0, elapsed=2.0, cores=8, gate=None):
     return {
         "bench": "bench_demo",
         "schema": 2,
         "trace": "deadbeefdeadbeef",
-        "cores": 8,
+        "cores": cores,
+        **({"gate": gate} if gate is not None else {}),
         "platform": "Linux",
         "python": "3.11.7",
         "rows": [
@@ -74,6 +75,77 @@ class TestFlatten:
         v1 = bench_payload()
         del v1["schema"], v1["trace"]
         assert flatten_bench_metrics(v1) == flatten_bench_metrics(bench_payload())
+
+
+class TestGateFlatten:
+    """Gate blocks: pass/fail verdicts gate their numbers, skipped is
+    neutral (a gate skipped on a small host must never become a baseline
+    a bigger host can "regress" against)."""
+
+    def test_passing_gate_metrics_flattened(self):
+        flat = flatten_bench_metrics(bench_payload(gate={
+            "rule": "shm >= 1.3x pickle",
+            "cores": 8,
+            "shm_over_pickle": 1.5,
+            "result": "pass",
+        }))
+        assert flat["bench_demo/gate/shm_over_pickle"] == 1.5
+
+    def test_failing_gate_metrics_flattened(self):
+        # fail still records the number: a later pass must be comparable.
+        flat = flatten_bench_metrics(bench_payload(gate={
+            "shm_over_pickle": 0.9, "result": "fail",
+        }))
+        assert flat["bench_demo/gate/shm_over_pickle"] == 0.9
+
+    def test_skipped_gate_is_neutral(self):
+        flat = flatten_bench_metrics(bench_payload(gate={
+            "rule": "shm >= 1.3x pickle",
+            "cores": 1,
+            "shm_over_pickle": 1.04,
+            "result": "skipped: 1 core(s) < 4",
+        }))
+        assert not any(name.startswith("bench_demo/gate") for name in flat)
+
+    def test_cores_stamps_are_identity_not_metrics(self):
+        flat = flatten_bench_metrics(bench_payload(gate={
+            "cores": 8, "baseline_cores": 8, "ratio_fps": 2.2,
+            "result": "pass",
+        }))
+        assert "bench_demo/gate/cores" not in flat
+        assert "bench_demo/gate/baseline_cores" not in flat
+        assert flat["bench_demo/gate/ratio_fps"] == 2.2
+
+    def test_nested_blocks_judged_independently(self):
+        flat = flatten_bench_metrics(bench_payload(gate={
+            "shm_over_pickle": 1.04,
+            "result": "skipped: 1 core(s) < 4",
+            "native_mt": {"mt_over_serial": 1.4, "result": "pass"},
+        }))
+        assert "bench_demo/gate/shm_over_pickle" not in flat
+        assert flat["bench_demo/gate/native_mt/mt_over_serial"] == 1.4
+
+    def test_gate_ratio_names_are_higher_better(self):
+        for name in ("g/gate/shm_over_pickle", "g/gate/mt_over_serial",
+                     "g/gate/fps_over_baseline"):
+            assert metric_direction(name) == +1
+
+    def test_committed_artifact_gate_skips_stay_neutral(self):
+        # The committed baseline was produced on a 1-core host: its gate
+        # blocks are all skipped and must contribute no metrics.
+        flat = flatten_bench_metrics(load_bench_file("BENCH_e2e.json"))
+        gate_metrics = [n for n in flat if "/gate" in n]
+        committed = load_bench_file("BENCH_e2e.json")["gate"]
+
+        def any_verdict(block):
+            result = block.get("result", "")
+            if result.startswith(("pass", "fail")):
+                return True
+            return any(any_verdict(v) for v in block.values()
+                       if isinstance(v, dict))
+
+        if not any_verdict(committed):
+            assert gate_metrics == []
 
 
 class TestCompare:
@@ -162,6 +234,32 @@ class TestCheckRegressions:
         payload = load_bench_file("BENCH_e2e.json")
         assert flatten_bench_metrics(payload)
 
+    def test_cross_core_comparison_refused(self, tmp_path):
+        base = tmp_path / "BENCH_base.json"
+        cur = tmp_path / "BENCH_cur.json"
+        base.write_text(json.dumps(bench_payload(cores=8)))
+        cur.write_text(json.dumps(bench_payload(cores=1)))
+        with pytest.raises(ConfigurationError, match="cross-core-count"):
+            check_regressions([base], [cur])
+
+    def test_same_core_count_compares_normally(self, tmp_path):
+        base = tmp_path / "BENCH_base.json"
+        cur = tmp_path / "BENCH_cur.json"
+        base.write_text(json.dumps(bench_payload(cores=4, fps=3.0)))
+        cur.write_text(json.dumps(bench_payload(cores=4, fps=2.9)))
+        assert check_regressions([base], [cur]).ok
+
+    def test_unstamped_artifacts_are_not_refused(self, tmp_path):
+        # Pre-stamp (v1-era) artifacts carry no cores field: compare as
+        # before rather than refusing history we can no longer annotate.
+        base_payload = bench_payload(cores=8)
+        del base_payload["cores"]
+        base = tmp_path / "BENCH_base.json"
+        cur = tmp_path / "BENCH_cur.json"
+        base.write_text(json.dumps(base_payload))
+        cur.write_text(json.dumps(bench_payload(cores=1)))
+        assert check_regressions([base], [cur]).ok
+
 
 class TestRegressCli:
     def test_self_comparison_exits_zero(self, tmp_path, capsys):
@@ -203,6 +301,17 @@ class TestRegressCli:
         bad.write_text("{broken")
         rc = main(["regress", "--baseline", str(bad)])
         assert rc == 2
+
+    def test_cross_core_refusal_exits_two(self, tmp_path, capsys):
+        base = tmp_path / "BENCH_base.json"
+        cur = tmp_path / "BENCH_cur.json"
+        base.write_text(json.dumps(bench_payload(cores=8)))
+        cur.write_text(json.dumps(bench_payload(cores=2)))
+        rc = main(
+            ["regress", "--baseline", str(base), "--current", str(cur)]
+        )
+        assert rc == 2
+        assert "cross-core-count" in capsys.readouterr().err
 
     def test_writes_json_report(self, tmp_path):
         path = tmp_path / "BENCH_demo.json"
