@@ -45,7 +45,7 @@ def sweep_buffer_sizes(buffers_kb, base: AcceleratorConfig = None):
     return reports
 
 
-def sweep_resolutions(configs: dict = None):
+def sweep_resolutions(configs: dict | None = None):
     """Table 4: accelerator report per resolution configuration."""
     if configs is None:
         configs = table4_configs()

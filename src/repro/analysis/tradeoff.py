@@ -83,7 +83,7 @@ def run_tradeoff(
     dataset: SyntheticDataset,
     n_superpixels: int,
     sweep_budgets,
-    variants: dict = None,
+    variants: dict | None = None,
     compactness: float = 10.0,
     repeats: int = 1,
     recall_tolerance: int = 1,

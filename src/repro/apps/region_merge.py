@@ -87,8 +87,8 @@ class RegionMergeResult:
 def merge_regions(
     labels: np.ndarray,
     image: np.ndarray,
-    n_regions: int = None,
-    max_color_distance: float = None,
+    n_regions: int | None = None,
+    max_color_distance: float | None = None,
 ) -> RegionMergeResult:
     """Greedily merge superpixels into larger regions.
 

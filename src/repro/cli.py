@@ -9,6 +9,11 @@ Commands
     Segment a batch of images (directory/glob of PPMs or a synthetic
     spec, optionally as multi-frame video streams) across a worker pool
     — the ``repro.parallel`` engine.
+``serve``
+    Serve segmentation over HTTP (``repro.serve``): bounded admission
+    with 429 load shedding, per-request deadlines, a graceful-
+    degradation quality ladder, a backend circuit breaker, and
+    drain-on-SIGTERM. See ``docs/serving.md``.
 ``experiment``
     Run one of the registered paper experiments and print its table.
 ``report``
@@ -367,6 +372,79 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .core.params import SlicParams
+    from .errors import ConfigurationError
+    from .serve import ServeConfig, SuperpixelServer
+
+    params = SlicParams(
+        n_superpixels=args.superpixels,
+        compactness=args.compactness,
+        max_iterations=args.iterations,
+        subsample_ratio=args.ratio,
+        kernel_backend=args.kernel_backend,
+        n_threads=args.kernel_threads,
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        params=params,
+        exec_mode=args.exec_mode,
+        n_workers=args.workers,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.deadline_ms,
+        degrade_enabled=not args.no_degrade,
+        drain_timeout_s=args.drain_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+    )
+    tracer = None
+    if args.trace:
+        from .obs import JsonlSink, Tracer
+
+        tracer = Tracer(JsonlSink(args.trace))
+
+    async def run() -> int:
+        server = SuperpixelServer(config, tracer=tracer)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stop.set)
+        # The "listening" line is the readiness handshake for the CI
+        # smoke job and the bench harness — keep it one line, flushed.
+        print(
+            f"serve: listening on http://{config.host}:{server.port} "
+            f"(mode={config.exec_mode}, workers={config.n_workers}, "
+            f"max_queue={config.max_queue})",
+            flush=True,
+        )
+        serve_task = asyncio.create_task(server.serve_forever())
+        await stop.wait()
+        print("serve: draining (completing in-flight frames)", flush=True)
+        clean = await server.drain()
+        await serve_task
+        print(
+            "serve: drained clean" if clean
+            else f"serve: drain timed out after {config.drain_timeout_s:g}s",
+            flush=True,
+        )
+        return 0 if clean else 1
+
+    try:
+        rc = asyncio.run(run())
+    except ConfigurationError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if tracer is not None:
+            tracer.close()
+    return rc
+
+
 def _cmd_stats(args) -> int:
     from .obs import format_summary, summarize_trace
 
@@ -606,6 +684,54 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--manifest", metavar="PATH",
                      help="write a JSON run manifest (params, metrics)")
     exp.set_defaults(func=_cmd_experiment)
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve segmentation over HTTP with overload protection",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8000,
+                     help="listen port (0 picks an ephemeral port)")
+    srv.add_argument("--superpixels", type=int, default=200)
+    srv.add_argument("--compactness", type=float, default=10.0)
+    srv.add_argument("--iterations", type=int, default=10)
+    srv.add_argument("--ratio", type=float, default=0.5,
+                     help="S-SLIC subsample ratio (1/n)")
+    srv.add_argument("--kernel-backend", default=None,
+                     choices=("auto", "reference", "vectorized", "native",
+                              "native-mt"),
+                     help="kernel backend for the hot loops (default: "
+                          "$REPRO_KERNEL_BACKEND, then auto)")
+    srv.add_argument("--kernel-threads", type=int, default=None,
+                     help="kernel threads per frame for native-mt")
+    srv.add_argument("--exec-mode", choices=("thread", "process"),
+                     default="thread",
+                     help="frame execution substrate (thread: in-process "
+                          "pool + native-mt kernel threads; process: "
+                          "ProcessPoolExecutor with watchdog teardown)")
+    srv.add_argument("--workers", type=int, default=1,
+                     help="concurrent frame executions")
+    srv.add_argument("--max-queue", type=int, default=8,
+                     help="max outstanding admitted requests before "
+                          "shedding with 429")
+    srv.add_argument("--deadline-ms", type=float, default=None,
+                     help="default per-request deadline when the request "
+                          "does not carry deadline_ms")
+    srv.add_argument("--no-degrade", action="store_true",
+                     help="disable the graceful-degradation quality "
+                          "ladder (bit-identical output at any load)")
+    srv.add_argument("--drain-timeout", type=float, default=10.0,
+                     help="seconds to wait for in-flight frames on "
+                          "SIGTERM before giving up")
+    srv.add_argument("--breaker-threshold", type=int, default=5,
+                     help="consecutive backend failures that open the "
+                          "circuit breaker")
+    srv.add_argument("--breaker-reset", type=float, default=5.0,
+                     help="seconds an open breaker waits before its "
+                          "half-open probe")
+    srv.add_argument("--trace", metavar="PATH",
+                     help="write JSONL span/metric telemetry to PATH")
+    srv.set_defaults(func=_cmd_serve)
 
     sts = sub.add_parser("stats", help="summarize a JSONL telemetry trace")
     sts.add_argument("trace", help="trace file written with --trace")

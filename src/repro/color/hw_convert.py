@@ -125,7 +125,7 @@ class HwColorConverter:
         self.matrix_raw = self._matrix_fmt.to_raw(folded)
 
     # ------------------------------------------------------------------
-    def convert_codes(self, rgb: np.ndarray, backend: str = None) -> np.ndarray:
+    def convert_codes(self, rgb: np.ndarray, backend: str | None = None) -> np.ndarray:
         """uint8 RGB image -> integer Lab channel codes (H, W, 3), int64.
 
         Every step is integer arithmetic mirroring the fixed-point

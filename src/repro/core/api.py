@@ -36,8 +36,8 @@ def _build_params(params, overrides, forced) -> SlicParams:
 def slic(
     image: np.ndarray,
     params: SlicParams = None,
-    warm_centers: np.ndarray = None,
-    warm_labels: np.ndarray = None,
+    warm_centers: np.ndarray | None = None,
+    warm_labels: np.ndarray | None = None,
     tracer=None,
     **overrides,
 ) -> SegmentationResult:
@@ -70,8 +70,8 @@ def slic(
 def sslic(
     image: np.ndarray,
     params: SlicParams = None,
-    warm_centers: np.ndarray = None,
-    warm_labels: np.ndarray = None,
+    warm_centers: np.ndarray | None = None,
+    warm_labels: np.ndarray | None = None,
     tracer=None,
     **overrides,
 ) -> SegmentationResult:

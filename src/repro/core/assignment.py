@@ -41,7 +41,7 @@ class PixelArrays:
         lab: np.ndarray,
         tile_of_pixel: np.ndarray,
         datapath: FixedDatapath = None,
-        codes: np.ndarray = None,
+        codes: np.ndarray | None = None,
     ):
         h, w = lab.shape[:2]
         self.shape = (h, w)
@@ -85,8 +85,8 @@ def assign_ppa(
     candidates: np.ndarray,
     centers: np.ndarray,
     weight: float,
-    compactness: float = None,
-    grid_s: float = None,
+    compactness: float | None = None,
+    grid_s: float | None = None,
 ) -> np.ndarray:
     """PPA assignment for the pixels in ``subset_idx``.
 
@@ -146,10 +146,10 @@ def assign_cpa(
     grid_s: float,
     dist_buf: np.ndarray,
     labels_buf: np.ndarray,
-    cluster_indices: np.ndarray = None,
+    cluster_indices: np.ndarray | None = None,
     datapath: FixedDatapath = None,
-    compactness: float = None,
-    codes: np.ndarray = None,
+    compactness: float | None = None,
+    codes: np.ndarray | None = None,
 ) -> int:
     """CPA assignment: scan a 2S x 2S window per center, updating the
     running-minimum buffers in place.

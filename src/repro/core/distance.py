@@ -95,7 +95,7 @@ class FixedDatapath:
     uniform_encoding: bool = True
     spatial_frac_bits: int = 2
     quantize_distance: bool = True
-    distance_shift: int = None
+    distance_shift: int | None = None
 
     def __post_init__(self) -> None:
         if not (2 <= self.bits <= 16):

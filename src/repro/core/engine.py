@@ -95,8 +95,8 @@ def _check_warm_labels(warm_labels, shape, n_clusters) -> np.ndarray:
 def run_segmentation(
     image: np.ndarray,
     params: SlicParams,
-    warm_centers: np.ndarray = None,
-    warm_labels: np.ndarray = None,
+    warm_centers: np.ndarray | None = None,
+    warm_labels: np.ndarray | None = None,
     tracer=None,
     connectivity_state=None,
 ) -> SegmentationResult:

@@ -112,7 +112,7 @@ class SlicParams:
     n_superpixels: int = 100
     compactness: float = 10.0
     max_iterations: int = 10
-    max_subiterations: int = None
+    max_subiterations: int | None = None
     convergence_threshold: float = 0.25
     subsample_ratio: float = 1.0
     architecture: str = ARCH_PPA
@@ -124,8 +124,8 @@ class SlicParams:
     static_neighbors: bool = True
     datapath: object = None
     seed: int = 0
-    kernel_backend: str = None
-    n_threads: int = None
+    kernel_backend: str | None = None
+    n_threads: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_superpixels < 1:

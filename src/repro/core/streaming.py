@@ -62,13 +62,13 @@ class FramePlan:
     warm: bool
     reanchor: bool
     mean_drift_px: float
-    warm_centers: np.ndarray = None
-    warm_labels: np.ndarray = None
+    warm_centers: np.ndarray | None = None
+    warm_labels: np.ndarray | None = None
     #: The stream's incremental-connectivity cache (pure cache: safe to
     #: drop or ignore — bit-identity never depends on it). In-process
     #: executors pass it to run_segmentation; the parallel runner ships
     #: frames to workers instead, which keep their own per-stream caches.
-    connectivity_state: ConnectivityState = None
+    connectivity_state: ConnectivityState | None = None
 
 
 class StreamSegmenter:

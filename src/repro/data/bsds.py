@@ -70,7 +70,7 @@ class BsdsSample:
     image_id: str
 
 
-def load_bsds_pairs(images_dir, seg_dir, limit: int = None):
+def load_bsds_pairs(images_dir, seg_dir, limit: int | None = None):
     """Yield :class:`BsdsSample` for each image that has a ``.seg`` file.
 
     ``images_dir`` must contain binary PPM images named ``<id>.ppm`` (BSDS

@@ -183,7 +183,7 @@ class QFormat:
 
     @classmethod
     def for_range(
-        cls, total_bits: int, lo: float, hi: float, signed: bool = None
+        cls, total_bits: int, lo: float, hi: float, signed: bool | None = None
     ) -> "QFormat":
         """Choose the largest ``frac_bits`` that still covers ``[lo, hi]``.
 

@@ -193,7 +193,7 @@ class AcceleratorModel:
     # ------------------------------------------------------------------
     # Energy / power
     # ------------------------------------------------------------------
-    def energy_breakdown_uj(self, latency_ms: float = None) -> dict:
+    def energy_breakdown_uj(self, latency_ms: float | None = None) -> dict:
         cfg = self.config
         if latency_ms is None:
             latency_ms = self.latency_breakdown().total_ms
@@ -255,7 +255,7 @@ class AcceleratorModel:
     # ------------------------------------------------------------------
     # Functional simulation
     # ------------------------------------------------------------------
-    def simulate(self, image, n_superpixels: int = None, **overrides):
+    def simulate(self, image, n_superpixels: int | None = None, **overrides):
         """Run the bit-accurate S-SLIC pipeline on ``image``.
 
         Uses the LUT color conversion and the quantized distance datapath

@@ -234,7 +234,7 @@ def _forced_failures(extra=None) -> frozenset:
 
 
 def supervised_resolve(
-    name: str = None, tracer=None, forced_failures=None
+    name: str | None = None, tracer=None, forced_failures=None
 ) -> SupervisedBackend:
     """Resolve ``name`` to a backend that passed its self-test.
 

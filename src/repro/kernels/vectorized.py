@@ -107,10 +107,10 @@ def cpa_assign(
     grid_s: float,
     dist_buf: np.ndarray,
     labels_buf: np.ndarray,
-    cluster_indices: np.ndarray = None,
+    cluster_indices: np.ndarray | None = None,
     datapath: FixedDatapath = None,
-    compactness: float = None,
-    codes: np.ndarray = None,
+    compactness: float | None = None,
+    codes: np.ndarray | None = None,
 ) -> int:
     """Batched CPA window scan; same contract as ``assign_cpa``.
 
@@ -218,8 +218,8 @@ def ppa_assign(
     candidates: np.ndarray,
     centers: np.ndarray,
     weight: float,
-    compactness: float = None,
-    grid_s: float = None,
+    compactness: float | None = None,
+    grid_s: float | None = None,
 ) -> np.ndarray:
     """Fused PPA evaluation; same contract as ``assign_ppa``."""
     dp = pixels.datapath

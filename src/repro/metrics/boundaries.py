@@ -84,7 +84,7 @@ def chamfer_finalize(dist: np.ndarray) -> np.ndarray:
     return out
 
 
-def chamfer_distance(mask: np.ndarray, backend: str = None) -> np.ndarray:
+def chamfer_distance(mask: np.ndarray, backend: str | None = None) -> np.ndarray:
     """Approximate Euclidean distance (pixels) to the nearest True pixel.
 
     Two-pass 3-4 chamfer transform — the classical scipy-free distance
@@ -156,7 +156,7 @@ def perimeter_counts(labels: np.ndarray) -> np.ndarray:
 
 
 def contingency_table(
-    labels_a: np.ndarray, labels_b: np.ndarray, backend: str = None
+    labels_a: np.ndarray, labels_b: np.ndarray, backend: str | None = None
 ) -> np.ndarray:
     """Joint histogram: ``table[i, j]`` = pixels with label_a i and label_b j.
 

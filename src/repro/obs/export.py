@@ -221,7 +221,7 @@ def render_prometheus(registry, namespace: str = "repro") -> str:
     return "\n".join(out) + "\n" if out else "\n"
 
 
-def span_forest(events, max_roots: int = None) -> list:
+def span_forest(events, max_roots: int | None = None) -> list:
     """Reconstruct a span tree (forest) from span events.
 
     ``events`` is any iterable of event dicts; non-span events are
@@ -385,10 +385,23 @@ class TelemetryServer:
         }
 
     def start(self) -> "TelemetryServer":
-        """Bind and serve from a daemon thread; returns self."""
+        """Bind and serve from a daemon thread; returns self.
+
+        The bind happens here, in the calling thread — a taken port is a
+        :class:`ConfigurationError` naming the address, raised where the
+        caller can catch it, never a traceback from the serving thread.
+        """
         if self._httpd is not None:
             return self
-        self._httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        try:
+            self._httpd = ThreadingHTTPServer(
+                (self.host, self.port), _Handler
+            )
+        except OSError as exc:
+            raise ConfigurationError(
+                f"telemetry server cannot bind {self.host}:{self.port}: "
+                f"{exc}"
+            ) from exc
         self._httpd.daemon_threads = True
         self._httpd.telemetry = self
         self.port = self._httpd.server_address[1]

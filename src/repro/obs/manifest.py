@@ -73,7 +73,7 @@ class RunManifest:
         Any further top-level fields (e.g. input path, scale).
     """
 
-    def __init__(self, command: str, params: dict = None, seed=None, **extra):
+    def __init__(self, command: str, params: dict | None = None, seed=None, **extra):
         self.command = command
         self.params = dict(params) if params else {}
         self.seed = seed
@@ -86,7 +86,7 @@ class RunManifest:
         self.versions = _versions()
 
     @classmethod
-    def start(cls, command: str, params: dict = None, seed=None, **extra):
+    def start(cls, command: str, params: dict | None = None, seed=None, **extra):
         return cls(command, params=params, seed=seed, **extra)
 
     def finish(self, status: str = "ok", **metrics) -> "RunManifest":

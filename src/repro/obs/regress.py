@@ -50,7 +50,8 @@ BENCH_SCHEMA_VERSION = 2
 DEFAULT_TOLERANCE = 0.25
 
 _HIGHER_BETTER = ("fps", "throughput", "speedup", "over_pickle",
-                  "over_serial", "over_shm", "over_baseline", "recall")
+                  "over_serial", "over_shm", "over_baseline", "recall",
+                  "rps")
 _LOWER_BETTER = ("elapsed_s", "_seconds", "_ms", "latency", "overhead")
 
 
@@ -71,7 +72,7 @@ def metric_direction(name: str) -> int:
     return 0
 
 
-def flatten_bench_metrics(payload: dict, prefix: str = None) -> dict:
+def flatten_bench_metrics(payload: dict, prefix: str | None = None) -> dict:
     """Flatten a bench artifact into ``{metric_path: float}``.
 
     Understands the committed shape — a ``rows`` list whose entries are
@@ -138,7 +139,8 @@ def flatten_bench_metrics(payload: dict, prefix: str = None) -> dict:
                     continue
                 ident = "/".join(
                     str(row[k])
-                    for k in ("resolution", "config", "name", "label")
+                    for k in ("resolution", "config", "name", "label",
+                              "phase")
                     if isinstance(row.get(k), str)
                 )
                 base = f"{bench}/{ident}" if ident else f"{bench}/row"

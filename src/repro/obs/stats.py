@@ -46,7 +46,7 @@ class TraceSummary:
     """Everything :func:`format_summary` needs, machine-readable."""
 
     n_events: int = 0
-    schema: int = None
+    schema: int | None = None
     spans: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
     gauges: dict = field(default_factory=dict)

@@ -53,13 +53,13 @@ class FrameTask:
     frame_index: int
     image: np.ndarray
     params: SlicParams
-    warm_centers: np.ndarray = None
-    warm_labels: np.ndarray = None
+    warm_centers: np.ndarray | None = None
+    warm_labels: np.ndarray | None = None
     collect_trace: bool = False
     attempt: int = 0
     fault: object = None
-    trace_id: str = None
-    parent_span_id: str = None
+    trace_id: str | None = None
+    parent_span_id: str | None = None
     shm_image: object = None
     shm_warm_labels: object = None
     shm_result: object = None
@@ -126,18 +126,18 @@ class FrameRecord:
     frame_index: int
     ok: bool
     result: SegmentationResult = None
-    error: str = None
-    error_type: str = None
+    error: str | None = None
+    error_type: str | None = None
     warm_started: bool = False
     elapsed_s: float = 0.0
     worker_pid: int = 0
     trace_events: list = field(default_factory=list)
-    kernel_backend: str = None
-    n_threads: int = None
+    kernel_backend: str | None = None
+    n_threads: int | None = None
     attempts: int = 1
     quarantined: bool = False
-    demoted_from: str = None
-    transport: str = None
+    demoted_from: str | None = None
+    transport: str | None = None
     shm_labels: object = None
 
     @property

@@ -155,18 +155,18 @@ class ParallelRunner:
         self,
         params: SlicParams = None,
         n_workers: int = 1,
-        max_pending: int = None,
+        max_pending: int | None = None,
         drift_limit: float = 0.6,
         strict_shape: bool = True,
         tracer=None,
         collect_worker_traces: bool = False,
         max_pool_restarts: int = 2,
-        frame_timeout: float = None,
+        frame_timeout: float | None = None,
         retry=None,
         checkpoint=None,
         faults=None,
         transport: str = "pickle",
-        n_threads: int = None,
+        n_threads: int | None = None,
     ):
         if params is not None and not isinstance(params, SlicParams):
             raise ConfigurationError(

@@ -124,7 +124,7 @@ class FaultSpec:
     stream_id: int
     frame_index: int
     attempt: int = 0
-    duration_s: float = None
+    duration_s: float | None = None
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:

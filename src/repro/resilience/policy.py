@@ -46,7 +46,7 @@ class RetryPolicy:
     backoff_s: float = 0.05
     backoff_factor: float = 2.0
     max_backoff_s: float = 2.0
-    retry_budget: int = None
+    retry_budget: int | None = None
 
     def __post_init__(self):
         if self.retries < 0:

@@ -1,0 +1,45 @@
+"""repro.serve — superpixels as an overload-safe service.
+
+The service boundary over the segmentation engine (ROADMAP item 3): a
+stdlib-asyncio HTTP front end whose defining feature is staying correct
+when offered load exceeds capacity — bounded admission with load
+shedding, end-to-end deadlines, a graceful-degradation quality ladder,
+a circuit breaker over backend health, and drain-on-SIGTERM. See
+``docs/serving.md`` for the endpoint reference and overload policy.
+
+Quick start::
+
+    from repro.serve import BackgroundServer, ServeConfig
+
+    with BackgroundServer(ServeConfig(port=0)) as bg:
+        ...  # POST to http://127.0.0.1:<bg.port>/v1/segment
+
+or from the shell: ``repro serve --port 8080``.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    CircuitBreaker,
+    ServiceTimeTracker,
+)
+from .degrade import DEFAULT_LADDER, DegradeController, QualityRung
+from .executor import ServeExecutor
+from .server import BackgroundServer, ServeConfig, SuperpixelServer
+from .sessions import SessionRegistry, StreamSession
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BackgroundServer",
+    "CircuitBreaker",
+    "DEFAULT_LADDER",
+    "DegradeController",
+    "QualityRung",
+    "ServeConfig",
+    "ServeExecutor",
+    "ServiceTimeTracker",
+    "SessionRegistry",
+    "StreamSession",
+    "SuperpixelServer",
+]

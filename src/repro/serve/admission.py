@@ -1,0 +1,335 @@
+"""Admission control for the serving front end: bounded queue + shedding.
+
+The accelerator exists to hold a real-time budget; the service boundary
+must hold one too. This module is the pure-logic half of that contract —
+no sockets, no asyncio, no wall clock it does not receive — so the
+overload semantics are deterministic, fake-clock-testable functions:
+
+:class:`ServiceTimeTracker`
+    An EWMA + recent-window estimate of observed per-frame service time.
+    Every admission decision prices waiting in units of this estimate,
+    so ``Retry-After`` hints track the *measured* workload, not a
+    constant someone guessed at deploy time.
+
+:class:`AdmissionController`
+    A bounded admission queue. A request is admitted only when (a) a
+    slot exists under ``max_queue`` outstanding requests and (b) its
+    deadline — when it carries one — is still feasible given the
+    predicted queue wait plus one predicted service time. Requests that
+    cannot meet their deadline are rejected **at admission**, before
+    they burn a worker; overloaded requests are shed with a
+    ``Retry-After`` derived from how long a slot should take to free.
+
+:class:`CircuitBreaker`
+    A three-state (closed / open / half-open) breaker the server feeds
+    with the kernel supervisor's demotion/self-test signals and frame
+    failures. While open, requests are refused up front (503) until the
+    reset window elapses; the first probe after that either closes the
+    breaker or re-opens it.
+
+Wall-clock access is always through the injected ``clock`` callable
+(default ``time.monotonic``) — ``tests/test_serve_admission.py`` drives
+every transition with a fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "ServiceTimeTracker",
+    "AdmissionDecision",
+    "AdmissionController",
+    "CircuitBreaker",
+]
+
+
+class ServiceTimeTracker:
+    """Running estimate of per-frame service time (seconds).
+
+    Blends an EWMA (fast reaction to drift) with the max of a small
+    recent window (so a burst of slow frames immediately widens
+    ``Retry-After`` hints instead of waiting for the average to catch
+    up). Until the first observation, :meth:`estimate` returns the
+    configured prior — the server seeds it from its first real frame.
+    """
+
+    def __init__(self, prior_s: float = 0.05, alpha: float = 0.2,
+                 window: int = 32):
+        if prior_s <= 0:
+            raise ConfigurationError(
+                f"prior_s must be > 0 seconds, got {prior_s}"
+            )
+        if not (0.0 < alpha <= 1.0):
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.prior_s = float(prior_s)
+        self.alpha = float(alpha)
+        self._ewma: float | None = None
+        self._window: deque = deque(maxlen=max(1, int(window)))
+
+    @property
+    def n_observed(self) -> int:
+        return len(self._window)
+
+    def observe(self, service_s: float) -> None:
+        """Record one completed frame's measured service time."""
+        service_s = max(1e-6, float(service_s))
+        self._window.append(service_s)
+        if self._ewma is None:
+            self._ewma = service_s
+        else:
+            self._ewma += self.alpha * (service_s - self._ewma)
+
+    def estimate(self) -> float:
+        """Current per-frame service-time estimate in seconds."""
+        if self._ewma is None:
+            return self.prior_s
+        # Recent worst case dominates the hint under bursty load; the
+        # EWMA dominates once the burst ages out of the window.
+        return max(self._ewma, *self._window) if self._window else self._ewma
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission attempt.
+
+    ``reason`` is ``"ok"`` for admitted requests, else one of
+    ``"queue_full"`` / ``"deadline_infeasible"`` (plus the server-level
+    ``"draining"`` / ``"circuit_open"`` refusals that never reach the
+    controller). ``retry_after_s`` is the shed hint — how long until a
+    slot should plausibly exist; ``predicted_wait_s`` is the queue wait
+    the request would have seen, which deadline feasibility was judged
+    against.
+    """
+
+    admitted: bool
+    reason: str
+    retry_after_s: float = 0.0
+    predicted_wait_s: float = 0.0
+
+
+class AdmissionController:
+    """Bounded admission: shed early, reject infeasible deadlines early.
+
+    Parameters
+    ----------
+    max_queue:
+        Maximum outstanding admitted requests (queued *plus* executing).
+        Admission attempt number ``max_queue + 1`` is shed with a 429 —
+        the queue never grows without bound.
+    n_workers:
+        Service parallelism the wait prediction divides by ("the k'th
+        request in line waits ``k / n_workers`` service times").
+    tracker:
+        Optional shared :class:`ServiceTimeTracker` (a fresh one is
+        created when omitted).
+    clock:
+        Monotonic-seconds callable; injected by tests.
+    """
+
+    def __init__(self, max_queue: int = 8, n_workers: int = 1,
+                 tracker: ServiceTimeTracker | None = None,
+                 clock=time.monotonic):
+        if max_queue < 1:
+            raise ConfigurationError(
+                f"max_queue must be >= 1, got {max_queue}"
+            )
+        if n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        self.max_queue = int(max_queue)
+        self.n_workers = int(n_workers)
+        self.tracker = tracker if tracker is not None else ServiceTimeTracker()
+        self.clock = clock
+        self._outstanding = 0
+        self._peak_outstanding = 0
+        self._admitted_total = 0
+        self._shed_total = 0
+        self._deadline_rejected_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Admitted requests not yet released (queued + executing)."""
+        return self._outstanding
+
+    @property
+    def peak_outstanding(self) -> int:
+        return self._peak_outstanding
+
+    @property
+    def shed_total(self) -> int:
+        return self._shed_total
+
+    @property
+    def deadline_rejected_total(self) -> int:
+        return self._deadline_rejected_total
+
+    @property
+    def queue_ratio(self) -> float:
+        """Occupancy in [0, 1+]: the degradation controller's signal."""
+        return self._outstanding / self.max_queue
+
+    def predicted_wait_s(self) -> float:
+        """Expected queue wait for a request admitted *now*."""
+        est = self.tracker.estimate()
+        return (self._outstanding / self.n_workers) * est
+
+    def retry_after_s(self) -> float:
+        """How long until a slot should free, given observed service time.
+
+        The front of the queue drains one request per
+        ``estimate / n_workers`` seconds; a shed client should come back
+        after the *excess* has drained. Never less than one service
+        time — a hint of 0 would just synchronize the retry storm.
+        """
+        est = self.tracker.estimate()
+        excess = max(0, self._outstanding - self.max_queue + 1)
+        return max(est, excess * est / self.n_workers)
+
+    # ------------------------------------------------------------------
+    def try_admit(self, deadline_s: float | None = None) -> AdmissionDecision:
+        """Admit, shed, or deadline-reject one request.
+
+        ``deadline_s`` is the request's *remaining budget* in seconds
+        (relative, not absolute — the transport layer converts). An
+        admitted request holds a slot until :meth:`release` is called.
+        """
+        est = self.tracker.estimate()
+        predicted_wait = self.predicted_wait_s()
+        if self._outstanding >= self.max_queue:
+            self._shed_total += 1
+            return AdmissionDecision(
+                admitted=False,
+                reason="queue_full",
+                retry_after_s=self.retry_after_s(),
+                predicted_wait_s=predicted_wait,
+            )
+        if deadline_s is not None and predicted_wait + est > deadline_s:
+            # The request would blow its deadline while still in line
+            # (or mid-service): reject now, before it burns a worker.
+            self._deadline_rejected_total += 1
+            return AdmissionDecision(
+                admitted=False,
+                reason="deadline_infeasible",
+                retry_after_s=max(est, predicted_wait),
+                predicted_wait_s=predicted_wait,
+            )
+        self._outstanding += 1
+        self._admitted_total += 1
+        self._peak_outstanding = max(self._peak_outstanding, self._outstanding)
+        return AdmissionDecision(
+            admitted=True, reason="ok", predicted_wait_s=predicted_wait
+        )
+
+    def release(self, service_s: float | None = None) -> None:
+        """Return a slot; feed the measured service time to the tracker."""
+        if self._outstanding <= 0:
+            raise ConfigurationError(
+                "release() without a matching admitted request"
+            )
+        self._outstanding -= 1
+        if service_s is not None:
+            self.tracker.observe(service_s)
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over backend-health signals.
+
+    The server records a **failure** for every frame that errors and for
+    every *new* kernel-supervisor demotion or self-test failure it
+    observes (the supervisor memoizes per process, so the server
+    deduplicates transitions before feeding them here — a demoted-but-
+    working backend is one signal, not one per frame). ``threshold``
+    consecutive failures open the breaker; while open, :meth:`allow`
+    refuses everything until ``reset_after_s`` has elapsed, then admits
+    a single half-open probe. The probe's outcome closes or re-opens.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, threshold: int = 5, reset_after_s: float = 10.0,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ConfigurationError(
+                f"threshold must be >= 1, got {threshold}"
+            )
+        if reset_after_s <= 0:
+            raise ConfigurationError(
+                f"reset_after_s must be > 0, got {reset_after_s}"
+            )
+        self.threshold = int(threshold)
+        self.reset_after_s = float(reset_after_s)
+        self.clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._opened_total = 0
+        self._probe_inflight = False
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open on a lapsed window."""
+        if self._state == self.OPEN and (
+            self.clock() - self._opened_at >= self.reset_after_s
+        ):
+            self._state = self.HALF_OPEN
+            self._probe_inflight = False
+        return self._state
+
+    @property
+    def opened_total(self) -> int:
+        return self._opened_total
+
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker will admit a probe (0 when it would)."""
+        if self.state != self.OPEN:
+            return 0.0
+        return max(0.0, self.reset_after_s - (self.clock() - self._opened_at))
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now.
+
+        Closed: always. Open: never. Half-open: exactly one in-flight
+        probe at a time — concurrent requests during the probe are
+        refused rather than stampeding a possibly-broken backend.
+        """
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def _open(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self.clock()
+        self._opened_total += 1
+        self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """One backend-health failure signal (frame error, new demotion)."""
+        if self.state == self.HALF_OPEN:
+            self._open()  # the probe failed: full reset window again
+            return
+        self._consecutive_failures += 1
+        if self._state == self.CLOSED and (
+            self._consecutive_failures >= self.threshold
+        ):
+            self._open()
+
+    def record_success(self) -> None:
+        """One healthy frame; closes a half-open breaker."""
+        self._consecutive_failures = 0
+        if self.state == self.HALF_OPEN:
+            self._state = self.CLOSED
+            self._probe_inflight = False

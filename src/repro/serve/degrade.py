@@ -1,0 +1,195 @@
+"""Graceful degradation: a quality ladder the server steps down under load.
+
+The paper's accelerator holds its real-time budget by *fixing* the work
+per frame; a software service facing open-loop traffic cannot, so under
+sustained overload it trades quality for service time instead of
+queueing into collapse. The ladder mirrors the paper's own quality/
+throughput dials, in the order the paper ranks them:
+
+1. **full** — the configured parameters, untouched.
+2. **fewer iterations** — cap ``max_iterations`` (Fig. 2: quality
+   saturates well before the default sweep budget).
+3. **S-SLIC subsampling** — drop ``subsample_ratio`` (the paper's
+   headline trick: a fraction of pixels per sub-iteration at nearly
+   the same boundary recall).
+
+Every rung after ``full`` marks the response as **degraded** — clients
+always see an explicit label (HTTP header + body field) and the server
+counts degraded responses per rung, so degradation is observable, never
+silent.
+
+Transitions use dwell-time hysteresis: the overload signal (admission
+queue occupancy) must stay above ``overload_ratio`` for ``hold_s``
+seconds to step *down* the ladder (more degraded), and below
+``recover_ratio`` for ``hold_s`` to step back *up* — a load spike
+shorter than the dwell changes nothing, and flapping between rungs
+requires the signal itself to flap slower than ``hold_s``.
+
+With ``enabled=False`` the controller is inert: :meth:`apply` returns
+the caller's params object itself (the *same* object, not a copy), so
+the serial path stays bit-identical — asserted in
+``tests/test_serve_degrade.py``.
+
+Like everything in ``repro.serve``, the clock is injected — the ladder
+is fake-clock-testable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.params import SlicParams
+from ..errors import ConfigurationError
+
+__all__ = ["QualityRung", "DEFAULT_LADDER", "DegradeController"]
+
+
+@dataclass(frozen=True)
+class QualityRung:
+    """One rung of the ladder: a named partial override of SlicParams."""
+
+    name: str
+    max_iterations: int | None = None
+    subsample_ratio: float | None = None
+
+    def apply(self, params: SlicParams) -> SlicParams:
+        """The rung's params: overrides applied only where they reduce work."""
+        changes = {}
+        if (
+            self.max_iterations is not None
+            and self.max_iterations < params.max_iterations
+        ):
+            changes["max_iterations"] = self.max_iterations
+        if (
+            self.subsample_ratio is not None
+            and self.subsample_ratio < params.subsample_ratio
+        ):
+            changes["subsample_ratio"] = self.subsample_ratio
+        return params.with_(**changes) if changes else params
+
+
+#: The default ladder: full quality, then capped sweeps, then S-SLIC
+#: quarter subsampling with capped sweeps (the paper's cheapest variant).
+DEFAULT_LADDER = (
+    QualityRung("full"),
+    QualityRung("iter-capped", max_iterations=4),
+    QualityRung("subsampled", max_iterations=3, subsample_ratio=0.25),
+)
+
+
+class DegradeController:
+    """Step down a quality ladder under sustained overload, back up after.
+
+    Parameters
+    ----------
+    ladder:
+        Quality rungs, best first. The first rung must be the identity
+        (no overrides) — level 0 is the not-degraded state.
+    enabled:
+        ``False`` pins level 0 forever and makes :meth:`apply` the
+        identity function (same object out), preserving bit-identity.
+    overload_ratio / recover_ratio:
+        Hysteresis band over the load signal (admission queue occupancy,
+        ``outstanding / max_queue``). Signal >= ``overload_ratio``
+        sustained for ``hold_s`` steps toward more degradation; signal
+        <= ``recover_ratio`` sustained for ``hold_s`` steps back.
+        Between the two, dwell timers reset — no movement.
+    hold_s:
+        Dwell time either side of a transition.
+    clock:
+        Monotonic-seconds callable; injected by tests.
+    """
+
+    def __init__(self, ladder=DEFAULT_LADDER, enabled: bool = True,
+                 overload_ratio: float = 0.75, recover_ratio: float = 0.25,
+                 hold_s: float = 2.0, clock=time.monotonic):
+        ladder = tuple(ladder)
+        if not ladder:
+            raise ConfigurationError("ladder must have at least one rung")
+        first = ladder[0]
+        if first.max_iterations is not None or first.subsample_ratio is not None:
+            raise ConfigurationError(
+                "the first ladder rung must be the identity (no overrides); "
+                f"got {first!r}"
+            )
+        if not (0.0 <= recover_ratio < overload_ratio):
+            raise ConfigurationError(
+                f"need 0 <= recover_ratio < overload_ratio, got "
+                f"recover={recover_ratio} overload={overload_ratio}"
+            )
+        if hold_s < 0:
+            raise ConfigurationError(f"hold_s must be >= 0, got {hold_s}")
+        self.ladder = ladder
+        self.enabled = bool(enabled)
+        self.overload_ratio = float(overload_ratio)
+        self.recover_ratio = float(recover_ratio)
+        self.hold_s = float(hold_s)
+        self.clock = clock
+        self._level = 0
+        self._above_since: float | None = None
+        self._below_since: float | None = None
+        self._transitions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        return self._level
+
+    @property
+    def rung(self) -> QualityRung:
+        return self.ladder[self._level]
+
+    @property
+    def degraded(self) -> bool:
+        return self._level > 0
+
+    @property
+    def transitions(self) -> int:
+        return self._transitions
+
+    def observe(self, queue_ratio: float) -> int:
+        """Feed one load sample; returns the (possibly new) level.
+
+        Called by the server on every admission attempt, with the
+        admission controller's occupancy (sheds naturally sample at
+        ratio 1.0, pushing the dwell timer along).
+        """
+        if not self.enabled:
+            return 0
+        now = self.clock()
+        if queue_ratio >= self.overload_ratio:
+            self._below_since = None
+            if self._above_since is None:
+                self._above_since = now
+            elif (
+                now - self._above_since >= self.hold_s
+                and self._level < len(self.ladder) - 1
+            ):
+                self._level += 1
+                self._transitions += 1
+                self._above_since = now  # re-arm: next rung needs its own dwell
+        elif queue_ratio <= self.recover_ratio:
+            self._above_since = None
+            if self._below_since is None:
+                self._below_since = now
+            elif now - self._below_since >= self.hold_s and self._level > 0:
+                self._level -= 1
+                self._transitions += 1
+                self._below_since = now
+        else:
+            # Hysteresis dead zone: neither dwell accumulates.
+            self._above_since = None
+            self._below_since = None
+        return self._level
+
+    def apply(self, params: SlicParams) -> tuple[SlicParams, str, bool]:
+        """``(params, rung_name, degraded)`` for the current level.
+
+        Disabled or level 0 returns the caller's object itself — the
+        serial path's params are untouched, not merely equal.
+        """
+        if not self.enabled or self._level == 0:
+            return params, self.ladder[0].name, False
+        rung = self.ladder[self._level]
+        return rung.apply(params), rung.name, True

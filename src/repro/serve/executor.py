@@ -1,0 +1,191 @@
+"""Frame execution behind the asyncio front end.
+
+The server never computes a frame on the event loop. :class:`ServeExecutor`
+bridges asyncio to the same execution machinery the batch engine uses —
+every frame runs through :func:`repro.parallel.worker.run_frame` (so the
+kernel-backend supervisor, demotion recording, per-stream connectivity
+caches, and ``FrameRecord`` failure-as-data semantics all apply
+unchanged) — in one of two modes:
+
+``"thread"`` (default)
+    A ``ThreadPoolExecutor``. With the ``native-mt`` kernel backend the
+    C hot loops release the GIL and fan out over the in-process pthread
+    pool, so this is exactly the roadmap's "one process per stream,
+    threads per frame" composition with zero serialization. A frame
+    that overruns its deadline cannot be killed (threads are not
+    preemptible), so the overrun is detected at the deadline, answered
+    as a timeout, and the stale result discarded when it eventually
+    lands.
+
+``"process"``
+    A ``ProcessPoolExecutor`` shipping pickled tasks, as in
+    :class:`~repro.parallel.ParallelRunner`. Deadline overruns reuse the
+    PR-4 watchdog machinery literally: the pool is torn down through
+    ``ParallelRunner._teardown_executor`` (terminate the hung worker
+    processes, abandon their futures), the frame becomes a
+    ``FrameTimeout``-shaped record, and a fresh pool is built for the
+    next frame.
+
+Both modes surface every outcome as a
+:class:`~repro.parallel.records.FrameRecord` — the server's response
+layer never sees an exception from frame execution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from ..errors import ConfigurationError
+from ..parallel.records import FrameRecord, FrameTask
+from ..parallel.runner import ParallelRunner
+from ..parallel.worker import run_frame
+
+__all__ = ["ServeExecutor"]
+
+
+class ServeExecutor:
+    """Asyncio-facing frame execution with deadline enforcement."""
+
+    def __init__(self, mode: str = "thread", n_workers: int = 2,
+                 tracer=None):
+        if mode not in ("thread", "process"):
+            raise ConfigurationError(
+                f"exec mode must be 'thread' or 'process', got {mode!r}"
+            )
+        if n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        self.mode = mode
+        self.n_workers = int(n_workers)
+        self.tracer = tracer
+        self._pool = None
+        self._watchdog_teardowns = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def watchdog_teardowns(self) -> int:
+        return self._watchdog_teardowns
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self.mode == "thread":
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.n_workers,
+                    thread_name_prefix="serve-frame",
+                )
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._pool
+
+    @staticmethod
+    def _timeout_record(task: FrameTask, deadline_s: float,
+                        torn_down: bool) -> FrameRecord:
+        detail = (
+            "worker presumed hung, pool torn down"
+            if torn_down
+            else "in-process thread abandoned (result will be discarded)"
+        )
+        return FrameRecord(
+            stream_id=task.stream_id,
+            frame_index=task.frame_index,
+            ok=False,
+            error=(
+                f"frame exceeded its {deadline_s:.3g} s deadline in "
+                f"flight; {detail}"
+            ),
+            error_type="FrameTimeout",
+            warm_started=task.warm_centers is not None,
+            elapsed_s=deadline_s,
+            attempts=task.attempt + 1,
+        )
+
+    async def run(self, task: FrameTask,
+                  deadline_s: float | None = None) -> FrameRecord:
+        """Execute one frame off-loop; a deadline overrun is a record.
+
+        ``deadline_s`` is the remaining budget when execution starts
+        (admission already rejected requests whose budget could not
+        cover queue wait + service).
+        """
+        if self._closed:
+            raise ConfigurationError("executor is closed")
+        loop = asyncio.get_running_loop()
+        pool = self._ensure_pool()
+        if self.mode == "thread":
+            # run_frame(in_worker=False) converts unexpected exceptions
+            # into ok=False records itself via the ReproError net; keep
+            # a belt-and-braces net for anything outside it.
+            def _invoke():
+                try:
+                    return run_frame(task, in_worker=False)
+                except Exception as exc:  # pragma: no cover - defensive
+                    return FrameRecord(
+                        stream_id=task.stream_id,
+                        frame_index=task.frame_index,
+                        ok=False,
+                        error=str(exc),
+                        error_type=type(exc).__name__,
+                        warm_started=task.warm_centers is not None,
+                        attempts=task.attempt + 1,
+                    )
+
+            future = loop.run_in_executor(pool, _invoke)
+        else:
+            future = asyncio.wrap_future(pool.submit(run_frame, task))
+        if deadline_s is None:
+            return await future
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future) if self.mode == "thread" else future,
+                timeout=max(0.0, deadline_s),
+            )
+        except asyncio.TimeoutError:
+            if self.mode == "process":
+                # The PR-4 watchdog move: terminate the hung worker's
+                # process, abandon the future, rebuild lazily.
+                ParallelRunner._teardown_executor(self._pool)
+                self._pool = None
+            else:
+                # The thread keeps computing; swallow its eventual
+                # result (or error) so the loop never logs an orphan.
+                future.add_done_callback(_discard_result)
+            self._watchdog_teardowns += 1
+            if self.tracer is not None:
+                self.tracer.count("serve.watchdog_teardowns")
+            return self._timeout_record(
+                task, deadline_s, torn_down=self.mode == "process"
+            )
+        except Exception as exc:
+            # Process mode: a worker death surfaces as BrokenProcessPool
+            # on the future; rebuild and fail the frame as data.
+            if self.mode == "process" and self._pool is not None:
+                ParallelRunner._teardown_executor(self._pool)
+                self._pool = None
+            return FrameRecord(
+                stream_id=task.stream_id,
+                frame_index=task.frame_index,
+                ok=False,
+                error=str(exc),
+                error_type=type(exc).__name__,
+                warm_started=task.warm_centers is not None,
+                attempts=task.attempt + 1,
+            )
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); waits for running frames."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+def _discard_result(future) -> None:
+    """Consume an abandoned future's outcome so nothing warns about it."""
+    try:
+        future.exception()
+    except Exception:  # pragma: no cover - cancelled/invalid futures
+        pass

@@ -1,0 +1,159 @@
+"""Warm-started per-stream sessions for the serving front end.
+
+``POST /v1/streams/{id}/frames`` gives a client the same frame-to-frame
+warm starting the accelerator gets from keeping centers and labels in
+external memory (Section 4.3): a :class:`StreamSession` owns one
+:class:`~repro.core.streaming.StreamSegmenter` and runs every frame of
+the stream through the exact ``plan()`` / ``commit()`` protocol the
+serial driver and the :class:`~repro.parallel.ParallelRunner` use, so a
+stream served over HTTP produces the **same warm chain** — and therefore
+the same labels — as the same frames run locally.
+
+Per-stream ordering is enforced with an ``asyncio.Lock`` per session:
+two concurrent requests for one stream serialize (frame *n+1* never
+plans before frame *n* commits), while different streams proceed in
+parallel — the service-side analogue of "one process per stream".
+
+The registry is bounded two ways: ``max_sessions`` LRU-evicts the
+coldest stream when a new one would exceed the cap, and ``ttl_s``
+expires sessions idle longer than the TTL (swept opportunistically on
+access). Eviction only costs the next frame of that stream a cold
+start — warm state is a pure optimization, never correctness — which is
+what makes shedding sessions under memory pressure safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+
+from ..core.params import SlicParams
+from ..core.streaming import StreamSegmenter
+from ..errors import ConfigurationError
+
+__all__ = ["StreamSession", "SessionRegistry"]
+
+
+class StreamSession:
+    """One client stream's warm state + its ordering lock."""
+
+    __slots__ = ("stream_id", "segmenter", "lock", "created_at",
+                 "last_used", "frames_served")
+
+    def __init__(self, stream_id: str, segmenter: StreamSegmenter,
+                 now: float):
+        self.stream_id = stream_id
+        self.segmenter = segmenter
+        self.lock = asyncio.Lock()
+        self.created_at = now
+        self.last_used = now
+        self.frames_served = 0
+
+    @property
+    def warm(self) -> bool:
+        return self.segmenter.has_state
+
+
+class SessionRegistry:
+    """Bounded, TTL-swept registry of :class:`StreamSession` objects.
+
+    Parameters
+    ----------
+    params:
+        The server's (undegraded) :class:`SlicParams`; every session's
+        segmenter is built from it.
+    drift_limit, strict_shape:
+        Forwarded to each :class:`StreamSegmenter`. Strict shape is on:
+        a stream that changes resolution mid-flight gets a per-frame
+        ``StreamError`` (HTTP 409), same as the batch engine.
+    max_sessions:
+        LRU capacity; creating session ``max_sessions + 1`` evicts the
+        least-recently-used one.
+    ttl_s:
+        Idle expiry. ``None`` disables TTL sweeping.
+    clock:
+        Monotonic-seconds callable; injected by tests.
+    """
+
+    def __init__(self, params: SlicParams, drift_limit: float = 0.6,
+                 strict_shape: bool = True, max_sessions: int = 64,
+                 ttl_s: float | None = 300.0, clock=time.monotonic):
+        if max_sessions < 1:
+            raise ConfigurationError(
+                f"max_sessions must be >= 1, got {max_sessions}"
+            )
+        if ttl_s is not None and ttl_s <= 0:
+            raise ConfigurationError(f"ttl_s must be > 0, got {ttl_s}")
+        self.params = params
+        self.drift_limit = drift_limit
+        self.strict_shape = bool(strict_shape)
+        self.max_sessions = int(max_sessions)
+        self.ttl_s = float(ttl_s) if ttl_s is not None else None
+        self.clock = clock
+        self._sessions: OrderedDict[str, StreamSession] = OrderedDict()
+        self._evicted_total = 0
+        self._expired_total = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def evicted_total(self) -> int:
+        return self._evicted_total
+
+    @property
+    def expired_total(self) -> int:
+        return self._expired_total
+
+    def sweep(self) -> int:
+        """Expire idle sessions; returns how many were dropped."""
+        if self.ttl_s is None:
+            return 0
+        now = self.clock()
+        stale = [
+            sid for sid, sess in self._sessions.items()
+            if now - sess.last_used > self.ttl_s
+        ]
+        for sid in stale:
+            del self._sessions[sid]
+        self._expired_total += len(stale)
+        return len(stale)
+
+    def get_or_create(self, stream_id: str) -> StreamSession:
+        """The stream's session, created (and LRU-registered) on demand."""
+        self.sweep()
+        session = self._sessions.get(stream_id)
+        now = self.clock()
+        if session is None:
+            session = StreamSession(
+                stream_id,
+                StreamSegmenter(
+                    self.params,
+                    drift_limit=self.drift_limit,
+                    strict_shape=self.strict_shape,
+                ),
+                now,
+            )
+            self._sessions[stream_id] = session
+            while len(self._sessions) > self.max_sessions:
+                evicted_id, _ = self._sessions.popitem(last=False)
+                self._evicted_total += 1
+                if evicted_id == stream_id:  # pragma: no cover - cap >= 1
+                    break
+        else:
+            self._sessions.move_to_end(stream_id)
+        session.last_used = now
+        return session
+
+    def close(self, stream_id: str) -> bool:
+        """Drop one stream's warm state; True when it existed."""
+        return self._sessions.pop(stream_id, None) is not None
+
+    def stats(self) -> dict:
+        return {
+            "active": len(self._sessions),
+            "evicted": self._evicted_total,
+            "expired": self._expired_total,
+        }

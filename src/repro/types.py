@@ -117,7 +117,7 @@ def as_uint8_rgb(image: np.ndarray) -> np.ndarray:
     return np.clip(np.rint(arr * 255.0), 0, 255).astype(np.uint8)
 
 
-def validate_label_map(labels: np.ndarray, n_labels: int = None) -> np.ndarray:
+def validate_label_map(labels: np.ndarray, n_labels: int | None = None) -> np.ndarray:
     """Check that ``labels`` is a valid (H, W) integer label map.
 
     If ``n_labels`` is given, also check every label is in ``[0, n_labels)``.

@@ -281,3 +281,53 @@ class TestTelemetryServer:
             finally:
                 stop.set()
                 thread.join(timeout=5)
+
+
+class TestTelemetryServerHardening:
+    def test_bind_conflict_raises_configuration_error(self):
+        first = TelemetryServer(Tracer(MemorySink())).start()
+        try:
+            second = TelemetryServer(
+                Tracer(MemorySink()), port=first.port
+            )
+            with pytest.raises(ConfigurationError) as err:
+                second.start()
+            msg = str(err.value)
+            assert "cannot bind" in msg
+            assert str(first.port) in msg
+            # The failed server holds no socket and close() is a no-op.
+            second.close()
+        finally:
+            first.close()
+
+    def test_bind_failure_leaves_server_restartable(self):
+        first = TelemetryServer(Tracer(MemorySink())).start()
+        blocked = TelemetryServer(Tracer(MemorySink()), port=first.port)
+        with pytest.raises(ConfigurationError):
+            blocked.start()
+        first.close()
+        # The port is free now: the same instance can start cleanly.
+        blocked.start()
+        try:
+            body = urllib.request.urlopen(
+                blocked.url + "/healthz", timeout=5
+            ).read()
+            assert b"ok" in body
+        finally:
+            blocked.close()
+
+    def test_double_close_is_idempotent(self):
+        server = TelemetryServer(Tracer(MemorySink())).start()
+        server.close()
+        server.close()  # second close: no error, no hang
+
+    def test_close_before_start_is_a_noop(self):
+        server = TelemetryServer(Tracer(MemorySink()))
+        server.close()
+
+    def test_close_releases_the_port_for_rebind(self):
+        server = TelemetryServer(Tracer(MemorySink())).start()
+        port = server.port
+        server.close()
+        rebound = TelemetryServer(Tracer(MemorySink()), port=port).start()
+        rebound.close()

@@ -1,0 +1,211 @@
+"""Fake-clock tests for repro.serve.admission: shed, deadlines, breaker.
+
+Every decision in the admission layer is a pure function of injected
+state — these tests never sleep and never touch a wall clock.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import (
+    AdmissionController,
+    CircuitBreaker,
+    ServiceTimeTracker,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestServiceTimeTracker:
+    def test_prior_before_first_observation(self):
+        tracker = ServiceTimeTracker(prior_s=0.07)
+        assert tracker.estimate() == pytest.approx(0.07)
+
+    def test_estimate_tracks_observations(self):
+        tracker = ServiceTimeTracker(prior_s=0.05, alpha=0.5)
+        tracker.observe(0.1)
+        assert tracker.estimate() == pytest.approx(0.1)
+
+    def test_recent_worst_case_dominates(self):
+        tracker = ServiceTimeTracker(alpha=0.1, window=8)
+        for _ in range(8):
+            tracker.observe(0.01)
+        tracker.observe(0.5)  # one slow frame
+        # The EWMA barely moved, but the estimate must already warn.
+        assert tracker.estimate() == pytest.approx(0.5)
+
+    def test_burst_ages_out_of_window(self):
+        tracker = ServiceTimeTracker(alpha=0.5, window=4)
+        tracker.observe(0.5)
+        for _ in range(4):
+            tracker.observe(0.01)
+        assert tracker.estimate() < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceTimeTracker(prior_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceTimeTracker(alpha=0.0)
+
+
+class TestAdmissionController:
+    def make(self, max_queue=2, n_workers=1, prior=0.1):
+        clock = FakeClock()
+        ctrl = AdmissionController(
+            max_queue=max_queue, n_workers=n_workers,
+            tracker=ServiceTimeTracker(prior_s=prior), clock=clock,
+        )
+        return ctrl, clock
+
+    def test_admits_until_queue_full_then_sheds(self):
+        ctrl, _ = self.make(max_queue=2)
+        assert ctrl.try_admit().admitted
+        assert ctrl.try_admit().admitted
+        decision = ctrl.try_admit()
+        assert not decision.admitted
+        assert decision.reason == "queue_full"
+        assert ctrl.shed_total == 1
+        assert ctrl.outstanding == 2  # the shed held no slot
+
+    def test_release_frees_a_slot(self):
+        ctrl, _ = self.make(max_queue=1)
+        assert ctrl.try_admit().admitted
+        assert not ctrl.try_admit().admitted
+        ctrl.release(service_s=0.05)
+        assert ctrl.try_admit().admitted
+
+    def test_retry_after_scales_with_service_time(self):
+        ctrl, _ = self.make(max_queue=1, prior=0.1)
+        ctrl.try_admit()
+        slow = ctrl.try_admit()
+        assert not slow.admitted
+        assert slow.retry_after_s >= 0.1
+        # Feed a 10x slower observed service time: the hint follows.
+        ctrl.release(service_s=1.0)
+        ctrl.try_admit()
+        slower = ctrl.try_admit()
+        assert slower.retry_after_s >= 1.0
+
+    def test_infeasible_deadline_rejected_at_admission(self):
+        ctrl, _ = self.make(max_queue=4, prior=0.1)
+        ctrl.try_admit()
+        ctrl.try_admit()
+        # Two outstanding at ~0.1 s each: a 50 ms budget cannot make it.
+        decision = ctrl.try_admit(deadline_s=0.05)
+        assert not decision.admitted
+        assert decision.reason == "deadline_infeasible"
+        assert ctrl.deadline_rejected_total == 1
+        assert ctrl.outstanding == 2
+
+    def test_feasible_deadline_admitted(self):
+        ctrl, _ = self.make(max_queue=4, prior=0.1)
+        decision = ctrl.try_admit(deadline_s=1.0)
+        assert decision.admitted
+        assert decision.reason == "ok"
+
+    def test_deadline_check_uses_predicted_wait(self):
+        ctrl, _ = self.make(max_queue=8, prior=0.1)
+        # Empty queue: 150 ms budget covers one 100 ms service.
+        assert ctrl.try_admit(deadline_s=0.15).admitted
+        # One outstanding: predicted wait 100 ms + service 100 ms > 150 ms.
+        assert not ctrl.try_admit(deadline_s=0.15).admitted
+
+    def test_queue_ratio(self):
+        ctrl, _ = self.make(max_queue=4)
+        assert ctrl.queue_ratio == 0.0
+        ctrl.try_admit()
+        assert ctrl.queue_ratio == pytest.approx(0.25)
+
+    def test_unmatched_release_raises(self):
+        ctrl, _ = self.make()
+        with pytest.raises(ConfigurationError):
+            ctrl.release()
+
+    def test_peak_outstanding(self):
+        ctrl, _ = self.make(max_queue=4)
+        ctrl.try_admit()
+        ctrl.try_admit()
+        ctrl.release()
+        assert ctrl.peak_outstanding == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_queue=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(n_workers=0)
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, reset=10.0):
+        clock = FakeClock()
+        return CircuitBreaker(
+            threshold=threshold, reset_after_s=reset, clock=clock
+        ), clock
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.opened_total == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_after_reset_window(self):
+        breaker, clock = self.make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.retry_after_s() == 0.0
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self.make(threshold=1)
+        breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # concurrent request during probe
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make(threshold=1)
+        breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_a_full_window(self):
+        breaker, clock = self.make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+        assert breaker.opened_total == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(reset_after_s=0)

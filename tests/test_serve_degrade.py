@@ -1,0 +1,187 @@
+"""Fake-clock tests for the graceful-degradation quality ladder."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import SlicParams
+from repro.errors import ConfigurationError
+from repro.serve import DEFAULT_LADDER, DegradeController, QualityRung
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make(enabled=True, hold_s=2.0):
+    clock = FakeClock()
+    ctrl = DegradeController(
+        enabled=enabled, overload_ratio=0.75, recover_ratio=0.25,
+        hold_s=hold_s, clock=clock,
+    )
+    return ctrl, clock
+
+
+class TestQualityRung:
+    def test_identity_rung_returns_same_object(self):
+        params = SlicParams()
+        assert QualityRung("full").apply(params) is params
+
+    def test_overrides_only_reduce_work(self):
+        params = SlicParams(max_iterations=2, subsample_ratio=0.1)
+        rung = QualityRung("x", max_iterations=4, subsample_ratio=0.25)
+        # Caller already cheaper than the rung on both axes: no change.
+        assert rung.apply(params) is params
+
+    def test_iteration_cap_applies(self):
+        params = SlicParams(max_iterations=10)
+        out = QualityRung("x", max_iterations=4).apply(params)
+        assert out.max_iterations == 4
+        assert params.max_iterations == 10  # frozen source untouched
+
+    def test_default_ladder_shape(self):
+        assert DEFAULT_LADDER[0].name == "full"
+        assert len(DEFAULT_LADDER) >= 3
+
+
+class TestLadderTransitions:
+    def test_starts_at_full_quality(self):
+        ctrl, _ = make()
+        assert ctrl.level == 0
+        assert not ctrl.degraded
+
+    def test_spike_shorter_than_dwell_does_nothing(self):
+        ctrl, clock = make(hold_s=2.0)
+        ctrl.observe(1.0)
+        clock.advance(1.0)
+        assert ctrl.observe(1.0) == 0  # only 1 s above threshold
+
+    def test_sustained_overload_steps_down(self):
+        ctrl, clock = make(hold_s=2.0)
+        ctrl.observe(1.0)
+        clock.advance(2.0)
+        assert ctrl.observe(1.0) == 1
+        assert ctrl.degraded
+        assert ctrl.rung.name == "iter-capped"
+
+    def test_each_rung_needs_its_own_dwell(self):
+        ctrl, clock = make(hold_s=2.0)
+        ctrl.observe(1.0)
+        clock.advance(2.0)
+        assert ctrl.observe(1.0) == 1
+        # Immediately after the transition the dwell timer re-armed:
+        assert ctrl.observe(1.0) == 1
+        clock.advance(2.0)
+        assert ctrl.observe(1.0) == 2
+        assert ctrl.rung.name == "subsampled"
+
+    def test_bottom_of_ladder_holds(self):
+        ctrl, clock = make(hold_s=1.0)
+        for _ in range(10):
+            ctrl.observe(1.0)
+            clock.advance(1.5)
+        assert ctrl.level == len(ctrl.ladder) - 1
+
+    def test_sustained_recovery_steps_back_up(self):
+        ctrl, clock = make(hold_s=2.0)
+        ctrl.observe(1.0)
+        clock.advance(2.0)
+        ctrl.observe(1.0)
+        assert ctrl.level == 1
+        ctrl.observe(0.0)
+        clock.advance(2.0)
+        assert ctrl.observe(0.0) == 0
+        assert not ctrl.degraded
+
+    def test_dead_zone_resets_both_dwells(self):
+        ctrl, clock = make(hold_s=2.0)
+        ctrl.observe(1.0)
+        clock.advance(1.5)
+        ctrl.observe(0.5)  # between recover and overload: reset
+        clock.advance(1.0)
+        ctrl.observe(1.0)  # dwell restarts here
+        clock.advance(1.5)
+        assert ctrl.observe(1.0) == 0  # 1.5 s < hold_s since restart
+        clock.advance(0.6)
+        assert ctrl.observe(1.0) == 1
+
+    def test_transitions_counter(self):
+        ctrl, clock = make(hold_s=1.0)
+        ctrl.observe(1.0)
+        clock.advance(1.0)
+        ctrl.observe(1.0)
+        ctrl.observe(0.0)
+        clock.advance(1.0)
+        ctrl.observe(0.0)
+        assert ctrl.transitions == 2
+
+
+class TestDisabledBitIdentity:
+    def test_disabled_controller_never_degrades(self):
+        ctrl, clock = make(enabled=False, hold_s=0.0)
+        for _ in range(5):
+            assert ctrl.observe(1.0) == 0
+            clock.advance(10.0)
+        assert not ctrl.degraded
+
+    def test_disabled_apply_is_the_identity_object(self):
+        ctrl, _ = make(enabled=False)
+        params = SlicParams(max_iterations=10)
+        out, rung, degraded = ctrl.apply(params)
+        assert out is params  # same object, not a copy
+        assert rung == "full"
+        assert not degraded
+
+    def test_level_zero_apply_is_the_identity_object(self):
+        ctrl, _ = make(enabled=True)
+        params = SlicParams()
+        out, _, degraded = ctrl.apply(params)
+        assert out is params
+        assert not degraded
+
+    def test_disabled_serial_path_output_is_bit_identical(self):
+        from repro.core.engine import run_segmentation
+        from repro.data import SceneConfig, generate_scene
+
+        image = generate_scene(
+            SceneConfig(height=48, width=64), seed=7
+        ).image
+        params = SlicParams(n_superpixels=32)
+        ctrl, _ = make(enabled=False)
+        served_params, _, _ = ctrl.apply(params)
+        baseline = run_segmentation(image, params)
+        served = run_segmentation(image, served_params)
+        np.testing.assert_array_equal(baseline.labels, served.labels)
+
+    def test_degraded_apply_reduces_work(self):
+        ctrl, clock = make(hold_s=1.0)
+        ctrl.observe(1.0)
+        clock.advance(1.0)
+        ctrl.observe(1.0)
+        params = SlicParams(max_iterations=10)
+        out, rung, degraded = ctrl.apply(params)
+        assert degraded
+        assert rung == "iter-capped"
+        assert out.max_iterations < params.max_iterations
+
+
+class TestValidation:
+    def test_first_rung_must_be_identity(self):
+        with pytest.raises(ConfigurationError):
+            DegradeController(
+                ladder=(QualityRung("bad", max_iterations=3),)
+            )
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DegradeController(ladder=())
+
+    def test_hysteresis_band_must_be_ordered(self):
+        with pytest.raises(ConfigurationError):
+            DegradeController(overload_ratio=0.3, recover_ratio=0.5)

@@ -1,0 +1,309 @@
+"""End-to-end tests for the serving front end over real sockets.
+
+Everything here talks plain ``http.client`` to a
+:class:`~repro.serve.BackgroundServer` on an ephemeral port — the same
+harness ``benchmarks/bench_serve.py`` uses.
+"""
+
+import asyncio
+import base64
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run_segmentation
+from repro.core.params import SlicParams
+from repro.data import SceneConfig, generate_scene
+from repro.serve import BackgroundServer, ServeConfig, ServeExecutor
+from repro.serve.server import labels_digest
+
+PARAMS = SlicParams(n_superpixels=32)
+SYNTH = {"synthetic": {"seed": 3, "height": 48, "width": 64}}
+
+
+def request(port, method, path, body=None, timeout=60):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        payload = json.dumps(body) if isinstance(body, dict) else body
+        conn.request(method, path, payload)
+        resp = conn.getresponse()
+        raw = resp.read()
+        headers = dict(resp.getheaders())
+        try:
+            data = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            data = raw
+        return resp.status, data, headers
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServeConfig(params=PARAMS, max_queue=8, n_workers=1)
+    with BackgroundServer(config) as bg:
+        yield bg
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, data, _ = request(server.port, "GET", "/healthz")
+        assert status == 200
+        assert data["status"] == "ok"
+
+    def test_readyz_when_idle(self, server):
+        status, data, _ = request(server.port, "GET", "/readyz")
+        assert status == 200
+        assert data["ready"] is True
+
+    def test_unknown_route_404(self, server):
+        status, data, _ = request(server.port, "GET", "/nope")
+        assert status == 404
+
+    def test_segment_synthetic_matches_local_run(self, server):
+        status, data, headers = request(
+            server.port, "POST", "/v1/segment", SYNTH
+        )
+        assert status == 200
+        assert data["ok"] is True
+        assert data["degraded"] is False
+        assert headers["X-Repro-Degraded"] == "false"
+        assert headers["X-Repro-Quality-Rung"] == "full"
+        image = generate_scene(
+            SceneConfig(height=48, width=64), seed=3
+        ).image
+        local = run_segmentation(image, PARAMS)
+        assert data["labels_sha256"] == labels_digest(local.labels)
+
+    def test_segment_image_b64_roundtrip(self, server):
+        image = generate_scene(
+            SceneConfig(height=48, width=64), seed=9
+        ).image
+        body = {
+            "image_b64": base64.b64encode(image.tobytes()).decode(),
+            "height": 48,
+            "width": 64,
+            "return_labels": True,
+        }
+        status, data, _ = request(server.port, "POST", "/v1/segment", body)
+        assert status == 200
+        labels = np.frombuffer(
+            base64.b64decode(data["labels_b64"]), dtype="<i4"
+        ).reshape(data["labels_shape"])
+        local = run_segmentation(image, PARAMS)
+        np.testing.assert_array_equal(labels, local.labels)
+
+    def test_stream_frames_warm_start_and_bit_identity(self, server):
+        from repro.core.streaming import StreamSegmenter
+
+        serial = StreamSegmenter(PARAMS)
+        image = generate_scene(
+            SceneConfig(height=48, width=64), seed=3
+        ).image
+        for i in range(2):
+            status, data, _ = request(
+                server.port, "POST", "/v1/streams/bit/frames", SYNTH
+            )
+            assert status == 200
+            assert data["frame_index"] == i
+            assert data["warm_started"] is (i > 0)
+            baseline = serial.process(image)
+            assert data["labels_sha256"] == labels_digest(baseline.labels)
+        status, data, _ = request(
+            server.port, "DELETE", "/v1/streams/bit"
+        )
+        assert status == 200
+        assert data["closed"] is True
+
+    def test_params_override(self, server):
+        body = dict(SYNTH, params={"n_superpixels": 16})
+        status, data, _ = request(server.port, "POST", "/v1/segment", body)
+        assert status == 200
+        assert data["n_superpixels"] <= 16
+
+    def test_metrics_exposition(self, server):
+        request(server.port, "POST", "/v1/segment", SYNTH)
+        status, text, headers = request(server.port, "GET", "/metrics")
+        assert status == 200
+        exposition = text.decode()
+        assert "repro_serve_requests_total" in exposition
+        assert 'endpoint="segment"' in exposition
+        assert "repro_serve_latency_seconds_bucket" in exposition
+        assert "repro_serve_queue_depth" in exposition
+
+
+class TestBadRequests:
+    def test_non_json_body(self, server):
+        status, data, _ = request(
+            server.port, "POST", "/v1/segment", "not json"
+        )
+        assert status == 400
+
+    def test_missing_image(self, server):
+        status, data, _ = request(server.port, "POST", "/v1/segment", {})
+        assert status == 400
+        assert "image_b64" in data["error"]
+
+    def test_wrong_byte_count(self, server):
+        body = {
+            "image_b64": base64.b64encode(b"abc").decode(),
+            "height": 48, "width": 64,
+        }
+        status, data, _ = request(server.port, "POST", "/v1/segment", body)
+        assert status == 400
+
+    def test_unknown_params_override(self, server):
+        body = dict(SYNTH, params={"kernel_backend": "reference"})
+        status, data, _ = request(server.port, "POST", "/v1/segment", body)
+        assert status == 400
+        assert "unsupported" in data["error"]
+
+    def test_bad_deadline(self, server):
+        body = dict(SYNTH, deadline_ms=-5)
+        status, data, _ = request(server.port, "POST", "/v1/segment", body)
+        assert status == 400
+
+
+class TestOverload:
+    def test_burst_sheds_429_with_retry_after(self):
+        config = ServeConfig(params=PARAMS, max_queue=1, n_workers=1)
+        with BackgroundServer(config) as bg:
+            results = []
+
+            def one():
+                results.append(
+                    request(bg.port, "POST", "/v1/segment", SYNTH)
+                )
+
+            threads = [threading.Thread(target=one) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            statuses = sorted(status for status, _, _ in results)
+            assert 429 in statuses
+            assert 200 in statuses
+            shed = [r for r in results if r[0] == 429]
+            for _, data, headers in shed:
+                assert data["reason"] == "queue_full"
+                assert int(headers["Retry-After"]) >= 1
+            # Shed responses were never queued: bounded outstanding.
+            status, text, _ = request(bg.port, "GET", "/metrics")
+            assert b"repro_serve_shed_total" in text
+
+    def test_infeasible_deadline_rejected_at_admission(self):
+        config = ServeConfig(params=PARAMS, max_queue=4, n_workers=1)
+        with BackgroundServer(config) as bg:
+            # Seed the service-time tracker with one real frame.
+            status, _, _ = request(bg.port, "POST", "/v1/segment", SYNTH)
+            assert status == 200
+            body = dict(SYNTH, deadline_ms=0.01)
+            status, data, headers = request(
+                bg.port, "POST", "/v1/segment", body
+            )
+            assert status == 429
+            assert data["reason"] == "deadline_infeasible"
+            assert "Retry-After" in headers
+
+
+class TestDrain:
+    def test_drain_completes_in_flight_and_fails_readiness(self):
+        config = ServeConfig(
+            params=SlicParams(n_superpixels=64),
+            max_queue=4, n_workers=1, drain_timeout_s=30.0,
+        )
+        bg = BackgroundServer(config).start()
+        try:
+            big = {"synthetic": {"seed": 1, "height": 128, "width": 160}}
+            outcome = {}
+
+            def slow_frame():
+                outcome["result"] = request(
+                    bg.port, "POST", "/v1/segment", big
+                )
+
+            worker = threading.Thread(target=slow_frame)
+            worker.start()
+            # Wait until the frame is actually admitted.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if bg.server.admission.outstanding > 0:
+                    break
+                time.sleep(0.005)
+            assert bg.server.admission.outstanding > 0
+
+            drained = {}
+
+            def drain():
+                drained["clean"] = bg.drain()
+
+            drainer = threading.Thread(target=drain)
+            drainer.start()
+            # While draining: readiness fails, new frames are refused.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and not bg.server.draining:
+                time.sleep(0.005)
+            assert bg.server.draining
+            if bg.server.admission.outstanding > 0:
+                status, data, _ = request(bg.port, "GET", "/readyz")
+                assert status == 503
+                assert data["reason"] == "draining"
+                status, data, _ = request(
+                    bg.port, "POST", "/v1/segment", SYNTH
+                )
+                assert status == 503
+                assert data["reason"] == "draining"
+            worker.join(timeout=60)
+            drainer.join(timeout=60)
+            # The in-flight frame completed with a real answer.
+            assert outcome["result"][0] == 200
+            assert drained["clean"] is True
+        finally:
+            bg.drain()
+
+    def test_drain_with_no_inflight_is_immediate(self):
+        config = ServeConfig(params=PARAMS)
+        bg = BackgroundServer(config).start()
+        assert bg.drain() is True
+
+
+class TestExecutorDeadline:
+    def test_thread_mode_overrun_becomes_frame_timeout(self):
+        from repro.parallel.records import FrameTask
+
+        image = generate_scene(
+            SceneConfig(height=160, width=200), seed=0
+        ).image
+        task = FrameTask(
+            stream_id="t", frame_index=0, image=image,
+            params=SlicParams(n_superpixels=200, max_iterations=10),
+        )
+        executor = ServeExecutor(mode="thread", n_workers=1)
+        try:
+            record = asyncio.run(executor.run(task, deadline_s=0.001))
+            assert not record.ok
+            assert record.error_type == "FrameTimeout"
+            assert "deadline" in record.error
+        finally:
+            executor.close()
+
+    def test_no_deadline_runs_to_completion(self):
+        from repro.parallel.records import FrameTask
+
+        image = generate_scene(
+            SceneConfig(height=48, width=64), seed=0
+        ).image
+        task = FrameTask(
+            stream_id="t", frame_index=0, image=image, params=PARAMS,
+        )
+        executor = ServeExecutor(mode="thread", n_workers=1)
+        try:
+            record = asyncio.run(executor.run(task))
+            assert record.ok
+            assert record.result.labels.shape == (48, 64)
+        finally:
+            executor.close()

@@ -1,0 +1,139 @@
+"""Tests for the per-stream session registry: warm chains, LRU, TTL."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import SlicParams
+from repro.core.streaming import StreamSegmenter
+from repro.data import SceneConfig, VideoSequence
+from repro.errors import ConfigurationError
+from repro.serve import SessionRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+PARAMS = SlicParams(n_superpixels=32)
+
+
+def make(max_sessions=4, ttl_s=100.0):
+    clock = FakeClock()
+    return SessionRegistry(
+        PARAMS, max_sessions=max_sessions, ttl_s=ttl_s, clock=clock
+    ), clock
+
+
+def video_frames(n=3, seed=5):
+    seq = VideoSequence(
+        n, config=SceneConfig(height=48, width=64, noise=0.0),
+        motion="shake", seed=seed,
+    )
+    return [frame.image for frame in seq]
+
+
+class TestSessionLifecycle:
+    def test_same_id_returns_same_session(self):
+        reg, _ = make()
+        assert reg.get_or_create("a") is reg.get_or_create("a")
+        assert len(reg) == 1
+
+    def test_distinct_ids_are_isolated(self):
+        reg, _ = make()
+        assert reg.get_or_create("a") is not reg.get_or_create("b")
+
+    def test_close_drops_warm_state(self):
+        reg, _ = make()
+        reg.get_or_create("a")
+        assert reg.close("a")
+        assert not reg.close("a")
+        assert len(reg) == 0
+
+    def test_lru_eviction_at_capacity(self):
+        reg, clock = make(max_sessions=2)
+        reg.get_or_create("a")
+        clock.advance(1.0)
+        reg.get_or_create("b")
+        clock.advance(1.0)
+        reg.get_or_create("a")  # refresh a: now b is the coldest
+        clock.advance(1.0)
+        reg.get_or_create("c")  # evicts b
+        assert reg.evicted_total == 1
+        assert set(s for s in reg._sessions) == {"a", "c"}
+
+    def test_ttl_expiry(self):
+        reg, clock = make(ttl_s=10.0)
+        reg.get_or_create("a")
+        clock.advance(11.0)
+        assert reg.sweep() == 1
+        assert reg.expired_total == 1
+        assert len(reg) == 0
+
+    def test_activity_refreshes_ttl(self):
+        reg, clock = make(ttl_s=10.0)
+        reg.get_or_create("a")
+        clock.advance(6.0)
+        reg.get_or_create("a")
+        clock.advance(6.0)
+        assert reg.sweep() == 0
+
+    def test_stats(self):
+        reg, _ = make()
+        reg.get_or_create("a")
+        stats = reg.stats()
+        assert stats == {"active": 1, "evicted": 0, "expired": 0}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SessionRegistry(PARAMS, max_sessions=0)
+        with pytest.raises(ConfigurationError):
+            SessionRegistry(PARAMS, ttl_s=0.0)
+
+
+class TestWarmChainIdentity:
+    def test_session_chain_matches_serial_segmenter(self):
+        """plan()/commit() through a session == StreamSegmenter.process()."""
+        frames = video_frames(3)
+        reg, _ = make()
+        session = reg.get_or_create("cam")
+        serial = StreamSegmenter(PARAMS)
+
+        from repro.core.engine import run_segmentation
+
+        for image in frames:
+            plan = session.segmenter.plan(image.shape)
+            served = run_segmentation(
+                image, PARAMS,
+                warm_centers=plan.warm_centers,
+                warm_labels=plan.warm_labels,
+            )
+            session.segmenter.commit(plan, served)
+            baseline = serial.process(image)
+            np.testing.assert_array_equal(baseline.labels, served.labels)
+
+        assert session.warm
+        history = session.segmenter.history
+        assert [h.warm_started for h in history] == [False, True, True]
+
+    def test_eviction_only_costs_a_cold_start(self):
+        frames = video_frames(2)
+        reg, clock = make(max_sessions=1)
+        session = reg.get_or_create("cam")
+
+        from repro.core.engine import run_segmentation
+
+        plan = session.segmenter.plan(frames[0].shape)
+        result = run_segmentation(frames[0], PARAMS)
+        session.segmenter.commit(plan, result)
+        clock.advance(1.0)
+        reg.get_or_create("other")  # evicts cam
+        fresh = reg.get_or_create("cam")
+        assert fresh is not session
+        assert not fresh.warm  # cold again — correctness unaffected
