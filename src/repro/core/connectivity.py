@@ -267,6 +267,13 @@ class ConnectivityState:
             and self._min_size == int(min_size)
         ):
             return None, 0, self.prev_output.copy()
+        # Disarm the shortcut for any frame that takes the resolve path:
+        # only a *completed* enforce_connectivity re-arms it via
+        # record_output(). Without this, a merge that raises mid-way and
+        # is retried with the same state would see tiles_resolved == 0
+        # (prev_labels below already matches) next to a prev_output from
+        # an older, different label map — and return stale output.
+        self.prev_output = None
         for i, (y0, y1) in enumerate(bands):
             if not dirty[i]:
                 continue

@@ -46,7 +46,9 @@
 /* number, and pthread_atfork handlers keep fork()d children (the       */
 /* multiprocessing pool) consistent: the child reinitializes the        */
 /* primitives and respawns lazily. If pthread_create fails the job      */
-/* degrades gracefully — fn sees the width that actually exists.        */
+/* degrades gracefully — fn sees the width that actually exists, and    */
+/* mt_run returns that width so callers whose combine step depends on   */
+/* the partitioning (the CCL seams) can use the real value.             */
 /* ------------------------------------------------------------------ */
 
 #define MT_MAX_THREADS 64
@@ -121,7 +123,7 @@ __attribute__((constructor)) static void mt_init(void)
     pthread_atfork(mt_atfork_prepare, mt_atfork_parent, mt_atfork_child);
 }
 
-static void mt_run(mt_fn fn, void *ctx, int64_t n_threads)
+static int64_t mt_run(mt_fn fn, void *ctx, int64_t n_threads)
 {
     if (n_threads > MT_MAX_THREADS) n_threads = MT_MAX_THREADS;
     if (n_threads < 1) n_threads = 1;
@@ -146,7 +148,7 @@ static void mt_run(mt_fn fn, void *ctx, int64_t n_threads)
         pthread_mutex_unlock(&mt_lock);
         fn(ctx, 0, 1);
         pthread_mutex_unlock(&mt_dispatch);
-        return;
+        return 1;
     }
     mt_job_fn = fn;
     mt_job_ctx = ctx;
@@ -161,6 +163,7 @@ static void mt_run(mt_fn fn, void *ctx, int64_t n_threads)
         pthread_cond_wait(&mt_done, &mt_lock);
     pthread_mutex_unlock(&mt_lock);
     pthread_mutex_unlock(&mt_dispatch);
+    return width;
 }
 
 /* Contiguous [lo, hi) share for participant `tid` of `width`. */
@@ -814,16 +817,28 @@ int64_t ccl_i32_mt(
     ctx.done = 0;
     for (int64_t t = 0; t < MT_MAX_THREADS; t++)
         ctx.counts[t] = ctx.offsets[t] = 0;
-    mt_run(ccl_band, &ctx, n_threads);            /* count runs/band    */
+    /* The pool may degrade to fewer participants than requested (a
+     * failed pthread_create). The band partition, the prefix sum, and
+     * the seam loop must all use the width that actually ran, and both
+     * passes must run at the *same* width — otherwise seams land on the
+     * wrong rows and components silently split. mt_spawned never
+     * shrinks in a process, so re-requesting `width` is guaranteed to
+     * run at exactly `width`; the serial fallbacks cover width 1 and
+     * the cannot-happen mismatch (a full recompute, so comps/parent
+     * being partially written is harmless).                             */
+    int64_t width = mt_run(ccl_band, &ctx, n_threads); /* count runs    */
+    if (width < 2)
+        return ccl_i32(labels, h, w, comps, parent);
     int64_t n_runs = 0;
-    for (int64_t t = 0; t < n_threads; t++) {
+    for (int64_t t = 0; t < width; t++) {
         ctx.offsets[t] = n_runs;
         n_runs += ctx.counts[t];
     }
     ctx.done = 1;
-    mt_run(ccl_band, &ctx, n_threads);            /* fill + band unions */
-    for (int64_t t = 1; t < n_threads; t++) {     /* serial seams       */
-        int64_t y = mt_slice_lo(h, t, n_threads);
+    if (mt_run(ccl_band, &ctx, width) != width)   /* fill + band unions */
+        return ccl_i32(labels, h, w, comps, parent);
+    for (int64_t t = 1; t < width; t++) {         /* serial seams       */
+        int64_t y = mt_slice_lo(h, t, width);
         if (y == 0 || y >= h) continue;
         const int32_t *row = labels + y * w;
         const int32_t *up = row - w;
@@ -833,7 +848,7 @@ int64_t ccl_i32_mt(
                              comps[(y - 1) * w + x]);
     }
     int64_t n_comps = ccl_renumber(parent, n_runs);
-    mt_run(ccl_relabel_band, &ctx, n_threads);
+    mt_run(ccl_relabel_band, &ctx, width);
     return n_comps;
 }
 

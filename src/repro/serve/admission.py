@@ -333,3 +333,18 @@ class CircuitBreaker:
         if self.state == self.HALF_OPEN:
             self._state = self.CLOSED
             self._probe_inflight = False
+
+    def abort_probe(self) -> None:
+        """Release the half-open probe slot without judging the backend.
+
+        For a probe that never exercised the backend — shed at
+        admission, rejected as a bad request, crashed before its frame
+        ran — neither :meth:`record_success` nor :meth:`record_failure`
+        is warranted. Without this release the slot would leak: the
+        breaker would sit half-open refusing every request (with a
+        retry hint of 0) forever. The breaker stays half-open and the
+        next request may claim the probe. A no-op once the probe's real
+        outcome has been recorded (the state has left half-open).
+        """
+        if self._state == self.HALF_OPEN:
+            self._probe_inflight = False

@@ -278,7 +278,16 @@ class SuperpixelServer:
                     )
                     return
                 body = b""
-                length = int(headers.get("content-length", "0") or "0")
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    length = -1
+                if length < 0:  # non-numeric or negative: both are 400s
+                    await self._respond(
+                        writer, 400, {"error": "invalid Content-Length"},
+                        close=True,
+                    )
+                    return
                 if length:
                     if length > self.config.max_body_bytes:
                         await self._respond(
@@ -430,69 +439,88 @@ class SuperpixelServer:
             raise _HttpError(503, {
                 "error": "server is draining", "reason": "draining",
             }, _retry_headers(self.config.drain_timeout_s))
+        # A half-open breaker admits exactly one probe; if this request
+        # claims it (state is half-open and allow() passes), every exit
+        # that skips _feed_breaker must release the slot again or the
+        # breaker wedges — half-open, probe "in flight" forever, every
+        # request refused with a retry hint of 0.
+        probe = self.breaker.state == CircuitBreaker.HALF_OPEN
         if not self.breaker.allow():
             self.tracer.count("serve.shed", labels={"reason": "circuit_open"})
             raise _HttpError(503, {
                 "error": "backend circuit breaker is open",
                 "reason": "circuit_open",
             }, _retry_headers(self.breaker.retry_after_s()))
-        self.degrade.observe(self._pressure())
-        decision = self.admission.try_admit(deadline_s)
-        if not decision.admitted:
-            if decision.reason == "queue_full":
-                self._last_shed = self.clock()
-            self.tracer.count("serve.shed", labels={"reason": decision.reason})
-            status = 429
-            raise _HttpError(status, {
-                "error": (
-                    "admission queue is full"
-                    if decision.reason == "queue_full"
-                    else (
-                        "deadline cannot be met: predicted wait "
-                        f"{decision.predicted_wait_s * 1000:.1f} ms plus one "
-                        "service time exceeds the budget"
-                    )
-                ),
-                "reason": decision.reason,
-                "retry_after_s": round(decision.retry_after_s, 4),
-                "predicted_wait_s": round(decision.predicted_wait_s, 4),
-            }, _retry_headers(decision.retry_after_s))
-
-        probe = self.breaker.state == CircuitBreaker.HALF_OPEN
         try:
-            # Image decode happens only after admission: a shed request
-            # must cost near-nothing, and "rejected before burning a
-            # worker" includes not materializing its pixels.
-            image = self._decode_image(request)
-            run_params, rung, degraded = self.degrade.apply(params)
-            if degraded:
-                self.tracer.count("serve.degraded", labels={"rung": rung})
-            if stream_id is None:
-                self._adhoc_counter += 1
-                task = FrameTask(
-                    stream_id=f"adhoc-{self._adhoc_counter}",
-                    frame_index=0, image=image, params=run_params,
+            self.degrade.observe(self._pressure())
+            decision = self.admission.try_admit(deadline_s)
+            if not decision.admitted:
+                if decision.reason == "queue_full":
+                    self._last_shed = self.clock()
+                self.tracer.count(
+                    "serve.shed", labels={"reason": decision.reason}
                 )
-                record = await self.executor.run(
-                    task, self._remaining(deadline_s, arrival)
-                )
-            else:
-                record = await self._run_stream_frame(
-                    stream_id, image, run_params, deadline_s, arrival
-                )
-            elapsed = self.clock() - arrival
-        except BaseException:
-            # The slot release must be unconditional or one internal
-            # error leaks queue capacity forever; service time is only
-            # fed for frames that actually ran (the success arm below).
-            self.admission.release()
+                status = 429
+                raise _HttpError(status, {
+                    "error": (
+                        "admission queue is full"
+                        if decision.reason == "queue_full"
+                        else (
+                            "deadline cannot be met: predicted wait "
+                            f"{decision.predicted_wait_s * 1000:.1f} ms plus "
+                            "one service time exceeds the budget"
+                        )
+                    ),
+                    "reason": decision.reason,
+                    "retry_after_s": round(decision.retry_after_s, 4),
+                    "predicted_wait_s": round(decision.predicted_wait_s, 4),
+                }, _retry_headers(decision.retry_after_s))
+
+            try:
+                # Image decode happens only after admission: a shed
+                # request must cost near-nothing, and "rejected before
+                # burning a worker" includes not materializing its
+                # pixels.
+                image = self._decode_image(request)
+                run_params, rung, degraded = self.degrade.apply(params)
+                if degraded:
+                    self.tracer.count("serve.degraded", labels={"rung": rung})
+                if stream_id is None:
+                    self._adhoc_counter += 1
+                    task = FrameTask(
+                        stream_id=f"adhoc-{self._adhoc_counter}",
+                        frame_index=0, image=image, params=run_params,
+                    )
+                    record = await self.executor.run(
+                        task, self._remaining(deadline_s, arrival)
+                    )
+                else:
+                    record = await self._run_stream_frame(
+                        stream_id, image, run_params, deadline_s, arrival
+                    )
+                elapsed = self.clock() - arrival
+            except BaseException:
+                # The slot release must be unconditional or one internal
+                # error leaks queue capacity forever; service time is
+                # only fed for frames that actually ran (the success arm
+                # below).
+                self.admission.release()
+                self._wake_drain_if_idle()
+                raise
+            self.admission.release(service_s=elapsed)
             self._wake_drain_if_idle()
+            return self._frame_response(
+                record, request, rung, degraded, elapsed, probe
+            )
+        except BaseException:
+            # Exited before _feed_breaker judged the probe (admission
+            # shed, bad image, stream conflict, executor crash): the
+            # backend was never exercised, so release the slot without
+            # re-opening. A no-op when _feed_breaker already ran — the
+            # state has left half-open by then.
+            if probe:
+                self.breaker.abort_probe()
             raise
-        self.admission.release(service_s=elapsed)
-        self._wake_drain_if_idle()
-        return self._frame_response(
-            record, request, rung, degraded, elapsed, probe
-        )
 
     def _wake_drain_if_idle(self) -> None:
         if self._draining and self.admission.outstanding == 0:

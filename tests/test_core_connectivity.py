@@ -302,6 +302,25 @@ class TestConnectivityState:
             merged, enforce_connectivity(base, 8, backend=backend)
         )
 
+    def test_failed_merge_retry_does_not_replay_stale_output(self, backend):
+        # If enforce_connectivity dies between state.components() and
+        # record_output() (kernel error mid-merge) and the frame is
+        # retried with the same state, the retry sees zero dirty tiles —
+        # the identical-frame shortcut must NOT hand back the previous
+        # frame's output.
+        base, warm = _frames(patch=(30, 20))
+        state = ConnectivityState(band_rows=16)
+        enforce_connectivity(base, 8, backend=backend, state=state)
+        # Simulate the failure: components() runs for the new frame, but
+        # the merge never completes, so record_output() is never called.
+        comps, n_comps, shortcut = state.components(warm, 8, backend=backend)
+        assert shortcut is None
+        retry = enforce_connectivity(warm, 8, backend=backend, state=state)
+        assert state.tiles_resolved == 0  # the dangerous path: all clean
+        assert np.array_equal(
+            retry, enforce_connectivity(warm, 8, backend=backend)
+        )
+
     def test_shape_change_resets_cleanly(self, backend):
         big, _ = _frames(h=64, w=48)
         small = big[:32, :24].copy()

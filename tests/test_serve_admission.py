@@ -204,6 +204,39 @@ class TestCircuitBreaker:
         assert breaker.retry_after_s() == pytest.approx(10.0)
         assert breaker.opened_total == 2
 
+    def test_abort_probe_releases_the_slot_without_judging(self):
+        # A probe that never exercised the backend (shed at admission,
+        # bad request) must not wedge the breaker half-open forever.
+        breaker, clock = self.make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()                       # claim the probe
+        assert not breaker.allow()
+        breaker.abort_probe()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()                       # next probe may run
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.opened_total == 1
+
+    def test_abort_probe_is_a_noop_after_the_outcome(self):
+        breaker, clock = self.make(threshold=1, reset=10.0)
+        breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()                     # probe failed: open
+        breaker.abort_probe()                        # late abort: no-op
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+        breaker2, clock2 = self.make(threshold=1, reset=10.0)
+        breaker2.record_failure()
+        clock2.advance(11.0)
+        assert breaker2.allow()
+        breaker2.record_success()                    # probe passed: closed
+        breaker2.abort_probe()
+        assert breaker2.state == CircuitBreaker.CLOSED
+        assert breaker2.allow()
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             CircuitBreaker(threshold=0)

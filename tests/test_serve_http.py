@@ -167,6 +167,30 @@ class TestBadRequests:
         status, data, _ = request(server.port, "POST", "/v1/segment", body)
         assert status == 400
 
+    @pytest.mark.parametrize("bad", ["abc", "-5"])
+    def test_invalid_content_length_is_a_400(self, server, bad):
+        # http.client always writes a well-formed Content-Length, so
+        # speak raw bytes: a hostile value must earn a clean 400, not a
+        # dropped connection from an unhandled handler exception.
+        import socket
+
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        ) as sock:
+            sock.sendall((
+                "POST /v1/segment HTTP/1.1\r\n"
+                f"Content-Length: {bad}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode())
+            raw = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                raw += chunk
+        assert raw.startswith(b"HTTP/1.1 400")
+        assert b"invalid Content-Length" in raw
+
 
 class TestOverload:
     def test_burst_sheds_429_with_retry_after(self):
@@ -208,6 +232,33 @@ class TestOverload:
             assert status == 429
             assert data["reason"] == "deadline_infeasible"
             assert "Retry-After" in headers
+
+
+class TestCircuitBreakerProbe:
+    def test_failed_probe_request_does_not_wedge_the_breaker(self):
+        # Regression: a half-open probe claimed by a request that never
+        # runs a frame (a 400 here; admission sheds and stream
+        # conflicts hit the same path) must release the probe slot —
+        # otherwise the breaker sits half-open with the slot marked
+        # in-flight forever and every request gets 503 circuit_open
+        # with a Retry-After of 0.
+        from repro.serve.admission import CircuitBreaker
+
+        config = ServeConfig(
+            params=PARAMS, breaker_threshold=1, breaker_reset_s=0.05,
+        )
+        with BackgroundServer(config) as bg:
+            breaker = bg.server.breaker
+            breaker.record_failure()  # threshold=1: opens immediately
+            assert breaker.state == CircuitBreaker.OPEN
+            time.sleep(0.1)  # let the reset window lapse -> half-open
+            status, _, _ = request(bg.port, "POST", "/v1/segment", {})
+            assert status == 400  # the probe died before any frame ran
+            # The slot was released: the next request is the real probe
+            # and its success closes the breaker.
+            status, data, _ = request(bg.port, "POST", "/v1/segment", SYNTH)
+            assert status == 200
+            assert breaker.state == CircuitBreaker.CLOSED
 
 
 class TestDrain:
