@@ -24,6 +24,19 @@ native run *and* the 4-worker shm pool, because it parallelizes the
 same arithmetic with zero transport cost. On smaller machines the rows
 are recorded and the gate reports skipped, like the shm gate.
 
+Since the fused-color/sigma-kernel PR two more gates ride along, read
+against the committed artifact the same way:
+
+* **fused_sigma** — the serial 1080p ``center_update`` +
+  ``color_conversion`` combined phase time must drop to half the
+  committed number (the fused conversion and the one-pass sigma kernel
+  exist to kill exactly those two serial leaders). Anti-ratcheted like
+  the connectivity gate: once the post-fusion artifact is committed the
+  jump is banked.
+* **e2e_2x** — serial 1080p fps must reach 2x the frozen pre-CCL
+  baseline (0.2597 fps, recorded before the CCL kernel landed) — the
+  ROADMAP's end-to-end goal, an absolute target rather than a ratchet.
+
 A second budget rides along since the telemetry PR: per-span resource
 profiling (``--profile-spans``) must cost **<= 5% wall time** on a
 traced VGA serial run. Both the profiled and unprofiled configurations
@@ -74,6 +87,21 @@ CONNECTIVITY_SPEEDUP_FLOOR = 2.0
 #: Per-span profiling may add at most this fraction of wall time to a
 #: traced VGA serial run (the repro.obs.profile budget).
 PROFILING_OVERHEAD_CEILING = 0.05
+
+#: The fused color path + one-pass sigma kernel must at least halve the
+#: committed serial 1080p center_update + color_conversion time.
+FUSED_PHASE_SPEEDUP_FLOOR = 2.0
+
+#: Serial 1080p fps recorded immediately before the CCL kernel landed —
+#: the frozen denominator of the ROADMAP's "2x end-to-end" goal.
+PRE_CCL_BASELINE_FPS = 0.2597
+
+#: End-to-end target: serial 1080p must reach this multiple of the
+#: frozen pre-CCL baseline.
+E2E_SPEEDUP_FLOOR = 2.0
+
+#: The two serial phases the fused/sigma kernels attack.
+FUSED_GATE_PHASES = ("center_update", "color_conversion")
 
 RESOLUTIONS = {
     "vga": (480, 640),
@@ -305,6 +333,58 @@ def test_e2e_video_throughput(emit, bench_scale, bench_trace_id):
                 else "fail"
             )
 
+    # --- fused_sigma gate: color+center combined phase time halves -----
+    combined = sum(
+        serial_row["phase_seconds"].get(p, 0.0) for p in FUSED_GATE_PHASES
+    )
+    baseline_phases = baseline_serial.get("phase_seconds") or {}
+    baseline_combined = sum(
+        baseline_phases.get(p, 0.0) for p in FUSED_GATE_PHASES
+    )
+    phase_speedup = None
+    fused_gate_eligible = False
+    if baseline_combined <= 0 or combined <= 0:
+        fused_gate = (
+            "skipped: no committed 1080p serial phase breakdown to "
+            "compare against"
+        )
+    else:
+        phase_speedup = round(baseline_combined / combined, 3)
+        if "fused_sigma" in baseline_gate:
+            fused_gate = (
+                "skipped: committed baseline already includes the fused "
+                "color/sigma kernels; drift is covered by the regress "
+                "sentinel"
+            )
+        elif cores < GATE_WORKERS:
+            fused_gate = (
+                f"skipped: {cores} core(s) < {GATE_WORKERS}; numbers "
+                f"recorded without the assertion"
+            )
+        elif baseline_cores is not None and baseline_cores != cores:
+            fused_gate = (
+                f"skipped: committed baseline ran on {baseline_cores} "
+                f"core(s), this host has {cores} — not comparable"
+            )
+        else:
+            fused_gate_eligible = True
+            fused_gate = (
+                "pass"
+                if phase_speedup >= FUSED_PHASE_SPEEDUP_FLOOR
+                else "fail"
+            )
+
+    # --- e2e_2x gate: serial 1080p vs the frozen pre-CCL baseline ------
+    e2e_over_preccl = round(serial_row["fps"] / PRE_CCL_BASELINE_FPS, 3)
+    e2e_gate_eligible = cores >= GATE_WORKERS
+    if e2e_gate_eligible:
+        e2e_gate = "pass" if e2e_over_preccl >= E2E_SPEEDUP_FLOOR else "fail"
+    else:
+        e2e_gate = (
+            f"skipped: {cores} core(s) < {GATE_WORKERS}; numbers "
+            f"recorded without the assertion"
+        )
+
     profiling = _profiling_overhead(params, bench_scale)
 
     payload = {
@@ -353,6 +433,33 @@ def test_e2e_video_throughput(emit, bench_scale, bench_trace_id):
                 "fps_over_baseline": fps_over_baseline,
                 "result": conn_gate,
             },
+            "fused_sigma": {
+                "rule": (
+                    f"{GATE_RESOLUTION} serial "
+                    f"{' + '.join(FUSED_GATE_PHASES)} seconds <= "
+                    f"committed / {FUSED_PHASE_SPEEDUP_FLOOR}"
+                ),
+                "cores": cores,
+                "baseline_cores": baseline_cores,
+                "baseline_combined_s": (
+                    round(baseline_combined, 4) if baseline_combined else None
+                ),
+                "combined_s": round(combined, 4),
+                "speedup": phase_speedup,
+                "result": fused_gate,
+            },
+            "e2e_2x": {
+                "rule": (
+                    f"{GATE_RESOLUTION} serial fps >= {E2E_SPEEDUP_FLOOR}x "
+                    f"the frozen pre-CCL baseline "
+                    f"({PRE_CCL_BASELINE_FPS} fps)"
+                ),
+                "cores": cores,
+                "pre_ccl_fps": PRE_CCL_BASELINE_FPS,
+                "fps": serial_row["fps"],
+                "fps_over_pre_ccl": e2e_over_preccl,
+                "result": e2e_gate,
+            },
         },
         "profiling": profiling,
         "rows": rows,
@@ -394,6 +501,19 @@ def test_e2e_video_throughput(emit, bench_scale, bench_trace_id):
         )
     else:
         lines.append(f"connectivity gate {conn_gate}")
+    if phase_speedup is not None:
+        lines.append(
+            f"serial {GATE_RESOLUTION} color+center phases: "
+            f"{baseline_combined:.2f}s -> {combined:.2f}s "
+            f"({phase_speedup:.2f}x) — fused_sigma gate {fused_gate}"
+        )
+    else:
+        lines.append(f"fused_sigma gate {fused_gate}")
+    lines.append(
+        f"serial {GATE_RESOLUTION} over frozen pre-CCL baseline: "
+        f"{e2e_over_preccl:.2f}x ({PRE_CCL_BASELINE_FPS:.3f} -> "
+        f"{serial_row['fps']:.3f} fps) — e2e_2x gate {e2e_gate}"
+    )
     lines.append(
         f"per-span profiling overhead ({profiling['workload']}): "
         f"{profiling['overhead_pct']:.1f}% "
@@ -422,6 +542,21 @@ def test_e2e_video_throughput(emit, bench_scale, bench_trace_id):
             f"{serial_row['fps']:.3f} fps, floor "
             f"{CONNECTIVITY_SPEEDUP_FLOOR}x) — the CCL kernel should "
             f"have killed the connectivity bottleneck"
+        )
+    if fused_gate_eligible:
+        assert phase_speedup >= FUSED_PHASE_SPEEDUP_FLOOR, (
+            f"serial {GATE_RESOLUTION} color+center phase time only "
+            f"improved {phase_speedup:.2f}x over the committed baseline "
+            f"({baseline_combined:.2f}s -> {combined:.2f}s, floor "
+            f"{FUSED_PHASE_SPEEDUP_FLOOR}x) — the fused conversion and "
+            f"one-pass sigma kernel should have halved it"
+        )
+    if e2e_gate_eligible:
+        assert e2e_over_preccl >= E2E_SPEEDUP_FLOOR, (
+            f"serial {GATE_RESOLUTION} is only {e2e_over_preccl:.2f}x the "
+            f"frozen pre-CCL baseline ({PRE_CCL_BASELINE_FPS:.3f} -> "
+            f"{serial_row['fps']:.3f} fps, floor {E2E_SPEEDUP_FLOOR}x) — "
+            f"the ROADMAP's end-to-end goal"
         )
     assert profiling["overhead_pct"] <= profiling["budget_pct"], (
         f"per-span profiling cost {profiling['overhead_pct']:.1f}% wall "

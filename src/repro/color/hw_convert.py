@@ -27,7 +27,12 @@ from ..types import as_uint8_rgb
 from .constants import D65_WHITE, SRGB_TO_XYZ
 from .lut import PiecewiseLinearLut, build_cbrt_pwl, build_gamma_lut
 
-__all__ = ["LabEncoding", "HwColorConverter", "convert_codes_reference"]
+__all__ = [
+    "LabEncoding",
+    "HwColorConverter",
+    "convert_codes_reference",
+    "lab_from_codes_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -138,6 +143,21 @@ class HwColorConverter:
         rgb = as_uint8_rgb(rgb)
         return get_backend(backend).lab_codes(self, rgb)
 
+    def convert_fused(
+        self, rgb: np.ndarray, backend: str | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """uint8 RGB image -> ``(lab, codes)`` in one backend traversal.
+
+        The fused form of ``decode(convert_codes(rgb))`` plus the codes
+        themselves; native backends produce both outputs in a single pass
+        over the pixels. Bit-identical to the two-step sequence on every
+        backend.
+        """
+        from ..kernels import get_backend  # local import: kernels ↔ color
+
+        rgb = as_uint8_rgb(rgb)
+        return get_backend(backend).lab_from_codes(self, rgb)
+
     def convert(self, rgb: np.ndarray) -> np.ndarray:
         """uint8 RGB image -> real Lab values *as the hardware sees them*.
 
@@ -185,6 +205,19 @@ def convert_codes_reference(converter: HwColorConverter, rgb: np.ndarray) -> np.
     codes[..., 1] = _scale_round(a_raw, enc.ab_scale, f_frac) + enc.ab_offset
     codes[..., 2] = _scale_round(b_raw, enc.ab_scale, f_frac) + enc.ab_offset
     return np.clip(codes, 0, enc.code_max)
+
+
+def lab_from_codes_reference(
+    converter: HwColorConverter, rgb: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Canonical fused conversion: ``(decoded lab, codes)``.
+
+    The reference simply composes :func:`convert_codes_reference` with
+    :meth:`LabEncoding.decode`; optimized backends fuse the decode into
+    the conversion traversal and must match both arrays bit for bit.
+    """
+    codes = convert_codes_reference(converter, rgb)
+    return converter.encoding.decode(codes), codes
 
 
 def _scale_round(raw: np.ndarray, scale: float, frac_bits: int) -> np.ndarray:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..types import as_float_rgb
+from ..types import as_float_rgb, validate_rgb_image
 from .constants import (
     D65_WHITE,
     GAMMA_THRESHOLD,
@@ -47,24 +47,38 @@ __all__ = [
 
 
 def srgb_gamma_expand(rgb: np.ndarray) -> np.ndarray:
-    """Equation 1: sRGB [0,1] -> linear-light RGB [0,1]."""
+    """Equation 1: sRGB [0,1] -> linear-light RGB [0,1].
+
+    The power branch is evaluated full-size and the (rare) linear branch
+    patched in by mask — elementwise identical to the two-branch select,
+    without materializing both branches for every pixel.
+    """
     rgb = np.asarray(rgb, dtype=np.float64)
-    linear = np.where(
-        rgb <= GAMMA_THRESHOLD,
-        rgb / 12.92,
-        ((rgb + 0.055) / 1.055) ** 2.4,
-    )
+    if rgb.ndim == 0:
+        return np.where(
+            rgb <= GAMMA_THRESHOLD, rgb / 12.92, ((rgb + 0.055) / 1.055) ** 2.4
+        )
+    linear = ((rgb + 0.055) / 1.055) ** 2.4
+    low = rgb <= GAMMA_THRESHOLD
+    if low.any():
+        linear[low] = rgb[low] / 12.92
     return linear
 
 
 def srgb_gamma_compress(linear: np.ndarray) -> np.ndarray:
     """Inverse of Equation 1: linear-light RGB -> sRGB [0,1]."""
     linear = np.clip(np.asarray(linear, dtype=np.float64), 0.0, 1.0)
-    return np.where(
-        linear <= GAMMA_THRESHOLD / 12.92,
-        linear * 12.92,
-        1.055 * linear ** (1.0 / 2.4) - 0.055,
-    )
+    if linear.ndim == 0:
+        return np.where(
+            linear <= GAMMA_THRESHOLD / 12.92,
+            linear * 12.92,
+            1.055 * linear ** (1.0 / 2.4) - 0.055,
+        )
+    out = 1.055 * linear ** (1.0 / 2.4) - 0.055
+    low = linear <= GAMMA_THRESHOLD / 12.92
+    if low.any():
+        out[low] = linear[low] * 12.92
+    return out
 
 
 def linear_rgb_to_xyz(linear: np.ndarray) -> np.ndarray:
@@ -82,22 +96,31 @@ def xyz_to_linear_rgb(xyz: np.ndarray) -> np.ndarray:
 def _f(w_over_wr: np.ndarray) -> np.ndarray:
     """Equation 4's f(): cube root with a linear branch near zero."""
     t = np.asarray(w_over_wr, dtype=np.float64)
-    return np.where(
-        t > LAB_EPSILON,
-        np.cbrt(t),
-        (LAB_KAPPA * t + 16.0) / 116.0,
-    )
+    if t.ndim == 0:
+        return np.where(
+            t > LAB_EPSILON, np.cbrt(t), (LAB_KAPPA * t + 16.0) / 116.0
+        )
+    out = np.cbrt(t)
+    small = ~(t > LAB_EPSILON)
+    if small.any():
+        ts = t[small]
+        out[small] = (LAB_KAPPA * ts + 16.0) / 116.0
+    return out
 
 
 def _f_inv(f: np.ndarray) -> np.ndarray:
     """Inverse of :func:`_f`."""
     f = np.asarray(f, dtype=np.float64)
-    cubed = f ** 3
-    return np.where(
-        cubed > LAB_EPSILON,
-        cubed,
-        (116.0 * f - 16.0) / LAB_KAPPA,
-    )
+    if f.ndim == 0:
+        cubed = f ** 3
+        return np.where(
+            cubed > LAB_EPSILON, cubed, (116.0 * f - 16.0) / LAB_KAPPA
+        )
+    out = f ** 3
+    small = ~(out > LAB_EPSILON)
+    if small.any():
+        out[small] = (116.0 * f[small] - 16.0) / LAB_KAPPA
+    return out
 
 
 def xyz_to_lab(xyz: np.ndarray, white: np.ndarray = D65_WHITE) -> np.ndarray:
@@ -116,10 +139,30 @@ def lab_to_xyz(lab: np.ndarray, white: np.ndarray = D65_WHITE) -> np.ndarray:
     """Inverse of :func:`xyz_to_lab`."""
     lab = np.asarray(lab, dtype=np.float64)
     fy = (lab[..., 0] + 16.0) / 116.0
-    fx = fy + lab[..., 1] / 500.0
-    fz = fy - lab[..., 2] / 200.0
-    fxyz = np.stack([fx, fy, fz], axis=-1)
+    fxyz = np.empty_like(lab)
+    fxyz[..., 0] = fy + lab[..., 1] / 500.0
+    fxyz[..., 1] = fy
+    fxyz[..., 2] = fy - lab[..., 2] / 200.0
     return _f_inv(fxyz) * white
+
+
+_GAMMA_LUT_U8 = None
+
+
+def _gamma_lut_u8() -> np.ndarray:
+    """256-entry table of ``srgb_gamma_expand(v / 255.0)`` for uint8 v.
+
+    Gamma expansion is elementwise, so gathering from this table is
+    bit-identical to ``srgb_gamma_expand(as_float_rgb(rgb))`` on uint8
+    input — each entry is the literal float64 the full-image expression
+    would compute for that code value.
+    """
+    global _GAMMA_LUT_U8
+    if _GAMMA_LUT_U8 is None:
+        _GAMMA_LUT_U8 = srgb_gamma_expand(
+            np.arange(256, dtype=np.float64) / 255.0
+        )
+    return _GAMMA_LUT_U8
 
 
 def rgb_to_lab(rgb: np.ndarray) -> np.ndarray:
@@ -127,9 +170,18 @@ def rgb_to_lab(rgb: np.ndarray) -> np.ndarray:
 
     This is the color-conversion step at the top of both SLIC flowcharts
     (Figure 1). Returns float64 with L in [0, 100].
+
+    uint8 input takes a gamma-LUT gather instead of evaluating the power
+    function per pixel; the downstream matrix multiply and Lab transform
+    run on the same full-shape float64 array either way, so the result
+    is bit-identical to the float path fed ``as_float_rgb(rgb)``.
     """
-    rgb = as_float_rgb(rgb)
-    return xyz_to_lab(linear_rgb_to_xyz(srgb_gamma_expand(rgb)))
+    rgb_arr = validate_rgb_image(rgb)
+    if rgb_arr.dtype == np.uint8:
+        linear = _gamma_lut_u8()[rgb_arr]
+    else:
+        linear = srgb_gamma_expand(as_float_rgb(rgb_arr))
+    return xyz_to_lab(linear_rgb_to_xyz(linear))
 
 
 def lab_to_rgb(lab: np.ndarray) -> np.ndarray:

@@ -10,6 +10,14 @@ center.
 :class:`SigmaAccumulator` is the software model of those registers; it
 accepts batches (vectorized ``bincount``) rather than single pixels, but the
 arithmetic — per-field sums plus a final division — is identical.
+
+:func:`sigma_accumulate_reference` is the canonical form of the
+``sigma_accumulate`` kernel contract entry: one pass producing the
+partial sums/counts for a batch directly from the flat image arrays,
+with x/y derived from the flat pixel index — no (M, 5) values matrix.
+The optimized backends (vectorized bincount columns, native C loops)
+must reproduce it bit for bit; :meth:`SigmaAccumulator.accumulate`
+dispatches through whichever backend the engine selected.
 """
 
 from __future__ import annotations
@@ -18,7 +26,71 @@ import numpy as np
 
 from ..errors import ConfigurationError
 
-__all__ = ["SigmaAccumulator", "center_movement"]
+__all__ = [
+    "SigmaAccumulator",
+    "center_movement",
+    "sigma_accumulate_reference",
+]
+
+
+def sigma_accumulate_reference(
+    labels,
+    n_clusters,
+    width,
+    lab_flat=None,
+    codes_flat=None,
+    encoding=None,
+    idx=None,
+):
+    """Canonical one-pass sigma partial accumulation.
+
+    Parameters
+    ----------
+    labels:
+        (M,) assigned cluster per batch entry.
+    n_clusters:
+        Register count K.
+    width:
+        Image width; entry ``i``'s coordinates are ``x = i % width``,
+        ``y = i // width`` (row-major flat indexing).
+    lab_flat:
+        (N, 3) float Lab rows (reference datapath), or ``None``.
+    codes_flat / encoding:
+        (N, 3) integer channel codes plus their
+        :class:`~repro.color.hw_convert.LabEncoding` (fixed datapath);
+        color fields are the *decoded* code values, exactly like
+        ``PixelArrays.values5``.
+    idx:
+        (M,) flat pixel indices selecting the batch, or ``None`` for
+        "every row in order" (``idx[j] == j``).
+
+    Returns ``(sums, counts)``: the (K, 5) float64 field sums and (K,)
+    int64 member counts accumulated from zero — precisely the values
+    :meth:`SigmaAccumulator.add` would fold in for the equivalent
+    (M, 5) values matrix, since each field's sum is the same
+    ``np.bincount`` fold.
+    """
+    labels = np.asarray(labels)
+    if idx is None:
+        idx = np.arange(len(labels), dtype=np.int64)
+    else:
+        idx = np.asarray(idx, dtype=np.int64)
+    vals = np.empty((len(idx), 5), dtype=np.float64)
+    if codes_flat is not None:
+        vals[:, 0:3] = encoding.decode(np.asarray(codes_flat)[idx])
+    else:
+        vals[:, 0:3] = np.asarray(lab_flat, dtype=np.float64)[idx]
+    vals[:, 3] = idx % width
+    vals[:, 4] = idx // width
+    counts = np.bincount(labels, minlength=n_clusters).astype(
+        np.int64, copy=False
+    )
+    sums = np.empty((n_clusters, 5), dtype=np.float64)
+    for f in range(5):
+        sums[:, f] = np.bincount(
+            labels, weights=vals[:, f], minlength=n_clusters
+        )
+    return sums, counts
 
 
 class SigmaAccumulator:
@@ -63,6 +135,34 @@ class SigmaAccumulator:
             self.sums[:, f] += np.bincount(
                 labels, weights=values5[:, f], minlength=self.n_clusters
             )
+
+    def accumulate(
+        self,
+        kernels,
+        labels,
+        width,
+        idx=None,
+        lab_flat=None,
+        codes_flat=None,
+        encoding=None,
+    ) -> None:
+        """Accumulate a batch through a kernel backend's ``sigma_accumulate``.
+
+        The backend returns zero-based partials ``(sums, counts)`` which are
+        folded in with ``+=`` — bitwise-equal to :meth:`add` on the
+        equivalent (M, 5) values matrix, without ever materializing it.
+        """
+        sums, counts = kernels.sigma_accumulate(
+            labels,
+            self.n_clusters,
+            width,
+            lab_flat=lab_flat,
+            codes_flat=codes_flat,
+            encoding=encoding,
+            idx=idx,
+        )
+        self.sums += sums
+        self.counts += counts
 
     def merge(self, other: "SigmaAccumulator") -> None:
         """Fold another accumulator in (tile-parallel cores merging)."""

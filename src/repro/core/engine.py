@@ -23,6 +23,7 @@ the JSONL telemetry alone.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -44,10 +45,26 @@ from .profiles import PhaseTimer
 from .result import SegmentationResult
 from .subsampling import center_subsets, make_schedule
 
-__all__ = ["run_segmentation", "expected_cluster_count"]
+__all__ = ["run_segmentation", "expected_cluster_count", "FUSED_COLOR_ENV"]
 
 #: Sentinel for "not yet assigned" in the CPA distance buffer.
 _INF = np.inf
+
+#: Environment opt-out for the fused color conversion (decode folded into
+#: the code-generation traversal). On by default; ``SlicParams.fused_color``
+#: overrides the environment when set.
+FUSED_COLOR_ENV = "REPRO_FUSED_COLOR"
+
+_OFF_VALUES = ("0", "false", "no", "off")
+
+
+def _fused_color_enabled(params) -> bool:
+    if params.fused_color is not None:
+        return bool(params.fused_color)
+    raw = os.environ.get(FUSED_COLOR_ENV)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in _OFF_VALUES
 
 #: Histogram buckets (seconds) for per-sweep latency. Spans 1 ms tile
 #: sweeps on thumbnails up to multi-second 1080p software sweeps; the
@@ -183,10 +200,18 @@ def _run_instrumented(
             lut_hits = CACHE_STATS["hits"] - hits_before
             if lut_hits:
                 tracer.count("color.lut_cache_hits", lut_hits)
-            codes = converter.convert_codes(
-                as_uint8_rgb(image), backend=kernel_name
-            )
-            lab = datapath.encoding.decode(codes)
+            if _fused_color_enabled(params):
+                # One traversal produces the codes and their float decode
+                # (bit-identical to convert-then-decode on every backend).
+                lab, codes = converter.convert_fused(
+                    as_uint8_rgb(image), backend=kernel_name
+                )
+                tracer.count("color.fused_frames")
+            else:
+                codes = converter.convert_codes(
+                    as_uint8_rgb(image), backend=kernel_name
+                )
+                lab = datapath.encoding.decode(codes)
         else:
             codes = None
             lab = rgb_to_lab(image)
@@ -197,11 +222,12 @@ def _run_instrumented(
     # Initialization: grid centers, gradient perturbation, PPA structures.
     # ------------------------------------------------------------------
     with timer.phase("initialization"):
-        centers = initial_centers(lab, params.n_superpixels)
-        if params.perturb_centers:
-            centers = perturb_centers(centers, lab)
-        n_clusters = len(centers)
+        grid_h, grid_w, _, _ = grid_geometry((h, w), params.n_superpixels)
+        n_clusters = grid_h * grid_w
         if warm_centers is not None:
+            # Warm-started frames never read the grid seeds: the warm
+            # centers replace them wholesale, so deriving (and gradient-
+            # perturbing) initial centers would be dead work.
             warm_centers = np.asarray(warm_centers, dtype=np.float64)
             if warm_centers.shape != (n_clusters, 5):
                 raise ConfigurationError(
@@ -210,7 +236,10 @@ def _run_instrumented(
                     f"expected_cluster_count) — got {warm_centers.shape}"
                 )
             centers = warm_centers.copy()
-        grid_h, grid_w, _, _ = grid_geometry((h, w), params.n_superpixels)
+        else:
+            centers = initial_centers(lab, params.n_superpixels)
+            if params.perturb_centers:
+                centers = perturb_centers(centers, lab)
         s = float(np.sqrt(h * w / n_clusters))
         weight = spatial_weight(params.compactness, s)
         n_subsets = params.n_subsets
@@ -219,6 +248,16 @@ def _run_instrumented(
             tiles = tile_map((h, w), grid_h, grid_w)
             cands = candidate_map(grid_h, grid_w)
             pixels = PixelArrays(lab, tiles, datapath=datapath, codes=codes)
+            # Source arrays for the sigma_accumulate kernel: the fixed
+            # datapath accumulates decoded codes (values5 semantics), the
+            # float path accumulates the lab rows directly.
+            if datapath is not None:
+                sigma_src = {
+                    "codes_flat": pixels.codes_flat,
+                    "encoding": datapath.encoding,
+                }
+            else:
+                sigma_src = {"lab_flat": pixels.lab_flat}
             schedule = make_schedule(
                 (h, w), params.subsample_ratio, params.subset_strategy, params.seed
             )
@@ -235,7 +274,9 @@ def _run_instrumented(
             else:
                 labels_buf = tile_map((h, w), grid_h, grid_w).astype(np.int32)
             c_subsets = center_subsets(n_clusters, n_subsets)
-            lab5_cache = None  # built lazily for center updates
+            # Center updates accumulate straight from the flat lab array
+            # via the sigma_accumulate kernel — no (H*W, 5) cache.
+            lab_rows = lab.reshape(-1, 3)
 
     acc = SigmaAccumulator(n_clusters)
     movement_history = []
@@ -288,14 +329,19 @@ def _run_instrumented(
                                 # SlicParams.center_update_mode).
                                 if sub % n_subsets == 0:
                                     acc.reset()
-                                acc.add(pixels.values5(idx), chosen)
+                                acc.accumulate(
+                                    kernels, chosen, w, idx=idx, **sigma_src
+                                )
                             elif mode == "subset":
                                 acc.reset()
-                                acc.add(pixels.values5(idx), chosen)
+                                acc.accumulate(
+                                    kernels, chosen, w, idx=idx, **sigma_src
+                                )
                             else:  # all_assigned
                                 acc.reset()
-                                all_idx = np.arange(pixels.n_pixels)
-                                acc.add(pixels.values5(all_idx), labels_flat)
+                                acc.accumulate(
+                                    kernels, labels_flat, w, **sigma_src
+                                )
                             centers = acc.compute_centers(fallback=centers)
                     tracer.count("engine.pixels_assigned", len(idx))
                     if tracer is not NULL_TRACER:
@@ -307,9 +353,9 @@ def _run_instrumented(
                         )
                 else:
                     subset_k = c_subsets[sub % n_subsets]
-                    if n_subsets > 1 and sub % n_subsets == 0:
-                        dist_buf.fill(_INF)
-                    elif n_subsets == 1:
+                    # Reset the running minima at sweep boundaries (with a
+                    # single subset, every sub-iteration is a boundary).
+                    if sub % n_subsets == 0:
                         dist_buf.fill(_INF)
                     subit = tracer.span(
                         "subiteration",
@@ -333,18 +379,13 @@ def _run_instrumented(
                                 codes=codes,
                             )
                         with timer.phase("center_update"):
-                            if lab5_cache is None:
-                                yy, xx = np.mgrid[0:h, 0:w]
-                                lab5_cache = np.concatenate(
-                                    [
-                                        lab.reshape(-1, 3),
-                                        xx.reshape(-1, 1).astype(np.float64),
-                                        yy.reshape(-1, 1).astype(np.float64),
-                                    ],
-                                    axis=1,
-                                )
                             acc.reset()
-                            acc.add(lab5_cache, labels_buf.ravel())
+                            acc.accumulate(
+                                kernels,
+                                labels_buf.ravel(),
+                                w,
+                                lab_flat=lab_rows,
+                            )
                             new_centers = acc.compute_centers(fallback=centers)
                             if n_subsets > 1:
                                 # Only the scanned subset's centers move this

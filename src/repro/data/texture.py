@@ -46,7 +46,14 @@ def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
 
 
 def _bilinear_upsample(coarse: np.ndarray, shape) -> np.ndarray:
-    """Bilinearly upsample a coarse grid to ``shape`` (H, W)."""
+    """Bilinearly upsample a coarse grid to ``shape`` (H, W).
+
+    Separable evaluation: the x-interpolation runs on the coarse rows
+    (ch, w) and the full-size pass only blends two row-gathers. Output
+    rows sharing a coarse row reuse the same interpolated row, and each
+    element sees the exact multiply/add sequence of the direct 4-gather
+    form, so the result is bit-identical to it.
+    """
     h, w = shape
     ch, cw = coarse.shape
     # Sample positions in coarse-grid coordinates.
@@ -58,9 +65,8 @@ def _bilinear_upsample(coarse: np.ndarray, shape) -> np.ndarray:
     x1 = np.minimum(x0 + 1, cw - 1)
     wy = (ys - y0)[:, None]
     wx = (xs - x0)[None, :]
-    top = coarse[y0[:, None], x0[None, :]] * (1 - wx) + coarse[y0[:, None], x1[None, :]] * wx
-    bot = coarse[y1[:, None], x0[None, :]] * (1 - wx) + coarse[y1[:, None], x1[None, :]] * wx
-    return top * (1 - wy) + bot * wy
+    rows = coarse[:, x0] * (1 - wx) + coarse[:, x1] * wx
+    return rows[y0] * (1 - wy) + rows[y1] * wy
 
 
 def value_noise(shape, cells: int, rng: np.random.Generator) -> np.ndarray:

@@ -1,8 +1,9 @@
 /* Native kernels: the CPA window scan, the PPA 9-candidate evaluation,
- * the fixed-point RGB->Lab conversion, the two-pass union-find
- * connected-components pass, the small-component merge walk, and the
- * BR/USE metric inner loops (joint histogram, 3-4 chamfer) as plain C
- * loops.
+ * the fixed-point RGB->Lab conversion (optionally fused with the
+ * code->Lab decode), the sigma-register accumulation, the two-pass
+ * union-find connected-components pass, the small-component merge walk,
+ * and the BR/USE metric inner loops (joint histogram, 3-4 chamfer) as
+ * plain C loops.
  *
  * Compiled on demand by repro.kernels.native with
  *
@@ -23,10 +24,11 @@
  * `n_threads` argument (the `native-mt` backend). Parallelism is by
  * *ownership partitioning*: each thread owns a contiguous slice of the
  * output (row bands for CPA, index ranges for PPA / lab_codes, a private
- * histogram for contingency) and visits its slice in exactly the serial
- * order, so every output element is written by exactly one thread with
- * the serial operation order — no boundary ties can ever arise and the
- * results stay bit-identical to the serial loops at any thread count.
+ * histogram for contingency, cluster ranges for the sigma accumulation)
+ * and visits its slice in exactly the serial order, so every output
+ * element is written by exactly one thread with the serial operation
+ * order — no boundary ties can ever arise and the results stay
+ * bit-identical to the serial loops at any thread count.
  * The only cross-tile combines (the contingency histogram stitch and
  * the connected-components band seams + renumber) run sequentially, in
  * ascending tile id; union-by-minimal-root makes the component roots
@@ -515,7 +517,11 @@ static void lab_codes_u8_range(
     int64_t ab_scale_raw,      /* round(ab_scale * 2^14)                */
     int64_t ab_offset,
     int64_t code_max,
-    int64_t *codes)            /* n*3 output channel codes              */
+    int64_t *codes,            /* n*3 output channel codes              */
+    double l_scale_d,          /* real decode scales (fused path only)  */
+    double ab_scale_d,
+    double ab_offset_d,
+    double *lab_out)           /* n*3 decoded Lab, or NULL: codes only  */
 {
     int64_t mat_half = (int64_t)1 << (mat_shift - 1);
     int64_t b_align = (int64_t)1 << in_frac;
@@ -558,6 +564,16 @@ static void lab_codes_u8_range(
         out[0] = cl < 0 ? 0 : (cl > code_max ? code_max : cl);
         out[1] = ca < 0 ? 0 : (ca > code_max ? code_max : ca);
         out[2] = cb < 0 ? 0 : (cb > code_max ? code_max : cb);
+        if (lab_out) {
+            /* Inline LabEncoding.decode: float64 cast, then the same
+             * divide / subtract-divide expressions numpy evaluates —
+             * identical IEEE operations, so the fused Lab plane is
+             * bit-identical to decode(convert_codes(...)).             */
+            double *lo = lab_out + 3 * i;
+            lo[0] = (double)out[0] / l_scale_d;
+            lo[1] = ((double)out[1] - ab_offset_d) / ab_scale_d;
+            lo[2] = ((double)out[2] - ab_offset_d) / ab_scale_d;
+        }
     }
 }
 
@@ -575,7 +591,8 @@ void lab_codes_u8(
                        in_raw_min, in_raw_max, breaks_raw, n_seg,
                        slopes_raw, intercepts_raw, in_frac, out_shift,
                        out_raw_min, out_raw_max, f_frac, l_scale_raw,
-                       ab_scale_raw, ab_offset, code_max, codes);
+                       ab_scale_raw, ab_offset, code_max, codes,
+                       0.0, 1.0, 0.0, 0);
 }
 
 typedef struct {
@@ -593,6 +610,8 @@ typedef struct {
     int64_t out_raw_min, out_raw_max, f_frac;
     int64_t l_scale_raw, ab_scale_raw, ab_offset, code_max;
     int64_t *codes;
+    double l_scale_d, ab_scale_d, ab_offset_d;
+    double *lab_out;
 } lab_codes_ctx;
 
 static void lab_codes_chunk(void *vctx, int64_t tid, int64_t width)
@@ -605,7 +624,9 @@ static void lab_codes_chunk(void *vctx, int64_t tid, int64_t width)
                        c->slopes_raw, c->intercepts_raw, c->in_frac,
                        c->out_shift, c->out_raw_min, c->out_raw_max,
                        c->f_frac, c->l_scale_raw, c->ab_scale_raw,
-                       c->ab_offset, c->code_max, c->codes);
+                       c->ab_offset, c->code_max, c->codes,
+                       c->l_scale_d, c->ab_scale_d, c->ab_offset_d,
+                       c->lab_out);
 }
 
 void lab_codes_u8_mt(
@@ -622,7 +643,53 @@ void lab_codes_u8_mt(
                          in_raw_min, in_raw_max, breaks_raw, n_seg,
                          slopes_raw, intercepts_raw, in_frac, out_shift,
                          out_raw_min, out_raw_max, f_frac, l_scale_raw,
-                         ab_scale_raw, ab_offset, code_max, codes};
+                         ab_scale_raw, ab_offset, code_max, codes,
+                         0.0, 1.0, 0.0, 0};
+    mt_run(lab_codes_chunk, &ctx, n_threads < n ? n_threads : n);
+}
+
+/* The fused conversion: one pixel pass producing both the channel codes
+ * and the decoded float64 Lab plane — replacing the engine's
+ * convert-then-decode double frame walk. Same datapath as lab_codes_u8;
+ * the decode tail is bit-identical to LabEncoding.decode.               */
+void lab_from_codes_u8(
+    const uint8_t *rgb, int64_t n, const int64_t *gamma_lut,
+    const int64_t *matrix_raw, int64_t mat_shift,
+    int64_t in_raw_min, int64_t in_raw_max, const int64_t *breaks_raw,
+    int64_t n_seg, const int64_t *slopes_raw,
+    const int64_t *intercepts_raw, int64_t in_frac, int64_t out_shift,
+    int64_t out_raw_min, int64_t out_raw_max, int64_t f_frac,
+    int64_t l_scale_raw, int64_t ab_scale_raw, int64_t ab_offset,
+    int64_t code_max, int64_t *codes,
+    double l_scale_d, double ab_scale_d, double ab_offset_d,
+    double *lab_out)
+{
+    lab_codes_u8_range(rgb, 0, n, gamma_lut, matrix_raw, mat_shift,
+                       in_raw_min, in_raw_max, breaks_raw, n_seg,
+                       slopes_raw, intercepts_raw, in_frac, out_shift,
+                       out_raw_min, out_raw_max, f_frac, l_scale_raw,
+                       ab_scale_raw, ab_offset, code_max, codes,
+                       l_scale_d, ab_scale_d, ab_offset_d, lab_out);
+}
+
+void lab_from_codes_u8_mt(
+    const uint8_t *rgb, int64_t n, const int64_t *gamma_lut,
+    const int64_t *matrix_raw, int64_t mat_shift,
+    int64_t in_raw_min, int64_t in_raw_max, const int64_t *breaks_raw,
+    int64_t n_seg, const int64_t *slopes_raw,
+    const int64_t *intercepts_raw, int64_t in_frac, int64_t out_shift,
+    int64_t out_raw_min, int64_t out_raw_max, int64_t f_frac,
+    int64_t l_scale_raw, int64_t ab_scale_raw, int64_t ab_offset,
+    int64_t code_max, int64_t *codes,
+    double l_scale_d, double ab_scale_d, double ab_offset_d,
+    double *lab_out, int64_t n_threads)
+{
+    lab_codes_ctx ctx = {rgb, n, gamma_lut, matrix_raw, mat_shift,
+                         in_raw_min, in_raw_max, breaks_raw, n_seg,
+                         slopes_raw, intercepts_raw, in_frac, out_shift,
+                         out_raw_min, out_raw_max, f_frac, l_scale_raw,
+                         ab_scale_raw, ab_offset, code_max, codes,
+                         l_scale_d, ab_scale_d, ab_offset_d, lab_out};
     mt_run(lab_codes_chunk, &ctx, n_threads < n ? n_threads : n);
 }
 
@@ -1050,4 +1117,155 @@ void ppa_assign_fixed_mt(
                          c_codes, weight_raw, wfrac, sf, quantize,
                          dshift, dmax, out};
     mt_run(ppa_fixed_chunk, &ctx, n_threads < m ? n_threads : m);
+}
+
+/* ------------------------------------------------------------------ */
+/* Sigma accumulation: per-cluster [L, a, b, x, y] sums plus member
+ * counts in one pass over the assigned entries — the software model of
+ * the Cluster Update Unit's sigma registers (Section 4.3), without
+ * materializing the (M, 5) values matrix the numpy path builds. x and y
+ * come from the flat pixel index (x = i % w, y = i / w, row-major).
+ *
+ * Bit-identity: every (cluster, field) accumulator receives its
+ * contributions in ascending entry order j — exactly the order
+ * np.bincount(labels, weights=...) folds them — so the partial sums
+ * equal the reference's bincount outputs bit for bit. The five fields
+ * are independent accumulators, so fusing them into one loop changes
+ * nothing. The _mt variants partition by *cluster ownership*, not entry
+ * ranges: thread t owns clusters [mt_slice_lo(K, t, width),
+ * mt_slice_hi(K, t, width)), scans every entry, and accumulates only
+ * labels it owns. Each accumulator is written by exactly one thread in
+ * the full serial entry order, so float64 summation order is preserved
+ * and results are bit-identical at any thread count. (A per-thread
+ * entry-range fold — the contingency_table pattern — would reorder
+ * float additions and is NOT exact for float weights; it is only valid
+ * for integer histograms.) Labels outside [k_lo, k_hi) are skipped,
+ * which also makes out-of-range labels harmless in the serial entries. */
+/* ------------------------------------------------------------------ */
+
+static void sigma_f64_rows(
+    const double *lab_flat,   /* n*3 float Lab rows                     */
+    const int64_t *idx,       /* m flat pixel indices, NULL: j itself   */
+    const int32_t *labels,    /* m assigned clusters                    */
+    int64_t m,
+    int64_t k_lo, int64_t k_hi,
+    int64_t w,
+    double *sums,             /* n_clusters*5, zero-initialized         */
+    int64_t *counts)          /* n_clusters, zero-initialized           */
+{
+    for (int64_t j = 0; j < m; j++) {
+        int64_t k = labels[j];
+        if (k < k_lo || k >= k_hi) continue;
+        int64_t i = idx ? idx[j] : j;
+        const double *px = lab_flat + 3 * i;
+        double *s = sums + 5 * k;
+        s[0] += px[0];
+        s[1] += px[1];
+        s[2] += px[2];
+        s[3] += (double)(i % w);
+        s[4] += (double)(i / w);
+        counts[k]++;
+    }
+}
+
+void sigma_acc_f64(
+    const double *lab_flat, const int64_t *idx, const int32_t *labels,
+    int64_t m, int64_t w, int64_t n_clusters, double *sums,
+    int64_t *counts)
+{
+    sigma_f64_rows(lab_flat, idx, labels, m, 0, n_clusters, w,
+                   sums, counts);
+}
+
+static void sigma_codes_rows(
+    const int64_t *codes_flat, /* n*3 Lab channel codes                 */
+    const int64_t *idx,
+    const int32_t *labels,
+    int64_t m,
+    int64_t k_lo, int64_t k_hi,
+    int64_t w,
+    double l_scale,            /* real decode constants                 */
+    double ab_scale,
+    double ab_offset,
+    double *sums,
+    int64_t *counts)
+{
+    /* Decode inline per entry — the same float64 cast and
+     * divide / subtract-divide expressions as LabEncoding.decode, so
+     * the accumulated values match the reference's decoded rows.       */
+    for (int64_t j = 0; j < m; j++) {
+        int64_t k = labels[j];
+        if (k < k_lo || k >= k_hi) continue;
+        int64_t i = idx ? idx[j] : j;
+        const int64_t *px = codes_flat + 3 * i;
+        double *s = sums + 5 * k;
+        s[0] += (double)px[0] / l_scale;
+        s[1] += ((double)px[1] - ab_offset) / ab_scale;
+        s[2] += ((double)px[2] - ab_offset) / ab_scale;
+        s[3] += (double)(i % w);
+        s[4] += (double)(i / w);
+        counts[k]++;
+    }
+}
+
+void sigma_acc_codes(
+    const int64_t *codes_flat, const int64_t *idx, const int32_t *labels,
+    int64_t m, int64_t w, double l_scale, double ab_scale,
+    double ab_offset, int64_t n_clusters, double *sums, int64_t *counts)
+{
+    sigma_codes_rows(codes_flat, idx, labels, m, 0, n_clusters, w,
+                     l_scale, ab_scale, ab_offset, sums, counts);
+}
+
+typedef struct {
+    const double *lab_flat;
+    const int64_t *codes_flat;
+    const int64_t *idx;
+    const int32_t *labels;
+    int64_t m, n_clusters, w;
+    double l_scale, ab_scale, ab_offset;
+    double *sums;
+    int64_t *counts;
+} sigma_ctx;
+
+static void sigma_f64_chunk(void *vctx, int64_t tid, int64_t width)
+{
+    sigma_ctx *c = (sigma_ctx *)vctx;
+    sigma_f64_rows(c->lab_flat, c->idx, c->labels, c->m,
+                   mt_slice_lo(c->n_clusters, tid, width),
+                   mt_slice_hi(c->n_clusters, tid, width),
+                   c->w, c->sums, c->counts);
+}
+
+static void sigma_codes_chunk(void *vctx, int64_t tid, int64_t width)
+{
+    sigma_ctx *c = (sigma_ctx *)vctx;
+    sigma_codes_rows(c->codes_flat, c->idx, c->labels, c->m,
+                     mt_slice_lo(c->n_clusters, tid, width),
+                     mt_slice_hi(c->n_clusters, tid, width),
+                     c->w, c->l_scale, c->ab_scale, c->ab_offset,
+                     c->sums, c->counts);
+}
+
+void sigma_acc_f64_mt(
+    const double *lab_flat, const int64_t *idx, const int32_t *labels,
+    int64_t m, int64_t w, int64_t n_clusters, double *sums,
+    int64_t *counts, int64_t n_threads)
+{
+    sigma_ctx ctx = {lab_flat, 0, idx, labels, m, n_clusters, w,
+                     0.0, 1.0, 0.0, sums, counts};
+    mt_run(sigma_f64_chunk, &ctx,
+           n_threads < n_clusters ? n_threads : n_clusters);
+}
+
+void sigma_acc_codes_mt(
+    const int64_t *codes_flat, const int64_t *idx, const int32_t *labels,
+    int64_t m, int64_t w, double l_scale, double ab_scale,
+    double ab_offset, int64_t n_clusters, double *sums, int64_t *counts,
+    int64_t n_threads)
+{
+    sigma_ctx ctx = {0, codes_flat, idx, labels, m, n_clusters, w,
+                     l_scale, ab_scale, ab_offset, sums, counts};
+    mt_run(sigma_codes_chunk, &ctx,
+           n_threads < n_clusters ? n_threads : n_clusters);
 }

@@ -2,8 +2,8 @@
 
 Four backends implement the same kernel contract (``cpa_assign``,
 ``ppa_assign``, ``connected_components``, ``lab_codes``,
-``merge_small``, ``contingency_table``, ``chamfer_distance``; see
-``docs/kernels.md``):
+``lab_from_codes``, ``sigma_accumulate``, ``merge_small``,
+``contingency_table``, ``chamfer_distance``; see ``docs/kernels.md``):
 
 * ``reference`` — the original loops in :mod:`repro.core`;
 * ``vectorized`` — batched pure numpy, always available;

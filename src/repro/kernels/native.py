@@ -43,6 +43,8 @@ __all__ = [
     "connected_components",
     "resolve_runs",
     "lab_codes",
+    "lab_from_codes",
+    "sigma_accumulate",
     "merge_small",
     "contingency_table",
     "chamfer_distance",
@@ -169,6 +171,20 @@ def _declare(lib) -> None:
         u8, ll, i64, i64, ll, ll, ll, i64, ll, i64, i64, ll, ll, ll, ll,
         ll, ll, ll, ll, ll, i64,
     ]
+    dbl = ctypes.c_double
+    lib.lab_from_codes_u8.restype = None
+    lib.lab_from_codes_u8.argtypes = [
+        *lib.lab_codes_u8.argtypes, dbl, dbl, dbl, f64,
+    ]
+    # The subset-index argument is nullable (NULL means "identity"), so
+    # it is a raw pointer rather than an ndpointer.
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    lib.sigma_acc_f64.restype = None
+    lib.sigma_acc_f64.argtypes = [f64, i64p, i32, ll, ll, ll, f64, i64]
+    lib.sigma_acc_codes.restype = None
+    lib.sigma_acc_codes.argtypes = [
+        i64, i64p, i32, ll, ll, dbl, dbl, dbl, ll, f64, i64,
+    ]
     lib.merge_small.restype = None
     lib.merge_small.argtypes = [
         i64, i64, i64, i64, ll, i64, ll, ll, i64, i64, i64,
@@ -194,6 +210,12 @@ def _declare(lib) -> None:
     lib.ppa_assign_fixed_mt.argtypes = [*lib.ppa_assign_fixed.argtypes, ll]
     lib.lab_codes_u8_mt.restype = None
     lib.lab_codes_u8_mt.argtypes = [*lib.lab_codes_u8.argtypes, ll]
+    lib.lab_from_codes_u8_mt.restype = None
+    lib.lab_from_codes_u8_mt.argtypes = [*lib.lab_from_codes_u8.argtypes, ll]
+    lib.sigma_acc_f64_mt.restype = None
+    lib.sigma_acc_f64_mt.argtypes = [*lib.sigma_acc_f64.argtypes, ll]
+    lib.sigma_acc_codes_mt.restype = None
+    lib.sigma_acc_codes_mt.argtypes = [*lib.sigma_acc_codes.argtypes, ll]
     lib.contingency_i64_mt.restype = None
     lib.contingency_i64_mt.argtypes = [i64, i64, ll, ll, ll, i64, ll, i64]
     lib.ccl_i32_mt.restype = ll
@@ -234,6 +256,28 @@ def is_available() -> bool:
 # Kernel entry points (KernelBackend interface)
 # ----------------------------------------------------------------------
 
+#: Per-process reusable ``touched`` masks for the CPA kernels, keyed by
+#: pixel count — the same checkout/checkin protocol as the vectorized
+#: backend's CPA scratch (buffers are popped while in use, so concurrent
+#: engines race harmlessly to fresh allocations). Shared by the
+#: ``native`` and ``native-mt`` call sites.
+_TOUCHED_POOL: dict = {}
+
+
+def _touched_checkout(n: int):
+    buf = _TOUCHED_POOL.pop(n, None)
+    if buf is None:
+        return np.zeros(n, dtype=np.uint8)
+    buf.fill(0)
+    return buf
+
+
+def _touched_checkin(n: int, buf) -> None:
+    if len(_TOUCHED_POOL) >= 4:  # bound growth across geometries
+        _TOUCHED_POOL.clear()
+    _TOUCHED_POOL[n] = buf
+
+
 def cpa_assign(
     lab,
     centers,
@@ -273,7 +317,7 @@ def cpa_assign(
     centers_c = np.ascontiguousarray(centers, dtype=np.float64)
     labels_v = labels_buf.reshape(-1)
     dist_v = dist_buf.reshape(-1)
-    touched = np.zeros(h * w, dtype=np.uint8)
+    touched = _touched_checkout(h * w)
     if datapath is None:
         lab_c = np.ascontiguousarray(lab, dtype=np.float64)
         lib.cpa_assign_f64(
@@ -291,7 +335,9 @@ def cpa_assign(
             datapath.effective_distance_shift, datapath.distance_max_code,
             half, h, w, dist_v, labels_v, touched,
         )
-    return int(np.count_nonzero(touched))
+    n_touched = int(np.count_nonzero(touched))
+    _touched_checkin(h * w, touched)
+    return n_touched
 
 
 def ppa_assign(
@@ -378,6 +424,116 @@ def lab_codes(converter, rgb):
         codes.reshape(-1),
     )
     return codes
+
+
+def lab_from_codes(converter, rgb, _n_threads=None):
+    """Fused RGB->Lab: ``(lab, codes)`` in one pixel pass.
+
+    Produces both the channel codes and the decoded float64 Lab plane in
+    a single frame traversal — bit-identical to ``lab_codes`` followed
+    by ``LabEncoding.decode``. Same vectorized fallback as
+    ``lab_codes`` for exotic PWL configurations.
+    """
+    rgb = np.ascontiguousarray(rgb, dtype=np.uint8)
+    pwl = converter.pwl
+    mat_shift = (
+        converter.gamma_frac_bits + converter._matrix_fmt.frac_bits
+    ) - pwl.in_fmt.frac_bits
+    out_shift = (
+        pwl.coeff_fmt.frac_bits + pwl.in_fmt.frac_bits
+    ) - pwl.out_fmt.frac_bits
+    if mat_shift <= 0 or out_shift <= 0:
+        from . import vectorized
+
+        return vectorized.lab_from_codes(converter, rgb)
+    lib = load()
+    h, w = rgb.shape[:2]
+    enc = converter.encoding
+    codes = np.empty((h, w, 3), dtype=np.int64)
+    lab = np.empty((h, w, 3), dtype=np.float64)
+    args = (
+        rgb.reshape(-1),
+        h * w,
+        np.ascontiguousarray(converter.gamma_lut, dtype=np.int64),
+        np.ascontiguousarray(converter.matrix_raw, dtype=np.int64).reshape(-1),
+        mat_shift,
+        pwl.in_fmt.raw_min, pwl.in_fmt.raw_max,
+        np.ascontiguousarray(pwl.breaks_raw, dtype=np.int64),
+        pwl.n_segments,
+        np.ascontiguousarray(pwl.slopes_raw, dtype=np.int64),
+        np.ascontiguousarray(pwl.intercepts_raw, dtype=np.int64),
+        pwl.in_fmt.frac_bits,
+        out_shift,
+        pwl.out_fmt.raw_min, pwl.out_fmt.raw_max,
+        pwl.out_fmt.frac_bits,
+        int(round(enc.l_scale * (1 << 14))),
+        int(round(enc.ab_scale * (1 << 14))),
+        enc.ab_offset,
+        enc.code_max,
+        codes.reshape(-1),
+        float(enc.l_scale),
+        float(enc.ab_scale),
+        float(enc.ab_offset),
+        lab.reshape(-1),
+    )
+    if _n_threads is None:
+        lib.lab_from_codes_u8(*args)
+    else:
+        lib.lab_from_codes_u8_mt(*args, int(_n_threads))
+    return lab, codes
+
+
+def sigma_accumulate(
+    labels,
+    n_clusters,
+    width,
+    lab_flat=None,
+    codes_flat=None,
+    encoding=None,
+    idx=None,
+    _n_threads=None,
+):
+    """One-pass sigma-register fill; see ``sigma_accumulate_reference``.
+
+    Returns partial ``(sums, counts)`` accumulated from zero — the
+    caller (``SigmaAccumulator.accumulate``) folds them into its
+    registers. x/y come from the flat pixel index, so no (M, 5) values
+    matrix is ever materialized.
+    """
+    lib = load()
+    labels_c = np.ascontiguousarray(labels, dtype=np.int32)
+    m = len(labels_c)
+    sums = np.zeros((n_clusters, 5), dtype=np.float64)
+    counts = np.zeros(n_clusters, dtype=np.int64)
+    if m == 0 or n_clusters == 0:
+        return sums, counts
+    idx_ptr = None
+    if idx is not None:
+        idx_c = np.ascontiguousarray(idx, dtype=np.int64)
+        idx_ptr = idx_c.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
+    if codes_flat is not None:
+        codes_c = np.ascontiguousarray(codes_flat, dtype=np.int64)
+        args = (
+            codes_c.reshape(-1), idx_ptr, labels_c, m, width,
+            float(encoding.l_scale), float(encoding.ab_scale),
+            float(encoding.ab_offset), n_clusters,
+            sums.reshape(-1), counts,
+        )
+        if _n_threads is None:
+            lib.sigma_acc_codes(*args)
+        else:
+            lib.sigma_acc_codes_mt(*args, int(_n_threads))
+    else:
+        lab_c = np.ascontiguousarray(lab_flat, dtype=np.float64)
+        args = (
+            lab_c.reshape(-1), idx_ptr, labels_c, m, width,
+            n_clusters, sums.reshape(-1), counts,
+        )
+        if _n_threads is None:
+            lib.sigma_acc_f64(*args)
+        else:
+            lib.sigma_acc_f64_mt(*args, int(_n_threads))
+    return sums, counts
 
 
 def connected_components(labels, _n_threads=None):

@@ -10,7 +10,8 @@ overhead.
 
 Bit-identity at any thread count comes from *ownership partitioning*
 (see the ``_native.c`` header): each thread owns a contiguous slice of
-the output — row bands for CPA, index ranges for PPA and ``lab_codes``,
+the output — row bands for CPA, index ranges for PPA and ``lab_codes``
+/ ``lab_from_codes``, cluster ranges for ``sigma_accumulate``,
 a private histogram for ``contingency_table`` — and visits its slice in
 exactly the serial order. Every output element is written by exactly
 one thread, so no boundary ties can arise; the cross-tile combines
@@ -58,6 +59,8 @@ __all__ = [
     "ppa_assign",
     "connected_components",
     "lab_codes",
+    "lab_from_codes",
+    "sigma_accumulate",
     "merge_small",
     "contingency_table",
     "chamfer_distance",
@@ -150,7 +153,7 @@ def cpa_assign(
     centers_c = np.ascontiguousarray(centers, dtype=np.float64)
     labels_v = labels_buf.reshape(-1)
     dist_v = dist_buf.reshape(-1)
-    touched = np.zeros(h * w, dtype=np.uint8)
+    touched = native._touched_checkout(h * w)
     if datapath is None:
         lab_c = np.ascontiguousarray(lab, dtype=np.float64)
         lib.cpa_assign_f64_mt(
@@ -168,7 +171,9 @@ def cpa_assign(
             datapath.effective_distance_shift, datapath.distance_max_code,
             half, h, w, dist_v, labels_v, touched, nt,
         )
-    return int(np.count_nonzero(touched))
+    n_touched = int(np.count_nonzero(touched))
+    native._touched_checkin(h * w, touched)
+    return n_touched
 
 
 def ppa_assign(
@@ -259,6 +264,42 @@ def lab_codes(converter, rgb, n_threads=None):
         nt,
     )
     return codes
+
+
+def lab_from_codes(converter, rgb, n_threads=None):
+    """Fused RGB->Lab ``(lab, codes)`` over pixel-range chunks.
+
+    Delegates to the shared native wrapper with the resolved thread
+    count, which dispatches the ``lab_from_codes_u8_mt`` entry (or the
+    vectorized fallback for exotic PWL configurations).
+    """
+    return native.lab_from_codes(
+        converter, rgb, _n_threads=resolve_threads(n_threads)
+    )
+
+
+def sigma_accumulate(
+    labels,
+    n_clusters,
+    width,
+    lab_flat=None,
+    codes_flat=None,
+    encoding=None,
+    idx=None,
+    n_threads=None,
+):
+    """Cluster-ownership-partitioned sigma accumulation.
+
+    Each thread owns a contiguous cluster range and scans every entry,
+    accumulating only the labels it owns — the full serial addition
+    order per register, so sums are bit-identical at any thread count
+    (see the sigma section in ``_native.c``).
+    """
+    return native.sigma_accumulate(
+        labels, n_clusters, width,
+        lab_flat=lab_flat, codes_flat=codes_flat, encoding=encoding,
+        idx=idx, _n_threads=resolve_threads(n_threads),
+    )
 
 
 def connected_components(labels, n_threads=None):

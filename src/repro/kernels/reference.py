@@ -9,6 +9,10 @@ for debugging and for the identity checks in the benchmarks.
 from __future__ import annotations
 
 from ..color.hw_convert import convert_codes_reference as lab_codes
+from ..color.hw_convert import lab_from_codes_reference as lab_from_codes
+from ..core.accumulators import (
+    sigma_accumulate_reference as sigma_accumulate,
+)
 from ..core.assignment import assign_cpa as cpa_assign
 from ..core.assignment import assign_ppa as ppa_assign
 from ..core.connectivity import (
@@ -27,6 +31,8 @@ __all__ = [
     "ppa_assign",
     "connected_components",
     "lab_codes",
+    "lab_from_codes",
+    "sigma_accumulate",
     "merge_small",
     "contingency_table",
     "chamfer_distance",

@@ -95,8 +95,9 @@ def _known_answer_inputs():
 def self_test(name: str) -> None:
     """Run the known-answer kernel checks for backend ``name``.
 
-    Exercises every kernel in the contract (CPA scan, Lab conversion,
-    merge walk, metric histogram/chamfer) on tiny fixed inputs and
+    Exercises every kernel in the contract (CPA scan, Lab conversion —
+    two-step and fused — sigma accumulation, merge walk, metric
+    histogram/chamfer) on tiny fixed inputs and
     compares against the reference loops, raising
     :class:`ConfigurationError` with the mismatch detail on any
     difference. Cheap (a 6 x 9 image and a handful of components) —
@@ -176,6 +177,52 @@ def self_test(name: str) -> None:
             backend.lab_codes(conv, rgb),
             reference.lab_codes(conv, rgb),
         )
+
+    # Fused conversion: codes and their decode from one traversal.
+    want_flab, want_fcodes = reference.lab_from_codes(conv, rgb)
+    with pinned():
+        got_flab, got_fcodes = backend.lab_from_codes(conv, rgb)
+    check("lab_from_codes.lab", got_flab, want_flab)
+    check("lab_from_codes.codes", got_fcodes, want_fcodes)
+    if name == "native-mt":
+        odd_flab, odd_fcodes = backend.lab_from_codes(conv, rgb, n_threads=3)
+        check("lab_from_codes.lab@3t", odd_flab, want_flab)
+        check("lab_from_codes.codes@3t", odd_fcodes, want_fcodes)
+
+    # Sigma accumulation: float rows over the full CPA image (with an
+    # empty cluster), plus a fixed-code subset gather. The labels hit
+    # every cluster ownership band an odd thread split produces.
+    lab_rows = np.ascontiguousarray(lab.reshape(-1, 3))
+    sig_labels = (np.arange(h * w, dtype=np.int64) * 7 % 5).astype(np.int32)
+    want_sums, want_counts = reference.sigma_accumulate(
+        sig_labels, 6, w, lab_flat=lab_rows
+    )
+    with pinned():
+        got_sums, got_counts = backend.sigma_accumulate(
+            sig_labels, 6, w, lab_flat=lab_rows
+        )
+    check("sigma_accumulate.sums", got_sums, want_sums)
+    check("sigma_accumulate.counts", got_counts, want_counts)
+    codes_rows = conv.encoding.encode(lab_rows)
+    subset = np.arange(0, h * w, 2, dtype=np.int64)
+    sub_labels = (subset % 4).astype(np.int32)
+    want_csums, want_ccounts = reference.sigma_accumulate(
+        sub_labels, 4, w, codes_flat=codes_rows, encoding=conv.encoding,
+        idx=subset,
+    )
+    with pinned():
+        got_csums, got_ccounts = backend.sigma_accumulate(
+            sub_labels, 4, w, codes_flat=codes_rows, encoding=conv.encoding,
+            idx=subset,
+        )
+    check("sigma_accumulate.codes.sums", got_csums, want_csums)
+    check("sigma_accumulate.codes.counts", got_ccounts, want_ccounts)
+    if name == "native-mt":
+        odd_sums, odd_counts = backend.sigma_accumulate(
+            sig_labels, 6, w, lab_flat=lab_rows, n_threads=3
+        )
+        check("sigma_accumulate.sums@3t", odd_sums, want_sums)
+        check("sigma_accumulate.counts@3t", odd_counts, want_counts)
 
     # Connected components: nested ring + stray pixels + a label that
     # recurs in disjoint pieces, so run unions chain across many rows

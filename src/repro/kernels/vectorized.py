@@ -55,6 +55,8 @@ __all__ = [
     "ppa_assign",
     "connected_components",
     "lab_codes",
+    "lab_from_codes",
+    "sigma_accumulate",
     "merge_small",
     "contingency_table",
     "chamfer_distance",
@@ -301,13 +303,13 @@ def connected_components(labels: np.ndarray):
     return components.astype(np.int32), int(len(uniq))
 
 
-def lab_codes(converter, rgb: np.ndarray) -> np.ndarray:
-    """Fixed-point RGB->Lab codes via the unique-color gather trick.
+def _unique_codes(converter, rgb: np.ndarray):
+    """Unique-color pipeline: codes per distinct 24-bit RGB triple.
 
-    The pipeline is a pure per-pixel function of the 24-bit RGB triple,
-    so it is run once per *unique* color (typically a few thousand for a
-    frame, vs. hundreds of thousands of pixels) and gathered back —
-    bit-identical to the reference by construction.
+    The conversion is a pure per-pixel function of the RGB triple, so it
+    is run once per *unique* color (typically a few thousand for a
+    frame, vs. hundreds of thousands of pixels) and gathered back.
+    Returns ``(codes_u, inverse, h, w)``.
     """
     rgb = np.asarray(rgb)
     h, w = rgb.shape[:2]
@@ -322,7 +324,81 @@ def lab_codes(converter, rgb: np.ndarray) -> np.ndarray:
     uc[0, :, 1] = (uniq >> 8) & 0xFF
     uc[0, :, 2] = uniq & 0xFF
     codes_u = convert_codes_reference(converter, uc)[0]  # (U, 3) int64
+    return codes_u, inverse, h, w
+
+
+def lab_codes(converter, rgb: np.ndarray) -> np.ndarray:
+    """Fixed-point RGB->Lab codes via the unique-color gather trick —
+    bit-identical to the reference by construction."""
+    codes_u, inverse, h, w = _unique_codes(converter, rgb)
     return codes_u[inverse].reshape(h, w, 3)
+
+
+def lab_from_codes(converter, rgb: np.ndarray):
+    """Fused RGB->Lab ``(lab, codes)`` via the unique-color gather.
+
+    Decoding is elementwise, so decoding the unique codes and gathering
+    is bit-identical to decoding the gathered full-frame codes.
+    """
+    codes_u, inverse, h, w = _unique_codes(converter, rgb)
+    lab_u = converter.encoding.decode(codes_u)
+    return (
+        lab_u[inverse].reshape(h, w, 3),
+        codes_u[inverse].reshape(h, w, 3),
+    )
+
+
+def sigma_accumulate(
+    labels,
+    n_clusters,
+    width,
+    lab_flat=None,
+    codes_flat=None,
+    encoding=None,
+    idx=None,
+):
+    """Sigma partials via per-column bincounts.
+
+    Same contract and results as ``sigma_accumulate_reference``, but the
+    (M, 5) values matrix is never materialized: each field's weights go
+    straight into its own ``np.bincount`` (the same fold the reference
+    performs column by column), and x/y weights come directly from the
+    flat indices.
+    """
+    labels = np.asarray(labels)
+    counts = np.bincount(labels, minlength=n_clusters).astype(
+        np.int64, copy=False
+    )
+    if idx is None:
+        # Full-frame batch: read the source rows in place (no gather
+        # copy — identical values, so identical bincount folds).
+        flat = np.arange(len(labels), dtype=np.int64)
+        if codes_flat is not None:
+            c = np.asarray(codes_flat)[: len(labels)].astype(np.float64)
+        else:
+            lf = np.asarray(lab_flat, dtype=np.float64)[: len(labels)]
+    else:
+        flat = np.asarray(idx, dtype=np.int64)
+        if codes_flat is not None:
+            c = np.asarray(codes_flat)[flat].astype(np.float64)
+        else:
+            lf = np.asarray(lab_flat, dtype=np.float64)[flat]
+    if codes_flat is not None:
+        cols = (
+            c[:, 0] / encoding.l_scale,
+            (c[:, 1] - encoding.ab_offset) / encoding.ab_scale,
+            (c[:, 2] - encoding.ab_offset) / encoding.ab_scale,
+        )
+    else:
+        cols = (lf[:, 0], lf[:, 1], lf[:, 2])
+    cols = cols + (
+        (flat % width).astype(np.float64),
+        (flat // width).astype(np.float64),
+    )
+    sums = np.empty((n_clusters, 5), dtype=np.float64)
+    for f, col in enumerate(cols):
+        sums[:, f] = np.bincount(labels, weights=col, minlength=n_clusters)
+    return sums, counts
 
 
 def merge_small(

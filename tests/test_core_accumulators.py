@@ -79,6 +79,76 @@ class TestSigmaAccumulator:
             SigmaAccumulator(0)
 
 
+class TestAccumulateDispatch:
+    """SigmaAccumulator.accumulate == add on the materialized matrix."""
+
+    def _inputs(self, seed=0, h=9, w=14, k=7):
+        rng = np.random.default_rng(seed)
+        lab_flat = rng.standard_normal((h * w, 3)) * 25.0
+        labels = rng.integers(0, k, size=h * w).astype(np.int32)
+        vals = np.empty((h * w, 5))
+        vals[:, 0:3] = lab_flat
+        vals[:, 3] = np.arange(h * w) % w
+        vals[:, 4] = np.arange(h * w) // w
+        return lab_flat, labels, vals, w, k
+
+    def test_reference_kernel_matches_add(self):
+        from repro.core.accumulators import sigma_accumulate_reference
+
+        lab_flat, labels, vals, w, k = self._inputs()
+        acc = SigmaAccumulator(k)
+        acc.add(vals, labels)
+        sums, counts = sigma_accumulate_reference(
+            labels, k, w, lab_flat=lab_flat
+        )
+        assert np.array_equal(sums, acc.sums)
+        assert np.array_equal(counts, acc.counts)
+
+    def test_accumulate_folds_bitwise_like_add(self):
+        """Repeated accumulate() across batches equals repeated add() —
+        including nonzero starting registers (the S-SLIC sweep carry)."""
+        from repro.kernels import get_backend
+
+        lab_flat, labels, vals, w, k = self._inputs(seed=3)
+        idx = np.arange(0, len(labels), 2, dtype=np.int64)
+        via_add = SigmaAccumulator(k)
+        via_add.add(vals, labels)
+        via_add.add(vals[idx], labels[: len(idx)])
+        via_kernel = SigmaAccumulator(k)
+        kernels = get_backend("vectorized")
+        via_kernel.accumulate(kernels, labels, w, lab_flat=lab_flat)
+        via_kernel.accumulate(
+            kernels, labels[: len(idx)], w, idx=idx, lab_flat=lab_flat
+        )
+        assert np.array_equal(via_kernel.sums, via_add.sums)
+        assert np.array_equal(via_kernel.counts, via_add.counts)
+
+    def test_accumulate_fixed_codes_matches_values5_semantics(self):
+        from repro.color.hw_convert import LabEncoding
+        from repro.kernels import get_backend
+
+        rng = np.random.default_rng(5)
+        enc = LabEncoding(8)
+        h, w, k = 8, 11, 5
+        codes_flat = rng.integers(
+            0, enc.code_max + 1, size=(h * w, 3)
+        ).astype(np.int64)
+        labels = rng.integers(0, k, size=h * w).astype(np.int32)
+        vals = np.empty((h * w, 5))
+        vals[:, 0:3] = enc.decode(codes_flat)
+        vals[:, 3] = np.arange(h * w) % w
+        vals[:, 4] = np.arange(h * w) // w
+        via_add = SigmaAccumulator(k)
+        via_add.add(vals, labels)
+        via_kernel = SigmaAccumulator(k)
+        via_kernel.accumulate(
+            get_backend("vectorized"), labels, w,
+            codes_flat=codes_flat, encoding=enc,
+        )
+        assert np.array_equal(via_kernel.sums, via_add.sums)
+        assert np.array_equal(via_kernel.counts, via_add.counts)
+
+
 class TestCenterMovement:
     def test_zero_for_identical(self):
         c = np.random.default_rng(0).normal(size=(5, 5))

@@ -186,6 +186,120 @@ class TestWarmStart:
         with pytest.raises(ConfigurationError):
             sslic(small_scene.image, n_superpixels=24, warm_labels=bad)
 
+    def test_warm_start_independent_of_perturbation(self, small_scene):
+        """Warm centers replace the grid seeds wholesale, so skipping
+        initial-center derivation and gradient perturbation on warm
+        frames must be invisible: results are bit-identical whatever
+        perturb_centers says."""
+        first = sslic(small_scene.image, n_superpixels=24, max_iterations=3)
+        runs = [
+            sslic(
+                small_scene.image,
+                n_superpixels=24,
+                max_iterations=2,
+                perturb_centers=flag,
+                warm_centers=first.centers,
+                warm_labels=first.labels,
+            )
+            for flag in (True, False)
+        ]
+        assert np.array_equal(runs[0].labels, runs[1].labels)
+        assert np.array_equal(runs[0].centers, runs[1].centers)
+
+
+class TestFusedColor:
+    """The fused color-conversion knob: identical results, observable."""
+
+    def _run(self, image, **kw):
+        return slic(
+            image, n_superpixels=20, max_iterations=3,
+            datapath=FixedDatapath(bits=8), **kw,
+        )
+
+    def test_param_off_matches_on(self, small_scene):
+        on = self._run(small_scene.image, fused_color=True)
+        off = self._run(small_scene.image, fused_color=False)
+        assert np.array_equal(on.labels, off.labels)
+        assert np.array_equal(on.centers, off.centers)
+
+    def test_env_var_disables(self, small_scene, monkeypatch):
+        from repro.core.engine import FUSED_COLOR_ENV
+
+        monkeypatch.setenv(FUSED_COLOR_ENV, "0")
+        off = self._run(small_scene.image)
+        monkeypatch.setenv(FUSED_COLOR_ENV, "1")
+        on = self._run(small_scene.image)
+        assert np.array_equal(on.labels, off.labels)
+
+    def test_fused_frames_counter(self, small_scene):
+        from repro.obs import MemorySink, Tracer
+
+        for flag, expected in ((True, 1), (False, 0)):
+            tracer = Tracer(MemorySink())
+            self._run(small_scene.image, fused_color=flag, tracer=tracer)
+            tracer.flush()
+            counts = [
+                e for e in tracer.sink.events
+                if e.get("name") == "color.fused_frames"
+            ]
+            assert len(counts) == expected, flag
+            tracer.close()
+
+
+class TestCenterUpdateMemory:
+    """The CPA center update streams from the flat lab array; the old
+    (H*W, 5) float64 values cache must not come back."""
+
+    def test_no_lab5_sized_engine_allocation(self):
+        import tracemalloc
+
+        import repro.core.engine as engine_mod
+
+        h, w = 120, 160
+        rng = np.random.default_rng(7)
+        image = rng.integers(0, 256, size=(h, w, 3), dtype=np.uint8)
+        params = SlicParams(
+            n_superpixels=40, max_iterations=2, architecture="cpa",
+            convergence_threshold=0.0, kernel_backend="vectorized",
+        )
+
+        from repro.obs import MemorySink, Tracer
+
+        stats = []
+
+        class SweepSnapshotTracer(Tracer):
+            """Snapshots live allocations at the end of each sweep —
+            while every per-run buffer is still alive."""
+
+            def end_span(self, span, status="ok"):
+                if getattr(span, "name", "") == "sweep":
+                    snap = tracemalloc.take_snapshot()
+                    stats.append(
+                        snap.filter_traces([
+                            tracemalloc.Filter(True, engine_mod.__file__)
+                        ]).statistics("lineno")
+                    )
+                super().end_span(span, status)
+
+        tracer = SweepSnapshotTracer(MemorySink())
+        tracemalloc.start()
+        try:
+            run_segmentation(image, params, tracer=tracer)
+        finally:
+            tracemalloc.stop()
+            tracer.close()
+
+        assert stats, "no sweep snapshots captured"
+        lab5_bytes = h * w * 5 * 8
+        for sweep_stats in stats:
+            for stat in sweep_stats:
+                # Largest legitimate engine buffer is the float64
+                # distance buffer (h*w*8); the removed cache was 5x it.
+                assert stat.size < lab5_bytes * 0.9, (
+                    f"engine allocation of {stat.size} bytes at "
+                    f"{stat.traceback} looks like a lab5 cache"
+                )
+
 
 class TestEquivalences:
     def test_ppa_ratio1_equals_modes(self, small_scene):

@@ -82,6 +82,45 @@ class TestSelfTest:
             reset_supervision()
 
 
+    @pytest.mark.parametrize("kernel", ["sigma_accumulate", "lab_from_codes"])
+    def test_broken_new_kernels_fail_self_test(self, kernel, monkeypatch):
+        """A backend whose sigma/fused-color kernel returns garbage must
+        flunk its known-answer vector (the vectors are load-bearing)."""
+        from repro.kernels import vectorized
+
+        def garbage(*args, **kwargs):
+            if kernel == "sigma_accumulate":
+                n = args[1]
+                return (
+                    np.ones((n, 5)),
+                    np.zeros(n, dtype=np.int64),
+                )
+            rgb = args[1]
+            return (
+                np.zeros(rgb.shape, dtype=np.float64),
+                np.zeros(rgb.shape, dtype=np.int64),
+            )
+
+        monkeypatch.setattr(vectorized, kernel, garbage)
+        with pytest.raises(ConfigurationError, match=kernel.split(".")[0]):
+            self_test("vectorized")
+
+    @pytest.mark.parametrize("kernel", ["sigma_accumulate", "lab_from_codes"])
+    def test_broken_new_kernel_demotes(self, kernel, monkeypatch):
+        from repro.kernels import vectorized
+
+        real = getattr(vectorized, kernel)
+
+        def garbage(*args, **kwargs):
+            out = real(*args, **kwargs)
+            return (out[0] + 1, out[1])
+
+        monkeypatch.setattr(vectorized, kernel, garbage)
+        verdict = supervised_resolve("vectorized")
+        assert verdict.name == "reference"
+        assert verdict.demoted_from == "vectorized"
+
+
 class TestSupervisedResolve:
     @pytest.mark.parametrize("name", DEMOTION_CHAIN)
     def test_healthy_backend_is_not_demoted(self, name):

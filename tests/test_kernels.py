@@ -358,6 +358,171 @@ class TestLabCodesIdentity:
             assert np.array_equal(conv.convert_codes(rgb, backend=name), base)
 
 
+class TestLabFromCodesIdentity:
+    """The fused conversion kernel: (decoded lab, codes) in one pass."""
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    @pytest.mark.parametrize("bits,uniform", [(8, True), (10, True), (8, False)])
+    def test_matches_reference(self, name, bits, uniform):
+        from repro.color.hw_convert import HwColorConverter, LabEncoding
+
+        rng = np.random.default_rng(bits * 11 + uniform)
+        rgb = rng.integers(0, 256, size=(H, W, 3), dtype=np.uint8)
+        conv = HwColorConverter(encoding=LabEncoding(bits, uniform=uniform))
+        want_lab, want_codes = get_backend("reference").lab_from_codes(
+            conv, rgb
+        )
+        got_lab, got_codes = get_backend(name).lab_from_codes(conv, rgb)
+        assert np.array_equal(got_lab, want_lab)
+        assert np.array_equal(got_codes, want_codes)
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_equals_two_step_sequence(self, name):
+        """Fused output must be bitwise the convert-then-decode result."""
+        from repro.color.hw_convert import HwColorConverter
+
+        rng = np.random.default_rng(17)
+        rgb = rng.integers(0, 256, size=(20, 31, 3), dtype=np.uint8)
+        conv = HwColorConverter()
+        codes = get_backend(name).lab_codes(conv, rgb)
+        lab = conv.encoding.decode(codes)
+        got_lab, got_codes = get_backend(name).lab_from_codes(conv, rgb)
+        assert np.array_equal(got_codes, codes)
+        assert np.array_equal(got_lab, lab)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        h=st.integers(1, 17),
+        w=st.integers(1, 23),
+    )
+    def test_property_tiny_shapes(self, seed, h, w):
+        """Down to 1x1: every backend matches the reference pair."""
+        from repro.color.hw_convert import HwColorConverter
+
+        rng = np.random.default_rng(seed)
+        rgb = rng.integers(0, 256, size=(h, w, 3), dtype=np.uint8)
+        conv = HwColorConverter()
+        want_lab, want_codes = get_backend("reference").lab_from_codes(
+            conv, rgb
+        )
+        for name in OPTIMIZED:
+            got_lab, got_codes = get_backend(name).lab_from_codes(conv, rgb)
+            assert np.array_equal(got_lab, want_lab), name
+            assert np.array_equal(got_codes, want_codes), name
+
+    def test_convert_fused_dispatches_per_backend(self):
+        from repro.color.hw_convert import HwColorConverter
+
+        rng = np.random.default_rng(19)
+        rgb = rng.integers(0, 256, size=(16, 16, 3), dtype=np.uint8)
+        conv = HwColorConverter()
+        base_lab, base_codes = conv.convert_fused(rgb, backend="reference")
+        assert np.array_equal(base_codes, conv.convert_codes(rgb))
+        for name in OPTIMIZED:
+            lab, codes = conv.convert_fused(rgb, backend=name)
+            assert np.array_equal(lab, base_lab), name
+            assert np.array_equal(codes, base_codes), name
+
+
+class TestSigmaAccumulateIdentity:
+    """The one-pass sigma accumulation kernel across backends."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        h=st.integers(1, 24),
+        w=st.integers(1, 31),
+        k=st.integers(1, 40),
+        stride=st.sampled_from([0, 1, 2, 5]),
+    )
+    def test_float_rows_bit_identical(self, seed, h, w, k, stride):
+        """Float lab rows, full frame and strided subsets, K clusters
+        with arbitrary empty ones (labels drawn from [0, K))."""
+        rng = np.random.default_rng(seed)
+        lab_flat = rng.standard_normal((h * w, 3)) * 40.0
+        if stride == 0:
+            idx = None
+            m = h * w
+        else:
+            idx = np.arange(0, h * w, stride, dtype=np.int64)
+            m = len(idx)
+        labels = rng.integers(0, k, size=m).astype(np.int32)
+        want_s, want_c = get_backend("reference").sigma_accumulate(
+            labels, k, w, lab_flat=lab_flat, idx=idx
+        )
+        for name in OPTIMIZED:
+            got_s, got_c = get_backend(name).sigma_accumulate(
+                labels, k, w, lab_flat=lab_flat, idx=idx
+            )
+            assert np.array_equal(got_s, want_s), name
+            assert np.array_equal(got_c, want_c), name
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        k=st.integers(1, 24),
+        bits=st.sampled_from([8, 10]),
+    )
+    def test_fixed_codes_bit_identical(self, seed, k, bits):
+        from repro.color.hw_convert import LabEncoding
+
+        rng = np.random.default_rng(seed)
+        enc = LabEncoding(bits)
+        h, w = 13, 17
+        codes_flat = rng.integers(
+            0, enc.code_max + 1, size=(h * w, 3)
+        ).astype(np.int64)
+        idx = rng.permutation(h * w)[: h * w // 2].astype(np.int64)
+        labels = rng.integers(0, k, size=len(idx)).astype(np.int32)
+        want_s, want_c = get_backend("reference").sigma_accumulate(
+            labels, k, w, codes_flat=codes_flat, encoding=enc, idx=idx
+        )
+        for name in OPTIMIZED:
+            got_s, got_c = get_backend(name).sigma_accumulate(
+                labels, k, w, codes_flat=codes_flat, encoding=enc, idx=idx
+            )
+            assert np.array_equal(got_s, want_s), name
+            assert np.array_equal(got_c, want_c), name
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_empty_batch(self, name):
+        """M == 0 returns all-zero partials (empty-cluster fallback is
+        the accumulator's job; the kernel just reports zero counts)."""
+        want_s, want_c = get_backend("reference").sigma_accumulate(
+            np.array([], dtype=np.int32), 7, 5,
+            lab_flat=np.zeros((0, 3)),
+        )
+        got_s, got_c = get_backend(name).sigma_accumulate(
+            np.array([], dtype=np.int32), 7, 5,
+            lab_flat=np.zeros((0, 3)),
+        )
+        assert np.array_equal(got_s, want_s) and (got_s == 0).all()
+        assert np.array_equal(got_c, want_c) and (got_c == 0).all()
+
+    @pytest.mark.parametrize("name", OPTIMIZED)
+    def test_matches_accumulator_add(self, name):
+        """The kernel partials equal SigmaAccumulator.add on the
+        materialized (M, 5) values matrix — the lab5 contract."""
+        from repro.core.accumulators import SigmaAccumulator
+
+        rng = np.random.default_rng(23)
+        h, w = 11, 13
+        lab_flat = rng.standard_normal((h * w, 3)) * 30.0
+        labels = rng.integers(0, 9, size=h * w).astype(np.int32)
+        vals = np.empty((h * w, 5))
+        vals[:, 0:3] = lab_flat
+        vals[:, 3] = np.arange(h * w) % w
+        vals[:, 4] = np.arange(h * w) // w
+        acc = SigmaAccumulator(9)
+        acc.add(vals, labels)
+        got_s, got_c = get_backend(name).sigma_accumulate(
+            labels, 9, w, lab_flat=lab_flat
+        )
+        assert np.array_equal(got_s, acc.sums)
+        assert np.array_equal(got_c, acc.counts)
+
+
 class TestMergeSmallIdentity:
     """The enforce_connectivity merge walk across backends."""
 

@@ -180,6 +180,80 @@ class TestLabCodesDifferential:
 
 
 @pytest.mark.parametrize("nt", THREADS)
+class TestLabFromCodesDifferential:
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 10_000),
+           bits=st.sampled_from([8, 10]), uniform=st.booleans())
+    def test_random_images(self, nt, seed, bits, uniform):
+        rng = np.random.default_rng(seed)
+        rgb = rng.integers(0, 256, size=(H, W, 3), dtype=np.uint8)
+        conv = HwColorConverter(encoding=LabEncoding(bits, uniform=uniform))
+        want_lab, want_codes = reference.lab_from_codes(conv, rgb)
+        got_lab, got_codes = native_mt.lab_from_codes(conv, rgb, n_threads=nt)
+        assert np.array_equal(got_lab, want_lab)
+        assert np.array_equal(got_codes, want_codes)
+
+
+@pytest.mark.parametrize("nt", THREADS)
+class TestSigmaAccumulateDifferential:
+    """Cluster-ownership partitioning: bit-identical at any width."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 40),
+           stride=st.sampled_from([0, 1, 3]))
+    def test_float_rows(self, nt, seed, k, stride):
+        rng = np.random.default_rng(seed)
+        lab_flat = rng.standard_normal((H * W, 3)) * 40.0
+        if stride == 0:
+            idx, m = None, H * W
+        else:
+            idx = np.arange(0, H * W, stride, dtype=np.int64)
+            m = len(idx)
+        labels = rng.integers(0, k, size=m).astype(np.int32)
+        want_s, want_c = reference.sigma_accumulate(
+            labels, k, W, lab_flat=lab_flat, idx=idx
+        )
+        got_s, got_c = native_mt.sigma_accumulate(
+            labels, k, W, lab_flat=lab_flat, idx=idx, n_threads=nt
+        )
+        assert np.array_equal(got_s, want_s)
+        assert np.array_equal(got_c, want_c)
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 24),
+           bits=st.sampled_from([8, 10]))
+    def test_fixed_codes(self, nt, seed, k, bits):
+        rng = np.random.default_rng(seed)
+        enc = LabEncoding(bits)
+        codes_flat = rng.integers(
+            0, enc.code_max + 1, size=(H * W, 3)
+        ).astype(np.int64)
+        idx = rng.permutation(H * W)[: H * W // 2].astype(np.int64)
+        labels = rng.integers(0, k, size=len(idx)).astype(np.int32)
+        want_s, want_c = reference.sigma_accumulate(
+            labels, k, W, codes_flat=codes_flat, encoding=enc, idx=idx
+        )
+        got_s, got_c = native_mt.sigma_accumulate(
+            labels, k, W, codes_flat=codes_flat, encoding=enc, idx=idx,
+            n_threads=nt,
+        )
+        assert np.array_equal(got_s, want_s)
+        assert np.array_equal(got_c, want_c)
+
+    def test_fewer_clusters_than_threads(self, nt):
+        """K < width: trailing ownership bands are empty, not OOB."""
+        rng = np.random.default_rng(5)
+        lab_flat = rng.standard_normal((60, 3))
+        labels = rng.integers(0, 2, size=60).astype(np.int32)
+        want = reference.sigma_accumulate(labels, 2, 6, lab_flat=lab_flat)
+        got = native_mt.sigma_accumulate(
+            labels, 2, 6, lab_flat=lab_flat, n_threads=nt
+        )
+        assert np.array_equal(got[0], want[0])
+        assert np.array_equal(got[1], want[1])
+
+
+@pytest.mark.parametrize("nt", THREADS)
 class TestContingencyDifferential:
     @settings(max_examples=5, deadline=None)
     @given(seed=st.integers(0, 10_000), n_a=st.integers(1, 12),
@@ -236,6 +310,28 @@ class TestDegenerateShapes:
         want = reference.lab_codes(conv, rgb)
         got = native_mt.lab_codes(conv, rgb, n_threads=7)
         assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("h,w", SHAPES)
+    def test_lab_from_codes(self, h, w):
+        rng = np.random.default_rng(h * 10 + w + 1)
+        rgb = rng.integers(0, 256, size=(h, w, 3), dtype=np.uint8)
+        conv = HwColorConverter()
+        want_lab, want_codes = reference.lab_from_codes(conv, rgb)
+        got_lab, got_codes = native_mt.lab_from_codes(conv, rgb, n_threads=7)
+        assert np.array_equal(got_lab, want_lab)
+        assert np.array_equal(got_codes, want_codes)
+
+    @pytest.mark.parametrize("h,w", SHAPES)
+    def test_sigma_accumulate(self, h, w):
+        rng = np.random.default_rng(h * 10 + w + 2)
+        lab_flat = rng.standard_normal((h * w, 3))
+        labels = rng.integers(0, 3, size=h * w).astype(np.int32)
+        want = reference.sigma_accumulate(labels, 3, w, lab_flat=lab_flat)
+        got = native_mt.sigma_accumulate(
+            labels, 3, w, lab_flat=lab_flat, n_threads=7
+        )
+        assert np.array_equal(got[0], want[0])
+        assert np.array_equal(got[1], want[1])
 
     def test_serial_delegates_unaffected_by_ambient_threads(self):
         """merge_small / chamfer / CC delegate to serial code; a pinned
